@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablation (DESIGN.md): the cost of NACHOS's single-comparator arbiter
+ * (§VII "Why decentralized checking?").
+ *
+ * Part 1 sweeps a synthetic region with one high-fan-in victim (K MAY
+ * parents whose addresses all resolve in the same cycle — the paper's
+ * "many memory operations fire simultaneously"): at arbiter width 1
+ * the victim's issue is delayed ~K cycles; widening the arbiter makes
+ * the delay vanish. Part 2 reports the same sweep on the suite's
+ * high-fan-in workloads, where other latency usually overlaps it.
+ */
+
+#include <iostream>
+
+#include "analysis/pipeline.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "ir/builder.hh"
+#include "mde/inserter.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+using namespace nachos;
+
+namespace {
+
+/** K older loads, one younger store: all pairs MAY via data indices. */
+Region
+victimRegion(uint32_t k_parents)
+{
+    RegionBuilder b("victim" + std::to_string(k_parents));
+    ObjectId idx = b.object("idx", 1 << 16);
+    ObjectId tab = b.object("table", 4096 * 8 + 64);
+    OpId idx_load = b.load(b.stream(idx, 8));
+    OpId v = b.liveIn();
+    for (uint32_t p = 0; p < k_parents; ++p) {
+        SymbolId sym = b.opaqueSym("p" + std::to_string(p), idx_load,
+                                   4096, 8, 0, 11 + p);
+        AddrExpr a = b.at(tab, 0);
+        a.terms.push_back({sym, 1});
+        a.canonicalize();
+        b.load(a, 8);
+    }
+    SymbolId vs = b.opaqueSym("victim", idx_load, 4096, 8, 0, 7);
+    AddrExpr a = b.at(tab, 0);
+    a.terms.push_back({vs, 1});
+    a.canonicalize();
+    b.store(a, v, 8);
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    printHeader(std::cout, "Ablation (synthetic)",
+                "One victim store with K simultaneous MAY parents: "
+                "cycles/invocation by arbiter width");
+
+    TextTable sweep;
+    sweep.header({"K parents", "width=1", "width=8", "width=64",
+                  "arbitration delay"});
+    for (uint32_t k : {4u, 16u, 32u, 64u}) {
+        Region r = victimRegion(k);
+        AliasAnalysisResult res = runAliasPipeline(r);
+        MdeSet mdes = insertMdes(r, res.matrix);
+        std::vector<std::string> row = {std::to_string(k)};
+        double w1 = 0, wide = 0;
+        for (uint32_t width : {1u, 8u, 64u}) {
+            SimConfig cfg;
+            cfg.invocations = 200;
+            cfg.nachosComparesPerCycle = width;
+            SimResult sim = simulate(r, mdes, BackendKind::Nachos, cfg);
+            row.push_back(fmtDouble(sim.cyclesPerInvocation, 1));
+            if (width == 1)
+                w1 = sim.cyclesPerInvocation;
+            wide = sim.cyclesPerInvocation;
+        }
+        row.push_back(fmtDouble(w1 - wide, 1) + " cyc");
+        sweep.row(row);
+    }
+    sweep.print(std::cout);
+    std::cout << "\nThe single-comparator delay grows linearly with "
+                 "fan-in — the paper's §VII\ncontention mechanism "
+                 "(bzip2/sar-pfa pay ~8% for it).\n";
+
+    printHeader(std::cout, "Ablation (suite)",
+                "Arbiter width on the high-fan-in workloads");
+    TextTable table;
+    table.header({"app", "width=1", "width=64", "contention cost"});
+    for (const char *name :
+         {"bzip2", "sarpfa", "povray", "fft2d", "soplex", "art"}) {
+        const BenchmarkInfo &info = benchmarkByName(name);
+        Region r = synthesizeRegion(info);
+        AliasAnalysisResult res = runAliasPipeline(r);
+        MdeSet mdes = insertMdes(r, res.matrix);
+        double w1 = 0, wide = 0;
+        for (uint32_t width : {1u, 64u}) {
+            SimConfig cfg;
+            cfg.invocations = info.invocations;
+            cfg.nachosComparesPerCycle = width;
+            SimResult sim = simulate(r, mdes, BackendKind::Nachos, cfg);
+            if (width == 1)
+                w1 = sim.cyclesPerInvocation;
+            wide = sim.cyclesPerInvocation;
+        }
+        table.row({info.shortName, fmtDouble(w1, 1), fmtDouble(wide, 1),
+                   fmtPct(wide == 0 ? 0 : (w1 - wide) / wide)});
+    }
+    table.print(std::cout);
+    std::cout << "\nIn full workloads the arbitration largely overlaps "
+                 "other latency; the paper\nsaw it surface as "
+                 "bzip2/sar-pfa's ~8% slowdown under a more optimistic "
+                 "LSQ.\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation (paper §VIII-C, Challenge 1+2): OPT-LSQ design-space sweep.
+ *
+ * Part 1 sweeps the bank count (the paper evaluates 1-8 banks of
+ * 2-port 48-entry arrays): few banks throttle in-order allocation on
+ * mem-heavy regions; the energy per check is unchanged.
+ *
+ * Part 2 sweeps the bloom-filter size: a small filter false-positives
+ * into CAM searches, which is exactly the "best-effort energy
+ * optimization" caveat of Figure 18.
+ */
+
+#include <iostream>
+
+#include "analysis/pipeline.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "mde/inserter.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+using namespace nachos;
+
+namespace {
+
+SimResult
+runLsq(const Region &r, const MdeSet &mdes, const BenchmarkInfo &info,
+       LsqConfig lsq)
+{
+    SimConfig cfg;
+    cfg.invocations = info.invocations;
+    cfg.lsq = lsq;
+    return simulate(r, mdes, BackendKind::OptLsq, cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    printHeader(std::cout, "Ablation (LSQ banks)",
+                "OPT-LSQ bank count vs cycles/invocation "
+                "(2 ports per bank)");
+
+    TextTable banks;
+    banks.header({"app", "#MEM", "1 bank", "2 banks", "4 banks",
+                  "8 banks"});
+    for (const char *name : {"equake", "bzip2", "namd", "h264ref",
+                             "sphinx3", "gzip"}) {
+        const BenchmarkInfo &info = benchmarkByName(name);
+        Region r = synthesizeRegion(info);
+        AliasAnalysisResult res = runAliasPipeline(r);
+        MdeSet mdes = insertMdes(r, res.matrix);
+        std::vector<std::string> row = {
+            info.shortName, std::to_string(r.numMemOps())};
+        for (uint32_t nb : {1u, 2u, 4u, 8u}) {
+            LsqConfig lsq;
+            lsq.banks = nb;
+            lsq.portsPerBank = 2;
+            SimResult sim = runLsq(r, mdes, info, lsq);
+            row.push_back(fmtDouble(sim.cyclesPerInvocation, 1));
+        }
+        banks.row(row);
+    }
+    banks.print(std::cout);
+    std::cout << "\nMem-heavy regions (equake: 215 ops) need the "
+                 "aggregate port bandwidth of many\nbanks just to "
+                 "allocate — the paper's scaling challenge; NACHOS has "
+                 "no such knob.\n";
+
+    printHeader(std::cout, "Ablation (bloom size)",
+                "Bloom counters vs CAM searches (povray, "
+                "store-heavy)");
+    const BenchmarkInfo &info = benchmarkByName("povray");
+    Region r = synthesizeRegion(info);
+    AliasAnalysisResult res = runAliasPipeline(r);
+    MdeSet mdes = insertMdes(r, res.matrix);
+    TextTable bloom;
+    bloom.header({"counters", "bloom hits", "CAM searches",
+                  "LSQ energy (nJ)"});
+    for (uint32_t counters : {64u, 128u, 512u, 2048u}) {
+        LsqConfig lsq;
+        lsq.bloom.counters = counters;
+        SimResult sim = runLsq(r, mdes, info, lsq);
+        bloom.row({std::to_string(counters),
+                   std::to_string(sim.stats.get("lsq.bloomHits")),
+                   std::to_string(sim.stats.get("lsq.camLoads") +
+                                  sim.stats.get("lsq.camStores")),
+                   fmtDouble(sim.energy.lsq() / 1e6, 1)});
+    }
+    bloom.print(std::cout);
+    std::cout << "\nSmaller filters false-positive into CAM searches; "
+                 "the filter is best-effort\n(Figure 18): correctness "
+                 "never depends on it.\n";
+    return 0;
+}

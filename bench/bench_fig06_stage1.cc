@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 6: Stage-1 MAY and MUST pairwise alias shares over the top-5
+ * acceleration paths of each workload.
+ *
+ * Paper shape: 7 of 27 workloads need no further analysis (all pairs
+ * NO/MUST at Stage 1, or no stores at all); in most of the rest MAY
+ * dominates; on the unresolved workloads Stage 1 proves on average
+ * ~3% MUST and ~7% NO.
+ */
+
+#include <iostream>
+
+#include "analysis/pipeline.hh"
+#include "analysis/stage1_basic.hh"
+#include "harness/report.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "workloads/suite.hh"
+
+using namespace nachos;
+
+int
+main()
+{
+    setQuiet(true);
+    printHeader(std::cout, "Figure 6",
+                "Stage 1: %MAY / %MUST of pairwise relations "
+                "(top-5 paths)");
+
+    TextTable table;
+    table.header({"app", "pairs", "%MAY", "%MUST", "%NO", "resolved?"});
+    int fully_resolved = 0;
+    for (const BenchmarkInfo &info : benchmarkSuite()) {
+        PairCounts total;
+        for (uint32_t path = 0; path < 5; ++path) {
+            SynthesisOptions opts;
+            opts.pathIndex = path;
+            Region r = synthesizeRegion(info, opts);
+            AliasMatrix m = runStage1(r);
+            PairCounts c = m.counts();
+            total.no += c.no;
+            total.may += c.may;
+            total.must += c.must;
+        }
+        const bool resolved = total.may == 0;
+        fully_resolved += resolved ? 1 : 0;
+        table.row({info.shortName, std::to_string(total.total()),
+                   fmtPct(total.fracMay()), fmtPct(total.fracMust()),
+                   fmtPct(total.total() == 0
+                              ? 0
+                              : static_cast<double>(total.no) /
+                                    static_cast<double>(total.total())),
+                   resolved ? "yes" : "no"});
+    }
+    table.print(std::cout);
+    std::cout << "\nWorkloads fully resolved by Stage 1 alone: "
+              << fully_resolved << "   (paper: 7 of 27)\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 10: %MEM (share of memory operations among all ops) vs %MAY
+ * (share of memory ops carrying a MAY label after the full pipeline),
+ * ordered by %MAY as in the paper.
+ *
+ * Paper shape: workloads that speed up or slow down vs OPT-LSQ all
+ * have a high %MEM; NACHOS-SW's troubles concentrate where both %MEM
+ * and %MAY are high.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+using namespace nachos;
+
+int
+main()
+{
+    setQuiet(true);
+    printHeader(std::cout, "Figure 10",
+                "%MEM vs %MAY per workload (sorted by %MAY)");
+
+    struct Row
+    {
+        std::string name;
+        double memPct;
+        double mayPct;
+    };
+    std::vector<Row> rows;
+    for (const BenchmarkInfo &info : benchmarkSuite()) {
+        Region r = synthesizeRegion(info);
+        AliasAnalysisResult res = runAliasPipeline(r);
+        const double mem_pct =
+            100.0 * static_cast<double>(r.numMemOps()) /
+            static_cast<double>(r.numOps());
+
+        // %MAY: memory ops involved in at least one MAY pair.
+        const AliasMatrix &m = res.matrix;
+        std::vector<bool> in_may(m.numMemOps(), false);
+        for (uint32_t i = 0; i < m.numMemOps(); ++i) {
+            for (uint32_t j = i + 1; j < m.numMemOps(); ++j) {
+                if (m.relevant(i, j) &&
+                    m.label(i, j) == AliasLabel::May) {
+                    in_may[i] = in_may[j] = true;
+                }
+            }
+        }
+        uint64_t may_ops = 0;
+        for (bool b : in_may)
+            may_ops += b ? 1 : 0;
+        const double may_pct =
+            m.numMemOps() == 0
+                ? 0
+                : 100.0 * static_cast<double>(may_ops) /
+                      static_cast<double>(m.numMemOps());
+        rows.push_back({info.shortName, mem_pct, may_pct});
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        return a.mayPct < b.mayPct;
+    });
+
+    TextTable table;
+    table.header({"app", "%MEM", "%MAY"});
+    for (const Row &row : rows)
+        table.row({row.name, fmtDouble(row.memPct, 1),
+                   fmtDouble(row.mayPct, 1)});
+    table.print(std::cout);
+    return 0;
+}

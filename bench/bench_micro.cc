@@ -1,0 +1,117 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot paths: the
+ * alias pipeline, MDE insertion, the cycle simulator, the bloom
+ * filter, the comparator station, and the synthesizer.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/pipeline.hh"
+#include "cgra/simulator.hh"
+#include "lsq/bloom.hh"
+#include "mde/inserter.hh"
+#include "nachos/may_station.hh"
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace nachos {
+namespace {
+
+void
+BM_SynthesizeRegion(benchmark::State &state)
+{
+    setQuiet(true);
+    const BenchmarkInfo &info = benchmarkByName("equake");
+    for (auto _ : state) {
+        Region r = synthesizeRegion(info);
+        benchmark::DoNotOptimize(r.numOps());
+    }
+}
+BENCHMARK(BM_SynthesizeRegion);
+
+void
+BM_AliasPipeline(benchmark::State &state)
+{
+    setQuiet(true);
+    const BenchmarkInfo &info = benchmarkByName("equake");
+    Region r = synthesizeRegion(info);
+    for (auto _ : state) {
+        AliasAnalysisResult res = runAliasPipeline(r);
+        benchmark::DoNotOptimize(res.final().all.total());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(r.numMemOps() * (r.numMemOps() - 1) / 2));
+}
+BENCHMARK(BM_AliasPipeline);
+
+void
+BM_MdeInsertion(benchmark::State &state)
+{
+    setQuiet(true);
+    Region r = synthesizeRegion(benchmarkByName("povray"));
+    AliasAnalysisResult res = runAliasPipeline(r);
+    for (auto _ : state) {
+        MdeSet mdes = insertMdes(r, res.matrix);
+        benchmark::DoNotOptimize(mdes.size());
+    }
+}
+BENCHMARK(BM_MdeInsertion);
+
+void
+BM_SimulatorInvocation(benchmark::State &state)
+{
+    setQuiet(true);
+    Region r = synthesizeRegion(benchmarkByName("parser"));
+    AliasAnalysisResult res = runAliasPipeline(r);
+    MdeSet mdes = insertMdes(r, res.matrix);
+    SimConfig cfg;
+    cfg.invocations = 16;
+    const BackendKind kind =
+        static_cast<BackendKind>(state.range(0));
+    for (auto _ : state) {
+        SimResult sim = simulate(r, mdes, kind, cfg);
+        benchmark::DoNotOptimize(sim.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_SimulatorInvocation)
+    ->Arg(0)  // OPT-LSQ
+    ->Arg(1)  // NACHOS-SW
+    ->Arg(2); // NACHOS
+
+void
+BM_BloomFilter(benchmark::State &state)
+{
+    BloomFilter bloom;
+    for (uint64_t a = 0; a < 32; ++a)
+        bloom.insert(0x1000 + a * 8, 8);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bloom.mayContain(addr, 8));
+        addr += 8;
+    }
+}
+BENCHMARK(BM_BloomFilter);
+
+void
+BM_MayStationHighFanIn(benchmark::State &state)
+{
+    const uint32_t parents = static_cast<uint32_t>(state.range(0));
+    for (auto _ : state) {
+        StatSet stats;
+        MayCheckStation station(parents, stats);
+        station.ownAddressReady(0x1000, 8, 0);
+        for (uint32_t p = 0; p < parents; ++p)
+            station.parentAddressArrived(p, 0x2000 + p * 64, 8, 0);
+        benchmark::DoNotOptimize(station.allClearCycle());
+    }
+}
+BENCHMARK(BM_MayStationHighFanIn)->Arg(4)->Arg(16)->Arg(64);
+
+} // namespace
+} // namespace nachos
+
+BENCHMARK_MAIN();

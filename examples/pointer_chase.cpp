@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Irregular scenario (the paper's bzip2/soplex motivation): scatter
+ * and gather through data-dependent indices the compiler can never
+ * disambiguate. NACHOS-SW serializes every MAY pair; NACHOS's
+ * comparator stations verify them at run time and recover the
+ * parallelism — unless the accesses truly conflict, in which case the
+ * hardware enforces the order (checked against OPT-LSQ's values).
+ *
+ *   $ ./pointer_chase
+ */
+
+#include <iostream>
+
+#include "analysis/pipeline.hh"
+#include "cgra/simulator.hh"
+#include "ir/builder.hh"
+#include "mde/inserter.hh"
+#include "support/table.hh"
+
+using namespace nachos;
+
+namespace {
+
+Region
+buildGatherScatter(uint64_t table_slots)
+{
+    RegionBuilder b("chase" + std::to_string(table_slots));
+    ObjectId idx = b.object("indices", 1 << 16);
+    ObjectId tab = b.object("table", table_slots * 8 + 64);
+
+    OpId idx_load = b.load(b.stream(idx, 8));
+    OpId v = b.liveIn();
+
+    // Eight scatter/gather ops through distinct data-dependent
+    // indices over the same table: all pairs are MAY.
+    for (int k = 0; k < 8; ++k) {
+        SymbolId sym = b.opaqueSym("i" + std::to_string(k), idx_load,
+                                   table_slots, 8, 0, 100 + k);
+        AddrExpr addr = b.at(tab, 0);
+        addr.terms.push_back({sym, 1});
+        addr.canonicalize();
+        if (k % 2 == 0)
+            b.store(addr, v, 8);
+        else
+            b.load(addr, 8);
+    }
+    return b.build();
+}
+
+void
+runScenario(const char *label, uint64_t slots)
+{
+    Region region = buildGatherScatter(slots);
+    AliasAnalysisResult analysis = runAliasPipeline(region);
+    MdeSet mdes = insertMdes(region, analysis.matrix);
+
+    std::cout << label << " (" << slots
+              << " table slots): " << analysis.final().all.may
+              << " MAY pairs, " << mdes.counts().may
+              << " MAY edges\n";
+
+    SimConfig cfg;
+    cfg.invocations = 400;
+    TextTable table;
+    table.header({"scheme", "cyc/inv", "checks clear", "conflicts"});
+    SimResult lsq, sw, hw;
+    for (BackendKind kind : {BackendKind::OptLsq, BackendKind::NachosSw,
+                             BackendKind::Nachos}) {
+        SimResult res = simulate(region, mdes, kind, cfg);
+        table.row(
+            {backendName(kind), fmtDouble(res.cyclesPerInvocation, 1),
+             std::to_string(res.stats.get("nachos.checksClear")),
+             std::to_string(res.stats.get("nachos.checksConflict"))});
+        if (kind == BackendKind::OptLsq)
+            lsq = res;
+        else if (kind == BackendKind::NachosSw)
+            sw = res;
+        else
+            hw = res;
+    }
+    table.print(std::cout);
+    if (lsq.loadValueDigest == hw.loadValueDigest &&
+        lsq.memImage == hw.memImage) {
+        std::cout << "  functional state identical across schemes "
+                     "(ordering preserved)\n\n";
+    } else {
+        std::cout << "  ERROR: backends diverged!\n\n";
+        std::exit(1);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    // Sparse table: dynamic conflicts are rare — NACHOS parallelizes
+    // nearly everything NACHOS-SW serializes.
+    runScenario("Sparse indices", 4096);
+    // Dense table: real conflicts happen every few invocations — the
+    // comparator stations catch and order them.
+    runScenario("Dense indices", 16);
+    return 0;
+}

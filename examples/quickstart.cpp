@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Quickstart: build a small offload region with the RegionBuilder, run
+ * the four-stage alias pipeline, inspect the labels and the inserted
+ * MDEs, then simulate it under OPT-LSQ, NACHOS-SW and NACHOS.
+ *
+ *   $ ./quickstart
+ */
+
+#include <iostream>
+
+#include "analysis/pipeline.hh"
+#include "cgra/simulator.hh"
+#include "energy/model.hh"
+#include "ir/builder.hh"
+#include "mde/inserter.hh"
+#include "support/table.hh"
+
+using namespace nachos;
+
+int
+main()
+{
+    // ---- 1. Build an offload region --------------------------------------
+    // for (t) { sum = A[t] + B[t]; *p += sum; C[t] = sum; }
+    // `p` is a pointer parameter the compiler cannot resolve locally.
+    RegionBuilder b("quickstart");
+    ObjectId array_a = b.object("A", 1 << 16);
+    ObjectId array_b = b.object("B", 1 << 16);
+    ObjectId array_c = b.object("C", 1 << 16);
+    ParamId p = b.pointerParam("p", array_c, 8); // truly points into C
+    b.paramProvenance(p, array_c, 8); // ...and Stage 2 can prove it
+
+    OpId lda = b.load(b.stream(array_a, 8));
+    OpId ldb = b.load(b.stream(array_b, 8));
+    OpId sum = b.iadd(lda, ldb);
+    OpId ldp = b.load(b.atParam(p, 0));
+    OpId acc = b.iadd(ldp, sum);
+    b.store(b.atParam(p, 0), acc);     // *p += sum
+    b.store(b.stream(array_c, 8), sum); // C[t] = sum (MAY alias *p?)
+    b.liveOut(acc);
+    Region region = b.build();
+
+    std::cout << "Region '" << region.name() << "': "
+              << region.numOps() << " ops, " << region.numMemOps()
+              << " memory ops\n\n";
+
+    // ---- 2. Alias analysis ------------------------------------------------
+    AliasAnalysisResult analysis = runAliasPipeline(region);
+    const AliasMatrix &m = analysis.matrix;
+    std::cout << "Pairwise labels (memIndex pairs):\n";
+    for (uint32_t i = 0; i < m.numMemOps(); ++i) {
+        for (uint32_t j = i + 1; j < m.numMemOps(); ++j) {
+            if (!m.relevant(i, j))
+                continue;
+            std::cout << "  (" << i << "," << j << ") "
+                      << pairRelationName(m.relation(i, j))
+                      << (m.enforced(i, j) ? "  [MDE]" : "")
+                      << "\n";
+        }
+    }
+
+    // ---- 3. MDE insertion ---------------------------------------------------
+    MdeSet mdes = insertMdes(region, m);
+    MdeCounts counts = mdes.counts();
+    std::cout << "\nMDEs: " << counts.order << " ORDER, "
+              << counts.forward << " FORWARD, " << counts.may
+              << " MAY\n\n";
+
+    // ---- 4. Simulate under all three schemes -------------------------------
+    SimConfig cfg;
+    cfg.invocations = 200;
+    TextTable table;
+    table.header({"scheme", "cycles", "cyc/inv", "maxMLP",
+                  "energy (nJ)", "MDE share"});
+    for (BackendKind kind : {BackendKind::OptLsq, BackendKind::NachosSw,
+                             BackendKind::Nachos}) {
+        SimResult res = simulate(region, mdes, kind, cfg);
+        table.row({backendName(kind), std::to_string(res.cycles),
+                   fmtDouble(res.cyclesPerInvocation, 1),
+                   std::to_string(res.maxMlp),
+                   fmtDouble(res.energy.total() / 1e6, 2),
+                   fmtPct(res.energy.frac(res.energy.mde))});
+    }
+    table.print(std::cout);
+    std::cout << "\nNACHOS checks the MAY pairs at run time and "
+                 "recovers the parallelism\nNACHOS-SW serializes; "
+                 "OPT-LSQ finds it too but pays CAM energy on every "
+                 "access.\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Stencil scenario (the paper's equake/lbm motivation): a 2-D sweep
+ * whose multidimensional accesses defeat the standard alias stages but
+ * are fully disambiguated by the Stage-4 polyhedral analysis. Shows
+ * the performance cliff the baseline compiler (stages 1+3) falls off,
+ * and how Stage 4 restores OPT-LSQ-level performance without any LSQ.
+ *
+ *   $ ./stencil_offload
+ */
+
+#include <iostream>
+
+#include "analysis/pipeline.hh"
+#include "cgra/simulator.hh"
+#include "ir/builder.hh"
+#include "mde/inserter.hh"
+#include "support/table.hh"
+
+using namespace nachos;
+
+namespace {
+
+/** w[r][c] += A[r][c]*v[r-1][c] + A[r][c+1]*v[r+1][c] over 8 rows. */
+Region
+buildStencil()
+{
+    RegionBuilder b("stencil");
+    ObjectId w = b.object2d("w", 64, 16, DataType::F64);
+    ObjectId a = b.object2d("A", 64, 16, DataType::F64);
+    ObjectId v = b.object2d("v", 64, 16, DataType::F64);
+
+    for (int r = 1; r < 9; ++r) {
+        OpId a0 = b.load(b.at2d(a, r, 3, 8), 8, {}, DataType::F64);
+        OpId a1 = b.load(b.at2d(a, r, 4, 8), 8, {}, DataType::F64);
+        OpId v0 = b.load(b.at2d(v, r - 1, 3, 8), 8, {}, DataType::F64);
+        OpId v1 = b.load(b.at2d(v, r + 1, 3, 8), 8, {}, DataType::F64);
+        OpId w0 = b.load(b.at2d(w, r, 3, 8), 8, {}, DataType::F64);
+        OpId m0 = b.fmul(a0, v0);
+        OpId m1 = b.fmul(a1, v1);
+        OpId s = b.fadd(m0, m1);
+        OpId upd = b.fadd(w0, s);
+        b.store(b.at2d(w, r, 3, 8), upd, 8);
+    }
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    Region region = buildStencil();
+    std::cout << "Stencil region: " << region.numOps() << " ops, "
+              << region.numMemOps() << " memory ops\n\n";
+
+    // The baseline compiler cannot see through the symbolic row
+    // strides; Polly-style Stage 4 proves every row disjoint.
+    AliasAnalysisResult baseline = runAliasPipeline(
+        region, PipelineConfig::baselineCompiler());
+    AliasAnalysisResult full = runAliasPipeline(region);
+    std::cout << "MAY pairs, baseline compiler (stages 1+3): "
+              << baseline.final().all.may << "\n"
+              << "MAY pairs, full pipeline (with Stage 4):   "
+              << full.final().all.may << "\n\n";
+
+    SimConfig cfg;
+    cfg.invocations = 300;
+    TextTable table;
+    table.header({"configuration", "cycles", "cyc/inv"});
+    struct Case
+    {
+        const char *name;
+        const AliasAnalysisResult *analysis;
+        BackendKind kind;
+    };
+    const Case cases[] = {
+        {"OPT-LSQ", &full, BackendKind::OptLsq},
+        {"NACHOS-SW, baseline compiler", &baseline,
+         BackendKind::NachosSw},
+        {"NACHOS,    baseline compiler", &baseline,
+         BackendKind::Nachos},
+        {"NACHOS-SW, full pipeline", &full, BackendKind::NachosSw},
+    };
+    for (const Case &c : cases) {
+        MdeSet mdes = insertMdes(region, c.analysis->matrix);
+        SimResult res = simulate(region, mdes, c.kind, cfg);
+        table.row({c.name, std::to_string(res.cycles),
+                   fmtDouble(res.cyclesPerInvocation, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nWith Stage 4 the software-only scheme needs no "
+                 "MDEs at all: the region\nruns at full parallelism "
+                 "with zero disambiguation hardware (paper §V-E).\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Suite explorer: run any of the 27 paper workloads (or all of them)
+ * through the full flow — synthesis, alias pipeline, MDE insertion,
+ * and simulation under all three ordering schemes — and print a
+ * one-screen report.
+ *
+ *   $ ./suite_explorer                    # list workloads
+ *   $ ./suite_explorer equake             # run one
+ *   $ ./suite_explorer equake --stats     # + full event-counter dump
+ *   $ ./suite_explorer equake trace.json  # + Chrome trace of NACHOS run
+ *   $ ./suite_explorer --all              # run everything (slow-ish)
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+using namespace nachos;
+
+namespace {
+
+void
+report(const BenchmarkInfo &info, const char *trace_file = nullptr)
+{
+    RunOutcome out = runWorkload(info);
+    if (trace_file != nullptr &&
+        std::strcmp(trace_file, "--stats") != 0) {
+        // Re-run NACHOS with tracing on.
+        SimConfig cfg;
+        cfg.invocations = 4;
+        cfg.traceFile = trace_file;
+        simulate(out.region, out.mdes, BackendKind::Nachos, cfg);
+        std::cout << "trace written to " << trace_file
+                  << " (open in chrome://tracing)\n";
+    }
+    std::cout << "\n== " << info.name << " ("
+              << suiteName(info.suite) << ") ==\n";
+    std::cout << "region: " << out.region.numOps() << " ops, "
+              << out.region.numMemOps() << " mem ops, "
+              << out.region.numScratchpadOps() << " scratchpad ops\n";
+
+    const auto &a = out.analysis;
+    std::cout << "alias:  stage1 MAY " << a.afterStage1.all.may
+              << " -> stage2 " << a.afterStage2.all.may
+              << " -> stage4 " << a.afterStage4.all.may
+              << "  (MDEs: " << out.mdes.counts().total() << ")\n";
+
+    TextTable table;
+    table.header({"scheme", "cyc/inv", "maxMLP", "energy(nJ)",
+                  "vs LSQ"});
+    const double base = static_cast<double>(out.lsq->cycles);
+    auto row = [&](const char *name, const SimResult &res) {
+        table.row({name, fmtDouble(res.cyclesPerInvocation, 1),
+                   std::to_string(res.maxMlp),
+                   fmtDouble(res.energy.total() / 1e6, 2),
+                   fmtDouble(pctDelta(base,
+                                      static_cast<double>(res.cycles)),
+                             1) +
+                       "%"});
+    };
+    row("OPT-LSQ", *out.lsq);
+    row("NACHOS-SW", *out.sw);
+    row("NACHOS", *out.nachos);
+    table.print(std::cout);
+
+    if (trace_file != nullptr &&
+        std::strcmp(trace_file, "--stats") == 0) {
+        std::cout << "\nNACHOS event counters:\n";
+        printStats(std::cout, out.nachos->stats);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    if (argc < 2) {
+        std::cout << "usage: suite_explorer <workload>|--all\n\n"
+                     "workloads:\n";
+        for (const BenchmarkInfo &info : benchmarkSuite())
+            std::cout << "  " << info.shortName << "  (" << info.name
+                      << ")\n";
+        return 0;
+    }
+    if (std::strcmp(argv[1], "--all") == 0) {
+        for (const BenchmarkInfo &info : benchmarkSuite())
+            report(info);
+        return 0;
+    }
+    report(benchmarkByName(argv[1]), argc > 2 ? argv[2] : nullptr);
+    return 0;
+}

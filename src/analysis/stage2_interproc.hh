@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Stage 2 of NACHOS-SW: inter-procedural provenance refinement.
+ *
+ * LLVM 3.8's standard alias analyses cannot reason across function
+ * boundaries; the paper's Stage 2 traces MAY-labeled pointers back
+ * through the call boundary to their source objects, converting MAY to
+ * NO when two operations provably access different objects. Our params
+ * carry optional provenance chains (param -> outer param -> object);
+ * Stage 2 resolves those chains and re-classifies.
+ */
+
+#ifndef NACHOS_ANALYSIS_STAGE2_INTERPROC_HH
+#define NACHOS_ANALYSIS_STAGE2_INTERPROC_HH
+
+#include <cstdint>
+
+#include "analysis/alias_matrix.hh"
+#include "ir/dfg.hh"
+
+namespace nachos {
+
+/** Outcome statistics of Stage 2. */
+struct Stage2Stats
+{
+    uint64_t examined = 0;   ///< MAY pairs considered
+    uint64_t toNo = 0;       ///< MAY -> NO conversions
+    uint64_t toMust = 0;     ///< MAY -> MUST conversions (same object)
+};
+
+/**
+ * Refine the matrix in place using provenance information. Only pairs
+ * currently labeled MAY are touched (Stage 1 labels are already
+ * provably correct).
+ */
+Stage2Stats runStage2(const Region &region, AliasMatrix &matrix);
+
+} // namespace nachos
+
+#endif // NACHOS_ANALYSIS_STAGE2_INTERPROC_HH

@@ -1,0 +1,145 @@
+#include "analysis/stage3_redundancy.hh"
+
+#include <vector>
+
+namespace nachos {
+
+namespace {
+
+/**
+ * Forward reachability query over data edges plus retained MUST MDEs.
+ * All edges point from lower to higher op id (straight-line path), so
+ * the search prunes at the target id.
+ */
+class OrderingGraph
+{
+  public:
+    explicit OrderingGraph(const Region &region)
+        : region_(region), extra_(region.numOps()),
+          visitStamp_(region.numOps(), 0)
+    {}
+
+    /** Record a retained unconditional ordering edge. */
+    void
+    addOrderEdge(OpId older, OpId younger)
+    {
+        extra_[older].push_back(younger);
+    }
+
+    /** Is `target` ordered after `source` by the current graph? */
+    bool
+    reaches(OpId source, OpId target)
+    {
+        ++stamp_;
+        stack_.clear();
+        stack_.push_back(source);
+        visitStamp_[source] = stamp_;
+        while (!stack_.empty()) {
+            OpId cur = stack_.back();
+            stack_.pop_back();
+            if (cur == target)
+                return true;
+            auto visit = [&](OpId next) {
+                if (next <= target && visitStamp_[next] != stamp_) {
+                    visitStamp_[next] = stamp_;
+                    stack_.push_back(next);
+                }
+            };
+            for (OpId next : region_.users(cur))
+                visit(next);
+            for (OpId next : extra_[cur])
+                visit(next);
+        }
+        return false;
+    }
+
+  private:
+    const Region &region_;
+    std::vector<std::vector<OpId>> extra_;
+    std::vector<uint64_t> visitStamp_;
+    uint64_t stamp_ = 0;
+    std::vector<OpId> stack_;
+};
+
+} // namespace
+
+Stage3Stats
+runStage3(const Region &region, AliasMatrix &matrix)
+{
+    Stage3Stats stats;
+    const uint32_t n = static_cast<uint32_t>(matrix.numMemOps());
+    OrderingGraph graph(region);
+
+    // Pass 0: NO-labeled and LD-LD pairs need no MDE at all.
+    for (uint32_t i = 0; i < n; ++i) {
+        for (uint32_t j = i + 1; j < n; ++j) {
+            if (!matrix.relevant(i, j) ||
+                matrix.label(i, j) == AliasLabel::No) {
+                matrix.setEnforced(i, j, false);
+            }
+        }
+    }
+
+    // Pass 1: MUST relations, youngest-older-first per younger op, so
+    // the retained edges form short chains that subsume longer spans.
+    // MUST is settled before MAY (paper §V-D) because MUST edges are
+    // unconditional and may therefore subsume MAY enforcement.
+    for (uint32_t j = 0; j < n; ++j) {
+        const OpId younger = matrix.opOf(j);
+        for (uint32_t back = 0; back < j; ++back) {
+            const uint32_t i = j - 1 - back;
+            if (!matrix.relevant(i, j) ||
+                matrix.label(i, j) != AliasLabel::Must) {
+                continue;
+            }
+            ++stats.candidates;
+            const OpId older = matrix.opOf(i);
+            const Operation &oi = region.op(older);
+            const Operation &oj = region.op(younger);
+
+            // Keep ST->LD MUST pairs for forwarding, always.
+            const bool st_ld = oi.isStore() && oj.isLoad();
+            if (!st_ld && graph.reaches(older, younger)) {
+                matrix.setEnforced(i, j, false);
+                ++stats.removed;
+                continue;
+            }
+            matrix.setEnforced(i, j, true);
+            ++stats.retained;
+            graph.addOrderEdge(older, younger);
+        }
+    }
+
+    // Pass 2: MAY relations. Subsumption may come from data edges or
+    // retained MUST edges, never from other MAY edges (a MAY edge
+    // enforces nothing when NACHOS's runtime check clears it).
+    for (uint32_t j = 0; j < n; ++j) {
+        const OpId younger = matrix.opOf(j);
+        for (uint32_t back = 0; back < j; ++back) {
+            const uint32_t i = j - 1 - back;
+            if (!matrix.relevant(i, j) ||
+                matrix.label(i, j) != AliasLabel::May) {
+                continue;
+            }
+            ++stats.candidates;
+            const OpId older = matrix.opOf(i);
+            // ST->LD MAY relations are also never eliminated: value
+            // forwarding decisions (and the staleness soundness of
+            // FORWARD edges) rely on every possibly-overlapping store
+            // parent of a load staying visible.
+            const bool st_ld = region.op(older).isStore() &&
+                               region.op(younger).isLoad();
+            if (!st_ld && graph.reaches(older, younger)) {
+                matrix.setEnforced(i, j, false);
+                ++stats.removed;
+            } else {
+                matrix.setEnforced(i, j, true);
+                ++stats.retained;
+            }
+        }
+    }
+
+    return stats;
+}
+
+} // namespace nachos

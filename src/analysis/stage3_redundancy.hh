@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Stage 3 of NACHOS-SW: redundant-ordering elimination.
+ *
+ * A memory dependence need not be enforced with an explicit MDE when
+ * the dataflow graph already orders the two operations: either a
+ * transitive data dependence connects them (Figure 8 of the paper), or
+ * a chain of already-retained MUST ordering edges does. Chains through
+ * MAY edges are deliberately NOT used: under NACHOS a MAY edge imposes
+ * no ordering when the runtime check finds no conflict, so subsumption
+ * through MAY would be unsound.
+ *
+ * MUST ST->LD relations are never eliminated, even when redundant, so
+ * that store-to-load forwarding remains possible (paper §V-D).
+ */
+
+#ifndef NACHOS_ANALYSIS_STAGE3_REDUNDANCY_HH
+#define NACHOS_ANALYSIS_STAGE3_REDUNDANCY_HH
+
+#include <cstdint>
+
+#include "analysis/alias_matrix.hh"
+#include "ir/dfg.hh"
+
+namespace nachos {
+
+/** Outcome statistics of Stage 3. */
+struct Stage3Stats
+{
+    uint64_t candidates = 0; ///< relevant MUST/MAY pairs examined
+    uint64_t removed = 0;    ///< pairs whose enforcement was dropped
+    uint64_t retained = 0;   ///< pairs still requiring an MDE
+};
+
+/**
+ * Decide, for every relevant MUST/MAY pair, whether an MDE is needed;
+ * records the decision in the matrix's enforcement flags. NO-labeled
+ * and LD-LD pairs are marked not-enforced as a side effect.
+ */
+Stage3Stats runStage3(const Region &region, AliasMatrix &matrix);
+
+} // namespace nachos
+
+#endif // NACHOS_ANALYSIS_STAGE3_REDUNDANCY_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Stage 4 of NACHOS-SW: polyhedral refinement of multidimensional
+ * array accesses.
+ *
+ * The paper uses Polly to disambiguate stencil-style accesses such as
+ * `A[i][j]` whose linearized form contains a symbolic row stride that
+ * defeats LLVM's standard analyses. In our IR those accesses carry
+ * DimStride symbols; Stage 4 is allowed to consult the object's
+ * declared shape (delinearization) and substitute concrete strides,
+ * turning the symbolic address difference into a constant that can be
+ * tested exactly. A GCD-style early-out is also provided for the
+ * recurrence case.
+ */
+
+#ifndef NACHOS_ANALYSIS_STAGE4_POLYHEDRAL_HH
+#define NACHOS_ANALYSIS_STAGE4_POLYHEDRAL_HH
+
+#include <cstdint>
+
+#include "analysis/alias_matrix.hh"
+#include "ir/dfg.hh"
+
+namespace nachos {
+
+/** Outcome statistics of Stage 4. */
+struct Stage4Stats
+{
+    uint64_t examined = 0; ///< MAY pairs considered
+    uint64_t toNo = 0;     ///< MAY -> NO conversions
+    uint64_t toMust = 0;   ///< MAY -> MUST conversions
+};
+
+/**
+ * Refine remaining MAY pairs using object shapes. Pairs that become NO
+ * lose their enforcement flag; pairs that become MUST keep it (they
+ * were MAY-enforced before unless subsumed, and a subsumed pair stays
+ * subsumed since MUST ordering is implied by the same chains).
+ *
+ * @param use_provenance build on Stage 2's pointer resolution (pass
+ *        false when Stage 2 did not run, so the ablation between the
+ *        two stages stays meaningful)
+ */
+Stage4Stats runStage4(const Region &region, AliasMatrix &matrix,
+                      bool use_provenance = true);
+
+} // namespace nachos
+
+#endif // NACHOS_ANALYSIS_STAGE4_POLYHEDRAL_HH

@@ -1,0 +1,51 @@
+#include "cgra/function_unit.hh"
+
+#include "energy/model.hh"
+
+namespace nachos {
+
+uint32_t
+fuLatency(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Const:
+      case OpKind::LiveIn:
+        return 0;
+      case OpKind::IAdd:
+      case OpKind::ISub:
+      case OpKind::IXor:
+      case OpKind::IAnd:
+      case OpKind::IOr:
+      case OpKind::IShl:
+      case OpKind::ICmp:
+      case OpKind::Select:
+      case OpKind::LiveOut:
+        return 1;
+      case OpKind::IMul:
+      case OpKind::FAdd:
+        return 3;
+      case OpKind::FMul:
+        return 4;
+      case OpKind::FDiv:
+        return 12;
+      case OpKind::Load:
+      case OpKind::Store:
+        return 1; // address generation; memory time modeled separately
+    }
+    return 1;
+}
+
+void
+countFuExecution(OpKind kind, StatSet &stats)
+{
+    if (kind == OpKind::Const || kind == OpKind::LiveIn ||
+        kind == OpKind::LiveOut) {
+        return; // free: immediates and region boundary latches
+    }
+    if (isFloatKind(kind))
+        stats.counter(energy_events::kFpOps).inc();
+    else
+        stats.counter(energy_events::kIntOps).inc();
+}
+
+} // namespace nachos

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Function-unit timing and energy classification for the homogeneous
+ * CGRA (paper Figure 3: INT 500 fJ, FP 1500 fJ).
+ */
+
+#ifndef NACHOS_CGRA_FUNCTION_UNIT_HH
+#define NACHOS_CGRA_FUNCTION_UNIT_HH
+
+#include <cstdint>
+
+#include "ir/operation.hh"
+#include "support/stats.hh"
+
+namespace nachos {
+
+/** Execution latency of a compute operation in cycles. */
+uint32_t fuLatency(OpKind kind);
+
+/** Account the energy event for executing one compute op. */
+void countFuExecution(OpKind kind, StatSet &stats);
+
+} // namespace nachos
+
+#endif // NACHOS_CGRA_FUNCTION_UNIT_HH

@@ -1,0 +1,167 @@
+#include "cgra/nachos_backend.hh"
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+NachosBackend::NachosBackend(const Region &region, const MdeSet &mdes,
+                             uint32_t compares_per_cycle,
+                             bool runtime_forwarding)
+    : SwBackend(region, mdes, /*may_is_order=*/false),
+      comparesPerCycle_(compares_per_cycle),
+      runtimeForwarding_(runtime_forwarding)
+{
+    stationOf_.assign(region.numOps(), -1);
+    mayTargets_.assign(region.numOps(), {});
+
+    for (OpId op : region.memOps()) {
+        std::vector<OpId> parents;
+        for (uint32_t idx : mdes.incoming(op)) {
+            const Mde &e = mdes.edge(idx);
+            if (e.kind == MdeKind::May)
+                parents.push_back(e.older);
+        }
+        if (parents.empty())
+            continue;
+        const uint32_t station =
+            static_cast<uint32_t>(stationInfo_.size());
+        stationOf_[op] = static_cast<int32_t>(station);
+        for (uint32_t slot = 0; slot < parents.size(); ++slot)
+            mayTargets_[parents[slot]].push_back({station, slot});
+        stationInfo_.push_back({op, std::move(parents)});
+    }
+}
+
+void
+NachosBackend::beginInvocation(uint64_t inv)
+{
+    SwBackend::beginInvocation(inv);
+    if (stations_.empty()) {
+        for (const StationInfo &info : stationInfo_) {
+            stations_.push_back(std::make_unique<MayCheckStation>(
+                static_cast<uint32_t>(info.parents.size()),
+                core_->stats(), comparesPerCycle_));
+        }
+    } else {
+        for (auto &station : stations_)
+            station->reset();
+    }
+}
+
+void
+NachosBackend::memAddrReady(OpId op, uint64_t addr, uint32_t size,
+                            uint64_t cycle)
+{
+    // Own address reaches this op's guard station.
+    if (stationOf_[op] >= 0) {
+        stations_[stationOf_[op]]->ownAddressReady(addr, size, cycle);
+        tryIssue(op);
+        // Compares may also unblock nothing else: only this op's gate
+        // depends on this station.
+    }
+
+    // This op's address travels to every station guarding a younger
+    // MAY-dependent op (one network transfer + one comparison each:
+    // the 500 fJ MAY-edge activations of Figure 3).
+    for (const MayTarget &target : mayTargets_[op]) {
+        const StationInfo &info = stationInfo_[target.station];
+        const uint64_t arrive =
+            cycle + core_->netLatency(op, info.younger);
+        stations_[target.station]->parentAddressArrived(target.slot,
+                                                        addr, size,
+                                                        arrive);
+        tryIssue(info.younger);
+    }
+}
+
+void
+NachosBackend::memFullyReady(OpId op, uint64_t cycle)
+{
+    SwBackend::memFullyReady(op, cycle);
+    // A store's data becoming available can unblock a runtime forward
+    // at a younger station.
+    if (runtimeForwarding_ && region_.op(op).isStore()) {
+        for (const MayTarget &target : mayTargets_[op])
+            tryIssue(stationInfo_[target.station].younger);
+    }
+}
+
+void
+NachosBackend::memCompleted(OpId op, uint64_t cycle)
+{
+    SwBackend::memCompleted(op, cycle);
+    for (const MayTarget &target : mayTargets_[op]) {
+        const StationInfo &info = stationInfo_[target.station];
+        const uint64_t arrive =
+            cycle + core_->netLatency(op, info.younger);
+        stations_[target.station]->parentCompleted(target.slot, arrive);
+        tryIssue(info.younger);
+    }
+}
+
+void
+NachosBackend::tryIssue(OpId op)
+{
+    if (runtimeForwarding_ && tryRuntimeForward(op))
+        return;
+    SwBackend::tryIssue(op);
+}
+
+bool
+NachosBackend::tryRuntimeForward(OpId op)
+{
+    OpDyn &d = dyn_[op];
+    const OpInfo &inf = info_[op];
+    if (d.issued || !d.fullyReady || stationOf_[op] < 0)
+        return false;
+    if (!region_.op(op).isLoad() || inf.hasForward)
+        return false;
+    // Any ORDER edge into a load comes from a possibly-overlapping
+    // store the runtime checks do not cover: forwarding would be
+    // stale-prone. (Such tokens also imply tokensPending handling.)
+    if (inf.orderTokensExpected > 0)
+        return false;
+
+    const MayCheckStation &st = *stations_[stationOf_[op]];
+    if (!st.allCompared())
+        return false;
+    const auto conflicts = st.conflictingParents();
+    if (conflicts.size() != 1 || !st.exactConflict(conflicts[0]))
+        return false;
+    const OpId parent =
+        stationInfo_[stationOf_[op]].parents[conflicts[0]];
+    if (!region_.op(parent).isStore())
+        return false;
+    if (!dyn_[parent].fullyReady)
+        return false; // the store's data is still in flight
+
+    // Every other parent is verified disjoint and the conflicting
+    // store covers the whole footprint: its value IS the load result.
+    const uint64_t when = std::max(
+        {d.fullCycle, st.lastCompareDoneCycle(),
+         dyn_[parent].fullCycle + core_->netLatency(parent, op)});
+    d.issued = true;
+    core_->countForward(parent, op);
+    core_->stats().counter("nachos.runtimeForwards").inc();
+    core_->completeLoadForwarded(op, when + 1,
+                                 core_->storeData(parent));
+    return true;
+}
+
+uint64_t
+NachosBackend::extraGate(OpId op, bool &blocked) const
+{
+    if (stationOf_[op] < 0) {
+        blocked = false;
+        return 0;
+    }
+    const auto clear = stations_[stationOf_[op]]->allClearCycle();
+    if (!clear) {
+        blocked = true;
+        return 0;
+    }
+    blocked = false;
+    return *clear;
+}
+
+} // namespace nachos

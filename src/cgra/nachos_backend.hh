@@ -1,0 +1,77 @@
+/**
+ * @file
+ * NACHOS ordering backend: NACHOS-SW plus the decentralized hardware
+ * assist (paper §VII). ORDER and FORWARD edges behave exactly as in
+ * the software-only scheme; MAY edges are verified at run time by a
+ * per-op comparator station, so provably-disjoint operations proceed
+ * in parallel while true conflicts degrade to ordering.
+ */
+
+#ifndef NACHOS_CGRA_NACHOS_BACKEND_HH
+#define NACHOS_CGRA_NACHOS_BACKEND_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cgra/sw_backend.hh"
+#include "nachos/may_station.hh"
+
+namespace nachos {
+
+/** Hardware-assisted memory ordering (the paper's headline scheme). */
+class NachosBackend : public SwBackend
+{
+  public:
+    NachosBackend(const Region &region, const MdeSet &mdes,
+                  uint32_t compares_per_cycle = 1,
+                  bool runtime_forwarding = true);
+
+    void beginInvocation(uint64_t inv) override;
+    void memAddrReady(OpId op, uint64_t addr, uint32_t size,
+                      uint64_t cycle) override;
+    void memFullyReady(OpId op, uint64_t cycle) override;
+    void memCompleted(OpId op, uint64_t cycle) override;
+
+  private:
+    /** Station shape: younger op -> ordered list of MAY parents. */
+    struct StationInfo
+    {
+        OpId younger = 0;
+        std::vector<OpId> parents;
+    };
+
+    /** Outgoing MAY edge of a parent: (station index, parent slot). */
+    struct MayTarget
+    {
+        uint32_t station = 0;
+        uint32_t slot = 0;
+    };
+
+    std::vector<StationInfo> stationInfo_;
+    std::vector<std::unique_ptr<MayCheckStation>> stations_;
+    uint32_t comparesPerCycle_ = 1;
+    /** Per-op station index (or -1). */
+    std::vector<int32_t> stationOf_;
+    /** Per-op outgoing MAY targets. */
+    std::vector<std::vector<MayTarget>> mayTargets_;
+
+    bool runtimeForwarding_ = true;
+
+    uint64_t extraGate(OpId op, bool &blocked) const override;
+    void tryIssue(OpId op) override;
+
+    /**
+     * The §VIII forwarding extension: when the runtime checks prove a
+     * load conflicts with exactly ONE in-flight store — an exact
+     * match — and no compiler MUST-store edge could interleave,
+     * forward the store's value instead of waiting for it to complete
+     * ("NACHOS improves over NACHOS-SW by detecting many more
+     * opportunities for ST-LD forwarding").
+     */
+    bool tryRuntimeForward(OpId op);
+};
+
+} // namespace nachos
+
+#endif // NACHOS_CGRA_NACHOS_BACKEND_HH

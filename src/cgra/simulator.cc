@@ -1,0 +1,433 @@
+#include "cgra/simulator.hh"
+
+#include <algorithm>
+
+#include "cgra/lsq_backend.hh"
+#include "cgra/nachos_backend.hh"
+#include "cgra/sw_backend.hh"
+#include "support/logging.hh"
+#include "support/value_hash.hh"
+
+namespace nachos {
+
+const char *
+backendName(BackendKind k)
+{
+    switch (k) {
+      case BackendKind::OptLsq: return "OPT-LSQ";
+      case BackendKind::NachosSw: return "NACHOS-SW";
+      case BackendKind::Nachos: return "NACHOS";
+    }
+    return "?";
+}
+
+SimCore::SimCore(const Region &region, const MdeSet &mdes,
+                 OrderingBackend &backend, const SimConfig &cfg)
+    : region_(region), mdes_(mdes), backend_(backend), cfg_(cfg),
+      placement_(region, cfg.grid), network_(placement_, cfg.net, stats_),
+      hierarchy_(cfg.mem, stats_), energyModel_(cfg.energy),
+      trace_(!cfg.traceFile.empty())
+{
+    NACHOS_ASSERT(region_.finalized(), "simulate a finalized region");
+    backend_.attach(*this);
+}
+
+void
+SimCore::schedule(uint64_t cycle, std::function<void()> fn)
+{
+    events_.push(Event{cycle, nextSeq_++, std::move(fn)});
+}
+
+uint64_t
+SimCore::netLatency(OpId from, OpId to) const
+{
+    return network_.latency(from, to);
+}
+
+void
+SimCore::countOrderToken(OpId from, OpId to)
+{
+    (void)from;
+    (void)to;
+    stats_.counter(energy_events::kMdeMust).inc();
+}
+
+void
+SimCore::countForward(OpId from, OpId to)
+{
+    (void)from;
+    (void)to;
+    stats_.counter(energy_events::kMdeForward).inc();
+}
+
+int64_t
+SimCore::storeData(OpId op) const
+{
+    const Operation &o = region_.op(op);
+    NACHOS_ASSERT(o.isStore(), "storeData on non-store");
+    const OpState &st = states_[op];
+    NACHOS_ASSERT(st.pendingAllInputs == 0, "store data not ready");
+    return st.inputValues[0];
+}
+
+uint64_t
+SimCore::memAddr(OpId op) const
+{
+    const OpState &st = states_[op];
+    NACHOS_ASSERT(st.addrNotified || region_.op(op).operands.empty() ||
+                      st.pendingAddrInputs == 0,
+                  "address not resolved for op ", op);
+    return st.addr;
+}
+
+int64_t
+SimCore::liveInValue(OpId op) const
+{
+    return liveInValueFor(op, invocation_);
+}
+
+void
+SimCore::mlpChange(int delta, uint64_t cycle)
+{
+    NACHOS_ASSERT(cycle >= mlpLastChange_, "MLP clock went backwards");
+    const uint64_t span = cycle - mlpLastChange_;
+    mlpArea_ += outstanding_ * span;
+    if (outstanding_ > 0)
+        mlpBusyCycles_ += span;
+    mlpLastChange_ = cycle;
+    if (delta > 0)
+        outstanding_ += static_cast<uint64_t>(delta);
+    else
+        outstanding_ -= static_cast<uint64_t>(-delta);
+    maxOutstanding_ = std::max(maxOutstanding_, outstanding_);
+}
+
+void
+SimCore::performMemAccess(OpId op, uint64_t cycle)
+{
+    // Functional ordering correctness requires the access to happen
+    // while the event clock is at `cycle`; defer if called early.
+    if (cycle > now_) {
+        schedule(cycle,
+                 [this, op, cycle] { performMemAccess(op, cycle); });
+        return;
+    }
+    cycle = std::max(cycle, now_);
+    OpState &st = states_[op];
+    NACHOS_ASSERT(!st.performed, "op ", op, " performed twice");
+    st.performed = true;
+    const Operation &o = region_.op(op);
+    NACHOS_ASSERT(o.isMem(), "performMemAccess on non-memory op");
+
+    // Functional data motion happens at the perform cycle; events are
+    // processed in cycle order, so conflicting accesses ordered by the
+    // backend see each other's effects.
+    int64_t value = 0;
+    const uint32_t size = o.mem->accessSize;
+    if (o.isStore()) {
+        hierarchy_.data().write(st.addr, size, storeData(op));
+    } else {
+        value = hierarchy_.data().read(st.addr, size);
+        loadValueDigest_ += loadDigestTerm(op, invocation_, value);
+    }
+
+    const uint64_t done =
+        hierarchy_.timedAccess(st.addr, o.isStore(), cycle);
+    if (trace_.enabled()) {
+        trace_.record({std::string(opKindName(o.kind)) + "#" +
+                           std::to_string(op),
+                       "memory", cycle, done - cycle,
+                       placement_.coordOf(op).row});
+    }
+    mlpChange(+1, cycle);
+    schedule(done, [this, op, done, value] {
+        mlpChange(-1, done);
+        completeOp(op, done, value);
+    });
+}
+
+void
+SimCore::completeLoadForwarded(OpId op, uint64_t cycle, int64_t value)
+{
+    if (cycle > now_) {
+        schedule(cycle, [this, op, cycle, value] {
+            completeLoadForwarded(op, cycle, value);
+        });
+        return;
+    }
+    cycle = std::max(cycle, now_);
+    OpState &st = states_[op];
+    NACHOS_ASSERT(!st.performed, "op ", op, " performed twice");
+    st.performed = true;
+    NACHOS_ASSERT(region_.op(op).isLoad(), "only loads forward");
+    loadValueDigest_ += loadDigestTerm(op, invocation_, value);
+    if (trace_.enabled()) {
+        trace_.record({"forward#" + std::to_string(op), "forward",
+                       cycle, 1, placement_.coordOf(op).row});
+    }
+    completeOp(op, cycle, value);
+}
+
+void
+SimCore::noteAddrReady(OpId op, uint64_t cycle)
+{
+    OpState &st = states_[op];
+    NACHOS_ASSERT(!st.addrNotified, "double addr-ready");
+    st.addrNotified = true;
+    // One cycle of address generation in the FU.
+    st.addrReadyCycle = cycle + 1;
+    st.addr = region_.evalAddr(op, invocation_);
+    const Operation &o = region_.op(op);
+    if (o.mem->disambiguated()) {
+        backend_.memAddrReady(op, st.addr, o.mem->accessSize,
+                              st.addrReadyCycle);
+    }
+}
+
+void
+SimCore::opInputsComplete(OpId op, uint64_t cycle)
+{
+    const Operation &o = region_.op(op);
+    OpState &st = states_[op];
+
+    if (o.isMem()) {
+        const uint64_t ready = std::max(cycle, st.addrReadyCycle);
+        if (o.mem->scratchpad) {
+            // Local accesses bypass disambiguation entirely.
+            int64_t value = 0;
+            if (o.isStore())
+                hierarchy_.data().write(st.addr, o.mem->accessSize,
+                                        st.inputValues[0]);
+            else
+                value = hierarchy_.data().read(st.addr,
+                                               o.mem->accessSize);
+            const uint64_t done = hierarchy_.scratchpadAccess(
+                st.addr, o.isStore(), ready);
+            schedule(done, [this, op, done, value] {
+                completeOp(op, done, value);
+            });
+        } else {
+            backend_.memFullyReady(op, ready);
+        }
+        return;
+    }
+
+    countFuExecution(o.kind, stats_);
+    const uint64_t done = cycle + fuLatency(o.kind);
+    if (trace_.enabled() && fuLatency(o.kind) > 0) {
+        trace_.record({std::string(opKindName(o.kind)) + "#" +
+                           std::to_string(op),
+                       "compute", cycle, fuLatency(o.kind),
+                       placement_.coordOf(op).row});
+    }
+    int64_t value = 0;
+    switch (o.kind) {
+      case OpKind::Const:
+        value = o.imm;
+        break;
+      case OpKind::LiveIn:
+        value = liveInValue(op);
+        break;
+      case OpKind::LiveOut:
+        value = st.inputValues[0];
+        break;
+      case OpKind::Select:
+        value = st.inputValues.size() == 3
+                    ? (st.inputValues[0] ? st.inputValues[1]
+                                         : st.inputValues[2])
+                    : st.inputValues[0];
+        break;
+      default:
+        value = evalCompute(o.kind, st.inputValues[0],
+                            st.inputValues[1]);
+        break;
+    }
+    schedule(done,
+             [this, op, done, value] { completeOp(op, done, value); });
+}
+
+void
+SimCore::completeOp(OpId op, uint64_t cycle, int64_t value)
+{
+    OpState &st = states_[op];
+    NACHOS_ASSERT(!st.completed, "op ", op, " completed twice");
+    st.completed = true;
+    st.completeCycle = cycle;
+    st.value = value;
+    if (cycle >= invocationEnd_)
+        criticalOp_ = op;
+    invocationEnd_ = std::max(invocationEnd_, cycle);
+    NACHOS_ASSERT(opsRemaining_ > 0, "completion underflow");
+    --opsRemaining_;
+
+    deliverToUsers(op, cycle);
+
+    const Operation &o = region_.op(op);
+    if (o.isMem() && o.mem->disambiguated())
+        backend_.memCompleted(op, cycle);
+}
+
+void
+SimCore::deliverToUsers(OpId op, uint64_t cycle)
+{
+    const Operation &o = region_.op(op);
+    if (!producesValue(o.kind))
+        return;
+    const int64_t value = states_[op].value;
+    for (OpId user : region_.users(op)) {
+        const Operation &u = region_.op(user);
+        for (uint32_t slot = 0; slot < u.operands.size(); ++slot) {
+            if (u.operands[slot] != op)
+                continue;
+            network_.countTransfer(op, user);
+            const uint64_t arrive = cycle + network_.latency(op, user);
+            schedule(arrive, [this, user, slot, arrive, value] {
+                operandArrived(user, slot, arrive, value);
+            });
+        }
+    }
+}
+
+void
+SimCore::operandArrived(OpId op, uint32_t slot, uint64_t cycle,
+                        int64_t value)
+{
+    const Operation &o = region_.op(op);
+    OpState &st = states_[op];
+    NACHOS_ASSERT(slot < st.inputValues.size(), "operand slot range");
+    st.inputValues[slot] = value;
+    st.readyCycle = std::max(st.readyCycle, cycle);
+    NACHOS_ASSERT(st.pendingAllInputs > 0, "operand arrival underflow op=", op, " kind=", opKindName(o.kind), " slot=", slot, " nops=", o.operands.size());
+    --st.pendingAllInputs;
+
+    if (o.isMem() && slot >= o.firstAddrOperand()) {
+        NACHOS_ASSERT(st.pendingAddrInputs > 0, "addr arrival underflow");
+        --st.pendingAddrInputs;
+        st.addrReadyCycle = std::max(st.addrReadyCycle, cycle);
+        if (st.pendingAddrInputs == 0)
+            noteAddrReady(op, st.addrReadyCycle);
+    }
+    if (st.pendingAllInputs == 0)
+        opInputsComplete(op, st.readyCycle);
+}
+
+void
+SimCore::seedInvocation(uint64_t start_cycle)
+{
+    states_.assign(region_.numOps(), OpState{});
+    opsRemaining_ = region_.numOps();
+    invocationEnd_ = start_cycle;
+
+    for (const auto &o : region_.ops()) {
+        OpState &st = states_[o.id];
+        st.inputValues.assign(o.operands.size(), 0);
+        st.pendingAllInputs = static_cast<uint32_t>(o.operands.size());
+        st.pendingAddrInputs =
+            o.isMem() ? static_cast<uint32_t>(o.operands.size() -
+                                              o.firstAddrOperand())
+                      : 0;
+        st.readyCycle = start_cycle;
+        st.addrReadyCycle = start_cycle;
+    }
+    // Fire source ops (no operands) and memory ops whose address needs
+    // no operands.
+    for (const auto &o : region_.ops()) {
+        OpState &st = states_[o.id];
+        if (o.isMem() && st.pendingAddrInputs == 0) {
+            const OpId id = o.id;
+            schedule(start_cycle, [this, id, start_cycle] {
+                noteAddrReady(id, start_cycle);
+            });
+        }
+        if (st.pendingAllInputs == 0) {
+            const OpId id = o.id;
+            schedule(start_cycle, [this, id, start_cycle] {
+                opInputsComplete(id, start_cycle);
+            });
+        }
+    }
+}
+
+uint64_t
+SimCore::runInvocation(uint64_t inv, uint64_t start_cycle)
+{
+    invocation_ = inv;
+    invocationStart_ = start_cycle;
+    backend_.beginInvocation(inv);
+    seedInvocation(start_cycle);
+
+    while (!events_.empty()) {
+        Event ev = events_.top();
+        events_.pop();
+        NACHOS_ASSERT(ev.cycle >= now_, "event clock went backwards");
+        now_ = ev.cycle;
+        ev.fn();
+    }
+    NACHOS_ASSERT(opsRemaining_ == 0,
+                  "dataflow deadlock: ", opsRemaining_,
+                  " ops never completed in region ", region_.name(),
+                  " invocation ", inv);
+    return invocationEnd_;
+}
+
+SimResult
+SimCore::run()
+{
+    uint64_t start = 0;
+    uint64_t end = 0;
+    for (uint64_t inv = 0; inv < cfg_.invocations; ++inv) {
+        end = runInvocation(inv, start);
+        start = end + 1;
+    }
+
+    // Flush the MLP integrator to the end of time.
+    mlpChange(0, end);
+
+    SimResult result;
+    result.cycles = end + 1;
+    result.cyclesPerInvocation =
+        cfg_.invocations == 0
+            ? 0
+            : static_cast<double>(result.cycles) /
+                  static_cast<double>(cfg_.invocations);
+    result.maxMlp = maxOutstanding_;
+    result.avgMlp = mlpBusyCycles_ == 0
+                        ? 0
+                        : static_cast<double>(mlpArea_) /
+                              static_cast<double>(mlpBusyCycles_);
+    result.stats = stats_;
+    result.energy = energyModel_.breakdown(stats_);
+    result.loadValueDigest = loadValueDigest_;
+    result.criticalOp = criticalOp_;
+    result.memImage = hierarchy_.data().image();
+    if (trace_.enabled())
+        trace_.writeFile(cfg_.traceFile);
+    return result;
+}
+
+SimResult
+simulate(const Region &region, const MdeSet &mdes, BackendKind kind,
+         const SimConfig &cfg)
+{
+    switch (kind) {
+      case BackendKind::OptLsq: {
+        LsqBackend backend(region, cfg.lsq);
+        SimCore core(region, mdes, backend, cfg);
+        return core.run();
+      }
+      case BackendKind::NachosSw: {
+        SwBackend backend(region, mdes);
+        SimCore core(region, mdes, backend, cfg);
+        return core.run();
+      }
+      case BackendKind::Nachos: {
+        NachosBackend backend(region, mdes, cfg.nachosComparesPerCycle,
+                              cfg.nachosRuntimeForwarding);
+        SimCore core(region, mdes, backend, cfg);
+        return core.run();
+      }
+    }
+    NACHOS_PANIC("unknown backend kind");
+}
+
+} // namespace nachos

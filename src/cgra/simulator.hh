@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Cycle-accurate (event-driven) simulator of the CGRA accelerator
+ * executing an offload region for N invocations, under one of three
+ * memory-ordering backends:
+ *
+ *   OptLsq   — the paper's optimized LSQ baseline (§VIII-C);
+ *   NachosSw — compiler-only ordering: MDEs enforced as dataflow
+ *              edges, MAY treated as MUST (§V);
+ *   Nachos   — NACHOS-SW plus decentralized runtime MAY checks (§VII).
+ *
+ * The simulator owns the dataflow firing machinery (operand arrivals
+ * over the mesh network, FU latencies, memory hierarchy); backends own
+ * only the question "when may this memory op access memory, and does
+ * it need to?". All backends share one functional memory so ordering
+ * violations surface as value/image divergence (tested).
+ *
+ * Invocations execute back-to-back and drain fully (the offload path
+ * is re-entered like the paper's unrolled hot path; caches stay warm
+ * across invocations).
+ */
+
+#ifndef NACHOS_CGRA_SIMULATOR_HH
+#define NACHOS_CGRA_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "cgra/function_unit.hh"
+#include "cgra/network.hh"
+#include "cgra/placement.hh"
+#include "cgra/trace.hh"
+#include "energy/model.hh"
+#include "ir/dfg.hh"
+#include "lsq/opt_lsq.hh"
+#include "mde/mde.hh"
+#include "mem/hierarchy.hh"
+#include "support/stats.hh"
+
+namespace nachos {
+
+/** Which ordering scheme runs under the region. */
+enum class BackendKind : uint8_t { OptLsq, NachosSw, Nachos };
+
+const char *backendName(BackendKind k);
+
+/** Full simulation configuration. */
+struct SimConfig
+{
+    GridConfig grid;
+    NetworkConfig net;
+    HierarchyConfig mem;
+    LsqConfig lsq;
+    EnergyParams energy;
+    uint64_t invocations = 100;
+    /** NACHOS comparator arbiter width (ablation; paper uses 1). */
+    uint32_t nachosComparesPerCycle = 1;
+    /** Runtime ST->LD forwarding on confirmed exact conflicts (§VIII). */
+    bool nachosRuntimeForwarding = true;
+    /** Write a Chrome trace-event JSON of op executions here. */
+    std::string traceFile;
+};
+
+/** Simulation outcome. */
+struct SimResult
+{
+    uint64_t cycles = 0; ///< total cycles over all invocations
+    double cyclesPerInvocation = 0;
+    uint64_t maxMlp = 0;
+    double avgMlp = 0;
+    /** All event counters (cache, lsq, mde, fu, net). */
+    StatSet stats;
+    EnergyBreakdown energy;
+    /** Order-insensitive digest of every load's observed value. */
+    uint64_t loadValueDigest = 0;
+    /** Op completing last in the final invocation (diagnostics). */
+    OpId criticalOp = 0;
+    /** Final functional-memory image (sorted bytes). */
+    std::vector<std::pair<uint64_t, uint8_t>> memImage;
+};
+
+class SimCore;
+
+/** Strategy interface: memory-ordering policy of the accelerator. */
+class OrderingBackend
+{
+  public:
+    virtual ~OrderingBackend() = default;
+
+    void attach(SimCore &core) { core_ = &core; }
+
+    /** Reset per-invocation state. */
+    virtual void beginInvocation(uint64_t inv) = 0;
+
+    /** Op's address operands resolved; `addr` is the concrete address. */
+    virtual void memAddrReady(OpId op, uint64_t addr, uint32_t size,
+                              uint64_t cycle) = 0;
+
+    /** All operands (stores: including data) resolved. */
+    virtual void memFullyReady(OpId op, uint64_t cycle) = 0;
+
+    /** The op's memory action finished at `cycle`. */
+    virtual void memCompleted(OpId op, uint64_t cycle) = 0;
+
+  protected:
+    SimCore *core_ = nullptr;
+};
+
+/**
+ * The dataflow execution engine. Public methods below the "backend
+ * services" marker are the API ordering backends build on.
+ */
+class SimCore
+{
+  public:
+    SimCore(const Region &region, const MdeSet &mdes,
+            OrderingBackend &backend, const SimConfig &cfg);
+
+    /** Run all invocations; returns the aggregated result. */
+    SimResult run();
+
+    // ---- backend services --------------------------------------------
+
+    /** Schedule a callback at `cycle` (deterministic FIFO per cycle). */
+    void schedule(uint64_t cycle, std::function<void()> fn);
+
+    /**
+     * Perform op's memory access at `cycle`: functional data motion
+     * now, timed completion later; backend sees memCompleted().
+     */
+    void performMemAccess(OpId op, uint64_t cycle);
+
+    /** Complete a load without touching memory (forwarded value). */
+    void completeLoadForwarded(OpId op, uint64_t cycle, int64_t value);
+
+    /** Operand-network latency between two mapped ops. */
+    uint64_t netLatency(OpId from, OpId to) const;
+
+    /** Count a 1-bit ORDER token traversal (energy). */
+    void countOrderToken(OpId from, OpId to);
+
+    /** Count a FORWARD value traversal (energy). */
+    void countForward(OpId from, OpId to);
+
+    /** Data value a store will write (valid once fully ready). */
+    int64_t storeData(OpId op) const;
+
+    /** Concrete address of a mem op in the current invocation. */
+    uint64_t memAddr(OpId op) const;
+
+    const Region &region() const { return region_; }
+    const MdeSet &mdes() const { return mdes_; }
+    StatSet &stats() { return stats_; }
+    uint64_t invocation() const { return invocation_; }
+
+  private:
+    struct OpState
+    {
+        uint32_t pendingAddrInputs = 0;
+        uint32_t pendingAllInputs = 0;
+        std::vector<int64_t> inputValues;
+        uint64_t readyCycle = 0;     ///< max operand arrival
+        uint64_t addrReadyCycle = 0;
+        bool addrNotified = false;
+        bool fullNotified = false;
+        int64_t value = 0;
+        bool completed = false;
+        uint64_t completeCycle = 0;
+        uint64_t addr = 0;
+        bool performed = false;
+    };
+
+    struct Event
+    {
+        uint64_t cycle;
+        uint64_t seq;
+        std::function<void()> fn;
+        bool
+        operator>(const Event &other) const
+        {
+            return cycle != other.cycle ? cycle > other.cycle
+                                        : seq > other.seq;
+        }
+    };
+
+    const Region &region_;
+    const MdeSet &mdes_;
+    OrderingBackend &backend_;
+    SimConfig cfg_;
+    StatSet stats_;
+    Placement placement_;
+    OperandNetwork network_;
+    MemoryHierarchy hierarchy_;
+    EnergyModel energyModel_;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    uint64_t nextSeq_ = 0;
+    uint64_t now_ = 0;
+    std::vector<OpState> states_;
+    uint64_t invocation_ = 0;
+    uint64_t invocationStart_ = 0;
+    size_t opsRemaining_ = 0;
+    uint64_t invocationEnd_ = 0;
+    OpId criticalOp_ = 0;
+
+    // MLP accounting.
+    uint64_t outstanding_ = 0;
+    uint64_t maxOutstanding_ = 0;
+    uint64_t mlpLastChange_ = 0;
+    uint64_t mlpArea_ = 0;
+    uint64_t mlpBusyCycles_ = 0;
+
+    uint64_t loadValueDigest_ = 0;
+    TraceCollector trace_;
+
+    uint64_t runInvocation(uint64_t inv, uint64_t start_cycle);
+    void seedInvocation(uint64_t start_cycle);
+    void operandArrived(OpId op, uint32_t slot, uint64_t cycle,
+                        int64_t value);
+    void opInputsComplete(OpId op, uint64_t cycle);
+    void completeOp(OpId op, uint64_t cycle, int64_t value);
+    void deliverToUsers(OpId op, uint64_t cycle);
+    void noteAddrReady(OpId op, uint64_t cycle);
+    void mlpChange(int delta, uint64_t cycle);
+    int64_t liveInValue(OpId op) const;
+};
+
+/** Build the backend for `kind` and simulate the region under it. */
+SimResult simulate(const Region &region, const MdeSet &mdes,
+                   BackendKind kind, const SimConfig &cfg);
+
+} // namespace nachos
+
+#endif // NACHOS_CGRA_SIMULATOR_HH

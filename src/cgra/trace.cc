@@ -1,0 +1,42 @@
+#include "cgra/trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+std::string
+TraceCollector::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : events_) {
+        if (!first)
+            os << ",";
+        first = false;
+        // Complete ("X") events; 1 cycle == 1 us for readability.
+        os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
+           << "\",\"ph\":\"X\",\"ts\":" << e.start
+           << ",\"dur\":" << (e.duration == 0 ? 1 : e.duration)
+           << ",\"pid\":0,\"tid\":" << e.track << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+    return os.str();
+}
+
+bool
+TraceCollector::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write trace file ", path);
+        return false;
+    }
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+} // namespace nachos

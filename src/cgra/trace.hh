@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Execution tracing: collects per-operation execution intervals during
+ * simulation and writes them as a Chrome trace-event JSON file
+ * (load it at chrome://tracing or https://ui.perfetto.dev). Rows are
+ * CGRA grid rows; one colored slice per operation execution.
+ */
+
+#ifndef NACHOS_CGRA_TRACE_HH
+#define NACHOS_CGRA_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nachos {
+
+/** One completed execution interval. */
+struct TraceEvent
+{
+    std::string name;     ///< e.g. "load#12"
+    std::string category; ///< "compute" | "memory" | "forward"
+    uint64_t start = 0;   ///< cycle
+    uint64_t duration = 0;
+    uint32_t track = 0;   ///< display row (grid row of the FU)
+};
+
+/** Accumulates events and serializes Chrome trace JSON. */
+class TraceCollector
+{
+  public:
+    /** Enabled collectors record; disabled ones drop events. */
+    explicit TraceCollector(bool enabled = false) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+
+    void
+    record(TraceEvent event)
+    {
+        if (enabled_)
+            events_.push_back(std::move(event));
+    }
+
+    size_t size() const { return events_.size(); }
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Serialize to Chrome trace-event JSON. */
+    std::string toJson() const;
+
+    /** Write to a file; returns false (with a warning) on failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    bool enabled_;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace nachos
+
+#endif // NACHOS_CGRA_TRACE_HH

@@ -1,0 +1,56 @@
+#include "energy/model.hh"
+
+#include <sstream>
+
+#include "support/table.hh"
+
+namespace nachos {
+
+double
+EnergyBreakdown::frac(double category) const
+{
+    double t = total();
+    return t == 0 ? 0.0 : category / t;
+}
+
+EnergyBreakdown
+EnergyModel::breakdown(const StatSet &stats) const
+{
+    namespace ev = energy_events;
+    const EnergyParams &p = params_;
+    EnergyBreakdown b;
+
+    b.compute = p.aluInt * stats.get(ev::kIntOps) +
+                p.aluFp * stats.get(ev::kFpOps) +
+                p.networkPerLink * stats.get(ev::kNetworkTransfers);
+
+    b.mde = p.mdeMay * stats.get(ev::kMdeMay) +
+            p.mdeMust * stats.get(ev::kMdeMust) +
+            p.mdeForward * stats.get(ev::kMdeForward);
+
+    b.lsqBloom = p.lsqBloom * stats.get(ev::kLsqBloom);
+    b.lsqCam = p.lsqCamLoad * stats.get(ev::kLsqCamLoad) +
+               p.lsqCamStore * stats.get(ev::kLsqCamStore) +
+               p.lsqAlloc * stats.get(ev::kLsqAlloc) +
+               p.lsqForward * stats.get(ev::kLsqForward);
+
+    b.l1 = p.l1Read * stats.get("l1.reads") +
+           p.l1Write * stats.get("l1.writes") +
+           p.scratchpadAccess * (stats.get("scratchpad.reads") +
+                                 stats.get("scratchpad.writes"));
+    return b;
+}
+
+std::string
+describeBreakdown(const EnergyBreakdown &b)
+{
+    std::ostringstream os;
+    os << "total " << fmtDouble(b.total() / 1e6, 3) << " nJ"
+       << " [compute " << fmtPct(b.frac(b.compute))
+       << ", mde " << fmtPct(b.frac(b.mde))
+       << ", lsq " << fmtPct(b.frac(b.lsq()))
+       << ", l1 " << fmtPct(b.frac(b.l1)) << "]";
+    return os.str();
+}
+
+} // namespace nachos

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-event energy costs. Values marked [paper] come straight from the
+ * paper's Figure 3 table; values marked [assumption] are not published
+ * and are documented in DESIGN.md/EXPERIMENTS.md (the paper's relative
+ * results are insensitive to them within reason, since both OPT-LSQ
+ * and NACHOS pay identical compute/cache costs).
+ */
+
+#ifndef NACHOS_ENERGY_PARAMS_HH
+#define NACHOS_ENERGY_PARAMS_HH
+
+namespace nachos {
+
+/** Event energies in femtojoules. */
+struct EnergyParams
+{
+    // Accelerator fabric.
+    /**
+     * [paper] 600 fJ per link: interpreted as one static-network
+     * route (dataflow edge) activation per transferred value.
+     */
+    double networkPerLink = 600;
+    double aluInt = 500;          ///< [paper] fJ per INT op
+    double aluFp = 1500;          ///< [paper] fJ per FP op
+
+    // Memory dependence edges.
+    double mdeMay = 500;      ///< [paper] fJ per MAY edge activation
+    double mdeMust = 250;     ///< [paper] fJ per MUST(ORDER) activation
+    double mdeForward = 500;  ///< 64-bit value edge, like MAY [paper]
+
+    // OPT-LSQ (2-port, 48 entries/bank). The appendix prices "the
+    // optimized LSQ" at 3000 fJ per memory operation; we split that
+    // into the always-paid allocation + bloom probe (1000 + 2000 fJ)
+    // and charge the CAM search [paper: loads 2500 fJ, stores 3500 fJ]
+    // only on probe hits, exactly as §VIII-C describes.
+    double lsqCamLoad = 2500;  ///< [paper] fJ per load CAM search
+    double lsqCamStore = 3500; ///< [paper] fJ per store CAM search
+    double lsqBloom = 2000;    ///< [appendix-derived] fJ per probe
+    double lsqAlloc = 1000;    ///< [appendix-derived] fJ per alloc
+    double lsqForward = 1000;  ///< [assumption] fJ per ST->LD forward
+
+    // Cache / scratchpad access energy. The paper includes the L1 in
+    // every total but does not publish its per-access cost;
+    // [assumption] calibrated so OPT-LSQ lands near the paper's 27%
+    // share of (accelerator + L1) energy — that requires an L1 access
+    // within a small multiple of an LSQ CAM search, consistent with
+    // the paper's event-based (Aladdin-style) model.
+    double l1Read = 2200;
+    double l1Write = 2600;
+    double scratchpadAccess = 300;
+};
+
+} // namespace nachos
+
+#endif // NACHOS_ENERGY_PARAMS_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Golden reference executor: runs a region's invocations functionally
+ * in strict program order (no timing, no reordering) and produces the
+ * same load-value digest and memory image the simulator reports. Any
+ * ordering scheme that is correct must match it exactly — this is the
+ * ground truth the cross-backend equivalence tests anchor to.
+ */
+
+#ifndef NACHOS_HARNESS_GOLDEN_HH
+#define NACHOS_HARNESS_GOLDEN_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/dfg.hh"
+
+namespace nachos {
+
+/** Deterministic value-stream hash shared with the simulator. */
+uint64_t goldenMix(uint64_t z);
+
+/** Live-in value of op `op` in invocation `inv` (simulator-identical). */
+int64_t goldenLiveIn(OpId op, uint64_t inv);
+
+/** Result of a golden (program-order) execution. */
+struct GoldenResult
+{
+    /** Order-insensitive digest of every disambiguated load's value. */
+    uint64_t loadValueDigest = 0;
+    /** Final functional memory image (sorted bytes). */
+    std::vector<std::pair<uint64_t, uint8_t>> memImage;
+};
+
+/** Execute `invocations` sequential program-order runs of the region. */
+GoldenResult goldenExecute(const Region &region, uint64_t invocations);
+
+} // namespace nachos
+
+#endif // NACHOS_HARNESS_GOLDEN_HH

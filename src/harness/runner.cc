@@ -1,0 +1,49 @@
+#include "harness/runner.hh"
+
+namespace nachos {
+
+RunOutcome
+runWorkload(const BenchmarkInfo &info, const RunRequest &request)
+{
+    SynthesisOptions synth;
+    synth.pathIndex = request.pathIndex;
+    synth.seed = request.seed;
+
+    RunOutcome out;
+    out.region = synthesizeRegion(info, synth);
+    out.analysis = runAliasPipeline(out.region, request.pipeline);
+    out.mdes = insertMdes(out.region, out.analysis.matrix);
+
+    SimConfig sim;
+    sim.invocations = request.invocationsOverride
+                          ? request.invocationsOverride
+                          : info.invocations;
+    if (request.runLsq)
+        out.lsq = simulate(out.region, out.mdes, BackendKind::OptLsq,
+                           sim);
+    if (request.runSw)
+        out.sw = simulate(out.region, out.mdes, BackendKind::NachosSw,
+                          sim);
+    if (request.runNachos)
+        out.nachos = simulate(out.region, out.mdes,
+                              BackendKind::Nachos, sim);
+    return out;
+}
+
+RunOutcome
+analyzeRegion(Region region, const PipelineConfig &pipeline)
+{
+    RunOutcome out;
+    out.region = std::move(region);
+    out.analysis = runAliasPipeline(out.region, pipeline);
+    out.mdes = insertMdes(out.region, out.analysis.matrix);
+    return out;
+}
+
+double
+pctDelta(double base, double x)
+{
+    return base == 0 ? 0 : (x - base) / base * 100.0;
+}
+
+} // namespace nachos

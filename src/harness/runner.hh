@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Experiment runner: synthesize a workload's region, run the alias
+ * pipeline, insert MDEs, and simulate under the requested backends —
+ * the shared engine behind every bench binary and the examples.
+ */
+
+#ifndef NACHOS_HARNESS_RUNNER_HH
+#define NACHOS_HARNESS_RUNNER_HH
+
+#include <optional>
+
+#include "analysis/pipeline.hh"
+#include "cgra/simulator.hh"
+#include "mde/inserter.hh"
+#include "workloads/suite.hh"
+
+namespace nachos {
+
+/** What to run for a workload. */
+struct RunRequest
+{
+    PipelineConfig pipeline;
+    bool runLsq = true;
+    bool runSw = true;
+    bool runNachos = true;
+    uint32_t pathIndex = 0;
+    uint64_t seed = 1;
+    /** Override the descriptor's invocation count (0 = keep). */
+    uint64_t invocationsOverride = 0;
+};
+
+/** Everything produced for one workload run. */
+struct RunOutcome
+{
+    Region region{"empty"};
+    AliasAnalysisResult analysis;
+    MdeSet mdes;
+    std::optional<SimResult> lsq;
+    std::optional<SimResult> sw;
+    std::optional<SimResult> nachos;
+};
+
+/** Synthesize + analyze + simulate one workload. */
+RunOutcome runWorkload(const BenchmarkInfo &info,
+                       const RunRequest &request = {});
+
+/** Analyze (no simulation) an already-built region. */
+RunOutcome analyzeRegion(Region region,
+                         const PipelineConfig &pipeline = {});
+
+/** % delta of `x` vs `base` (positive = slower/larger than base). */
+double pctDelta(double base, double x);
+
+} // namespace nachos
+
+#endif // NACHOS_HARNESS_RUNNER_HH

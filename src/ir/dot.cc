@@ -1,0 +1,51 @@
+#include "ir/dot.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace nachos {
+
+namespace {
+
+const char *
+nodeColor(const Operation &o)
+{
+    if (o.isLoad())
+        return o.mem->scratchpad ? "lightcyan" : "lightblue";
+    if (o.isStore())
+        return o.mem->scratchpad ? "mistyrose" : "salmon";
+    if (isFloatKind(o.kind))
+        return "palegreen";
+    return "white";
+}
+
+} // namespace
+
+void
+dumpDot(const Region &region, std::ostream &os)
+{
+    os << "digraph \"" << region.name() << "\" {\n";
+    os << "  rankdir=TB;\n  node [shape=box, style=filled];\n";
+    for (const auto &o : region.ops()) {
+        os << "  n" << o.id << " [label=\"" << o.id << ": "
+           << opKindName(o.kind);
+        if (o.isMem() && o.mem->disambiguated())
+            os << " m" << o.mem->memIndex;
+        os << "\", fillcolor=" << nodeColor(o) << "];\n";
+    }
+    for (const auto &o : region.ops()) {
+        for (OpId src : o.operands)
+            os << "  n" << src << " -> n" << o.id << ";\n";
+    }
+    os << "}\n";
+}
+
+std::string
+dotString(const Region &region)
+{
+    std::ostringstream os;
+    dumpDot(region, os);
+    return os.str();
+}
+
+} // namespace nachos

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * GraphViz DOT emission for offload regions — debugging and docs.
+ * (MDE-annotated dumps live in mde/mde.hh to keep layering clean.)
+ */
+
+#ifndef NACHOS_IR_DOT_HH
+#define NACHOS_IR_DOT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/dfg.hh"
+
+namespace nachos {
+
+/** Emit the region's dataflow graph in DOT form. */
+void dumpDot(const Region &region, std::ostream &os);
+
+/** Convenience: DOT text as a string. */
+std::string dotString(const Region &region);
+
+} // namespace nachos
+
+#endif // NACHOS_IR_DOT_HH

@@ -1,0 +1,17 @@
+#include "ir/mem_object.hh"
+
+namespace nachos {
+
+/** Printable name of an object kind. */
+const char *
+objectKindName(ObjectKind k)
+{
+    switch (k) {
+      case ObjectKind::Global: return "global";
+      case ObjectKind::Heap: return "heap";
+      case ObjectKind::Stack: return "stack";
+    }
+    return "?";
+}
+
+} // namespace nachos

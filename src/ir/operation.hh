@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Dataflow operations of an offload region.
+ *
+ * Offload paths extracted by the NEEDLE front end are control-flow-free
+ * superblocks, so the IR is a straight-line SSA DAG: every operation's
+ * operands are earlier operations, and program order equals operation
+ * id order.
+ */
+
+#ifndef NACHOS_IR_OPERATION_HH
+#define NACHOS_IR_OPERATION_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/addr_expr.hh"
+#include "ir/type.hh"
+
+namespace nachos {
+
+/** Operation kinds available to the offload path. */
+enum class OpKind : uint8_t {
+    Const,   ///< Immediate value.
+    LiveIn,  ///< Value entering the region from the host.
+    IAdd,
+    ISub,
+    IMul,
+    IXor,
+    IAnd,
+    IOr,
+    IShl,
+    ICmp,
+    Select,
+    FAdd,
+    FMul,
+    FDiv,
+    Load,
+    Store,
+    LiveOut, ///< Value leaving the region to the host.
+};
+
+/** True for memory operations. */
+inline bool
+isMemKind(OpKind k)
+{
+    return k == OpKind::Load || k == OpKind::Store;
+}
+
+/** True for floating-point function-unit operations. */
+inline bool
+isFloatKind(OpKind k)
+{
+    return k == OpKind::FAdd || k == OpKind::FMul || k == OpKind::FDiv;
+}
+
+/** True if the operation produces a value usable as an operand. */
+inline bool
+producesValue(OpKind k)
+{
+    return k != OpKind::Store && k != OpKind::LiveOut;
+}
+
+/** Printable mnemonic. */
+const char *opKindName(OpKind k);
+
+/** Sentinel mem index for scratchpad accesses. */
+inline constexpr uint32_t kNoMemIndex = 0xffffffffu;
+
+/**
+ * Memory-side attributes of a load or store: the symbolic address, the
+ * access footprint, and the op's position in the program order of
+ * disambiguated (non-scratchpad) memory operations.
+ */
+struct MemAccess
+{
+    AddrExpr addr;
+    /** Access footprint in bytes. */
+    uint32_t accessSize = 8;
+    /**
+     * Dense program-order index among disambiguated memory operations,
+     * or kNoMemIndex for scratchpad-promoted accesses.
+     */
+    uint32_t memIndex = kNoMemIndex;
+    /** True if the access targets a local object via the scratchpad. */
+    bool scratchpad = false;
+
+    bool disambiguated() const { return !scratchpad; }
+};
+
+/** One node of the straight-line dataflow graph. */
+struct Operation
+{
+    OpId id = 0;
+    OpKind kind = OpKind::Const;
+    DataType dtype = DataType::I64;
+    /**
+     * Value operands (earlier op ids). For Store, operands[0] is the
+     * data value and the remainder feed the address; for all other
+     * kinds every operand feeds the computation/address.
+     */
+    std::vector<OpId> operands;
+    /** Immediate for Const. */
+    int64_t imm = 0;
+    /** Memory attributes; present iff isMemKind(kind). */
+    std::optional<MemAccess> mem;
+
+    bool isMem() const { return isMemKind(kind); }
+    bool isLoad() const { return kind == OpKind::Load; }
+    bool isStore() const { return kind == OpKind::Store; }
+
+    /**
+     * Operands that must be ready before the address is known: all of
+     * them for a load, all but the data operand for a store.
+     */
+    size_t
+    firstAddrOperand() const
+    {
+        return kind == OpKind::Store ? 1 : 0;
+    }
+};
+
+/** Functional semantics of a two-input compute op (bitwise on int64). */
+int64_t evalCompute(OpKind k, int64_t a, int64_t b);
+
+} // namespace nachos
+
+#endif // NACHOS_IR_OPERATION_HH

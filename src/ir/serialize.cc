@@ -1,0 +1,249 @@
+#include "ir/serialize.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+namespace {
+
+/** Replace spaces in user-provided names (tokens must be atomic). */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out = name.empty() ? std::string("_") : name;
+    for (char &c : out) {
+        if (std::isspace(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return out;
+}
+
+/** Read one token; fatal on EOF (malformed file is a user error). */
+std::string
+token(std::istream &is, const char *what)
+{
+    std::string t;
+    if (!(is >> t))
+        NACHOS_FATAL("region file truncated while reading ", what);
+    return t;
+}
+
+int64_t
+intToken(std::istream &is, const char *what)
+{
+    std::string t = token(is, what);
+    try {
+        return std::stoll(t);
+    } catch (...) {
+        NACHOS_FATAL("region file: expected integer for ", what,
+                     ", got '", t, "'");
+    }
+}
+
+uint64_t
+uintToken(std::istream &is, const char *what)
+{
+    std::string t = token(is, what);
+    if (!t.empty() && t[0] == '-')
+        NACHOS_FATAL("region file: negative value for ", what);
+    try {
+        return std::stoull(t);
+    } catch (...) {
+        NACHOS_FATAL("region file: expected unsigned integer for ",
+                     what, ", got '", t, "'");
+    }
+}
+
+} // namespace
+
+void
+writeRegion(const Region &region, std::ostream &os)
+{
+    os << "nachos-region v1\n";
+    os << "name " << sanitizeName(region.name()) << " strict "
+       << (region.strictAliasing() ? 1 : 0) << "\n";
+
+    for (const MemObject &o : region.objects()) {
+        os << "object " << sanitizeName(o.name) << " "
+           << static_cast<int>(o.kind) << " " << o.size << " "
+           << static_cast<int>(o.elemType) << " " << (o.isLocal ? 1 : 0)
+           << " " << (o.escapes ? 1 : 0) << " " << o.baseAddr << " "
+           << o.shape.size();
+        for (uint64_t d : o.shape)
+            os << " " << d;
+        os << "\n";
+    }
+    for (const PointerParam &p : region.params()) {
+        os << "param " << sanitizeName(p.name) << " "
+           << (p.isRestrict ? 1 : 0) << " " << p.actualObject << " "
+           << p.actualOffset << " " << (p.provenance ? 1 : 0);
+        if (p.provenance) {
+            os << " " << (p.provenance->isObject ? 1 : 0) << " "
+               << p.provenance->sourceId << " " << p.provenance->offset;
+        } else {
+            os << " 0 0 0";
+        }
+        os << "\n";
+    }
+    for (const Symbol &s : region.symbols()) {
+        os << "symbol " << static_cast<int>(s.kind) << " "
+           << sanitizeName(s.name) << " " << s.object << " " << s.dim
+           << " " << s.strideBytes << " " << s.opaqueSeed << " "
+           << s.opaqueModulus << " " << s.opaqueScale << " "
+           << s.opaqueBias << " " << s.producer << "\n";
+    }
+    for (const Operation &o : region.ops()) {
+        os << "op " << static_cast<int>(o.kind) << " "
+           << static_cast<int>(o.dtype) << " " << o.imm << " "
+           << o.operands.size();
+        for (OpId src : o.operands)
+            os << " " << src;
+        os << " " << (o.mem ? 1 : 0);
+        if (o.mem) {
+            const MemAccess &m = *o.mem;
+            os << " " << static_cast<int>(m.addr.base.kind) << " "
+               << m.addr.base.id << " " << m.addr.constOffset << " "
+               << m.addr.terms.size();
+            for (const AffineTerm &t : m.addr.terms)
+                os << " " << t.sym << " " << t.coeff;
+            os << " " << m.accessSize << " " << m.memIndex << " "
+               << (m.scratchpad ? 1 : 0);
+        }
+        os << "\n";
+    }
+    os << "end\n";
+}
+
+std::string
+regionToString(const Region &region)
+{
+    std::ostringstream os;
+    writeRegion(region, os);
+    return os.str();
+}
+
+Region
+readRegion(std::istream &is)
+{
+    std::string magic = token(is, "magic");
+    std::string version = token(is, "version");
+    if (magic != "nachos-region" || version != "v1")
+        NACHOS_FATAL("not a nachos-region v1 file (got '", magic, " ",
+                     version, "')");
+
+    if (token(is, "name keyword") != "name")
+        NACHOS_FATAL("expected 'name'");
+    Region region(token(is, "region name"));
+    if (token(is, "strict keyword") != "strict")
+        NACHOS_FATAL("expected 'strict'");
+    region.setStrictAliasing(intToken(is, "strict flag") != 0);
+
+    for (;;) {
+        std::string kind = token(is, "entity kind");
+        if (kind == "end")
+            break;
+        if (kind == "object") {
+            MemObject o;
+            o.name = token(is, "object name");
+            o.kind = static_cast<ObjectKind>(
+                uintToken(is, "object kind"));
+            o.size = uintToken(is, "object size");
+            o.elemType =
+                static_cast<DataType>(uintToken(is, "elem type"));
+            o.isLocal = intToken(is, "local flag") != 0;
+            o.escapes = intToken(is, "escapes flag") != 0;
+            o.baseAddr = uintToken(is, "base address");
+            uint64_t ndims = uintToken(is, "shape rank");
+            for (uint64_t d = 0; d < ndims; ++d)
+                o.shape.push_back(uintToken(is, "shape dim"));
+            region.addObject(std::move(o));
+        } else if (kind == "param") {
+            PointerParam p;
+            p.name = token(is, "param name");
+            p.isRestrict = intToken(is, "restrict flag") != 0;
+            p.actualObject =
+                static_cast<ObjectId>(uintToken(is, "actual object"));
+            p.actualOffset = intToken(is, "actual offset");
+            bool has_prov = intToken(is, "provenance flag") != 0;
+            bool is_obj = intToken(is, "prov is-object") != 0;
+            uint32_t src =
+                static_cast<uint32_t>(uintToken(is, "prov source"));
+            int64_t off = intToken(is, "prov offset");
+            if (has_prov)
+                p.provenance = ParamProvenance{is_obj, src, off};
+            region.addParam(std::move(p));
+        } else if (kind == "symbol") {
+            Symbol s;
+            s.kind = static_cast<SymKind>(uintToken(is, "symbol kind"));
+            s.name = token(is, "symbol name");
+            s.object =
+                static_cast<ObjectId>(uintToken(is, "symbol object"));
+            s.dim = static_cast<uint32_t>(uintToken(is, "symbol dim"));
+            s.strideBytes = uintToken(is, "stride bytes");
+            s.opaqueSeed = uintToken(is, "opaque seed");
+            s.opaqueModulus = uintToken(is, "opaque modulus");
+            s.opaqueScale = uintToken(is, "opaque scale");
+            s.opaqueBias = intToken(is, "opaque bias");
+            s.producer = static_cast<OpId>(uintToken(is, "producer"));
+            region.addSymbol(std::move(s));
+        } else if (kind == "op") {
+            Operation o;
+            o.kind = static_cast<OpKind>(uintToken(is, "op kind"));
+            o.dtype = static_cast<DataType>(uintToken(is, "op dtype"));
+            o.imm = intToken(is, "op imm");
+            uint64_t nops = uintToken(is, "operand count");
+            for (uint64_t i = 0; i < nops; ++i)
+                o.operands.push_back(
+                    static_cast<OpId>(uintToken(is, "operand")));
+            if (intToken(is, "has-mem flag") != 0) {
+                MemAccess m;
+                m.addr.base.kind = static_cast<BaseKind>(
+                    uintToken(is, "base kind"));
+                m.addr.base.id =
+                    static_cast<uint32_t>(uintToken(is, "base id"));
+                m.addr.constOffset = intToken(is, "const offset");
+                uint64_t nterms = uintToken(is, "term count");
+                for (uint64_t t = 0; t < nterms; ++t) {
+                    AffineTerm term;
+                    term.sym = static_cast<SymbolId>(
+                        uintToken(is, "term symbol"));
+                    term.coeff = intToken(is, "term coeff");
+                    m.addr.terms.push_back(term);
+                }
+                m.accessSize =
+                    static_cast<uint32_t>(uintToken(is, "access size"));
+                m.memIndex =
+                    static_cast<uint32_t>(uintToken(is, "mem index"));
+                m.scratchpad = intToken(is, "scratch flag") != 0;
+                o.mem = std::move(m);
+            }
+            region.addOp(std::move(o));
+        } else {
+            NACHOS_FATAL("region file: unknown entity '", kind, "'");
+        }
+    }
+    region.finalize();
+    return region;
+}
+
+Region
+regionFromString(const std::string &text)
+{
+    std::istringstream is(text);
+    return readRegion(is);
+}
+
+bool
+regionsEquivalent(const Region &a, const Region &b)
+{
+    // The text form is canonical (ids are declaration order, addr
+    // expressions are canonicalized on addOp), so structural equality
+    // reduces to string equality.
+    return regionToString(a) == regionToString(b);
+}
+
+} // namespace nachos

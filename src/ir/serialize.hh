@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Region (de)serialization: a stable, line-oriented text format so
+ * regions can be saved as regression corpora, attached to bug reports,
+ * and reloaded bit-identically (ground-truth generators included).
+ *
+ * Format (whitespace-separated tokens, one entity per line):
+ *
+ *   nachos-region v1
+ *   name <token> strict <0|1>
+ *   object <name> <kind> <size> <elem> <local> <escapes> <base>
+ *          <ndims> <dim>...
+ *   param  <name> <restrict> <actualObj> <actualOff>
+ *          <hasProv> <provIsObj> <provSrc> <provOff>
+ *   symbol <kind> <name> <object> <dim> <stride>
+ *          <seed> <modulus> <scale> <bias> <producer>
+ *   op     <kind> <dtype> <imm> <noperands> <operand>...
+ *          <hasMem> [<baseKind> <baseId> <constOff>
+ *                    <nterms> (<sym> <coeff>)... <size> <memIndex>
+ *                    <scratch>]
+ *   end
+ *
+ * Ids are implicit (declaration order), matching Region's dense id
+ * assignment.
+ */
+
+#ifndef NACHOS_IR_SERIALIZE_HH
+#define NACHOS_IR_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/dfg.hh"
+
+namespace nachos {
+
+/** Write a finalized region to a stream. */
+void writeRegion(const Region &region, std::ostream &os);
+
+/** Serialize to a string. */
+std::string regionToString(const Region &region);
+
+/**
+ * Parse a region from a stream; the result is finalized. Calls
+ * fatal() on malformed input (a user-facing error, not a bug).
+ */
+Region readRegion(std::istream &is);
+
+/** Parse from a string. */
+Region regionFromString(const std::string &text);
+
+/** Structural equality (everything except derived caches). */
+bool regionsEquivalent(const Region &a, const Region &b);
+
+} // namespace nachos
+
+#endif // NACHOS_IR_SERIALIZE_HH

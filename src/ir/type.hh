@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Scalar data types carried by dataflow values and memory accesses.
+ */
+
+#ifndef NACHOS_IR_TYPE_HH
+#define NACHOS_IR_TYPE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nachos {
+
+/** Element/value types in the offload-path IR. */
+enum class DataType : uint8_t {
+    I32,
+    I64,
+    F32,
+    F64,
+    Ptr,
+};
+
+/** Size of a value of the given type in bytes. */
+inline uint32_t
+typeSize(DataType t)
+{
+    switch (t) {
+      case DataType::I32:
+      case DataType::F32:
+        return 4;
+      case DataType::I64:
+      case DataType::F64:
+      case DataType::Ptr:
+        return 8;
+    }
+    return 8;
+}
+
+/** True for floating-point types (drives FU latency and energy). */
+inline bool
+isFloat(DataType t)
+{
+    return t == DataType::F32 || t == DataType::F64;
+}
+
+/** Printable name. */
+inline const char *
+typeName(DataType t)
+{
+    switch (t) {
+      case DataType::I32: return "i32";
+      case DataType::I64: return "i64";
+      case DataType::F32: return "f32";
+      case DataType::F64: return "f64";
+      case DataType::Ptr: return "ptr";
+    }
+    return "?";
+}
+
+} // namespace nachos
+
+#endif // NACHOS_IR_TYPE_HH

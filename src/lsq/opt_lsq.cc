@@ -1,0 +1,285 @@
+#include "lsq/opt_lsq.hh"
+
+#include <algorithm>
+
+#include "energy/model.hh"
+#include "support/logging.hh"
+
+namespace nachos {
+
+namespace ev = energy_events;
+
+OptLsq::OptLsq(const LsqConfig &cfg, uint32_t num_mem_ops, StatSet &stats)
+    : cfg_(cfg), stats_(stats), entries_(num_mem_ops),
+      bloom_(cfg.bloom)
+{
+    NACHOS_ASSERT(cfg_.banks >= 1, "need at least one bank");
+    for (uint32_t b = 0; b < cfg_.banks; ++b)
+        bankPorts_.emplace_back(cfg_.portsPerBank);
+}
+
+void
+OptLsq::reset()
+{
+    std::fill(entries_.begin(), entries_.end(), Entry{});
+    for (auto &bank : bankPorts_)
+        bank.reset();
+    bloom_.clear();
+    nextToAlloc_ = 0;
+    lastAllocSlot_ = 0;
+}
+
+uint32_t
+OptLsq::bankOf(uint64_t addr) const
+{
+    return static_cast<uint32_t>((addr / 64) % cfg_.banks);
+}
+
+bool
+OptLsq::overlaps(const Entry &a, const Entry &b) const
+{
+    return a.addr < b.addr + b.size && b.addr < a.addr + a.size;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>>
+OptLsq::addressReady(uint32_t m, bool is_store, uint64_t addr,
+                     uint32_t size, uint64_t cycle)
+{
+    NACHOS_ASSERT(m < entries_.size(), "memIndex out of range");
+    Entry &e = entries_[m];
+    NACHOS_ASSERT(!e.seen, "addressReady called twice for op ", m);
+    e.seen = true;
+    e.isStore = is_store;
+    e.addr = addr;
+    e.size = size;
+    e.addrReadyAt = cycle;
+
+    // Cascade in-order allocation over every op that is now unblocked.
+    // Ordering constraint: op m's allocation SLOT is not earlier than
+    // op m-1's slot (same cycle is fine — ports permitting); the
+    // allocLatency pipeline stage applies to each op independently and
+    // must not chain, or allocation would serialize to one per cycle.
+    std::vector<std::pair<uint32_t, uint64_t>> allocated;
+    while (nextToAlloc_ < entries_.size() &&
+           entries_[nextToAlloc_].seen) {
+        Entry &a = entries_[nextToAlloc_];
+        uint64_t earliest = std::max(a.addrReadyAt, lastAllocSlot_);
+        uint64_t slot = bankPorts_[bankOf(a.addr)].admit(earliest);
+        lastAllocSlot_ = slot;
+        uint64_t granted = slot + cfg_.allocLatency;
+        a.alloc = granted;
+        stats_.counter(ev::kLsqAlloc).inc();
+        if (a.isStore) {
+            // Stores probe the filter BEFORE inserting their own
+            // address (no self-hits) and CAM-check both queues on a
+            // probe hit, as in a conventional LSQ.
+            stats_.counter(ev::kLsqBloom).inc();
+            if (bloom_.mayContain(a.addr, a.size)) {
+                stats_.counter("lsq.bloomHits").inc();
+                stats_.counter(ev::kLsqCamStore).inc();
+            } else {
+                stats_.counter("lsq.bloomMisses").inc();
+            }
+            bloom_.insert(a.addr, a.size);
+        }
+        allocated.emplace_back(nextToAlloc_, granted);
+        ++nextToAlloc_;
+    }
+    return allocated;
+}
+
+LoadSearchResult
+OptLsq::loadSearch(uint32_t m, uint64_t cycle)
+{
+    Entry &e = entries_[m];
+    NACHOS_ASSERT(e.seen && !e.isStore, "loadSearch on non-load ", m);
+    NACHOS_ASSERT(e.alloc && cycle >= *e.alloc,
+                  "search before allocation");
+
+    LoadSearchResult result;
+    result.cycle = cycle + cfg_.searchLatency;
+
+    stats_.counter(ev::kLsqBloom).inc();
+    if (!bloom_.mayContain(e.addr, e.size)) {
+        stats_.counter("lsq.bloomMisses").inc();
+        result.kind = LoadSearchResult::Kind::ToCache;
+        return result;
+    }
+    stats_.counter("lsq.bloomHits").inc();
+    stats_.counter(ev::kLsqCamLoad).inc();
+
+    // CAM: youngest older in-flight store overlapping this load.
+    for (uint32_t i = m; i-- > 0;) {
+        const Entry &s = entries_[i];
+        if (!s.isStore || !s.seen || s.drained)
+            continue;
+        if (!overlaps(e, s))
+            continue;
+        if (s.addr == e.addr && s.size == e.size) {
+            stats_.counter(ev::kLsqForward).inc();
+            result.kind = LoadSearchResult::Kind::ForwardFrom;
+        } else {
+            result.kind = LoadSearchResult::Kind::WaitCommit;
+        }
+        result.store = i;
+        return result;
+    }
+    result.kind = LoadSearchResult::Kind::ToCache;
+    return result;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>>
+OptLsq::storeDataArrived(uint32_t m, uint64_t cycle)
+{
+    Entry &e = entries_[m];
+    NACHOS_ASSERT(e.seen && e.isStore,
+                  "storeDataArrived on non-store ", m);
+    NACHOS_ASSERT(e.alloc, "store data before allocation");
+    NACHOS_ASSERT(!e.dataReady, "store data arrived twice for ", m);
+    e.dataReady = std::max(cycle, *e.alloc);
+    return resumeCommits();
+}
+
+void
+OptLsq::loadPerformAt(uint32_t m, uint64_t cycle)
+{
+    Entry &e = entries_[m];
+    NACHOS_ASSERT(e.seen && !e.isStore, "loadPerformAt on non-load ", m);
+    NACHOS_ASSERT(!e.performAt && !e.elided, "load perform set twice");
+    e.performAt = cycle;
+}
+
+void
+OptLsq::loadElided(uint32_t m)
+{
+    Entry &e = entries_[m];
+    NACHOS_ASSERT(e.seen && !e.isStore, "loadElided on non-load ", m);
+    NACHOS_ASSERT(!e.performAt && !e.elided, "load perform set twice");
+    e.elided = true;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>>
+OptLsq::resumeCommits()
+{
+    // Address-partitioned in-order commit (Sethumadhavan et al. [34]):
+    // a store writes the cache only after every older store IN ITS
+    // BANK has committed (same-address stores always share a bank, so
+    // ST-ST program order holds) and after every older overlapping
+    // load has issued its cache read (anti-dependence), so loads never
+    // observe a younger store's value. Banks drain independently.
+    std::vector<std::pair<uint32_t, uint64_t>> committed;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (uint32_t m = 0; m < entries_.size(); ++m) {
+            Entry &s = entries_[m];
+            if (!s.isStore || !s.seen || !s.dataReady || s.commit)
+                continue;
+            const uint32_t bank = bankOf(s.addr);
+
+            uint64_t floor = *s.dataReady;
+            bool blocked = false;
+            for (uint32_t i = 0; i < m && !blocked; ++i) {
+                const Entry &e = entries_[i];
+                if (!e.seen) {
+                    // Older op not even address-resolved: with
+                    // in-order allocation this store cannot have
+                    // allocated either; defensive stop.
+                    blocked = true;
+                } else if (e.isStore) {
+                    if (bankOf(e.addr) != bank)
+                        continue;
+                    if (!e.commit)
+                        blocked = true;
+                    else
+                        floor = std::max(floor, *e.commit + 1);
+                } else if (!e.elided && overlaps(e, s)) {
+                    if (!e.performAt)
+                        blocked = true;
+                    else
+                        floor = std::max(floor, *e.performAt + 1);
+                }
+            }
+            if (blocked)
+                continue;
+
+            uint64_t commit = bankPorts_[bank].admit(floor);
+            s.commit = commit;
+            committed.emplace_back(m, commit);
+            progress = true;
+        }
+    }
+    return committed;
+}
+
+void
+OptLsq::storeDrained(uint32_t m)
+{
+    Entry &e = entries_[m];
+    NACHOS_ASSERT(e.isStore && e.commit && !e.drained,
+                  "bad storeDrained on op ", m);
+    e.drained = true;
+    bloom_.remove(e.addr, e.size);
+}
+
+void
+OptLsq::loadDone(uint32_t m)
+{
+    Entry &e = entries_[m];
+    NACHOS_ASSERT(e.seen && !e.isStore, "loadDone on non-load ", m);
+    e.done = true;
+}
+
+bool
+OptLsq::storeHasData(uint32_t m) const
+{
+    const Entry &e = entries_[m];
+    NACHOS_ASSERT(e.isStore, "storeHasData on non-store ", m);
+    return e.dataReady.has_value();
+}
+
+uint64_t
+OptLsq::storeDataCycle(uint32_t m) const
+{
+    const Entry &e = entries_[m];
+    NACHOS_ASSERT(e.isStore && e.dataReady, "store data not ready");
+    return *e.dataReady;
+}
+
+bool
+OptLsq::storeCommitted(uint32_t m) const
+{
+    const Entry &e = entries_[m];
+    NACHOS_ASSERT(e.isStore, "storeCommitted on non-store ", m);
+    return e.commit.has_value();
+}
+
+uint64_t
+OptLsq::storeCommitCycle(uint32_t m) const
+{
+    const Entry &e = entries_[m];
+    NACHOS_ASSERT(e.isStore && e.commit, "store not committed");
+    return *e.commit;
+}
+
+uint64_t
+OptLsq::allocCycle(uint32_t m) const
+{
+    const Entry &e = entries_[m];
+    NACHOS_ASSERT(e.alloc, "op ", m, " not allocated");
+    return *e.alloc;
+}
+
+bool
+OptLsq::allDrained() const
+{
+    for (const Entry &e : entries_) {
+        if (!e.seen)
+            return false;
+        if (e.isStore ? !e.drained : !e.done)
+            return false;
+    }
+    return true;
+}
+
+} // namespace nachos

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * MDE insertion: turn the enforced alias relations from the analysis
+ * pipeline into concrete memory dependence edges (paper §V, Figure 4).
+ */
+
+#ifndef NACHOS_MDE_INSERTER_HH
+#define NACHOS_MDE_INSERTER_HH
+
+#include "analysis/pipeline.hh"
+#include "mde/mde.hh"
+
+namespace nachos {
+
+/**
+ * Build the MDE set from a region's analyzed alias matrix.
+ *
+ * Mapping (paper §V):
+ *  - MUST(exact) ST->LD with matching footprint  -> FORWARD from the
+ *    youngest such store; any additional MUST store parents of the
+ *    same load become ORDER edges (a load forwards from at most one
+ *    store; uncommon multi-source cases fall back to ordering).
+ *  - other MUST (LD->ST, ST->ST, partial overlap) -> ORDER.
+ *  - MAY -> MAY edge.
+ * Only pairs the matrix marks `enforced` produce edges.
+ */
+MdeSet insertMdes(const Region &region, const AliasMatrix &matrix);
+
+} // namespace nachos
+
+#endif // NACHOS_MDE_INSERTER_HH

@@ -1,0 +1,129 @@
+#include "mde/mde.hh"
+
+#include <ostream>
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+const char *
+mdeKindName(MdeKind k)
+{
+    switch (k) {
+      case MdeKind::Order: return "ORDER";
+      case MdeKind::Forward: return "FORWARD";
+      case MdeKind::May: return "MAY";
+    }
+    return "?";
+}
+
+MdeSet::MdeSet(const Region &region)
+    : incoming_(region.numOps()), outgoing_(region.numOps())
+{}
+
+void
+MdeSet::add(OpId older, OpId younger, MdeKind kind)
+{
+    NACHOS_ASSERT(older < younger, "MDE must point older -> younger");
+    NACHOS_ASSERT(younger < incoming_.size(), "MDE op out of range");
+    uint32_t idx = static_cast<uint32_t>(edges_.size());
+    edges_.push_back({older, younger, kind});
+    incoming_[younger].push_back(idx);
+    outgoing_[older].push_back(idx);
+}
+
+const std::vector<uint32_t> &
+MdeSet::incoming(OpId op) const
+{
+    NACHOS_ASSERT(op < incoming_.size(), "op out of range");
+    return incoming_[op];
+}
+
+const std::vector<uint32_t> &
+MdeSet::outgoing(OpId op) const
+{
+    NACHOS_ASSERT(op < outgoing_.size(), "op out of range");
+    return outgoing_[op];
+}
+
+const Mde &
+MdeSet::edge(uint32_t idx) const
+{
+    NACHOS_ASSERT(idx < edges_.size(), "edge index out of range");
+    return edges_[idx];
+}
+
+bool
+MdeSet::hasForwardSource(OpId load) const
+{
+    for (uint32_t idx : incoming(load)) {
+        if (edges_[idx].kind == MdeKind::Forward)
+            return true;
+    }
+    return false;
+}
+
+OpId
+MdeSet::forwardSource(OpId load) const
+{
+    for (uint32_t idx : incoming(load)) {
+        if (edges_[idx].kind == MdeKind::Forward)
+            return edges_[idx].older;
+    }
+    NACHOS_PANIC("load ", load, " has no FORWARD edge");
+}
+
+MdeCounts
+MdeSet::counts() const
+{
+    MdeCounts c;
+    for (const auto &e : edges_) {
+        switch (e.kind) {
+          case MdeKind::Order: ++c.order; break;
+          case MdeKind::Forward: ++c.forward; break;
+          case MdeKind::May: ++c.may; break;
+        }
+    }
+    return c;
+}
+
+std::vector<uint32_t>
+MdeSet::mayFanIns(const Region &region) const
+{
+    std::vector<uint32_t> fanins;
+    fanins.reserve(region.memOps().size());
+    for (OpId op : region.memOps()) {
+        uint32_t k = 0;
+        for (uint32_t idx : incoming(op))
+            k += edges_[idx].kind == MdeKind::May ? 1 : 0;
+        fanins.push_back(k);
+    }
+    return fanins;
+}
+
+void
+dumpDotWithMdes(const Region &region, const MdeSet &mdes,
+                std::ostream &os)
+{
+    os << "digraph \"" << region.name() << "_mde\" {\n";
+    os << "  rankdir=TB;\n  node [shape=box];\n";
+    for (const auto &o : region.ops()) {
+        os << "  n" << o.id << " [label=\"" << o.id << ": "
+           << opKindName(o.kind) << "\"];\n";
+    }
+    for (const auto &o : region.ops()) {
+        for (OpId src : o.operands)
+            os << "  n" << src << " -> n" << o.id << ";\n";
+    }
+    for (const auto &e : mdes.edges()) {
+        const char *color = e.kind == MdeKind::Order    ? "blue"
+                            : e.kind == MdeKind::Forward ? "green"
+                                                         : "red";
+        os << "  n" << e.older << " -> n" << e.younger
+           << " [style=dashed, color=" << color << ", label=\""
+           << mdeKindName(e.kind) << "\"];\n";
+    }
+    os << "}\n";
+}
+
+} // namespace nachos

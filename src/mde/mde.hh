@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Memory Dependence Edges (MDEs): the compiler's encoding of the
+ * orderings the accelerator must enforce.
+ *
+ *   ORDER   — 1-bit ready token between a MUST-aliasing LD->ST or
+ *             ST->ST pair; the younger op waits for the older one.
+ *   FORWARD — 64-bit value edge between an exactly-MUST-aliasing
+ *             ST->LD pair; the memory dependence becomes a data
+ *             dependence and the load elides its cache access.
+ *   MAY     — compiler-uncertain pair. NACHOS-SW serializes it like
+ *             ORDER; NACHOS checks the two addresses at run time at
+ *             the younger op's comparator station.
+ */
+
+#ifndef NACHOS_MDE_MDE_HH
+#define NACHOS_MDE_MDE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ir/dfg.hh"
+
+namespace nachos {
+
+/** Kind of a memory dependence edge. */
+enum class MdeKind : uint8_t { Order, Forward, May };
+
+/** Printable name. */
+const char *mdeKindName(MdeKind k);
+
+/** One directed MDE from an older to a younger memory operation. */
+struct Mde
+{
+    OpId older = 0;
+    OpId younger = 0;
+    MdeKind kind = MdeKind::Order;
+};
+
+/** Per-kind edge counts. */
+struct MdeCounts
+{
+    uint64_t order = 0;
+    uint64_t forward = 0;
+    uint64_t may = 0;
+
+    uint64_t total() const { return order + forward + may; }
+};
+
+/**
+ * The set of MDEs for a region, with per-younger-op indexing used by
+ * the simulator backends.
+ */
+class MdeSet
+{
+  public:
+    MdeSet() = default;
+
+    /** Create an empty set for a region. */
+    explicit MdeSet(const Region &region);
+
+    void add(OpId older, OpId younger, MdeKind kind);
+
+    const std::vector<Mde> &edges() const { return edges_; }
+
+    /** Edges whose younger endpoint is `op` (incoming dependences). */
+    const std::vector<uint32_t> &incoming(OpId op) const;
+
+    /** Edges whose older endpoint is `op` (ops waiting on it). */
+    const std::vector<uint32_t> &outgoing(OpId op) const;
+
+    const Mde &edge(uint32_t idx) const;
+
+    /**
+     * The forwarding source of a load, if any: the older store of its
+     * unique FORWARD edge.
+     */
+    bool hasForwardSource(OpId load) const;
+    OpId forwardSource(OpId load) const;
+
+    MdeCounts counts() const;
+
+    /** Number of MAY-alias parents of each memory op (Figure 14). */
+    std::vector<uint32_t> mayFanIns(const Region &region) const;
+
+    size_t size() const { return edges_.size(); }
+
+  private:
+    std::vector<Mde> edges_;
+    std::vector<std::vector<uint32_t>> incoming_;
+    std::vector<std::vector<uint32_t>> outgoing_;
+};
+
+/** DOT dump of a region with MDEs drawn as dashed colored edges. */
+void dumpDotWithMdes(const Region &region, const MdeSet &mdes,
+                     std::ostream &os);
+
+} // namespace nachos
+
+#endif // NACHOS_MDE_MDE_HH

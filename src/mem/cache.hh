@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Timing model of a non-blocking set-associative cache.
+ *
+ * The model is a stateful latency oracle: each access() returns the
+ * completion cycle, after accounting for port bandwidth, tag lookup,
+ * MSHR allocation/merging and the next level's latency. Writebacks are
+ * counted (for energy) but modeled off the critical path, as in the
+ * paper's aggressive non-blocking interface. Requests may arrive
+ * slightly out of cycle order (e.g., writebacks issued at fill time);
+ * bandwidth is modeled as a monotone single-server queue, which keeps
+ * the model deterministic regardless.
+ */
+
+#ifndef NACHOS_MEM_CACHE_HH
+#define NACHOS_MEM_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/stats.hh"
+
+namespace nachos {
+
+/**
+ * Admits at most `perCycle` requests per cycle; a request asking for
+ * cycle c is granted the earliest cycle >= c with a free slot.
+ */
+class BandwidthRegulator
+{
+  public:
+    explicit BandwidthRegulator(uint32_t per_cycle)
+        : perCycle_(per_cycle)
+    {}
+
+    uint64_t
+    admit(uint64_t cycle)
+    {
+        uint64_t want = cycle * perCycle_;
+        if (slot_ < want)
+            slot_ = want;
+        uint64_t granted = slot_ / perCycle_;
+        ++slot_;
+        return granted;
+    }
+
+    void reset() { slot_ = 0; }
+
+  private:
+    uint32_t perCycle_;
+    uint64_t slot_ = 0;
+};
+
+/** Timing sink under a cache (next level or DRAM). */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Issue a request at `cycle`; returns completion cycle.
+     * @param addr   byte address
+     * @param write  true for writes/writebacks
+     * @param cycle  requested issue cycle
+     */
+    virtual uint64_t access(uint64_t addr, bool write, uint64_t cycle)
+        = 0;
+};
+
+/** Configuration of one cache level. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 64 * 1024;
+    uint32_t assoc = 4;
+    uint32_t lineBytes = 64;
+    uint32_t hitLatency = 3;
+    uint32_t numMshrs = 16;
+    /** Requests accepted per cycle. */
+    uint32_t ports = 2;
+    const char *name = "cache";
+    /** Fetch line L+1 on a demand miss to line L (off the critical
+     * path; counted as <name>.prefetches). */
+    bool nextLinePrefetch = false;
+};
+
+/** Fixed-latency DRAM with a simple per-request issue bandwidth. */
+class MainMemory : public MemLevel
+{
+  public:
+    explicit MainMemory(uint32_t latency = 200,
+                        uint32_t requests_per_cycle = 4)
+        : latency_(latency), bw_(requests_per_cycle)
+    {}
+
+    uint64_t access(uint64_t addr, bool write, uint64_t cycle) override;
+
+    uint64_t totalAccesses() const { return accesses_; }
+
+    void
+    reset()
+    {
+        bw_.reset();
+        accesses_ = 0;
+    }
+
+  private:
+    uint32_t latency_;
+    BandwidthRegulator bw_;
+    uint64_t accesses_ = 0;
+};
+
+/** One set-associative, write-back, write-allocate cache level. */
+class Cache : public MemLevel
+{
+  public:
+    Cache(const CacheConfig &cfg, MemLevel &next, StatSet &stats);
+
+    uint64_t access(uint64_t addr, bool write, uint64_t cycle) override;
+
+    /** Would this address hit right now? (no state change) */
+    bool probe(uint64_t addr) const;
+
+    /** Drop all lines and in-flight state (between experiments). */
+    void reset();
+
+    const CacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lastUse = 0;
+    };
+
+    CacheConfig cfg_;
+    MemLevel &next_;
+    StatSet &stats_;
+    std::vector<Way> ways_; // sets * assoc, row-major
+    uint32_t numSets_;
+    /** In-flight line fills: lineAddr -> data-ready cycle. */
+    std::unordered_map<uint64_t, uint64_t> pendingFills_;
+    /** MSHR occupancy: per-entry free-at cycle. */
+    std::vector<uint64_t> mshrFreeAt_;
+    BandwidthRegulator bw_;
+    uint64_t useClock_ = 0;
+
+    uint64_t lineOf(uint64_t addr) const { return addr / cfg_.lineBytes; }
+    uint32_t setOf(uint64_t line) const
+    {
+        return static_cast<uint32_t>(line % numSets_);
+    }
+    Way *findWay(uint64_t line);
+    const Way *findWay(uint64_t line) const;
+    Way &victimWay(uint64_t line);
+};
+
+} // namespace nachos
+
+#endif // NACHOS_MEM_CACHE_HH

@@ -1,0 +1,52 @@
+#include "mem/functional_memory.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+uint8_t
+FunctionalMemory::backgroundByte(uint64_t addr)
+{
+    uint64_t z = addr + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<uint8_t>(z ^ (z >> 31));
+}
+
+int64_t
+FunctionalMemory::read(uint64_t addr, uint32_t size) const
+{
+    NACHOS_ASSERT(size >= 1 && size <= 8, "read size 1..8");
+    uint64_t v = 0;
+    for (uint32_t i = 0; i < size; ++i) {
+        auto it = bytes_.find(addr + i);
+        uint8_t byte =
+            it == bytes_.end() ? backgroundByte(addr + i) : it->second;
+        v |= static_cast<uint64_t>(byte) << (8 * i);
+    }
+    // Sign extension is unnecessary for ordering validation; values are
+    // compared bit-for-bit.
+    return static_cast<int64_t>(v);
+}
+
+void
+FunctionalMemory::write(uint64_t addr, uint32_t size, int64_t value)
+{
+    NACHOS_ASSERT(size >= 1 && size <= 8, "write size 1..8");
+    uint64_t v = static_cast<uint64_t>(value);
+    for (uint32_t i = 0; i < size; ++i)
+        bytes_[addr + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+std::vector<std::pair<uint64_t, uint8_t>>
+FunctionalMemory::image() const
+{
+    std::vector<std::pair<uint64_t, uint8_t>> out(bytes_.begin(),
+                                                  bytes_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace nachos

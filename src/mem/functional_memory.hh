@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Functional (value) memory, separated from the timing model. All
+ * three ordering backends operate on identical functional state, so a
+ * divergence in final memory image or load values between backends is
+ * direct evidence of a memory-ordering violation.
+ */
+
+#ifndef NACHOS_MEM_FUNCTIONAL_MEMORY_HH
+#define NACHOS_MEM_FUNCTIONAL_MEMORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace nachos {
+
+/**
+ * Sparse byte-addressable memory. Untouched bytes read as a
+ * deterministic hash of their address, so loads observe reproducible
+ * non-zero data without pre-initialization.
+ */
+class FunctionalMemory
+{
+  public:
+    /** Read `size` bytes (1..8) little-endian. */
+    int64_t read(uint64_t addr, uint32_t size) const;
+
+    /** Write the low `size` bytes (1..8) of `value` little-endian. */
+    void write(uint64_t addr, uint32_t size, int64_t value);
+
+    /** Forget all written state. */
+    void reset() { bytes_.clear(); }
+
+    /** Number of distinct bytes written so far. */
+    size_t footprint() const { return bytes_.size(); }
+
+    /**
+     * Snapshot of all written bytes, sorted by address — used to
+     * compare final memory images across backends.
+     */
+    std::vector<std::pair<uint64_t, uint8_t>> image() const;
+
+    /** The deterministic background value of an unwritten byte. */
+    static uint8_t backgroundByte(uint64_t addr);
+
+  private:
+    std::unordered_map<uint64_t, uint8_t> bytes_;
+};
+
+} // namespace nachos
+
+#endif // NACHOS_MEM_FUNCTIONAL_MEMORY_HH

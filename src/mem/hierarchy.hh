@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The accelerator-side memory hierarchy from the paper's Figure 3:
+ * private L1 (64 KiB, 4-way, 3 cycles) -> shared LLC (4 MiB, 16-way,
+ * 25 cycles) -> DRAM (200 cycles), plus the 1-cycle scratchpad that
+ * serves compiler-localized accesses.
+ */
+
+#ifndef NACHOS_MEM_HIERARCHY_HH
+#define NACHOS_MEM_HIERARCHY_HH
+
+#include <memory>
+
+#include "mem/cache.hh"
+#include "mem/functional_memory.hh"
+#include "mem/scratchpad.hh"
+#include "support/stats.hh"
+
+namespace nachos {
+
+/** Hierarchy-wide configuration (paper Figure 3 defaults). */
+struct HierarchyConfig
+{
+    CacheConfig l1{64 * 1024, 4, 64, 3, 16, 4, "l1"};
+    CacheConfig llc{4 * 1024 * 1024, 16, 64, 25, 32, 4, "llc"};
+    uint32_t dramLatency = 200;
+    uint32_t dramRequestsPerCycle = 4;
+    uint32_t scratchpadLatency = 1;
+};
+
+/**
+ * Owns the timing levels and the functional store. Memory operations
+ * from the CGRA go through timedAccess(); the functional value motion
+ * is performed separately by the simulator at well-defined points so
+ * ordering bugs surface as value mismatches.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &cfg, StatSet &stats);
+
+    /** Issue a timed access to L1; returns completion cycle. */
+    uint64_t timedAccess(uint64_t addr, bool write, uint64_t cycle);
+
+    /** Timed scratchpad access; returns completion cycle. */
+    uint64_t scratchpadAccess(uint64_t addr, bool write, uint64_t cycle);
+
+    /** Would `addr` hit in the L1 right now? */
+    bool l1Probe(uint64_t addr) const { return l1_->probe(addr); }
+
+    FunctionalMemory &data() { return data_; }
+    const FunctionalMemory &data() const { return data_; }
+
+    /** Reset timing state and functional contents. */
+    void reset();
+
+    const HierarchyConfig &config() const { return cfg_; }
+
+  private:
+    HierarchyConfig cfg_;
+    StatSet &stats_;
+    MainMemory dram_;
+    std::unique_ptr<Cache> llc_;
+    std::unique_ptr<Cache> l1_;
+    Scratchpad scratchpad_;
+    FunctionalMemory data_;
+};
+
+} // namespace nachos
+
+#endif // NACHOS_MEM_HIERARCHY_HH

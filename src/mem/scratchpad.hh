@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Software-managed scratchpad for compiler-localized data (paper §III:
+ * stack variables and region-private globals are promoted and need no
+ * disambiguation).
+ */
+
+#ifndef NACHOS_MEM_SCRATCHPAD_HH
+#define NACHOS_MEM_SCRATCHPAD_HH
+
+#include <cstdint>
+
+#include "support/stats.hh"
+
+namespace nachos {
+
+/** Fixed-latency, high-bandwidth local store. */
+class Scratchpad
+{
+  public:
+    Scratchpad(uint32_t latency, uint32_t ports, StatSet &stats);
+
+    /** Timed access; returns completion cycle. */
+    uint64_t access(uint64_t addr, bool write, uint64_t cycle);
+
+    void reset();
+
+  private:
+    uint32_t latency_;
+    StatSet &stats_;
+    // Banked: bandwidth is rarely the bottleneck; model generously.
+    uint64_t slot_ = 0;
+    uint32_t ports_;
+};
+
+} // namespace nachos
+
+#endif // NACHOS_MEM_SCRATCHPAD_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dense fixed-size bit vector with fast union, used by the Stage-3
+ * reachability pass (per-node reachable-set propagation over the DFG).
+ */
+
+#ifndef NACHOS_SUPPORT_BITVECTOR_HH
+#define NACHOS_SUPPORT_BITVECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+/** Fixed-width bitset sized at run time (std::bitset needs a constant). */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    explicit BitVector(size_t bits)
+        : bits_(bits), words_((bits + 63) / 64, 0)
+    {}
+
+    size_t size() const { return bits_; }
+
+    void
+    set(size_t i)
+    {
+        NACHOS_ASSERT(i < bits_, "BitVector::set out of range");
+        words_[i >> 6] |= (uint64_t{1} << (i & 63));
+    }
+
+    bool
+    test(size_t i) const
+    {
+        NACHOS_ASSERT(i < bits_, "BitVector::test out of range");
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** this |= other; returns true if any bit changed. */
+    bool
+    unionWith(const BitVector &other)
+    {
+        NACHOS_ASSERT(bits_ == other.bits_, "BitVector size mismatch");
+        bool changed = false;
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t merged = words_[w] | other.words_[w];
+            changed |= (merged != words_[w]);
+            words_[w] = merged;
+        }
+        return changed;
+    }
+
+    /** Number of set bits. */
+    size_t
+    count() const
+    {
+        size_t n = 0;
+        for (uint64_t w : words_)
+            n += static_cast<size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    void
+    clearAll()
+    {
+        for (auto &w : words_)
+            w = 0;
+    }
+
+  private:
+    size_t bits_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace nachos
+
+#endif // NACHOS_SUPPORT_BITVECTOR_HH

@@ -1,0 +1,61 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+#include <iostream>
+
+namespace nachos {
+
+namespace {
+
+bool quietFlag = false;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+namespace detail {
+
+void
+log(LogLevel level, const std::string &msg)
+{
+    if (quietFlag)
+        return;
+    std::cerr << levelName(level) << ": " << msg << "\n";
+}
+
+void
+logAndDie(LogLevel level, const std::string &msg, const char *file,
+          int line)
+{
+    std::cerr << levelName(level) << ": " << msg << " @ " << file << ":"
+              << line << "\n";
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace nachos

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Status and error reporting helpers in the spirit of gem5's
+ * base/logging.hh. panic() flags internal simulator bugs and aborts;
+ * fatal() flags user/configuration errors and exits cleanly; warn() and
+ * inform() report conditions without stopping the run.
+ */
+
+#ifndef NACHOS_SUPPORT_LOGGING_HH
+#define NACHOS_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace nachos {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Emit one formatted message; terminates for Fatal and Panic. */
+[[noreturn]] void logAndDie(LogLevel level, const std::string &msg,
+                            const char *file, int line);
+void log(LogLevel level, const std::string &msg);
+
+/** Fold a parameter pack into a string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation (a NACHOS bug) and abort.
+ * Mirrors gem5's panic(): never use it for conditions a user can cause.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *file, int line, Args &&...args)
+{
+    detail::logAndDie(LogLevel::Panic,
+                      detail::concat(std::forward<Args>(args)...), file,
+                      line);
+}
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *file, int line, Args &&...args)
+{
+    detail::logAndDie(LogLevel::Fatal,
+                      detail::concat(std::forward<Args>(args)...), file,
+                      line);
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::log(LogLevel::Warn,
+                detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::log(LogLevel::Inform,
+                detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally silence inform()/warn() output (used by benches). */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+} // namespace nachos
+
+#define NACHOS_PANIC(...) ::nachos::panic(__FILE__, __LINE__, __VA_ARGS__)
+#define NACHOS_FATAL(...) ::nachos::fatal(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert a simulator invariant; compiled in all build types. */
+#define NACHOS_ASSERT(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            NACHOS_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__);    \
+        }                                                                   \
+    } while (0)
+
+#endif // NACHOS_SUPPORT_LOGGING_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. Every stochastic choice
+ * in NACHOS (workload synthesis, address streams) draws from an Rng
+ * seeded explicitly so that experiments are exactly reproducible.
+ */
+
+#ifndef NACHOS_SUPPORT_RANDOM_HH
+#define NACHOS_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+
+namespace nachos {
+
+/**
+ * xoshiro256** generator. Small, fast, and fully deterministic across
+ * platforms (unlike std::default_random_engine distributions).
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace nachos
+
+#endif // NACHOS_SUPPORT_RANDOM_HH

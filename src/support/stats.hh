@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Lightweight named-statistics registry used by the simulator, the
+ * memory hierarchy, and the energy model. A StatSet owns a flat map of
+ * counters; components register scalar counters by name and bump them as
+ * events occur, mirroring gem5's stats package at a small scale.
+ */
+
+#ifndef NACHOS_SUPPORT_STATS_HH
+#define NACHOS_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nachos {
+
+/** A single scalar event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * A registry of named counters. Names are hierarchical by convention
+ * ("l1.hits", "lsq.camSearches"). Lookup creates the counter on first
+ * use so call sites stay terse.
+ */
+class StatSet
+{
+  public:
+    /** Get (creating if needed) the counter with the given name. */
+    Counter &counter(const std::string &name);
+
+    /** Read a counter's value; zero if it was never touched. */
+    uint64_t get(const std::string &name) const;
+
+    /** Reset every counter to zero. */
+    void resetAll();
+
+    /** Snapshot of all (name, value) pairs in name order. */
+    std::vector<std::pair<std::string, uint64_t>> dump() const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+};
+
+/**
+ * Streaming histogram with fixed integral buckets, used for fan-in and
+ * MLP distributions.
+ */
+class Histogram
+{
+  public:
+    /** @param max_bucket values >= max_bucket land in the overflow bin */
+    explicit Histogram(uint64_t max_bucket = 64);
+
+    void sample(uint64_t value, uint64_t weight = 1);
+
+    uint64_t total() const { return total_; }
+    uint64_t bucket(uint64_t idx) const;
+    uint64_t overflow() const { return overflow_; }
+    uint64_t maxBucket() const { return buckets_.size(); }
+
+    /** Mean of all samples. */
+    double mean() const;
+
+    /** Fraction of samples with value <= v. */
+    double cumulativeAt(uint64_t v) const;
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+    uint64_t weightedSum_ = 0;
+};
+
+} // namespace nachos
+
+#endif // NACHOS_SUPPORT_STATS_HH

@@ -1,0 +1,109 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace nachos {
+
+namespace {
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+    if (i == cell.size())
+        return false;
+    for (; i < cell.size(); ++i) {
+        char c = cell[i];
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '%' && c != 'x' && c != 'e' && c != '-') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &r, bool align_num) {
+        for (size_t i = 0; i < cols; ++i) {
+            const std::string cell = i < r.size() ? r[i] : "";
+            const bool right = align_num && looksNumeric(cell);
+            os << (i ? "  " : "");
+            if (right)
+                os << std::setw(static_cast<int>(width[i])) << cell;
+            else {
+                os << cell
+                   << std::string(width[i] - cell.size(), ' ');
+            }
+        }
+        os << "\n";
+    };
+
+    if (!header_.empty()) {
+        emit(header_, false);
+        size_t total = 0;
+        for (size_t i = 0; i < cols; ++i)
+            total += width[i] + (i ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r, true);
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+fmtPct(double fraction, int precision)
+{
+    return fmtDouble(fraction * 100.0, precision) + "%";
+}
+
+} // namespace nachos

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text aligned table printer used by the bench harness to emit
+ * paper-style tables and figure data series.
+ */
+
+#ifndef NACHOS_SUPPORT_TABLE_HH
+#define NACHOS_SUPPORT_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nachos {
+
+/**
+ * Column-aligned ASCII table. Columns are sized to the widest cell;
+ * numeric-looking cells are right-aligned, text left-aligned.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to a stream with a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string fmtDouble(double v, int precision = 1);
+
+/** Format a percentage ("12.3%"). */
+std::string fmtPct(double fraction, int precision = 1);
+
+} // namespace nachos
+
+#endif // NACHOS_SUPPORT_TABLE_HH

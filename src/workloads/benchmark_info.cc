@@ -1,0 +1,52 @@
+#include "workloads/benchmark_info.hh"
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+const char *
+suiteName(Suite s)
+{
+    switch (s) {
+      case Suite::Spec2000: return "SPEC2000";
+      case Suite::Spec2006: return "SPEC2006";
+      case Suite::Parsec: return "PARSEC";
+    }
+    return "?";
+}
+
+const char *
+bloomClassName(BloomClass c)
+{
+    switch (c) {
+      case BloomClass::Zero: return "0";
+      case BloomClass::Low: return "0-10";
+      case BloomClass::Mid: return "10-20";
+      case BloomClass::High: return "20+";
+    }
+    return "?";
+}
+
+const char *
+fanInClassName(FanInClass c)
+{
+    switch (c) {
+      case FanInClass::None: return "none";
+      case FanInClass::Low: return "low";
+      case FanInClass::Moderate: return "moderate";
+      case FanInClass::High: return "high";
+    }
+    return "?";
+}
+
+const BenchmarkInfo &
+benchmarkByName(const std::string &short_name)
+{
+    for (const BenchmarkInfo &info : benchmarkSuite()) {
+        if (info.shortName == short_name)
+            return info;
+    }
+    NACHOS_FATAL("unknown benchmark '", short_name, "'");
+}
+
+} // namespace nachos

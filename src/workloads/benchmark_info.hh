@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Descriptors of the paper's 27 acceleration workloads (Table II plus
+ * per-figure characteristics). SPEC2000/2006 and PARSEC sources are
+ * not redistributable, so the suite is regenerated synthetically: each
+ * descriptor carries the published static characteristics and the
+ * RegionSynthesizer builds an offload region that reproduces them —
+ * the alias stages then run for real on that region (no label is ever
+ * looked up from this table).
+ *
+ * Values marked in table2_data.cc with OCR ambiguity are documented in
+ * EXPERIMENTS.md.
+ */
+
+#ifndef NACHOS_WORKLOADS_BENCHMARK_INFO_HH
+#define NACHOS_WORKLOADS_BENCHMARK_INFO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nachos {
+
+/** Benchmark suite of origin. */
+enum class Suite : uint8_t { Spec2000, Spec2006, Parsec };
+
+const char *suiteName(Suite s);
+
+/** Bloom-filter hit-rate bucket reported in Figure 18's table. */
+enum class BloomClass : uint8_t { Zero, Low, Mid, High };
+
+const char *bloomClassName(BloomClass c);
+
+/** MAY fan-in character from Figure 14. */
+enum class FanInClass : uint8_t {
+    None,     ///< no MAY parents at all (9 workloads)
+    Low,      ///< median < 1 MAY parent (11 workloads)
+    Moderate, ///< a few ops with 2+ parents
+    High,     ///< few ops with very many parents (bzip2, sar-pfa, ...)
+};
+
+const char *fanInClassName(FanInClass c);
+
+/** Everything the synthesizer and the benches need per workload. */
+struct BenchmarkInfo
+{
+    std::string name;      ///< e.g. "401.bzip2"
+    std::string shortName; ///< e.g. "bzip2"
+    Suite suite = Suite::Spec2000;
+
+    // ---- Table II ----------------------------------------------------
+    uint32_t ops = 0;     ///< C1: static ops in the dataflow graph
+    uint32_t memOps = 0;  ///< C2: disambiguated memory ops
+    uint32_t mlp = 0;     ///< C3: memory-level parallelism
+    uint32_t stStDeps = 0; ///< C4: ST-ST dependencies
+    uint32_t stLdDeps = 0; ///< C4: ST-LD dependencies
+    uint32_t ldStDeps = 0; ///< C4: LD-ST dependencies
+    double localPct = 0;   ///< C5: % of memory ops promoted to scratch
+
+    // ---- composition knobs (from Figures 6/7/9/14/16 and §VIII) ------
+    /** Fraction of memory ops that are stores. */
+    double storeFraction = 0.3;
+    /** Fraction of compute ops that are floating point. */
+    double fpFraction = 0.0;
+    /**
+     * Dataflow critical path as a fraction of total ops (povray: 95 of
+     * 223 ops, §VI); controls how serial the compute filler is.
+     */
+    double criticalPathFrac = 0.2;
+    /** Fractions of the free (non-MUST-group) memory ops per family. */
+    double famNoFrac = 1.0;     ///< provably independent at Stage 1
+    double famStage2Frac = 0.0; ///< MAY until inter-procedural Stage 2
+    double famStage4Frac = 0.0; ///< MAY until polyhedral Stage 4
+    double famOpaqueFrac = 0.0; ///< MAY forever (data-dependent)
+
+    // ---- dynamic behavior ---------------------------------------------
+    /** Fraction of opaque-family accesses kept cache-hot. */
+    double l1HitTarget = 0.9;
+    /**
+     * Chain the NO-family loads (each address waits on the previous
+     * load): pointer-walk-style regions whose load-to-use latency is
+     * on the critical path — the workloads the paper reports speeding
+     * up 8-62% over OPT-LSQ under NACHOS-SW (§VI).
+     */
+    bool chainedLoads = false;
+    /** Stage-4 family uses a 3-D lattice (lbm) instead of a 2-D grid. */
+    bool lattice3d = false;
+    BloomClass bloomClass = BloomClass::Zero;
+    FanInClass fanInClass = FanInClass::None;
+    /** Region invocations to simulate (scaled for run time). */
+    uint32_t invocations = 200;
+    /** §IV-A: parent-context memory ops for the scope-growth study. */
+    uint32_t parentContextOps = 0;
+
+    /** Does any MAY remain after the full pipeline? */
+    bool
+    expectResidualMay() const
+    {
+        return famOpaqueFrac > 0.0;
+    }
+};
+
+/** The full 27-benchmark suite in paper order. */
+const std::vector<BenchmarkInfo> &benchmarkSuite();
+
+/** Look a benchmark up by short name; panics if absent. */
+const BenchmarkInfo &benchmarkByName(const std::string &short_name);
+
+} // namespace nachos
+
+#endif // NACHOS_WORKLOADS_BENCHMARK_INFO_HH

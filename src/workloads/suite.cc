@@ -1,0 +1,31 @@
+#include "workloads/suite.hh"
+
+namespace nachos {
+
+std::vector<SuiteRegion>
+buildSuitePaths(uint32_t path_index, uint64_t seed)
+{
+    std::vector<SuiteRegion> out;
+    for (const BenchmarkInfo &info : benchmarkSuite()) {
+        SynthesisOptions opts;
+        opts.pathIndex = path_index;
+        opts.seed = seed;
+        out.push_back(
+            {&info, path_index, synthesizeRegion(info, opts)});
+    }
+    return out;
+}
+
+std::vector<SuiteRegion>
+buildFullSuite(uint64_t seed)
+{
+    std::vector<SuiteRegion> out;
+    for (uint32_t path = 0; path < 5; ++path) {
+        auto batch = buildSuitePaths(path, seed);
+        for (auto &entry : batch)
+            out.push_back(std::move(entry));
+    }
+    return out;
+}
+
+} // namespace nachos

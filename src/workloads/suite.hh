@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Suite-level helpers: enumerate the 135 synthesized acceleration
+ * regions (27 workloads x top-5 paths) the paper studies.
+ */
+
+#ifndef NACHOS_WORKLOADS_SUITE_HH
+#define NACHOS_WORKLOADS_SUITE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/benchmark_info.hh"
+#include "workloads/synthesizer.hh"
+
+namespace nachos {
+
+/** A synthesized region with its provenance. */
+struct SuiteRegion
+{
+    const BenchmarkInfo *info = nullptr;
+    uint32_t pathIndex = 0;
+    Region region;
+};
+
+/** Build path `path_index` of every workload. */
+std::vector<SuiteRegion> buildSuitePaths(uint32_t path_index,
+                                         uint64_t seed = 1);
+
+/** Build all 135 regions (paths 0..4 of every workload). */
+std::vector<SuiteRegion> buildFullSuite(uint64_t seed = 1);
+
+} // namespace nachos
+
+#endif // NACHOS_WORKLOADS_SUITE_HH

@@ -1,0 +1,606 @@
+#include "workloads/synthesizer.hh"
+
+#include <algorithm>
+#include <optional>
+#include <cmath>
+#include <vector>
+
+#include "ir/builder.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace nachos {
+
+namespace {
+
+/** What a planned memory op belongs to. */
+enum class Family : uint8_t { Cluster, No, Stage2, Stage4, Opaque };
+
+struct PlannedMemOp
+{
+    Family family = Family::No;
+    bool isStore = false;
+    uint32_t familyIdx = 0; ///< index within its family
+    bool hot = true;        ///< locality knob
+    uint32_t opqGroup = 0;  ///< opaque table this op gathers from
+};
+
+/**
+ * Compose the MUST cluster: a same-address op sequence sized so its
+ * pairwise ST-ST and mixed (ST-LD + LD-ST) dependence counts reach the
+ * Table II targets, capped at half the memory budget.
+ */
+std::vector<bool>
+planCluster(uint32_t st_st, uint32_t mixed, uint32_t mem_budget)
+{
+    std::vector<bool> seq; // true = store
+    if (st_st + mixed == 0)
+        return seq;
+    const uint32_t cap =
+        std::max<uint32_t>(2, std::min<uint32_t>(mem_budget / 2, 24));
+    uint32_t c_stst = 0, c_mixed = 0, stores = 0, loads = 0;
+    while (seq.size() < cap && (c_stst < st_st || c_mixed < mixed)) {
+        if (c_stst < st_st ||
+            (c_mixed < mixed && stores <= loads)) {
+            c_stst += stores;
+            c_mixed += loads;
+            seq.push_back(true);
+            ++stores;
+        } else {
+            c_mixed += stores;
+            seq.push_back(false);
+            ++loads;
+        }
+    }
+    // Pairwise dependence counts depend only on the ST/LD multiset,
+    // so reorder load-first/alternating: the loads then feed the
+    // accumulate stores (LD -> ST data chains Stage 3 works through).
+    std::vector<bool> ordered;
+    uint32_t remaining_loads = loads, remaining_stores = stores;
+    while (remaining_loads + remaining_stores > 0) {
+        if (remaining_loads > 0) {
+            ordered.push_back(false);
+            --remaining_loads;
+        }
+        if (remaining_stores > 0) {
+            ordered.push_back(true);
+            --remaining_stores;
+        }
+    }
+    return ordered;
+}
+
+uint64_t
+mixSeed(const std::string &name, uint64_t seed, uint32_t path)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name)
+        h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ULL;
+    return h ^ (seed * 0x9e3779b97f4a7c15ULL) ^ (path * 0x85ebca6bULL);
+}
+
+/** Shared synthesis core; optionally appends parent-context ops. */
+Region
+synthesizeImpl(const BenchmarkInfo &info, const SynthesisOptions &opts,
+               uint32_t parent_ops)
+{
+    const double scale = pathScale(opts.pathIndex);
+    Rng rng(mixSeed(info.shortName, opts.seed, opts.pathIndex));
+    RegionBuilder b(info.shortName + ".p" +
+                    std::to_string(opts.pathIndex));
+
+    const auto scaled = [scale](uint32_t v) {
+        return static_cast<uint32_t>(std::lround(v * scale));
+    };
+    const uint32_t n_ops = std::max<uint32_t>(scaled(info.ops), 4);
+    uint32_t n_mem = info.memOps == 0 ? 0
+                                      : std::max<uint32_t>(
+                                            scaled(info.memOps), 2);
+    const uint32_t invocations = info.invocations + 8;
+
+    // ---- plan the memory ops -----------------------------------------
+    std::vector<bool> cluster = planCluster(
+        scaled(info.stStDeps),
+        scaled(info.stLdDeps) + scaled(info.ldStDeps), n_mem);
+    if (cluster.size() > n_mem)
+        cluster.clear(); // degenerate: too few mem ops for deps
+
+    const bool has_opaque = info.famOpaqueFrac > 0.0 && n_mem > 0;
+    uint32_t free_budget = n_mem - static_cast<uint32_t>(cluster.size());
+    if (has_opaque && free_budget > 0)
+        --free_budget; // the shared index load
+
+    auto take = [&](double frac) {
+        return static_cast<uint32_t>(std::lround(frac * free_budget));
+    };
+    uint32_t k_opq = take(info.famOpaqueFrac);
+    uint32_t k_s2 = take(info.famStage2Frac);
+    uint32_t k_s4 = take(info.famStage4Frac);
+    while (k_opq + k_s2 + k_s4 > free_budget) {
+        if (k_opq > 0 && k_opq + k_s2 + k_s4 > free_budget)
+            --k_opq;
+        else if (k_s2 > 0)
+            --k_s2;
+        else
+            --k_s4;
+    }
+    const uint32_t k_no = free_budget - k_opq - k_s2 - k_s4;
+
+    std::vector<PlannedMemOp> plan;
+    for (bool is_store : cluster)
+        plan.push_back({Family::Cluster, is_store, 0, true});
+    auto plan_family = [&](Family fam, uint32_t count) {
+        // High fan-in (Figure 14's bzip2/sar-pfa shape) needs two
+        // sub-populations: a FEW young stores each MAY-aliasing MANY
+        // older loads over a shared table (the paper's bzip2 has three
+        // operations with ~50 older parents), PLUS chained groups of
+        // mixed loads/stores whose serialization is what cripples
+        // NACHOS-SW on these workloads (§VI).
+        const bool high =
+            fam == Family::Opaque &&
+            info.fanInClass == FanInClass::High &&
+            info.storeFraction > 0 && count >= 8;
+        const uint32_t young_stores =
+            high ? std::max<uint32_t>(1,
+                                      std::min<uint32_t>(3, count / 4))
+                 : 0;
+        const uint32_t pool_loads = high ? (count - young_stores) / 2
+                                         : 0;
+        const uint32_t chain_group = 6;
+        bool any_store = false;
+        for (uint32_t i = 0; i < count; ++i) {
+            PlannedMemOp op;
+            op.family = fam;
+            if (high) {
+                if (i < pool_loads) {
+                    op.isStore = false; // victim's parents: loads
+                    op.opqGroup = 0;
+                } else if (i + young_stores >= count) {
+                    op.isStore = true; // the high-fan-in victims
+                    op.opqGroup = 0;
+                } else {
+                    const uint32_t k = i - pool_loads;
+                    op.isStore = k % 3 == 1; // mixed chain groups
+                    op.opqGroup = 1 + k / chain_group;
+                }
+            } else {
+                // Deterministic largest-remainder mix of stores.
+                op.isStore = static_cast<uint64_t>(
+                                 (i + 1) * info.storeFraction) >
+                             static_cast<uint64_t>(i *
+                                                   info.storeFraction);
+                // A MAY-producing family needs at least one store or
+                // its pairs would be irrelevant LD-LD pairs.
+                if (i + 1 == count && !any_store && count >= 2 &&
+                    fam != Family::No && info.storeFraction > 0) {
+                    op.isStore = true;
+                }
+                if (fam == Family::Opaque) {
+                    uint32_t group_size =
+                        info.fanInClass == FanInClass::Moderate ? 6
+                                                                : 2;
+                    op.opqGroup = i / group_size;
+                }
+            }
+            any_store |= op.isStore;
+            op.familyIdx = i;
+            op.hot = rng.chance(info.l1HitTarget);
+            plan.push_back(op);
+        }
+    };
+    plan_family(Family::No, k_no);
+    plan_family(Family::Stage2, k_s2);
+    plan_family(Family::Stage4, k_s4);
+    plan_family(Family::Opaque, k_opq);
+
+    // Deterministic interleave so families spread across waves —
+    // except when the high-fan-in structure requires the opaque
+    // stores to stay youngest in program order.
+    if (info.fanInClass == FanInClass::High) {
+        // Shuffle everything except the trailing opaque stores.
+        size_t tail = 0;
+        while (tail < plan.size() &&
+               plan[plan.size() - 1 - tail].family == Family::Opaque &&
+               plan[plan.size() - 1 - tail].isStore) {
+            ++tail;
+        }
+        for (size_t i = plan.size() - tail; i > 1; --i)
+            std::swap(plan[i - 1], plan[rng.below(i)]);
+    } else {
+        for (size_t i = plan.size(); i > 1; --i)
+            std::swap(plan[i - 1], plan[rng.below(i)]);
+    }
+
+    // ---- memory environment --------------------------------------------
+    const uint64_t stream_span = 64ull * invocations + 4096;
+    ObjectId hot_obj = 0;
+    if (!cluster.empty())
+        hot_obj = b.object("hot", stream_span, ObjectKind::Heap,
+                           DataType::I64, /*escapes=*/false);
+
+    std::vector<ObjectId> no_objs;
+    for (uint32_t i = 0; i < k_no; ++i)
+        no_objs.push_back(b.object("no" + std::to_string(i),
+                                   stream_span, ObjectKind::Heap,
+                                   DataType::I64, false));
+
+    std::vector<ParamId> s2_params;
+    for (uint32_t i = 0; i < k_s2; ++i) {
+        ObjectId parent = b.object("s2obj" + std::to_string(i),
+                                   stream_span, ObjectKind::Global,
+                                   DataType::I64, true);
+        ParamId p =
+            b.pointerParam("s2p" + std::to_string(i), parent, 0);
+        b.paramProvenance(p, parent, 0);
+        s2_params.push_back(p);
+    }
+
+    ObjectId s4_obj = 0;
+    const uint32_t s4_cols = 16;
+    if (k_s4 > 0) {
+        if (info.lattice3d) {
+            // 8-row x 16-col planes; ops spread over planes/rows/cols,
+            // plus headroom for the per-invocation stride.
+            const uint64_t planes =
+                k_s4 / 4 + 2 + invocations * 8 / (8 * s4_cols * 8) + 2;
+            s4_obj = b.object3d("lattice", planes, 8, s4_cols,
+                                DataType::F64, false);
+        } else {
+            const uint64_t s4_rows =
+                k_s4 + 2 + invocations * 8 / (s4_cols * 8) + 4;
+            s4_obj = b.object2d("grid", s4_rows, s4_cols,
+                                DataType::F64, false);
+        }
+    }
+
+    // Opaque tables: one per planned group (the fan-in class shaped
+    // group assignment during planning).
+    uint32_t n_groups = 0;
+    for (const PlannedMemOp &pm : plan) {
+        if (pm.family == Family::Opaque)
+            n_groups = std::max(n_groups, pm.opqGroup + 1);
+    }
+    // Hot tables stay L1-resident but are big enough that true
+    // conflicts between data-dependent accesses stay rare (the paper's
+    // workloads have little genuine heap conflict, Observation 2);
+    // cold tables exceed the L1 so those accesses miss.
+    const uint64_t hot_slots = 512, cold_slots = 32768;
+    std::vector<ObjectId> opq_tables;
+    for (uint32_t g = 0; g < n_groups; ++g)
+        opq_tables.push_back(
+            b.object("table" + std::to_string(g), cold_slots * 8 + 64,
+                     ObjectKind::Heap, DataType::I64, false));
+
+    ObjectId idx_obj = 0;
+    if (has_opaque)
+        idx_obj = b.object("indices", stream_span, ObjectKind::Heap,
+                           DataType::I64, false);
+
+    // Scratchpad allocation for the C5-local share.
+    uint32_t n_scratch = 0;
+    if (info.localPct > 0) {
+        if (n_mem > 0) {
+            n_scratch = static_cast<uint32_t>(std::lround(
+                n_mem * info.localPct / (100.0 - info.localPct)));
+        } else {
+            n_scratch = static_cast<uint32_t>(
+                std::lround(info.localPct / 100.0 * n_ops * 0.2));
+        }
+        n_scratch = std::min(n_scratch, n_ops / 2);
+    }
+    ObjectId scratch_obj = 0;
+    if (n_scratch > 0)
+        scratch_obj =
+            b.localObject("frame", uint64_t{n_scratch} * 8 + 64);
+
+    // ---- dataflow skeleton ---------------------------------------------
+    size_t emitted_compute = 0;
+    OpId v_seed = b.liveIn();
+    OpId v_seed2 = b.liveIn();
+    // Pure-compute value pool for store data (keeps MUST/MAY MDE
+    // structure independent of load results).
+    std::vector<OpId> data_pool = {v_seed, v_seed2};
+    {
+        OpId v = b.iadd(v_seed, v_seed2);
+        ++emitted_compute;
+        data_pool.push_back(v);
+    }
+
+    OpId idx_load = 0;
+    if (has_opaque) {
+        idx_load = b.load(b.stream(idx_obj, 8), 8);
+    }
+
+    // Wave gating: wave w's memory ops are address-gated so at most
+    // `mlp` memory ops fire concurrently. The gate value is derived
+    // from the PREVIOUS wave's load results where possible (next
+    // iteration's addresses depend on prior loads, as in real code —
+    // this also gives Stage 3 the transitive data dependences it
+    // eliminates redundant MDEs through); a delay chain seeds wave
+    // boundaries that have no loads.
+    const uint32_t mlp = std::max<uint32_t>(info.mlp, 1);
+    const uint32_t n_waves =
+        plan.empty() ? 0
+                     : (static_cast<uint32_t>(plan.size()) + mlp - 1) /
+                           mlp;
+    std::vector<OpId> gates(n_waves, 0);
+    std::vector<bool> has_gate(n_waves, false);
+    OpId gate_chain = v_seed;
+
+    // ---- emit memory ops wave by wave -----------------------------------
+    std::vector<OpId> wave_loads;
+    std::vector<OpId> cluster_loads;
+    std::vector<OpId> all_mem;
+    std::optional<OpId> prev_no_load;
+    uint32_t no_cursor = 0, s2_cursor = 0, s4_cursor = 0, opq_cursor = 0;
+    uint32_t emitted_wave = 0;
+    for (uint32_t i = 0; i < plan.size(); ++i) {
+        const PlannedMemOp &pm = plan[i];
+        const uint32_t wave = i / mlp;
+        if (wave > emitted_wave || (i == 0 && wave == 0)) {
+            // Entering a wave: build its gate from the newest
+            // load-derived pool value (falling back to the chain).
+            if (wave > 0) {
+                gate_chain = b.iadd(gate_chain, data_pool.back());
+                ++emitted_compute;
+                gates[wave] = gate_chain;
+                has_gate[wave] = true;
+            }
+            emitted_wave = wave;
+        }
+        std::vector<OpId> deps;
+        // The high-fan-in young stores fire as soon as their index is
+        // known (the paper's "many memory operations fire
+        // simultaneously"); gating them on earlier waves would hand
+        // Stage 3 a data path that subsumes their MAY relations.
+        const bool ungated_young_store =
+            pm.family == Family::Opaque && pm.isStore &&
+            info.fanInClass == FanInClass::High;
+        if (wave < n_waves && has_gate[wave] && !ungated_young_store)
+            deps.push_back(gates[wave]);
+
+        AddrExpr addr;
+        switch (pm.family) {
+          case Family::Cluster:
+            addr = b.stream(hot_obj, 8, 0);
+            break;
+          case Family::No: {
+            const int64_t stride = pm.hot ? 0 : 64;
+            addr = b.stream(no_objs[no_cursor], stride,
+                            8 * (no_cursor + 1));
+            ++no_cursor;
+            // Pointer-walk style: this access's address generation
+            // waits on the previous NO-family load's value.
+            if (info.chainedLoads && prev_no_load)
+                deps.push_back(*prev_no_load);
+            break;
+          }
+          case Family::Stage2: {
+            addr = b.atParam(s2_params[s2_cursor], 0);
+            addr.terms.push_back(
+                {b.invocationSym(), pm.hot ? 0 : 64});
+            addr.canonicalize();
+            ++s2_cursor;
+            break;
+          }
+          case Family::Stage4: {
+            // One shared per-invocation stride: mixing strides would
+            // make rows genuinely collide across invocations (and the
+            // stencil would stop being Polly-provable).
+            if (info.lattice3d) {
+                addr = b.at3d(s4_obj, s4_cursor / 4,
+                              (s4_cursor % 4) * 2,
+                              (s4_cursor * 5) % s4_cols, 8);
+            } else {
+                addr = b.at2d(s4_obj, s4_cursor,
+                              (s4_cursor * 5) % s4_cols, 8);
+            }
+            ++s4_cursor;
+            break;
+          }
+          case Family::Opaque: {
+            const uint32_t group = pm.opqGroup;
+            const uint64_t slots = pm.hot ? hot_slots : cold_slots;
+            SymbolId sym = b.opaqueSym(
+                "g" + std::to_string(opq_cursor), idx_load, slots, 8,
+                0, mixSeed(info.shortName, opts.seed, opq_cursor));
+            addr = b.at(opq_tables[group], 0);
+            addr.terms.push_back({sym, 1});
+            addr.canonicalize();
+            ++opq_cursor;
+            break;
+          }
+        }
+
+        OpId op;
+        if (pm.isStore) {
+            // Cluster stores accumulate into the location they share
+            // with the cluster loads (w[i] += ... patterns): the
+            // resulting LD -> ST data dependences are exactly what
+            // Stage 3 eliminates redundant orderings through.
+            OpId data = 0;
+            if (pm.family == Family::Cluster && !cluster_loads.empty()) {
+                data = b.iadd(cluster_loads.back(),
+                              data_pool[data_pool.size() - 1]);
+                ++emitted_compute;
+            } else if (pm.family == Family::Opaque) {
+                // Opaque scatters write live-in-derived values: a
+                // data dependence on the gathered loads would let
+                // Stage 3 subsume the very MAY relations NACHOS's
+                // runtime checks exist for.
+                data = data_pool[rng.below(
+                    std::min<size_t>(data_pool.size(), 3))];
+            } else {
+                // Recent pool values sit physically near this op.
+                const size_t window =
+                    std::min<size_t>(data_pool.size(), 4);
+                data = data_pool[data_pool.size() - 1 -
+                                 rng.below(window)];
+            }
+            op = b.store(addr, data, 8, deps);
+        } else {
+            op = b.load(addr, 8, deps);
+            wave_loads.push_back(op);
+            if (pm.family == Family::Cluster)
+                cluster_loads.push_back(op);
+            if (pm.family == Family::No)
+                prev_no_load = op;
+        }
+        all_mem.push_back(op);
+
+        // Per-wave consumer over this wave's loads: a balanced
+        // reduction tree (logarithmic depth), as a vectorizing
+        // compiler would emit — a linear chain would add a serial
+        // tail longer than the memory system itself.
+        const bool wave_ends =
+            (i + 1) % mlp == 0 || i + 1 == plan.size();
+        if (wave_ends && wave_loads.size() >= 2) {
+            std::vector<OpId> level = wave_loads;
+            while (level.size() > 1) {
+                std::vector<OpId> next;
+                for (size_t k = 0; k + 1 < level.size(); k += 2) {
+                    OpKind kind = rng.chance(info.fpFraction)
+                                      ? OpKind::FAdd
+                                      : OpKind::IAdd;
+                    next.push_back(b.binary(
+                        kind, level[k], level[k + 1],
+                        kind == OpKind::FAdd ? DataType::F64
+                                             : DataType::I64));
+                    ++emitted_compute;
+                }
+                if (level.size() % 2 == 1)
+                    next.push_back(level.back());
+                level = std::move(next);
+            }
+            data_pool.push_back(level[0]);
+            wave_loads.clear();
+        }
+    }
+
+    // ---- scratchpad ops ---------------------------------------------------
+    for (uint32_t s = 0; s < n_scratch; ++s) {
+        if (s % 2 == 0) {
+            OpId data = data_pool[rng.below(data_pool.size())];
+            b.scratchStore(scratch_obj, 8 * s, data);
+        } else {
+            data_pool.push_back(b.scratchLoad(scratch_obj, 8 * s));
+        }
+    }
+
+    // ---- parent-function context (§IV-A scope study) ---------------------
+    for (uint32_t p = 0; p < parent_ops; ++p) {
+        ObjectId target = b.object("parent" + std::to_string(p),
+                                   stream_span, ObjectKind::Global,
+                                   DataType::I64, true);
+        // No provenance: the parent frame's pointers are beyond the
+        // path-scoped analyses.
+        ParamId param =
+            b.pointerParam("pp" + std::to_string(p), target, 0);
+        AddrExpr addr = b.atParam(param, 0);
+        if (p % 2 == 0) {
+            OpId data = data_pool[rng.below(data_pool.size())];
+            b.store(addr, data, 8);
+        } else {
+            b.load(addr, 8);
+        }
+    }
+
+    // ---- compute filler to reach the C1 op count --------------------------
+    // Parallel chains whose depth tracks the workload's critical-path
+    // fraction: real acceleration regions have wide ILP, so a single
+    // serial chain would dwarf every memory effect.
+    const double fp = info.fpFraction;
+    const uint32_t depth_target = std::max<uint32_t>(
+        6, static_cast<uint32_t>(
+               std::lround(n_ops * info.criticalPathFrac)));
+    const size_t already = b.peek().numOps();
+    const uint32_t filler =
+        n_ops > already + 1 ? static_cast<uint32_t>(n_ops - already - 1)
+                            : 0;
+    const uint32_t n_chains =
+        std::max<uint32_t>(1, (filler + depth_target - 1) /
+                                  depth_target);
+    // Chains seed from the live-in values so the compute cloud runs
+    // CONCURRENTLY with the memory phase (seeding from load-dependent
+    // pool values would append a serial compute tail after the last
+    // load and dilute every memory-ordering effect). Each chain mixes
+    // in a chain-local constant: one register fanned out to hundreds
+    // of distant consumers would swamp the operand network, which no
+    // real mapper would do.
+    std::vector<OpId> chains;
+    std::vector<OpId> chain_salt;
+    for (uint32_t c = 0; c < n_chains; ++c) {
+        chains.push_back(data_pool[c % 3]);
+        chain_salt.push_back(b.constant(rng.range(1, 1 << 20)));
+    }
+
+    uint32_t emitted_filler = 0;
+    while (b.peek().numOps() + n_chains < n_ops) {
+        OpKind kind;
+        double roll = rng.uniform();
+        if (roll < fp * 0.6)
+            kind = OpKind::FMul;
+        else if (roll < fp)
+            kind = OpKind::FAdd;
+        else {
+            static const OpKind int_mix[] = {
+                OpKind::IAdd, OpKind::IXor, OpKind::IAnd,
+                OpKind::IOr,  OpKind::IShl, OpKind::IAdd};
+            kind = int_mix[rng.below(6)];
+        }
+        const uint32_t c = emitted_filler % n_chains;
+        OpId other = chain_salt[c];
+        chains[c] = b.binary(kind, chains[c], other,
+                             isFloatKind(kind) ? DataType::F64
+                                               : DataType::I64);
+        ++emitted_filler;
+        ++emitted_compute;
+    }
+    // Reduce the chains (balanced) and fold in the last load-derived
+    // accumulator so the memory results still reach the live-out.
+    std::vector<OpId> level = chains;
+    level.push_back(data_pool.back());
+    while (level.size() > 1) {
+        std::vector<OpId> next;
+        for (size_t k = 0; k + 1 < level.size(); k += 2) {
+            next.push_back(b.ixor(level[k], level[k + 1]));
+            ++emitted_compute;
+        }
+        if (level.size() % 2 == 1)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    b.liveOut(level[0]);
+    (void)emitted_compute;
+
+    return b.build();
+}
+
+} // namespace
+
+double
+pathScale(uint32_t path_index)
+{
+    static const double scales[5] = {1.0, 0.85, 0.7, 0.55, 0.45};
+    NACHOS_ASSERT(path_index < 5, "paths are 0..4");
+    return scales[path_index];
+}
+
+Region
+synthesizeRegion(const BenchmarkInfo &info, const SynthesisOptions &opts)
+{
+    return synthesizeImpl(info, opts, 0);
+}
+
+ScopeStudyRegions
+synthesizeScopeStudy(const BenchmarkInfo &info, uint64_t seed)
+{
+    SynthesisOptions opts;
+    opts.seed = seed;
+    ScopeStudyRegions out{synthesizeImpl(info, opts, 0),
+                          synthesizeImpl(info, opts,
+                                         info.parentContextOps)};
+    return out;
+}
+
+} // namespace nachos

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * RegionSynthesizer: regenerate an acceleration region from a
+ * BenchmarkInfo descriptor.
+ *
+ * The synthesized region is a real offload-path IR — the alias stages,
+ * MDE insertion, and all three backends run on it unchanged. The
+ * descriptor only controls the region's *shape*:
+ *
+ *  - a MUST cluster of same-address ops sized to reproduce Table II's
+ *    ST-ST / ST-LD / LD-ST dependence counts;
+ *  - four address families for the remaining memory ops, matching how
+ *    each workload's MAYs resolve in the paper:
+ *      NO      distinct non-escaping objects  (Stage 1 proves);
+ *      STAGE2  pointer params with provenance (Stage 2 proves);
+ *      STAGE4  2-D accesses with symbolic row strides (Stage 4);
+ *      OPAQUE  data-dependent indices (never provable; NACHOS's
+ *              hardware checks them at run time);
+ *  - a delay-line wave structure that bounds concurrent memory ops to
+ *    the descriptor's MLP;
+ *  - compute filler (with the descriptor's FP share), scratchpad ops
+ *    for the C5 local percentage, and locality knobs for L1 behavior.
+ */
+
+#ifndef NACHOS_WORKLOADS_SYNTHESIZER_HH
+#define NACHOS_WORKLOADS_SYNTHESIZER_HH
+
+#include <cstdint>
+
+#include "ir/dfg.hh"
+#include "workloads/benchmark_info.hh"
+
+namespace nachos {
+
+/** Synthesis parameters. */
+struct SynthesisOptions
+{
+    /**
+     * Which of the benchmark's top-5 acceleration paths to build
+     * (0 = hottest). Paths 1..4 are scaled-down variants of the same
+     * shape, as in the paper's 135-region study.
+     */
+    uint32_t pathIndex = 0;
+    uint64_t seed = 1;
+};
+
+/** Scale factor applied to path `pathIndex` (path 0 = 1.0). */
+double pathScale(uint32_t path_index);
+
+/** Build one acceleration region for a workload descriptor. */
+Region synthesizeRegion(const BenchmarkInfo &info,
+                        const SynthesisOptions &opts = {});
+
+/** Regions for the §IV-A scope-growth study. */
+struct ScopeStudyRegions
+{
+    Region regionOnly;  ///< the offload path alone
+    Region withParent;  ///< path + parent-function memory operations
+};
+
+/**
+ * Build the hottest path twice: alone, and embedded in its parent
+ * function's memory context (extra unanalyzable pointer accesses).
+ */
+ScopeStudyRegions synthesizeScopeStudy(const BenchmarkInfo &info,
+                                       uint64_t seed = 1);
+
+} // namespace nachos
+
+#endif // NACHOS_WORKLOADS_SYNTHESIZER_HH

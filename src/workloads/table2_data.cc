@@ -1,0 +1,471 @@
+/**
+ * @file
+ * The 27-workload suite: Table II columns plus per-figure composition
+ * knobs. Sources per field:
+ *  - ops/memOps/mlp/deps/localPct: Table II (OCR ambiguities noted in
+ *    EXPERIMENTS.md);
+ *  - family fractions: §V-B..E and §VIII-B efficacy lists (which stage
+ *    resolves which workload), Figure 16 MDE magnitudes;
+ *  - bloomClass: Figure 18's table (verbatim buckets);
+ *  - fanInClass: Figure 14 and §VIII-A discussion;
+ *  - fpFraction/storeFraction: §VI/§VIII anecdotes (povray 42% FP
+ *    critical path; high-bloom workloads have 25-50% stores).
+ */
+
+#include "workloads/benchmark_info.hh"
+
+namespace nachos {
+
+namespace {
+
+std::vector<BenchmarkInfo>
+buildSuite()
+{
+    std::vector<BenchmarkInfo> suite;
+    auto add = [&suite](BenchmarkInfo info) {
+        suite.push_back(std::move(info));
+    };
+
+    // ---- SPEC 2000 ----------------------------------------------------
+    {
+        BenchmarkInfo b;
+        b.name = "164.gzip";
+        b.shortName = "gzip";
+        b.suite = Suite::Spec2000;
+        b.ops = 64; b.memOps = 4; b.mlp = 4;
+        b.localPct = 21;
+        b.storeFraction = 0.0; // loads only (paper §V-B)
+        b.famNoFrac = 1.0;
+        b.bloomClass = BloomClass::Zero;
+        b.fanInClass = FanInClass::None;
+        b.invocations = 400;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "179.art";
+        b.shortName = "art";
+        b.suite = Suite::Spec2000;
+        b.ops = 100; b.memOps = 36; b.mlp = 4;
+        b.stStDeps = 6; b.stLdDeps = 6; b.ldStDeps = 10;
+        b.localPct = 0;
+        b.storeFraction = 0.35;
+        b.fpFraction = 0.3;
+        b.famNoFrac = 0.5; b.famOpaqueFrac = 0.5;
+        b.bloomClass = BloomClass::Low;
+        b.fanInClass = FanInClass::Moderate;
+        b.invocations = 300;
+        b.parentContextOps = 20;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "181.mcf";
+        b.shortName = "mcf181";
+        b.suite = Suite::Spec2000;
+        b.ops = 29; b.memOps = 2; b.mlp = 2;
+        b.localPct = 5;
+        b.storeFraction = 0.0;
+        b.famNoFrac = 1.0;
+        b.bloomClass = BloomClass::Zero;
+        b.invocations = 500;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "183.equake";
+        b.shortName = "equake";
+        b.suite = Suite::Spec2000;
+        b.ops = 559; b.memOps = 215; b.mlp = 16;
+        b.ldStDeps = 12;
+        b.localPct = 2;
+        b.storeFraction = 0.3;
+        b.fpFraction = 0.45;
+        b.criticalPathFrac = 0.1; // wide stencil sweep
+        b.chainedLoads = true;
+        b.famNoFrac = 0.25; b.famStage4Frac = 0.75;
+        b.bloomClass = BloomClass::Mid;
+        b.invocations = 60;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "186.crafty";
+        b.shortName = "crafty";
+        b.suite = Suite::Spec2000;
+        b.ops = 72; b.memOps = 7; b.mlp = 8;
+        b.stLdDeps = 3;
+        b.localPct = 40;
+        b.storeFraction = 0.3;
+        b.famNoFrac = 1.0;
+        b.bloomClass = BloomClass::Zero;
+        b.invocations = 400;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "197.parser";
+        b.shortName = "parser";
+        b.suite = Suite::Spec2000;
+        b.ops = 81; b.memOps = 12; b.mlp = 4;
+        b.ldStDeps = 2;
+        b.localPct = 34;
+        b.storeFraction = 0.3;
+        b.famNoFrac = 0.4; b.famStage2Frac = 0.3;
+        b.famOpaqueFrac = 0.3;
+        b.bloomClass = BloomClass::Mid;
+        b.fanInClass = FanInClass::Low;
+        b.invocations = 300;
+        b.parentContextOps = 24;
+        add(b);
+    }
+
+    // ---- SPEC 2006 ----------------------------------------------------
+    {
+        BenchmarkInfo b;
+        b.name = "401.bzip2";
+        b.shortName = "bzip2";
+        b.suite = Suite::Spec2006;
+        b.ops = 501; b.memOps = 110; b.mlp = 128;
+        b.stStDeps = 3; b.ldStDeps = 3;
+        b.localPct = 27;
+        b.storeFraction = 0.45;
+        b.criticalPathFrac = 0.04; // MLP 128: extremely parallel body
+        b.famNoFrac = 0.4; b.famOpaqueFrac = 0.6;
+        b.bloomClass = BloomClass::Low;
+        b.fanInClass = FanInClass::High;
+        b.l1HitTarget = 1.0; // hot path: fan-in contention dominates
+        b.invocations = 60;
+        b.parentContextOps = 200;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "403.gcc";
+        b.shortName = "gcc";
+        b.suite = Suite::Spec2006;
+        b.ops = 47; b.memOps = 2; b.mlp = 2;
+        b.localPct = 26;
+        b.storeFraction = 0.5;
+        b.famNoFrac = 0.0; b.famStage2Frac = 1.0;
+        b.bloomClass = BloomClass::Zero;
+        b.invocations = 400;
+        b.parentContextOps = 16;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "429.mcf";
+        b.shortName = "mcf429";
+        b.suite = Suite::Spec2006;
+        b.ops = 30; b.memOps = 3; b.mlp = 4;
+        b.localPct = 24;
+        b.storeFraction = 0.0;
+        b.famNoFrac = 1.0;
+        b.bloomClass = BloomClass::Zero;
+        b.invocations = 500;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "444.namd";
+        b.shortName = "namd";
+        b.suite = Suite::Spec2006;
+        b.ops = 527; b.memOps = 100; b.mlp = 16;
+        b.stStDeps = 6; b.stLdDeps = 6; b.ldStDeps = 30;
+        b.localPct = 41;
+        b.storeFraction = 0.3;
+        b.fpFraction = 0.5;
+        b.criticalPathFrac = 0.1;
+        b.chainedLoads = true;
+        b.famNoFrac = 0.2; b.famStage4Frac = 0.8;
+        b.bloomClass = BloomClass::Mid;
+        b.invocations = 60;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "450.soplex";
+        b.shortName = "soplex";
+        b.suite = Suite::Spec2006;
+        b.ops = 140; b.memOps = 32; b.mlp = 4;
+        b.ldStDeps = 8;
+        b.localPct = 19;
+        b.storeFraction = 0.35;
+        b.fpFraction = 0.4;
+        b.famNoFrac = 0.25; b.famStage2Frac = 0.15;
+        b.famOpaqueFrac = 0.6;
+        b.bloomClass = BloomClass::Low;
+        b.fanInClass = FanInClass::Moderate;
+        b.invocations = 200;
+        b.parentContextOps = 150;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "453.povray";
+        b.shortName = "povray";
+        b.suite = Suite::Spec2006;
+        b.ops = 223; b.memOps = 74; b.mlp = 32;
+        b.stStDeps = 4; b.stLdDeps = 21; b.ldStDeps = 24;
+        b.localPct = 9.5;
+        b.storeFraction = 0.4;
+        b.fpFraction = 0.42; // §VI: 42% FP on the critical path
+        b.criticalPathFrac = 0.42; // critical path of 95 ops (§VI)
+        b.famNoFrac = 0.1; b.famStage2Frac = 0.1;
+        b.famOpaqueFrac = 0.8;
+        b.bloomClass = BloomClass::Mid;
+        b.fanInClass = FanInClass::High;
+        b.invocations = 100;
+        b.parentContextOps = 160;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "458.sjeng";
+        b.shortName = "sjeng";
+        b.suite = Suite::Spec2006;
+        b.ops = 99; b.memOps = 11; b.mlp = 8;
+        b.localPct = 33;
+        b.storeFraction = 0.1; // a single store (paper §VIII-B)
+        b.famNoFrac = 1.0;
+        b.bloomClass = BloomClass::Low;
+        b.invocations = 300;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "464.h264ref";
+        b.shortName = "h264ref";
+        b.suite = Suite::Spec2006;
+        b.ops = 224; b.memOps = 42; b.mlp = 8;
+        b.ldStDeps = 5;
+        b.localPct = 27;
+        b.storeFraction = 0.25;
+        b.famNoFrac = 0.45; b.famStage2Frac = 0.45;
+        b.famOpaqueFrac = 0.1;
+        b.l1HitTarget = 0.97; // cache hits drive its speedup (§VI)
+        b.chainedLoads = true; // load-to-use on the critical path
+        b.bloomClass = BloomClass::Low;
+        b.fanInClass = FanInClass::Low;
+        b.invocations = 150;
+        b.parentContextOps = 30;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "470.lbm";
+        b.shortName = "lbm";
+        b.suite = Suite::Spec2006;
+        b.ops = 147; b.memOps = 57; b.mlp = 32;
+        b.localPct = 12;
+        b.storeFraction = 0.45;
+        b.fpFraction = 0.5;
+        b.criticalPathFrac = 0.12;
+        b.chainedLoads = true;
+        b.lattice3d = true; // lbm's A[p][r][c] lattice sweep
+        b.famNoFrac = 0.2; b.famStage4Frac = 0.8;
+        b.bloomClass = BloomClass::Zero;
+        b.invocations = 150;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "482.sphinx3";
+        b.shortName = "sphinx3";
+        b.suite = Suite::Spec2006;
+        b.ops = 133; b.memOps = 20; b.mlp = 32;
+        b.localPct = 0;
+        b.storeFraction = 0.15;
+        b.fpFraction = 0.35;
+        b.famNoFrac = 1.0;
+        b.bloomClass = BloomClass::Zero;
+        b.invocations = 200;
+        add(b);
+    }
+
+    // ---- PARSEC and kernels --------------------------------------------
+    {
+        BenchmarkInfo b;
+        b.name = "blackscholes";
+        b.shortName = "blackscholes";
+        b.suite = Suite::Parsec;
+        b.ops = 297; b.memOps = 0; b.mlp = 0;
+        b.localPct = 4;
+        b.fpFraction = 0.6;
+        b.bloomClass = BloomClass::Zero;
+        b.invocations = 150;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "bodytrack";
+        b.shortName = "bodytrack";
+        b.suite = Suite::Parsec;
+        b.ops = 285; b.memOps = 42; b.mlp = 4;
+        b.stStDeps = 30; b.stLdDeps = 30; b.ldStDeps = 42;
+        b.localPct = 10;
+        b.storeFraction = 0.45;
+        b.fpFraction = 0.3;
+        b.chainedLoads = true;
+        b.famNoFrac = 0.2; b.famStage4Frac = 0.8;
+        b.bloomClass = BloomClass::High;
+        b.invocations = 100;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "dwt53";
+        b.shortName = "dwt53";
+        b.suite = Suite::Parsec;
+        b.ops = 106; b.memOps = 16; b.mlp = 16;
+        b.localPct = 11;
+        b.storeFraction = 0.4;
+        b.fpFraction = 0.2;
+        b.chainedLoads = true;
+        b.famNoFrac = 0.3; b.famStage4Frac = 0.7;
+        b.bloomClass = BloomClass::Mid;
+        b.invocations = 250;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "ferret";
+        b.shortName = "ferret";
+        b.suite = Suite::Parsec;
+        b.ops = 185; b.memOps = 0; b.mlp = 2;
+        b.localPct = 29;
+        b.fpFraction = 0.4;
+        b.bloomClass = BloomClass::Zero;
+        b.invocations = 150;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "fft-2d";
+        b.shortName = "fft2d";
+        b.suite = Suite::Parsec;
+        b.ops = 314; b.memOps = 80; b.mlp = 4;
+        b.ldStDeps = 48;
+        b.localPct = 18;
+        b.storeFraction = 0.45;
+        b.fpFraction = 0.5;
+        b.famNoFrac = 0.15; b.famOpaqueFrac = 0.85;
+        b.bloomClass = BloomClass::High;
+        b.fanInClass = FanInClass::High;
+        b.invocations = 80;
+        b.parentContextOps = 40;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "fluidanimate";
+        b.shortName = "fluidanimate";
+        b.suite = Suite::Parsec;
+        b.ops = 229; b.memOps = 28; b.mlp = 8;
+        b.localPct = 14;
+        b.storeFraction = 0.3;
+        b.fpFraction = 0.4;
+        b.famNoFrac = 0.0; b.famStage2Frac = 1.0;
+        b.bloomClass = BloomClass::Zero;
+        b.invocations = 150;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "freqmine";
+        b.shortName = "freqmine";
+        b.suite = Suite::Parsec;
+        b.ops = 109; b.memOps = 32; b.mlp = 4;
+        b.stLdDeps = 8;
+        b.localPct = 17;
+        b.storeFraction = 0.4;
+        b.famNoFrac = 0.4; b.famStage2Frac = 0.3;
+        b.famOpaqueFrac = 0.3;
+        b.bloomClass = BloomClass::High;
+        b.fanInClass = FanInClass::Moderate;
+        b.invocations = 200;
+        b.parentContextOps = 24;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "sar-backprojection";
+        b.shortName = "sarback";
+        b.suite = Suite::Parsec;
+        b.ops = 151; b.memOps = 7; b.mlp = 8;
+        b.localPct = 64;
+        b.storeFraction = 0.3;
+        b.fpFraction = 0.5;
+        b.famNoFrac = 0.3; b.famStage2Frac = 0.7;
+        b.bloomClass = BloomClass::Mid;
+        b.invocations = 250;
+        b.parentContextOps = 16;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "sar-pfa-interp1";
+        b.shortName = "sarpfa";
+        b.suite = Suite::Parsec;
+        b.ops = 500; b.memOps = 32; b.mlp = 16;
+        b.stStDeps = 12; b.stLdDeps = 20; b.ldStDeps = 12;
+        b.localPct = 19;
+        b.storeFraction = 0.4;
+        b.fpFraction = 0.5;
+        b.criticalPathFrac = 0.08;
+        b.famNoFrac = 0.3; b.famStage2Frac = 0.2;
+        b.famOpaqueFrac = 0.5;
+        b.bloomClass = BloomClass::High;
+        b.fanInClass = FanInClass::High;
+        b.l1HitTarget = 0.95;
+        b.invocations = 80;
+        b.parentContextOps = 30;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "streamcluster";
+        b.shortName = "streamcluster";
+        b.suite = Suite::Parsec;
+        b.ops = 210; b.memOps = 32; b.mlp = 16;
+        b.stStDeps = 3; b.ldStDeps = 5;
+        b.localPct = 0.5;
+        b.storeFraction = 0.2;
+        b.fpFraction = 0.4;
+        b.famNoFrac = 1.0;
+        b.bloomClass = BloomClass::Zero;
+        b.invocations = 150;
+        add(b);
+    }
+    {
+        BenchmarkInfo b;
+        b.name = "histogram";
+        b.shortName = "histogram";
+        b.suite = Suite::Parsec;
+        b.ops = 522; b.memOps = 48; b.mlp = 16;
+        b.localPct = 0;
+        b.storeFraction = 0.5;
+        b.criticalPathFrac = 0.08;
+        b.famNoFrac = 0.3; b.famStage2Frac = 0.4;
+        b.famOpaqueFrac = 0.3;
+        b.bloomClass = BloomClass::High;
+        b.fanInClass = FanInClass::Moderate;
+        b.invocations = 60;
+        b.parentContextOps = 40;
+        add(b);
+    }
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+benchmarkSuite()
+{
+    static const std::vector<BenchmarkInfo> suite = buildSuite();
+    return suite;
+}
+
+} // namespace nachos

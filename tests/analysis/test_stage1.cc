@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include "analysis/stage1_basic.hh"
+#include "ir/builder.hh"
+
+namespace nachos {
+namespace {
+
+/** Classify the first two disambiguated memory ops of a region. */
+PairRelation
+classifyFirstPair(const Region &r, ClassifyOptions opts = {})
+{
+    const auto &mem = r.memOps();
+    EXPECT_GE(mem.size(), 2u);
+    return classifyPair(r, mem[0], mem[1], opts);
+}
+
+TEST(Stage1, DistinctObjectsNoAlias)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ObjectId c = b.object("C", 4096);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 0), v);
+    b.store(b.at(c, 0), v);
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::No);
+}
+
+TEST(Stage1, SameObjectSameOffsetMustExact)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 64), v);
+    b.load(b.at(a, 64));
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::MustExact);
+}
+
+TEST(Stage1, SameObjectDisjointOffsetsNo)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 0), v, 8);
+    b.load(b.at(a, 8), 8);
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::No);
+}
+
+TEST(Stage1, PartialOverlapMustPartial)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 0), v, 8);
+    b.load(b.at(a, 4), 8);
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::MustPartial);
+}
+
+TEST(Stage1, SameOffsetDifferentSizeMustPartial)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 0), v, 8);
+    b.load(b.at(a, 0), 4);
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::MustPartial);
+}
+
+TEST(Stage1, StridedStreamsInterleavedNoAlias)
+{
+    // a[2t] vs a[2t+1] (8-byte elements, stride 16): never overlap.
+    RegionBuilder b;
+    ObjectId a = b.object("A", 1 << 20);
+    OpId v = b.constant(1);
+    b.store(b.stream(a, 16, 0), v, 8);
+    b.load(b.stream(a, 16, 8), 8);
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::No);
+}
+
+TEST(Stage1, DifferentStridesMayCollide)
+{
+    // a[8t] vs a[12t + 24]: collide at t = 6 (48+... actually
+    // 8t = 12t+24 has no t >= 0 solution, but overlap windows do:
+    // t such that 8t - 12t - 24 in (-8, 8) => -4t in (16, 32) => none.
+    // Use offsets that do collide: a[8t] vs a[4t + 16] at t=4.
+    RegionBuilder b;
+    ObjectId a = b.object("A", 1 << 20);
+    OpId v = b.constant(1);
+    b.store(b.stream(a, 8, 0), v, 8);
+    b.load(b.stream(a, 4, 16), 8);
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::May);
+}
+
+TEST(Stage1, RecurrenceDivergingNeverOverlaps)
+{
+    // diff(t) = 8t + 8, always >= 8: no overlap for 8-byte accesses.
+    RegionBuilder b;
+    ObjectId a = b.object("A", 1 << 20);
+    OpId v = b.constant(1);
+    b.store(b.stream(a, 16, 8), v, 8);
+    b.load(b.stream(a, 8, 0), 8);
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::No);
+}
+
+TEST(Stage1, RecurrenceNegativeStepMayOverlapLater)
+{
+    // diff(t) = -8t + 32: at t=4 diff=0 -> overlap possible.
+    RegionBuilder b;
+    ObjectId a = b.object("A", 1 << 20);
+    OpId v = b.constant(1);
+    b.store(b.stream(a, 0, 32), v, 8); // constant addr a+32
+    b.load(b.stream(a, 8, 0), 8);      // a + 8t
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::May);
+}
+
+TEST(Stage1, SymbolicRowStrideIsMay)
+{
+    // A[0][0] vs A[1][0]: row stride symbolic at stage 1.
+    RegionBuilder b;
+    ObjectId m = b.object2d("M", 64, 64);
+    OpId v = b.constant(1);
+    b.store(b.at2d(m, 0, 0), v, 8);
+    b.load(b.at2d(m, 1, 0), 8);
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::May);
+}
+
+TEST(Stage1, OpaqueIndexIsMay)
+{
+    RegionBuilder b;
+    ObjectId idx = b.object("idx", 4096);
+    ObjectId a = b.object("A", 1 << 16);
+    OpId il = b.load(b.at(idx, 0));
+    SymbolId s = b.opaqueSym("i", il, 512, 8);
+    AddrExpr gather = b.at(a, 0);
+    gather.terms.push_back({s, 1});
+    OpId v = b.constant(1);
+    b.store(gather, v, 8);
+    b.load(b.at(a, 64), 8);
+    Region r = b.build();
+    const auto &mem = r.memOps();
+    // gather store (mem[1]) vs direct load (mem[2]): same object,
+    // opaque term -> May.
+    EXPECT_EQ(classifyPair(r, mem[1], mem[2], {}), PairRelation::May);
+}
+
+TEST(Stage1, UnknownParamsMayAliasEachOther)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ObjectId c = b.object("C", 4096);
+    ParamId p = b.pointerParam("p", a);
+    ParamId q = b.pointerParam("q", c);
+    OpId v = b.constant(1);
+    b.store(b.atParam(p, 0), v);
+    b.load(b.atParam(q, 0));
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::May);
+}
+
+TEST(Stage1, SameParamConstantOffsetsResolved)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ParamId p = b.pointerParam("p", a);
+    OpId v = b.constant(1);
+    b.store(b.atParam(p, 0), v, 8);
+    b.load(b.atParam(p, 8), 8);
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::No);
+
+    RegionBuilder b2;
+    ObjectId a2 = b2.object("A", 4096);
+    ParamId p2 = b2.pointerParam("p", a2);
+    OpId v2 = b2.constant(1);
+    b2.store(b2.atParam(p2, 16), v2, 8);
+    b2.load(b2.atParam(p2, 16), 8);
+    Region r2 = b2.build();
+    EXPECT_EQ(classifyFirstPair(r2), PairRelation::MustExact);
+}
+
+TEST(Stage1, NonEscapingObjectShieldedFromParam)
+{
+    RegionBuilder b;
+    ObjectId priv = b.object("priv", 4096, ObjectKind::Heap,
+                             DataType::I64, /*escapes=*/false);
+    ObjectId pub = b.object("pub", 4096);
+    ParamId p = b.pointerParam("p", pub);
+    OpId v = b.constant(1);
+    b.store(b.at(priv, 0), v);
+    b.load(b.atParam(p, 0));
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::No);
+}
+
+TEST(Stage1, EscapingObjectMayAliasParam)
+{
+    RegionBuilder b;
+    ObjectId glob = b.object("glob", 4096); // escapes by default
+    ParamId p = b.pointerParam("p", glob);
+    OpId v = b.constant(1);
+    b.store(b.at(glob, 0), v);
+    b.load(b.atParam(p, 0));
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::May);
+}
+
+TEST(Stage1, TbaaSeparatesTypesWhenStrict)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ParamId p = b.pointerParam("p", a);
+    ParamId q = b.pointerParam("q", a);
+    OpId v = b.constant(1);
+    b.store(b.atParam(p, 0), v, 8);
+    b.load(b.atParam(q, 0), 4, {}, DataType::F32);
+    Region r = b.build();
+    // Not strict: params may alias.
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::May);
+    r.setStrictAliasing(true);
+    // Store dtype is I64 (default), load is F32 -> disjoint.
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::No);
+}
+
+TEST(Stage1, SameOpaqueBaseResolvesOffsets)
+{
+    RegionBuilder b;
+    ObjectId heap = b.object("heap", 1 << 16);
+    OpId pl = b.load(b.at(heap, 0), 8, {}, DataType::Ptr);
+    SymbolId s = b.opaqueSym("node", pl, 256, 64);
+    OpId v = b.constant(1);
+    b.store(b.opaque(s, 0), v, 8); // node->a
+    b.load(b.opaque(s, 8), 8);     // node->b
+    Region r = b.build();
+    const auto &mem = r.memOps();
+    EXPECT_EQ(classifyPair(r, mem[1], mem[2], {}), PairRelation::No);
+}
+
+TEST(Stage1, DifferentOpaqueBasesMay)
+{
+    RegionBuilder b;
+    ObjectId heap = b.object("heap", 1 << 16);
+    OpId p1 = b.load(b.at(heap, 0), 8, {}, DataType::Ptr);
+    OpId p2 = b.load(b.at(heap, 8), 8, {}, DataType::Ptr);
+    SymbolId s1 = b.opaqueSym("n1", p1, 256, 64, 0, 11);
+    SymbolId s2 = b.opaqueSym("n2", p2, 256, 64, 0, 22);
+    OpId v = b.constant(1);
+    b.store(b.opaque(s1, 0), v);
+    b.load(b.opaque(s2, 0));
+    Region r = b.build();
+    const auto &mem = r.memOps();
+    EXPECT_EQ(classifyPair(r, mem[2], mem[3], {}), PairRelation::May);
+}
+
+TEST(Stage1, RestrictParamNoAliasesOtherBases)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ObjectId c = b.object("C", 4096);
+    ParamId p = b.pointerParam("p", a);
+    ParamId q = b.pointerParam("q", c);
+    b.paramRestrict(p);
+    OpId v = b.constant(1);
+    b.store(b.atParam(p, 0), v);   // 0
+    b.load(b.atParam(q, 0));       // 1: restrict separates p from q
+    b.load(b.at(c, 0));            // 2: ...and from other objects
+    Region r = b.build();
+    const auto &mem = r.memOps();
+    EXPECT_EQ(classifyPair(r, mem[0], mem[1], {}), PairRelation::No);
+    EXPECT_EQ(classifyPair(r, mem[0], mem[2], {}), PairRelation::No);
+}
+
+TEST(Stage1, RestrictParamStillComparesAgainstItself)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ParamId p = b.pointerParam("p", a);
+    b.paramRestrict(p);
+    OpId v = b.constant(1);
+    b.store(b.atParam(p, 0), v, 8);
+    b.load(b.atParam(p, 0), 8);
+    Region r = b.build();
+    EXPECT_EQ(classifyFirstPair(r), PairRelation::MustExact);
+}
+
+TEST(Stage1, RunStage1FillsWholeMatrix)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ObjectId c = b.object("C", 4096);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 0), v);
+    b.load(b.at(a, 0));
+    b.load(b.at(c, 0));
+    Region r = b.build();
+    AliasMatrix m = runStage1(r);
+    EXPECT_EQ(m.numMemOps(), 3u);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::MustExact);
+    EXPECT_EQ(m.relation(0, 2), PairRelation::No);
+    // load-load pair classified but not relevant
+    EXPECT_FALSE(m.relevant(1, 2));
+}
+
+TEST(Stage1, CountsIgnoreLoadLoadPairs)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    b.load(b.at(a, 0));
+    b.load(b.at(a, 0));
+    b.load(b.at(a, 8));
+    Region r = b.build();
+    AliasMatrix m = runStage1(r);
+    PairCounts c = m.counts();
+    EXPECT_EQ(c.total(), 0u); // no stores at all
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "analysis/stage1_basic.hh"
+#include "analysis/stage2_interproc.hh"
+#include "ir/builder.hh"
+
+namespace nachos {
+namespace {
+
+TEST(Stage2, ProvenanceResolvesMayToNo)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ObjectId c = b.object("C", 4096);
+    ParamId p = b.pointerParam("p", a);
+    ParamId q = b.pointerParam("q", c);
+    b.paramProvenance(p, a);
+    b.paramProvenance(q, c);
+    OpId v = b.constant(1);
+    b.store(b.atParam(p, 0), v);
+    b.load(b.atParam(q, 0));
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::May);
+    Stage2Stats s = runStage2(r, m);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::No);
+    EXPECT_EQ(s.toNo, 1u);
+    EXPECT_EQ(s.examined, 1u);
+}
+
+TEST(Stage2, ProvenanceResolvesMayToMust)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ParamId p = b.pointerParam("p", a);
+    ParamId q = b.pointerParam("q", a);
+    b.paramProvenance(p, a, 0);
+    b.paramProvenance(q, a, 0);
+    OpId v = b.constant(1);
+    b.store(b.atParam(p, 16), v, 8);
+    b.load(b.atParam(q, 16), 8);
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::May);
+    Stage2Stats s = runStage2(r, m);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::MustExact);
+    EXPECT_EQ(s.toMust, 1u);
+}
+
+TEST(Stage2, ChainedProvenanceThroughOuterParam)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ObjectId c = b.object("C", 4096);
+    // Frames: inner param p = (outer param q) + 64; q = &C.
+    ParamId q_outer = b.pointerParam("q_outer", c);
+    ParamId p = b.pointerParam("p", c, 64);
+    b.paramProvenance(q_outer, c);
+    b.paramProvenanceViaParam(p, q_outer, 64);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 0), v);     // global A
+    b.load(b.atParam(p, 0));    // resolves to C+64
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::May);
+    runStage2(r, m);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::No);
+}
+
+TEST(Stage2, ChainedProvenanceSameObjectExactMust)
+{
+    RegionBuilder b;
+    ObjectId c = b.object("C", 4096);
+    ParamId q_outer = b.pointerParam("q_outer", c);
+    ParamId p = b.pointerParam("p", c, 64);
+    b.paramProvenance(q_outer, c);
+    b.paramProvenanceViaParam(p, q_outer, 64);
+    OpId v = b.constant(1);
+    b.store(b.at(c, 64), v, 8); // directly C+64
+    b.load(b.atParam(p, 0), 8); // resolves to C+64
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::May);
+    runStage2(r, m);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::MustExact);
+}
+
+TEST(Stage2, UnresolvedParamStaysMay)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ObjectId c = b.object("C", 4096);
+    ParamId p = b.pointerParam("p", a); // no provenance
+    ParamId q = b.pointerParam("q", c);
+    b.paramProvenance(q, c);
+    OpId v = b.constant(1);
+    b.store(b.atParam(p, 0), v);
+    b.load(b.atParam(q, 0));
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    runStage2(r, m);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::May);
+}
+
+TEST(Stage2, DoesNotTouchNonMayPairs)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 0), v);
+    b.load(b.at(a, 0));
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    Stage2Stats s = runStage2(r, m);
+    EXPECT_EQ(s.examined, 0u);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::MustExact);
+}
+
+TEST(Stage2, ParamVsEscapingGlobalResolved)
+{
+    // Param provably points to C; the other access is to global A.
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ObjectId c = b.object("C", 4096);
+    ParamId p = b.pointerParam("p", c);
+    b.paramProvenance(p, c);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 0), v);
+    b.load(b.atParam(p, 0));
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::May);
+    runStage2(r, m);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::No);
+}
+
+} // namespace
+} // namespace nachos

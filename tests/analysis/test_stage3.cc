@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "analysis/stage1_basic.hh"
+#include "analysis/stage3_redundancy.hh"
+#include "ir/builder.hh"
+
+namespace nachos {
+namespace {
+
+TEST(Stage3, DataDependenceSubsumesOrdering)
+{
+    // load A[0] -> compute -> store A[0]: the MUST relation is implied
+    // by the data chain (Figure 8 of the paper).
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    OpId ld = b.load(b.at(a, 0));
+    OpId x = b.iadd(ld, ld);
+    b.store(b.at(a, 0), x);
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    ASSERT_EQ(m.relation(0, 1), PairRelation::MustExact);
+    Stage3Stats s = runStage3(r, m);
+    EXPECT_FALSE(m.enforced(0, 1));
+    EXPECT_EQ(s.removed, 1u);
+    EXPECT_EQ(s.retained, 0u);
+}
+
+TEST(Stage3, IndependentOpsKeepEnforcement)
+{
+    // store A[0] ... store A[0] with no connecting dataflow.
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    OpId v1 = b.constant(1);
+    OpId v2 = b.constant(2);
+    b.store(b.at(a, 0), v1);
+    b.store(b.at(a, 0), v2);
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    Stage3Stats s = runStage3(r, m);
+    EXPECT_TRUE(m.enforced(0, 1));
+    EXPECT_EQ(s.retained, 1u);
+}
+
+TEST(Stage3, MustChainSubsumesLongSpan)
+{
+    // Three independent stores to the same address: retained edges
+    // 0->1 and 1->2 make 0->2 redundant via MDE transitivity.
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 0), v);
+    b.store(b.at(a, 0), v);
+    b.store(b.at(a, 0), v);
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    Stage3Stats s = runStage3(r, m);
+    EXPECT_TRUE(m.enforced(0, 1));
+    EXPECT_TRUE(m.enforced(1, 2));
+    EXPECT_FALSE(m.enforced(0, 2));
+    EXPECT_EQ(s.removed, 1u);
+    EXPECT_EQ(s.retained, 2u);
+}
+
+TEST(Stage3, StLdMustKeptEvenIfRedundant)
+{
+    // store A[0] = f(load A[0]); then a second load A[0] that also
+    // consumes the store's value transitively would still keep its
+    // ST->LD edge for forwarding.
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    OpId v = b.constant(3);
+    OpId st = b.store(b.at(a, 0), v);
+    // Give the load a data dependence on something after the store by
+    // wiring the store's address dep? Stores produce no value, so the
+    // only way a path exists is via MDEs. Build: ST -> LD (must) plus
+    // LD1 -> ST (order) chain making ST..LD redundant is impossible
+    // without a mid op; instead check directly that a ST->LD pair
+    // subsumed by a MUST chain is still retained.
+    (void)st;
+    b.load(b.at(a, 0)); // forwarding candidate
+    b.load(b.at(a, 0)); // second load
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    Stage3Stats s = runStage3(r, m);
+    // Both ST->LD pairs retained (forwarding), LD-LD irrelevant.
+    EXPECT_TRUE(m.enforced(0, 1));
+    EXPECT_TRUE(m.enforced(0, 2));
+    EXPECT_EQ(s.removed, 0u);
+}
+
+TEST(Stage3, MayNotSubsumedByMayChain)
+{
+    // Three stores with pairwise MAY relations (distinct params): the
+    // chain 0->1->2 must NOT subsume 0->2, since MAY edges enforce
+    // nothing when the runtime check clears them.
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ObjectId c = b.object("C", 4096);
+    ObjectId d = b.object("D", 4096);
+    ParamId p0 = b.pointerParam("p0", a);
+    ParamId p1 = b.pointerParam("p1", c);
+    ParamId p2 = b.pointerParam("p2", d);
+    OpId v = b.constant(1);
+    b.store(b.atParam(p0, 0), v);
+    b.store(b.atParam(p1, 0), v);
+    b.store(b.atParam(p2, 0), v);
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    ASSERT_EQ(m.relation(0, 2), PairRelation::May);
+    runStage3(r, m);
+    EXPECT_TRUE(m.enforced(0, 1));
+    EXPECT_TRUE(m.enforced(1, 2));
+    EXPECT_TRUE(m.enforced(0, 2)); // no unsound subsumption
+}
+
+TEST(Stage3, MaySubsumedByDataDependence)
+{
+    // Younger store's data transitively depends on the older load,
+    // so the MAY relation between them needs no edge.
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ParamId p = b.pointerParam("p", a); // unknown provenance
+    OpId ld = b.load(b.atParam(p, 0));
+    OpId x = b.imul(ld, ld);
+    OpId y = b.iadd(x, ld);
+    b.store(b.at(a, 128), y); // MAY vs the param load
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    ASSERT_EQ(m.relation(0, 1), PairRelation::May);
+    runStage3(r, m);
+    EXPECT_FALSE(m.enforced(0, 1));
+}
+
+TEST(Stage3, NoPairsNeverEnforced)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ObjectId c = b.object("C", 4096);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 0), v);
+    b.store(b.at(c, 0), v);
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    runStage3(r, m);
+    EXPECT_FALSE(m.enforced(0, 1));
+}
+
+TEST(Stage3, MustSubsumesMayAcrossSameSpan)
+{
+    // op0 store X (param, MAY vs others), op1 store A[0], op2 store
+    // A[0]: retained MUST 1->2. A MAY 0->2 with a retained MAY 0->1
+    // must still be kept (MAY chains don't subsume), but a MAY 0->2
+    // with retained MUST path 0->..2 would be dropped. Construct:
+    // store A[0] (op0), store A[0] (op1) via MUST, and param store
+    // (op2) that MAYs both: MAY 0->2 not subsumed by MUST 0->1.
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    ParamId p = b.pointerParam("p", a);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 0), v);        // 0
+    b.store(b.at(a, 0), v);        // 1 MUST after 0
+    b.store(b.atParam(p, 0), v);   // 2 MAY vs both
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    runStage3(r, m);
+    EXPECT_TRUE(m.enforced(0, 1));  // MUST retained
+    EXPECT_TRUE(m.enforced(1, 2));  // MAY retained
+    // 0->2: path 0 -(MUST)-> 1 exists but 1->2 is MAY, so no sound
+    // chain; must be retained.
+    EXPECT_TRUE(m.enforced(0, 2));
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "analysis/stage1_basic.hh"
+#include "analysis/stage4_polyhedral.hh"
+#include "ir/builder.hh"
+
+namespace nachos {
+namespace {
+
+TEST(Stage4, DistinctRowsResolvedToNo)
+{
+    // A[0][j] vs A[1][j]: symbolic at stage 1, disjoint once the row
+    // stride is known.
+    RegionBuilder b;
+    ObjectId m2 = b.object2d("M", 64, 64, DataType::F64);
+    OpId v = b.constant(1);
+    b.store(b.at2d(m2, 0, 3), v, 8);
+    b.load(b.at2d(m2, 1, 3), 8);
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    ASSERT_EQ(m.relation(0, 1), PairRelation::May);
+    Stage4Stats s = runStage4(r, m);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::No);
+    EXPECT_EQ(s.toNo, 1u);
+    EXPECT_FALSE(m.enforced(0, 1));
+}
+
+TEST(Stage4, SameCellResolvedToMust)
+{
+    RegionBuilder b;
+    ObjectId m2 = b.object2d("M", 64, 64, DataType::F64);
+    OpId v = b.constant(1);
+    b.store(b.at2d(m2, 2, 5), v, 8);
+    b.load(b.at2d(m2, 2, 5), 8);
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    // Stage 1: identical expressions cancel entirely, so this is
+    // already MUST even with symbolic strides.
+    EXPECT_EQ(m.relation(0, 1), PairRelation::MustExact);
+}
+
+TEST(Stage4, SameCellDifferentFormResolvedToMust)
+{
+    // A[1][0] written as row term vs A[0][cols] written as column
+    // offset: equal addresses once the stride is substituted.
+    RegionBuilder b;
+    ObjectId m2 = b.object2d("M", 64, 64, DataType::F64);
+    OpId v = b.constant(1);
+    b.store(b.at2d(m2, 1, 0), v, 8);
+    b.load(b.at2d(m2, 0, 64), 8); // 64*8 bytes == one row stride
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    ASSERT_EQ(m.relation(0, 1), PairRelation::May);
+    Stage4Stats s = runStage4(r, m);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::MustExact);
+    EXPECT_EQ(s.toMust, 1u);
+    EXPECT_TRUE(m.enforced(0, 1));
+}
+
+TEST(Stage4, StencilNeighborsResolved)
+{
+    // The equake-style pattern: w[r][0] += A[r][0]*v[r][0] with
+    // accesses to adjacent rows all proved independent.
+    RegionBuilder b;
+    ObjectId w = b.object2d("w", 128, 4, DataType::F64);
+    ObjectId av = b.object2d("A", 128, 4, DataType::F64);
+    OpId l0 = b.load(b.at2d(av, 0, 0), 8);
+    OpId l1 = b.load(b.at2d(av, 1, 0), 8);
+    OpId sum = b.fadd(l0, l1);
+    b.store(b.at2d(w, 0, 0), sum, 8);
+    b.store(b.at2d(w, 1, 0), sum, 8);
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    Stage4Stats s = runStage4(r, m);
+    (void)s;
+    // All relevant pairs (anything vs the stores) must be NO now.
+    PairCounts c = m.counts();
+    EXPECT_EQ(c.may, 0u);
+    EXPECT_EQ(c.must, 0u);
+    EXPECT_GT(c.no, 0u);
+}
+
+TEST(Stage4, ThreeDimensionalAccessesResolved)
+{
+    // lbm-style lattice: A[p][r][c] with two symbolic strides.
+    RegionBuilder b;
+    ObjectId lat = b.object3d("L", 8, 16, 16, DataType::F64);
+    OpId v = b.constant(1);
+    b.store(b.at3d(lat, 1, 2, 3), v, 8);
+    b.load(b.at3d(lat, 1, 2, 4), 8);  // same plane/row, next col
+    b.load(b.at3d(lat, 2, 2, 3), 8);  // next plane, same row/col
+    b.load(b.at3d(lat, 1, 2, 3), 8);  // exact same cell
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    // Identical plane/row terms cancel at Stage 1 (column diff only).
+    EXPECT_EQ(m.relation(0, 1), PairRelation::No);
+    // A plane-index difference leaves a symbolic term: MAY until the
+    // stride is delinearized.
+    EXPECT_EQ(m.relation(0, 2), PairRelation::May);
+    runStage4(r, m);
+    EXPECT_EQ(m.relation(0, 2), PairRelation::No);
+    EXPECT_EQ(m.relation(0, 3), PairRelation::MustExact);
+}
+
+TEST(Stage4, ThreeDimensionalLinearizedEquivalence)
+{
+    // A[1][0][0] written as plane term vs A[0][rows][0] written as
+    // row term: equal once both strides are substituted.
+    RegionBuilder b;
+    ObjectId lat = b.object3d("L", 8, 16, 16, DataType::F64);
+    OpId v = b.constant(1);
+    b.store(b.at3d(lat, 1, 0, 0), v, 8);
+    b.load(b.at3d(lat, 0, 16, 0), 8); // 16 rows == one plane
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    ASSERT_EQ(m.relation(0, 1), PairRelation::May);
+    runStage4(r, m);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::MustExact);
+}
+
+TEST(Stage4, OpaqueStaysMay)
+{
+    RegionBuilder b;
+    ObjectId idx = b.object("idx", 4096);
+    ObjectId a = b.object("A", 1 << 16);
+    OpId il = b.load(b.at(idx, 0));
+    SymbolId s = b.opaqueSym("i", il, 512, 8);
+    AddrExpr gather = b.at(a, 0);
+    gather.terms.push_back({s, 1});
+    OpId v = b.constant(1);
+    b.store(gather, v, 8);
+    b.load(b.at(a, 64), 8);
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    Stage4Stats st = runStage4(r, m);
+    EXPECT_EQ(st.toNo + st.toMust, 0u);
+    EXPECT_EQ(m.relation(1, 2), PairRelation::May);
+}
+
+TEST(Stage4, ParamBasedMultidimResolvedWithProvenance)
+{
+    // The 2-D object is reached through params with provenance; Stage 4
+    // builds on Stage-2-style resolution (useProvenance on).
+    RegionBuilder b;
+    ObjectId m2 = b.object2d("M", 64, 64, DataType::F64);
+    ParamId p = b.pointerParam("p", m2);
+    ParamId q = b.pointerParam("q", m2);
+    b.paramProvenance(p, m2);
+    b.paramProvenance(q, m2);
+    OpId v = b.constant(1);
+    AddrExpr ea = b.atParam(p, 0);
+    ea.terms.push_back({b.rowStrideSym(m2), 0});
+    ea.canonicalize();
+    AddrExpr eb = b.atParam(q, 0);
+    eb.terms.push_back({b.rowStrideSym(m2), 1});
+    eb.canonicalize();
+    b.store(ea, v, 8);
+    b.load(eb, 8);
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    ASSERT_EQ(m.relation(0, 1), PairRelation::May);
+    runStage4(r, m);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::No);
+}
+
+TEST(Stage4, FlatObjectStrideNotSubstituted)
+{
+    // A DimStride symbol attached to an object without a declared
+    // shape must not be substituted (no delinearization evidence).
+    RegionBuilder b;
+    ObjectId flat = b.object("flat", 1 << 16);
+    Symbol stride;
+    stride.kind = SymKind::DimStride;
+    stride.object = flat;
+    stride.strideBytes = 512;
+    // Insert the symbol manually through a 2-D-less path.
+    RegionBuilder b2; // unused; keep single-builder flow below
+    (void)b2;
+    OpId v = b.constant(1);
+    AddrExpr ea = b.at(flat, 0);
+    AddrExpr eb = b.at(flat, 0);
+    // Manually register the symbol on the region via builder internals
+    // is not exposed; emulate with object2d on a *different* object and
+    // reuse its stride symbol on `flat` accesses.
+    ObjectId shaped = b.object2d("shaped", 8, 64);
+    SymbolId sid = b.rowStrideSym(shaped);
+    ea.terms.push_back({sid, 1});
+    ea.canonicalize();
+    b.store(ea, v, 8);
+    b.load(eb, 8);
+    Region r = b.build();
+
+    AliasMatrix m = runStage1(r);
+    ASSERT_EQ(m.relation(0, 1), PairRelation::May);
+    Stage4Stats s = runStage4(r, m);
+    // Stride symbol belongs to `shaped`, not to the base object
+    // `flat`: substitution must be refused.
+    EXPECT_EQ(s.toNo + s.toMust, 0u);
+    EXPECT_EQ(m.relation(0, 1), PairRelation::May);
+}
+
+} // namespace
+} // namespace nachos

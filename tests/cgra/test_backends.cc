@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hh"
+#include "cgra/simulator.hh"
+#include "ir/builder.hh"
+#include "mde/inserter.hh"
+
+namespace nachos {
+namespace {
+
+SimResult
+run(const Region &r, BackendKind kind, SimConfig cfg)
+{
+    AliasAnalysisResult analysis = runAliasPipeline(r);
+    MdeSet mdes = insertMdes(r, analysis.matrix);
+    return simulate(r, mdes, kind, cfg);
+}
+
+/** A MAY ST->LD pair that truly conflicts (exact match). */
+Region
+conflictingMayRegion()
+{
+    RegionBuilder b("rtfwd");
+    ObjectId a = b.object("A", 4096);
+    ParamId p = b.pointerParam("p", a, 0);
+    ParamId q = b.pointerParam("q", a, 0); // same location, MAY
+    OpId v = b.constant(0x77);
+    b.store(b.atParam(p, 0), v);
+    OpId ld = b.load(b.atParam(q, 0));
+    b.liveOut(ld);
+    return b.build();
+}
+
+TEST(NachosRuntimeForwarding, ForwardsOnConfirmedExactConflict)
+{
+    Region r = conflictingMayRegion();
+    SimConfig cfg;
+    cfg.invocations = 4;
+    SimResult hw = run(r, BackendKind::Nachos, cfg);
+    EXPECT_GT(hw.stats.get("nachos.runtimeForwards"), 0u);
+    // The load never touched the cache.
+    EXPECT_EQ(hw.stats.get("l1.reads"), 0u);
+
+    // Values still match the LSQ's (which also forwards from the SQ).
+    SimResult lsq = run(r, BackendKind::OptLsq, cfg);
+    EXPECT_EQ(hw.loadValueDigest, lsq.loadValueDigest);
+    EXPECT_EQ(hw.memImage, lsq.memImage);
+}
+
+TEST(NachosRuntimeForwarding, DisabledFlagFallsBackToOrdering)
+{
+    Region r = conflictingMayRegion();
+    SimConfig cfg;
+    cfg.invocations = 4;
+    cfg.nachosRuntimeForwarding = false;
+    SimResult hw = run(r, BackendKind::Nachos, cfg);
+    EXPECT_EQ(hw.stats.get("nachos.runtimeForwards"), 0u);
+    EXPECT_GT(hw.stats.get("l1.reads"), 0u); // load went to memory
+
+    SimConfig on;
+    on.invocations = 4;
+    SimResult fwd = run(r, BackendKind::Nachos, on);
+    EXPECT_EQ(hw.loadValueDigest, fwd.loadValueDigest);
+    // Forwarding shortens the load's wait (store completion elided).
+    EXPECT_LE(fwd.cycles, hw.cycles);
+}
+
+TEST(NachosRuntimeForwarding, NoForwardWhenTwoParentsConflict)
+{
+    // Two MAY stores to the same address as the load: multi-source
+    // forwarding is unsafe, so NACHOS must fall back to ordering.
+    RegionBuilder b("multi");
+    ObjectId a = b.object("A", 4096);
+    ParamId p1 = b.pointerParam("p1", a, 0);
+    ParamId p2 = b.pointerParam("p2", a, 0);
+    ParamId q = b.pointerParam("q", a, 0);
+    OpId v1 = b.constant(1);
+    OpId v2 = b.constant(2);
+    b.store(b.atParam(p1, 0), v1);
+    b.store(b.atParam(p2, 0), v2);
+    OpId ld = b.load(b.atParam(q, 0));
+    b.liveOut(ld);
+    Region r = b.build();
+
+    SimConfig cfg;
+    cfg.invocations = 3;
+    SimResult hw = run(r, BackendKind::Nachos, cfg);
+    EXPECT_EQ(hw.stats.get("nachos.runtimeForwards"), 0u);
+    SimResult lsq = run(r, BackendKind::OptLsq, cfg);
+    EXPECT_EQ(hw.loadValueDigest, lsq.loadValueDigest);
+}
+
+TEST(NachosRuntimeForwarding, NoForwardOnPartialConflict)
+{
+    RegionBuilder b("partial");
+    ObjectId a = b.object("A", 4096);
+    ParamId p = b.pointerParam("p", a, 0);
+    ParamId q = b.pointerParam("q", a, 4); // overlapping, not exact
+    OpId v = b.constant(0x1234);
+    b.store(b.atParam(p, 0), v, 8);
+    OpId ld = b.load(b.atParam(q, 0), 8);
+    b.liveOut(ld);
+    Region r = b.build();
+
+    SimConfig cfg;
+    cfg.invocations = 3;
+    SimResult hw = run(r, BackendKind::Nachos, cfg);
+    EXPECT_EQ(hw.stats.get("nachos.runtimeForwards"), 0u);
+    SimResult lsq = run(r, BackendKind::OptLsq, cfg);
+    EXPECT_EQ(hw.loadValueDigest, lsq.loadValueDigest);
+    EXPECT_EQ(hw.memImage, lsq.memImage);
+}
+
+TEST(SwBackend, OrderTokensCounted)
+{
+    RegionBuilder b("tokens");
+    ObjectId a = b.object("A", 4096);
+    OpId v = b.constant(1);
+    b.load(b.at(a, 0));      // 0
+    b.store(b.at(a, 0), v);  // 1: LD->ST order
+    Region r = b.build();
+
+    SimConfig cfg;
+    cfg.invocations = 5;
+    SimResult sw = run(r, BackendKind::NachosSw, cfg);
+    EXPECT_EQ(sw.stats.get("mde.orderTokens"), 5u);
+}
+
+TEST(SwBackend, MayEdgeCountsAsOrderToken)
+{
+    RegionBuilder b("mayorder");
+    ObjectId a = b.object("A", 1 << 16);
+    ObjectId c = b.object("C", 1 << 16);
+    ParamId p = b.pointerParam("p", a);
+    ParamId q = b.pointerParam("q", c);
+    OpId v = b.constant(1);
+    b.store(b.atParam(p, 0), v);
+    b.load(b.atParam(q, 0));
+    Region r = b.build();
+
+    SimConfig cfg;
+    cfg.invocations = 3;
+    SimResult sw = run(r, BackendKind::NachosSw, cfg);
+    // SW serializes the MAY pair with a 1-bit token, not a check.
+    EXPECT_EQ(sw.stats.get("mde.orderTokens"), 3u);
+    EXPECT_EQ(sw.stats.get("mde.mayChecks"), 0u);
+
+    SimResult hw = run(r, BackendKind::Nachos, cfg);
+    EXPECT_EQ(hw.stats.get("mde.mayChecks"), 3u);
+    EXPECT_EQ(hw.stats.get("mde.orderTokens"), 0u);
+}
+
+TEST(LsqBackend, ParkedLoadWaitsForStoreData)
+{
+    // The store's data is behind a long FP chain; a same-address load
+    // must receive exactly that value via SQ forwarding.
+    RegionBuilder b("parked");
+    ObjectId a = b.object("A", 4096);
+    OpId x = b.constant(3);
+    OpId y = b.constant(5);
+    OpId slow = b.fdiv(x, y); // 12-cycle FU
+    OpId slow2 = b.fdiv(slow, x);
+    b.store(b.at(a, 0), slow2);
+    OpId ld = b.load(b.at(a, 0));
+    b.liveOut(ld);
+    Region r = b.build();
+
+    SimConfig cfg;
+    cfg.invocations = 2;
+    SimResult lsq = run(r, BackendKind::OptLsq, cfg);
+    EXPECT_GT(lsq.stats.get("lsq.forwards"), 0u);
+    SimResult sw = run(r, BackendKind::NachosSw, cfg);
+    EXPECT_EQ(lsq.loadValueDigest, sw.loadValueDigest);
+}
+
+TEST(LsqBackend, CommitWaiterReadsStoreValue)
+{
+    // Partial overlap: the load must wait for the store commit and
+    // read merged bytes from memory.
+    RegionBuilder b("commitwait");
+    ObjectId a = b.object("A", 4096);
+    OpId v = b.constant(0x0102030405060708LL);
+    b.store(b.at(a, 0), v, 8);
+    OpId ld = b.load(b.at(a, 4), 8);
+    b.liveOut(ld);
+    Region r = b.build();
+
+    SimConfig cfg;
+    cfg.invocations = 2;
+    SimResult lsq = run(r, BackendKind::OptLsq, cfg);
+    SimResult sw = run(r, BackendKind::NachosSw, cfg);
+    SimResult hw = run(r, BackendKind::Nachos, cfg);
+    EXPECT_EQ(lsq.loadValueDigest, sw.loadValueDigest);
+    EXPECT_EQ(sw.loadValueDigest, hw.loadValueDigest);
+}
+
+TEST(Backends, ComparatorWidthNeverChangesValues)
+{
+    Region r = conflictingMayRegion();
+    SimConfig w1, w8;
+    w1.invocations = w8.invocations = 4;
+    w1.nachosComparesPerCycle = 1;
+    w8.nachosComparesPerCycle = 8;
+    SimResult a = run(r, BackendKind::Nachos, w1);
+    SimResult b2 = run(r, BackendKind::Nachos, w8);
+    EXPECT_EQ(a.loadValueDigest, b2.loadValueDigest);
+    EXPECT_EQ(a.memImage, b2.memImage);
+    EXPECT_LE(b2.cycles, a.cycles);
+}
+
+} // namespace
+} // namespace nachos

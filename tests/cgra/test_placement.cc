@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "cgra/network.hh"
+#include "cgra/placement.hh"
+#include "ir/builder.hh"
+
+namespace nachos {
+namespace {
+
+Region
+chainRegion(int length)
+{
+    RegionBuilder b("chain");
+    OpId v = b.liveIn();
+    for (int i = 0; i < length; ++i)
+        v = b.iadd(v, v);
+    b.liveOut(v);
+    return b.build();
+}
+
+TEST(Placement, LevelsFollowDataflowDepth)
+{
+    Region r = chainRegion(5);
+    Placement p(r);
+    EXPECT_EQ(p.levelOf(0), 0u);
+    EXPECT_EQ(p.levelOf(1), 1u);
+    EXPECT_EQ(p.levelOf(5), 5u);
+    EXPECT_EQ(p.depth(), 7u); // livein + 5 adds + liveout
+}
+
+TEST(Placement, ConsecutiveChainOpsStayLocal)
+{
+    Region r = chainRegion(10);
+    Placement p(r);
+    for (OpId op = 1; op < 10; ++op)
+        EXPECT_LE(p.hops(op, op + 1), 4u);
+}
+
+TEST(Placement, DistinctCellsUpToGridCapacity)
+{
+    Region r = chainRegion(20);
+    Placement p(r, {8, 8});
+    for (OpId a = 0; a < r.numOps(); ++a) {
+        for (OpId b = a + 1; b < r.numOps(); ++b) {
+            if (b - a < 64) {
+                EXPECT_GT(p.hops(a, b), 0u)
+                    << "ops " << a << "," << b << " share a cell";
+            }
+        }
+    }
+}
+
+TEST(Placement, WrapsWhenRegionExceedsGrid)
+{
+    Region r = chainRegion(40);
+    Placement p(r, {4, 4}); // 16 cells < 42 ops
+    // No panic; coordinates stay in range.
+    for (OpId op = 0; op < r.numOps(); ++op) {
+        Coord c = p.coordOf(op);
+        EXPECT_LT(c.row, 4u);
+        EXPECT_LT(c.col, 4u);
+    }
+}
+
+TEST(Network, LatencyScalesWithDistance)
+{
+    Region r = chainRegion(40);
+    Placement p(r);
+    StatSet stats;
+    NetworkConfig cfg;
+    OperandNetwork net(p, cfg, stats);
+    // Adjacent ops: minimum latency.
+    EXPECT_EQ(net.latency(1, 2), cfg.minLatency);
+    // Distant ops: more cycles.
+    uint64_t far = net.latency(0, 39);
+    EXPECT_GE(far, net.latency(0, 5));
+}
+
+TEST(Network, TransferCountsHops)
+{
+    Region r = chainRegion(4);
+    Placement p(r);
+    StatSet stats;
+    OperandNetwork net(p, {4, 1}, stats);
+    net.countTransfer(0, 1);
+    EXPECT_EQ(stats.get("net.hops"), p.hops(0, 1));
+}
+
+} // namespace
+} // namespace nachos

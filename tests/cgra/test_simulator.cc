@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hh"
+#include "cgra/simulator.hh"
+#include "ir/builder.hh"
+#include "mde/inserter.hh"
+
+namespace nachos {
+namespace {
+
+SimConfig
+smallConfig(uint64_t invocations = 4)
+{
+    SimConfig cfg;
+    cfg.invocations = invocations;
+    return cfg;
+}
+
+SimResult
+runRegion(const Region &r, BackendKind kind, uint64_t invocations = 4)
+{
+    AliasAnalysisResult analysis = runAliasPipeline(r);
+    MdeSet mdes = insertMdes(r, analysis.matrix);
+    return simulate(r, mdes, kind, smallConfig(invocations));
+}
+
+Region
+computeOnlyRegion()
+{
+    RegionBuilder b("compute");
+    OpId x = b.liveIn();
+    OpId y = b.liveIn();
+    OpId s = b.iadd(x, y);
+    OpId t = b.imul(s, x);
+    b.liveOut(t);
+    return b.build();
+}
+
+TEST(Simulator, ComputeOnlyRunsUnderEveryBackend)
+{
+    Region r = computeOnlyRegion();
+    for (BackendKind kind : {BackendKind::OptLsq, BackendKind::NachosSw,
+                             BackendKind::Nachos}) {
+        SimResult res = runRegion(r, kind);
+        EXPECT_GT(res.cycles, 0u) << backendName(kind);
+        EXPECT_EQ(res.stats.get("fu.intOps"), 2u * 4) // 2 ops x 4 inv
+            << backendName(kind);
+        EXPECT_EQ(res.maxMlp, 0u);
+    }
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    Region r = computeOnlyRegion();
+    SimResult a = runRegion(r, BackendKind::Nachos);
+    SimResult b = runRegion(r, BackendKind::Nachos);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.loadValueDigest, b.loadValueDigest);
+}
+
+TEST(Simulator, IndependentLoadsOverlapInTime)
+{
+    RegionBuilder b("mlp");
+    ObjectId o1 = b.object("A", 1 << 16);
+    ObjectId o2 = b.object("B", 1 << 16);
+    ObjectId o3 = b.object("C", 1 << 16);
+    b.load(b.at(o1, 0));
+    b.load(b.at(o2, 0));
+    b.load(b.at(o3, 0));
+    Region r = b.build();
+
+    SimResult res = runRegion(r, BackendKind::Nachos, 2);
+    EXPECT_GE(res.maxMlp, 3u);
+}
+
+TEST(Simulator, StLdForwardingElidesCacheRead)
+{
+    RegionBuilder b("fwd");
+    ObjectId a = b.object("A", 4096);
+    OpId v = b.liveIn();
+    b.store(b.at(a, 0), v);
+    OpId ld = b.load(b.at(a, 0));
+    b.liveOut(ld);
+    Region r = b.build();
+
+    SimResult sw = runRegion(r, BackendKind::NachosSw, 4);
+    // 4 invocations: 4 store writes, zero load reads (forwarded).
+    EXPECT_EQ(sw.stats.get("l1.writes"), 4u);
+    EXPECT_EQ(sw.stats.get("l1.reads"), 0u);
+    EXPECT_EQ(sw.stats.get("mde.forwards"), 4u);
+}
+
+TEST(Simulator, ForwardedValueMatchesStoredValue)
+{
+    RegionBuilder b("fwdval");
+    ObjectId a = b.object("A", 4096);
+    OpId v = b.constant(0x5a5a);
+    b.store(b.at(a, 0), v);
+    OpId ld = b.load(b.at(a, 0));
+    b.liveOut(ld);
+    Region r = b.build();
+
+    // Under the LSQ the load forwards from the SQ; under SW/NACHOS it
+    // forwards over the F edge; all must read 0x5a5a.
+    SimResult lsq = runRegion(r, BackendKind::OptLsq, 2);
+    SimResult sw = runRegion(r, BackendKind::NachosSw, 2);
+    SimResult hw = runRegion(r, BackendKind::Nachos, 2);
+    EXPECT_EQ(lsq.loadValueDigest, sw.loadValueDigest);
+    EXPECT_EQ(sw.loadValueDigest, hw.loadValueDigest);
+}
+
+TEST(Simulator, OrderEdgeSerializesConflictingStores)
+{
+    RegionBuilder b("stst");
+    ObjectId a = b.object("A", 4096);
+    OpId v1 = b.constant(1);
+    OpId v2 = b.constant(2);
+    b.store(b.at(a, 0), v1);
+    b.store(b.at(a, 0), v2);
+    Region r = b.build();
+
+    for (BackendKind kind : {BackendKind::OptLsq, BackendKind::NachosSw,
+                             BackendKind::Nachos}) {
+        SimResult res = runRegion(r, kind, 1);
+        // Final value must be the younger store's.
+        FunctionalMemory check;
+        for (auto [addr, byte] : res.memImage)
+            check.write(addr, 1, byte);
+        EXPECT_EQ(check.read(r.object(a).baseAddr, 8), 2)
+            << backendName(kind);
+    }
+}
+
+TEST(Simulator, MayConflictOrderedByNachosHardware)
+{
+    // Two params that actually point to the same object location:
+    // the compiler says MAY; NACHOS's comparator finds the conflict
+    // and orders the pair.
+    RegionBuilder b("mayconflict");
+    ObjectId a = b.object("A", 4096);
+    ParamId p = b.pointerParam("p", a, 0);
+    ParamId q = b.pointerParam("q", a, 0);
+    OpId v = b.constant(7);
+    b.store(b.atParam(p, 0), v);
+    OpId ld = b.load(b.atParam(q, 0));
+    b.liveOut(ld);
+    Region r = b.build();
+
+    SimResult hw = runRegion(r, BackendKind::Nachos, 2);
+    EXPECT_GT(hw.stats.get("nachos.checksConflict"), 0u);
+
+    SimResult lsq = runRegion(r, BackendKind::OptLsq, 2);
+    EXPECT_EQ(hw.loadValueDigest, lsq.loadValueDigest);
+}
+
+TEST(Simulator, MayNoConflictRunsParallelUnderNachos)
+{
+    // Params to distinct objects without provenance: MAY at compile
+    // time, disjoint at run time. NACHOS clears the check; SW
+    // serializes.
+    RegionBuilder b("maypar");
+    ObjectId a = b.object("A", 1 << 16);
+    ObjectId c = b.object("C", 1 << 16);
+    ParamId p = b.pointerParam("p", a, 0);
+    ParamId q = b.pointerParam("q", c, 0);
+    OpId v = b.constant(7);
+    b.store(b.atParam(p, 0), v);
+    OpId ld = b.load(b.atParam(q, 0));
+    b.liveOut(ld);
+    Region r = b.build();
+
+    SimResult hw = runRegion(r, BackendKind::Nachos, 4);
+    SimResult sw = runRegion(r, BackendKind::NachosSw, 4);
+    EXPECT_GT(hw.stats.get("nachos.checksClear"), 0u);
+    EXPECT_LT(hw.cycles, sw.cycles); // parallelism recovered
+    EXPECT_EQ(hw.loadValueDigest, sw.loadValueDigest);
+}
+
+TEST(Simulator, LsqAddsLoadToUseLatencyOnHits)
+{
+    // Independent hot loads: all schemes hit in the cache, but the LSQ
+    // pays allocate+search on the load path.
+    RegionBuilder b("loaduse");
+    ObjectId a = b.object("A", 4096);
+    OpId l0 = b.load(b.at(a, 0));
+    OpId l1 = b.load(b.at(a, 8));
+    OpId s = b.iadd(l0, l1);
+    b.liveOut(s);
+    Region r = b.build();
+
+    SimResult lsq = runRegion(r, BackendKind::OptLsq, 50);
+    SimResult sw = runRegion(r, BackendKind::NachosSw, 50);
+    SimResult hw = runRegion(r, BackendKind::Nachos, 50);
+    EXPECT_LT(sw.cycles, lsq.cycles);
+    EXPECT_LT(hw.cycles, lsq.cycles);
+}
+
+TEST(Simulator, ScratchpadOpsBypassOrdering)
+{
+    RegionBuilder b("scratch");
+    ObjectId loc = b.localObject("L", 512);
+    OpId v = b.constant(3);
+    b.scratchStore(loc, 0, v);
+    OpId ld = b.scratchLoad(loc, 64);
+    b.liveOut(ld);
+    Region r = b.build();
+
+    SimResult res = runRegion(r, BackendKind::OptLsq, 2);
+    EXPECT_EQ(res.stats.get("scratchpad.writes"), 2u);
+    EXPECT_EQ(res.stats.get("lsq.allocs"), 0u);
+    EXPECT_EQ(res.stats.get("l1.reads"), 0u);
+}
+
+TEST(Simulator, EnergyCountersPopulated)
+{
+    RegionBuilder b("energy");
+    ObjectId a = b.object("A", 4096);
+    ParamId p = b.pointerParam("p", a, 512);
+    OpId v = b.liveIn();
+    OpId w = b.fmul(v, v);
+    b.store(b.at(a, 0), w);
+    b.load(b.atParam(p, 0));
+    Region r = b.build();
+
+    SimResult lsq = runRegion(r, BackendKind::OptLsq, 3);
+    EXPECT_GT(lsq.stats.get("lsq.bloomProbes"), 0u);
+    EXPECT_GT(lsq.stats.get("fu.fpOps"), 0u);
+    EXPECT_GT(lsq.stats.get("net.transfers"), 0u);
+    EXPECT_GT(lsq.energy.lsqBloom, 0.0);
+    EXPECT_GT(lsq.energy.compute, 0.0);
+    EXPECT_GT(lsq.energy.l1, 0.0);
+    EXPECT_EQ(lsq.energy.mde, 0.0);
+
+    SimResult hw = runRegion(r, BackendKind::Nachos, 3);
+    EXPECT_GT(hw.stats.get("mde.mayChecks"), 0u);
+    EXPECT_GT(hw.energy.mde, 0.0);
+    EXPECT_EQ(hw.stats.get("lsq.bloomProbes"), 0u);
+}
+
+TEST(Simulator, InvocationsAccumulateCycles)
+{
+    Region r = computeOnlyRegion();
+    SimResult one = runRegion(r, BackendKind::Nachos, 1);
+    SimResult four = runRegion(r, BackendKind::Nachos, 4);
+    EXPECT_GT(four.cycles, one.cycles);
+    EXPECT_NEAR(four.cyclesPerInvocation, one.cyclesPerInvocation,
+                one.cyclesPerInvocation * 0.5 + 2);
+}
+
+} // namespace
+} // namespace nachos

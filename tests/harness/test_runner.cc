@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+namespace nachos {
+namespace {
+
+TEST(Runner, RunsAllThreeBackends)
+{
+    RunRequest req;
+    req.invocationsOverride = 4;
+    RunOutcome out = runWorkload(benchmarkByName("parser"), req);
+    ASSERT_TRUE(out.lsq && out.sw && out.nachos);
+    EXPECT_GT(out.lsq->cycles, 0u);
+    EXPECT_GT(out.sw->cycles, 0u);
+    EXPECT_GT(out.nachos->cycles, 0u);
+}
+
+TEST(Runner, BackendsAgreeFunctionallyOnWorkloads)
+{
+    for (const char *name : {"parser", "art", "bodytrack", "sjeng"}) {
+        RunRequest req;
+        req.invocationsOverride = 5;
+        RunOutcome out = runWorkload(benchmarkByName(name), req);
+        EXPECT_EQ(out.lsq->loadValueDigest, out.sw->loadValueDigest)
+            << name;
+        EXPECT_EQ(out.sw->loadValueDigest, out.nachos->loadValueDigest)
+            << name;
+        EXPECT_EQ(out.lsq->memImage, out.nachos->memImage) << name;
+    }
+}
+
+TEST(Runner, SelectiveBackends)
+{
+    RunRequest req;
+    req.runLsq = false;
+    req.runSw = false;
+    req.invocationsOverride = 2;
+    RunOutcome out = runWorkload(benchmarkByName("gzip"), req);
+    EXPECT_FALSE(out.lsq.has_value());
+    EXPECT_FALSE(out.sw.has_value());
+    EXPECT_TRUE(out.nachos.has_value());
+}
+
+TEST(Runner, AnalyzeRegionOnly)
+{
+    Region r = synthesizeRegion(benchmarkByName("gcc"));
+    RunOutcome out = analyzeRegion(std::move(r));
+    EXPECT_FALSE(out.lsq.has_value());
+    EXPECT_EQ(out.analysis.final().all.may, 0u);
+}
+
+TEST(Runner, PctDelta)
+{
+    EXPECT_DOUBLE_EQ(pctDelta(100, 150), 50.0);
+    EXPECT_DOUBLE_EQ(pctDelta(100, 80), -20.0);
+    EXPECT_DOUBLE_EQ(pctDelta(0, 5), 0.0);
+}
+
+TEST(Report, HeaderAndBarsRender)
+{
+    std::ostringstream os;
+    printHeader(os, "F15", "NACHOS vs OPT-LSQ");
+    printBars(os,
+              {{"gzip", 1.5, "note"},
+               {"bzip2", -8.0, ""},
+               {"povray", 70.0, ""}},
+              "%");
+    std::string s = os.str();
+    EXPECT_NE(s.find("F15"), std::string::npos);
+    EXPECT_NE(s.find("gzip"), std::string::npos);
+    EXPECT_NE(s.find("<"), std::string::npos); // negative bar
+    EXPECT_NE(s.find(">"), std::string::npos); // positive bar
+    EXPECT_NE(s.find("note"), std::string::npos);
+}
+
+TEST(Report, BarsClampExtremeValues)
+{
+    std::ostringstream os;
+    printBars(os, {{"a", 1000.0, ""}, {"b", 1.0, ""}}, "%", 100.0);
+    EXPECT_NE(os.str().find("1000.0"), std::string::npos);
+}
+
+} // namespace
+} // namespace nachos

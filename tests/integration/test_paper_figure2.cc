@@ -1,0 +1,157 @@
+/**
+ * The paper's Figure 2 running example, end to end:
+ *
+ *   1. Store *p   (pointer the compiler cannot resolve)
+ *   2. Load  B
+ *   3. Store A
+ *   4. Load  A
+ *   5. Store A
+ *   6. Load  C
+ *
+ * Expected compiler output (Figure 2): op 1 MAY-aliases ops 2..5;
+ * ops 3/4/5 MUST-alias each other (3->4 forwards); op 6 aliases
+ * nothing. NACHOS checks the MAY edges in hardware; op 6 proceeds
+ * fully in parallel under every scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hh"
+#include "cgra/simulator.hh"
+#include "harness/golden.hh"
+#include "ir/builder.hh"
+#include "mde/inserter.hh"
+
+namespace nachos {
+namespace {
+
+struct Figure2
+{
+    Region region{"fig2"};
+    // memIndex of each numbered op (0-based: op k -> index k-1).
+};
+
+Region
+buildFigure2()
+{
+    RegionBuilder b("figure2");
+    ObjectId obj_a = b.object("A", 4096);
+    ObjectId obj_b = b.object("B", 4096);
+    // C is a region-private buffer: the compiler proves op 6 aliases
+    // nothing, exactly as the figure shows (Alias(1,6)? NO).
+    ObjectId obj_c = b.object("C", 4096, ObjectKind::Heap,
+                              DataType::I64, /*escapes=*/false);
+    // *p actually points into B (so the MAY vs op 2 is a real
+    // conflict and the MAYs vs A's ops are false alarms).
+    ParamId p = b.pointerParam("p", obj_b, 0);
+
+    OpId v = b.liveIn();
+    b.store(b.atParam(p, 0), v);   // 1. Store *p
+    OpId ld_b = b.load(b.at(obj_b, 0));  // 2. Load B
+    b.store(b.at(obj_a, 0), v);    // 3. Store A
+    OpId ld_a = b.load(b.at(obj_a, 0));  // 4. Load A
+    OpId sum = b.iadd(ld_b, ld_a);
+    b.store(b.at(obj_a, 0), sum);  // 5. Store A
+    OpId ld_c = b.load(b.at(obj_c, 0));  // 6. Load C
+    b.liveOut(ld_c);
+    return b.build();
+}
+
+TEST(PaperFigure2, CompilerLabelsMatchTheFigure)
+{
+    Region r = buildFigure2();
+    AliasAnalysisResult res = runAliasPipeline(r);
+    const AliasMatrix &m = res.matrix;
+    ASSERT_EQ(m.numMemOps(), 6u);
+
+    // Alias(1, 2..5) ? MAY (the unresolved pointer).
+    for (uint32_t j : {1u, 2u, 3u, 4u}) {
+        EXPECT_EQ(m.label(0, j), AliasLabel::May) << "pair (1," << j + 1
+                                                  << ")";
+    }
+    // Alias(3,4) ? MUST; 3/4/5 all MUST with each other.
+    EXPECT_EQ(m.relation(2, 3), PairRelation::MustExact);
+    EXPECT_EQ(m.relation(2, 4), PairRelation::MustExact);
+    EXPECT_EQ(m.relation(3, 4), PairRelation::MustExact);
+    // Alias(1,6) ? NO — op 6 aliases nothing.
+    for (uint32_t i : {0u, 1u, 2u, 3u, 4u})
+        EXPECT_EQ(m.label(i, 5), AliasLabel::No) << "pair (" << i + 1
+                                                 << ",6)";
+}
+
+TEST(PaperFigure2, MdesMatchTheNachosColumn)
+{
+    Region r = buildFigure2();
+    AliasAnalysisResult res = runAliasPipeline(r);
+    MdeSet mdes = insertMdes(r, res.matrix);
+    const auto &mem = r.memOps();
+
+    // 3 -> 4 is the FORWARD edge of the figure.
+    EXPECT_TRUE(mdes.hasForwardSource(mem[3]));
+    EXPECT_EQ(mdes.forwardSource(mem[3]), mem[2]);
+
+    // Figure 8's point: op 5's data consumes op 4's load, so the
+    // 4 -> 5 ordering is implicit in the dataflow, and 3 -> 5 is
+    // ordered transitively through 3 -(FORWARD)-> 4 -(data)-> 5.
+    // Stage 3 therefore emits NO explicit edge for either pair.
+    bool edge_3_5 = false, edge_4_5 = false;
+    for (const Mde &e : mdes.edges()) {
+        if (e.older == mem[2] && e.younger == mem[4])
+            edge_3_5 = true;
+        if (e.older == mem[3] && e.younger == mem[4])
+            edge_4_5 = true;
+    }
+    EXPECT_FALSE(edge_3_5);
+    EXPECT_FALSE(edge_4_5);
+
+    // Op 1 carries MAY edges to the younger ops; op 6 has none at all.
+    auto fanins = mdes.mayFanIns(r);
+    EXPECT_EQ(fanins[5], 0u);
+    uint64_t may_from_1 = 0;
+    for (uint32_t idx : mdes.outgoing(mem[0]))
+        may_from_1 += mdes.edge(idx).kind == MdeKind::May ? 1 : 0;
+    EXPECT_GE(may_from_1, 3u);
+}
+
+TEST(PaperFigure2, NachosChecksFindTheOneRealConflict)
+{
+    Region r = buildFigure2();
+    AliasAnalysisResult res = runAliasPipeline(r);
+    MdeSet mdes = insertMdes(r, res.matrix);
+    SimConfig cfg;
+    cfg.invocations = 4;
+    SimResult hw = simulate(r, mdes, BackendKind::Nachos, cfg);
+
+    // *p == &B: exactly the op-2 check conflicts; the A-side checks
+    // clear and proceed in parallel.
+    EXPECT_GT(hw.stats.get("nachos.checksClear"), 0u);
+    EXPECT_GT(hw.stats.get("nachos.checksConflict") +
+                  hw.stats.get("nachos.runtimeForwards"),
+              0u);
+
+    // And the figure's bottom line: all three schemes agree with
+    // program order.
+    GoldenResult golden = goldenExecute(r, 4);
+    for (BackendKind kind : {BackendKind::OptLsq, BackendKind::NachosSw,
+                             BackendKind::Nachos}) {
+        SimResult sim = simulate(r, mdes, kind, cfg);
+        EXPECT_EQ(sim.loadValueDigest, golden.loadValueDigest)
+            << backendName(kind);
+        EXPECT_EQ(sim.memImage, golden.memImage) << backendName(kind);
+    }
+}
+
+TEST(PaperFigure2, SwSerializesWhatNachosParallelizes)
+{
+    Region r = buildFigure2();
+    AliasAnalysisResult res = runAliasPipeline(r);
+    MdeSet mdes = insertMdes(r, res.matrix);
+    SimConfig cfg;
+    cfg.invocations = 16;
+    SimResult sw = simulate(r, mdes, BackendKind::NachosSw, cfg);
+    SimResult hw = simulate(r, mdes, BackendKind::Nachos, cfg);
+    EXPECT_LE(hw.cycles, sw.cycles);
+}
+
+} // namespace
+} // namespace nachos

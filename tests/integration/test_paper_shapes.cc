@@ -1,0 +1,147 @@
+/**
+ * Paper-shape regression tests: the qualitative results recorded in
+ * EXPERIMENTS.md, encoded as assertions so a future change that breaks
+ * a reproduced trend fails CI rather than silently drifting. Each test
+ * names the paper artifact it guards.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hh"
+#include "harness/runner.hh"
+#include "mde/inserter.hh"
+
+namespace nachos {
+namespace {
+
+RunOutcome
+runFull(const char *name)
+{
+    return runWorkload(benchmarkByName(name));
+}
+
+TEST(PaperShape, Fig11_SwSerializationCripplesIrregularWorkloads)
+{
+    // §VI: MAY-heavy workloads slow down substantially under the
+    // software-only scheme.
+    for (const char *name : {"bzip2", "histogram", "sarpfa"}) {
+        RunRequest req;
+        req.runNachos = false;
+        RunOutcome out = runWorkload(benchmarkByName(name), req);
+        const double delta =
+            pctDelta(static_cast<double>(out.lsq->cycles),
+                     static_cast<double>(out.sw->cycles));
+        EXPECT_GT(delta, 15.0) << name;
+    }
+}
+
+TEST(PaperShape, Fig11_LoadLatencyWorkloadsBeatTheLsq)
+{
+    // §VI: h264ref/equake/namd-style workloads are faster without the
+    // LSQ's load-to-use tax.
+    for (const char *name : {"h264ref", "equake", "namd", "lbm"}) {
+        RunRequest req;
+        req.runNachos = false;
+        RunOutcome out = runWorkload(benchmarkByName(name), req);
+        EXPECT_LT(out.sw->cycles, out.lsq->cycles) << name;
+    }
+}
+
+TEST(PaperShape, Fig15_NachosRecoversWhatSwSerializes)
+{
+    // §VIII-A: NACHOS parallelizes the MAY pairs NACHOS-SW serialized
+    // and lands near (or past) OPT-LSQ.
+    for (const char *name : {"bzip2", "histogram", "povray", "fft2d"}) {
+        RunOutcome out = runFull(name);
+        EXPECT_LT(out.nachos->cycles, out.sw->cycles) << name;
+        const double vs_lsq =
+            pctDelta(static_cast<double>(out.lsq->cycles),
+                     static_cast<double>(out.nachos->cycles));
+        EXPECT_LT(vs_lsq, 10.0) << name; // within/below the LSQ band
+    }
+}
+
+TEST(PaperShape, Fig15_CertainWorkloadsMatchAcrossSchemes)
+{
+    // 15+ workloads where the compiler resolves everything: SW and
+    // NACHOS behave identically (no checks to run).
+    for (const char *name : {"gzip", "sjeng", "equake", "dwt53"}) {
+        RunOutcome out = runFull(name);
+        EXPECT_EQ(out.nachos->cycles, out.sw->cycles) << name;
+        EXPECT_EQ(out.nachos->stats.get("mde.mayChecks"), 0u) << name;
+    }
+}
+
+TEST(PaperShape, Fig17_NachosSavesEnergyOnEveryWorkload)
+{
+    // §VIII-B: 21% average savings, 12-40% range; at minimum NACHOS
+    // must never cost more than OPT-LSQ.
+    for (const char *name : {"gzip", "equake", "bzip2", "histogram",
+                             "povray", "sphinx3"}) {
+        RunRequest req;
+        req.runSw = false;
+        RunOutcome out = runWorkload(benchmarkByName(name), req);
+        EXPECT_LT(out.nachos->energy.total(), out.lsq->energy.total())
+            << name;
+    }
+}
+
+TEST(PaperShape, Fig17_MdeShareFarBelowLsqShare)
+{
+    // The pay-as-you-go claim: MDE energy is a small fraction of what
+    // the LSQ would spend on the same workload.
+    for (const char *name : {"bzip2", "povray", "fft2d"}) {
+        RunRequest req;
+        req.runSw = false;
+        RunOutcome out = runWorkload(benchmarkByName(name), req);
+        EXPECT_LT(out.nachos->energy.mde,
+                  out.lsq->energy.lsq() * 0.75)
+            << name;
+    }
+}
+
+TEST(PaperShape, Fig18_BloomBucketsOrderedLikeThePaper)
+{
+    // Figure 18's table: zero-bucket workloads probe-miss everything;
+    // the 20+ bucket workloads hit substantially.
+    RunRequest req;
+    req.runSw = false;
+    req.runNachos = false;
+
+    auto hit_rate = [&](const char *name) {
+        RunOutcome out = runWorkload(benchmarkByName(name), req);
+        const double probes = static_cast<double>(
+            out.lsq->stats.get("lsq.bloomProbes"));
+        const double hits = static_cast<double>(
+            out.lsq->stats.get("lsq.bloomHits"));
+        return probes == 0 ? 0.0 : hits / probes;
+    };
+    EXPECT_LT(hit_rate("gzip"), 0.01);
+    EXPECT_LT(hit_rate("sphinx3"), 0.01);
+    EXPECT_GT(hit_rate("bodytrack"), 0.10);
+}
+
+TEST(PaperShape, Appendix_DensityStaysBelowCrossover)
+{
+    // The appendix argument: every workload's MAY density must stay
+    // under E_lsq / E_MAY = 6 for decentralized checking to win.
+    for (const BenchmarkInfo &info : benchmarkSuite()) {
+        Region r = synthesizeRegion(info);
+        AliasAnalysisResult res = runAliasPipeline(r);
+        const double density =
+            static_cast<double>(res.final().enforced.may) /
+            static_cast<double>(std::max<size_t>(r.numMemOps(), 1));
+        EXPECT_LT(density, 6.0) << info.shortName;
+    }
+}
+
+TEST(PaperShape, ScopeStudy_TwelveWorkloadsGrow)
+{
+    int grew = 0;
+    for (const BenchmarkInfo &info : benchmarkSuite())
+        grew += info.parentContextOps > 0 ? 1 : 0;
+    EXPECT_EQ(grew, 12); // §IV-A: 12 of 27 benchmarks
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,110 @@
+/**
+ * Integration sweep: the full flow (synthesize -> analyze -> insert
+ * MDEs -> simulate) must keep the three ordering backends functionally
+ * identical on every one of the 27 paper workloads, at several path
+ * scales and under both the full and the baseline pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hh"
+#include "cgra/simulator.hh"
+#include "mde/inserter.hh"
+#include "workloads/suite.hh"
+
+namespace nachos {
+namespace {
+
+class SuiteEquivalence : public ::testing::TestWithParam<size_t>
+{};
+
+void
+checkEquivalent(const Region &region, const PipelineConfig &pipeline,
+                uint64_t invocations, const char *what)
+{
+    AliasAnalysisResult analysis = runAliasPipeline(region, pipeline);
+    MdeSet mdes = insertMdes(region, analysis.matrix);
+    SimConfig cfg;
+    cfg.invocations = invocations;
+    SimResult lsq = simulate(region, mdes, BackendKind::OptLsq, cfg);
+    SimResult sw = simulate(region, mdes, BackendKind::NachosSw, cfg);
+    SimResult hw = simulate(region, mdes, BackendKind::Nachos, cfg);
+    EXPECT_EQ(lsq.loadValueDigest, sw.loadValueDigest)
+        << region.name() << " " << what;
+    EXPECT_EQ(sw.loadValueDigest, hw.loadValueDigest)
+        << region.name() << " " << what;
+    EXPECT_EQ(lsq.memImage, hw.memImage) << region.name() << " "
+                                         << what;
+}
+
+TEST_P(SuiteEquivalence, FullPipelineHottestPath)
+{
+    const BenchmarkInfo &info = benchmarkSuite()[GetParam()];
+    Region r = synthesizeRegion(info);
+    checkEquivalent(r, PipelineConfig{}, 8, "full/path0");
+}
+
+TEST_P(SuiteEquivalence, BaselineCompilerHottestPath)
+{
+    const BenchmarkInfo &info = benchmarkSuite()[GetParam()];
+    Region r = synthesizeRegion(info);
+    checkEquivalent(r, PipelineConfig::baselineCompiler(), 6,
+                    "baseline/path0");
+}
+
+TEST_P(SuiteEquivalence, FullPipelineColdestPath)
+{
+    const BenchmarkInfo &info = benchmarkSuite()[GetParam()];
+    SynthesisOptions opts;
+    opts.pathIndex = 4;
+    Region r = synthesizeRegion(info, opts);
+    checkEquivalent(r, PipelineConfig{}, 6, "full/path4");
+}
+
+INSTANTIATE_TEST_SUITE_P(All27, SuiteEquivalence,
+                         ::testing::Range(size_t{0}, size_t{27}));
+
+TEST(SuiteDeterminism, RepeatedRunsIdentical)
+{
+    const BenchmarkInfo &info = benchmarkByName("povray");
+    Region r1 = synthesizeRegion(info);
+    Region r2 = synthesizeRegion(info);
+    AliasAnalysisResult a1 = runAliasPipeline(r1);
+    AliasAnalysisResult a2 = runAliasPipeline(r2);
+    MdeSet m1 = insertMdes(r1, a1.matrix);
+    MdeSet m2 = insertMdes(r2, a2.matrix);
+    ASSERT_EQ(m1.size(), m2.size());
+
+    SimConfig cfg;
+    cfg.invocations = 10;
+    SimResult s1 = simulate(r1, m1, BackendKind::Nachos, cfg);
+    SimResult s2 = simulate(r2, m2, BackendKind::Nachos, cfg);
+    EXPECT_EQ(s1.cycles, s2.cycles);
+    EXPECT_EQ(s1.loadValueDigest, s2.loadValueDigest);
+    EXPECT_EQ(s1.stats.get("mde.mayChecks"),
+              s2.stats.get("mde.mayChecks"));
+}
+
+TEST(SuiteMlp, MeasuredMlpTracksDescriptors)
+{
+    // Spot-check that the wave structure bounds concurrency near the
+    // Table II MLP targets for representative workloads.
+    for (const char *name : {"gzip", "equake", "sphinx3"}) {
+        const BenchmarkInfo &info = benchmarkByName(name);
+        Region r = synthesizeRegion(info);
+        AliasAnalysisResult analysis = runAliasPipeline(r);
+        MdeSet mdes = insertMdes(r, analysis.matrix);
+        SimConfig cfg;
+        cfg.invocations = 16;
+        SimResult res = simulate(r, mdes, BackendKind::OptLsq, cfg);
+        if (info.memOps == 0) {
+            EXPECT_EQ(res.maxMlp, 0u) << name;
+        } else {
+            EXPECT_GE(res.maxMlp, info.mlp / 2) << name;
+            EXPECT_LE(res.maxMlp, info.mlp * 2 + 4) << name;
+        }
+    }
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "ir/addr_expr.hh"
+
+namespace nachos {
+namespace {
+
+TEST(AddrExpr, CanonicalizeSortsAndMerges)
+{
+    AddrExpr e;
+    e.terms = {{3, 2}, {1, 5}, {3, -2}, {2, 0}};
+    e.canonicalize();
+    ASSERT_EQ(e.terms.size(), 1u); // sym 3 cancels, sym 2 zero-coeff
+    EXPECT_EQ(e.terms[0].sym, 1u);
+    EXPECT_EQ(e.terms[0].coeff, 5);
+}
+
+TEST(AddrExpr, CoeffOfMissingIsZero)
+{
+    AddrExpr e;
+    e.terms = {{1, 5}};
+    EXPECT_EQ(e.coeffOf(1), 5);
+    EXPECT_EQ(e.coeffOf(2), 0);
+}
+
+TEST(AddrExpr, SubtractCancelsCommonTerms)
+{
+    AddrExpr a, b;
+    a.base = {BaseKind::Object, 0};
+    b.base = {BaseKind::Object, 0};
+    a.constOffset = 16;
+    b.constOffset = 8;
+    a.terms = {{0, 8}, {1, 3}};
+    b.terms = {{0, 8}, {2, 4}};
+    a.canonicalize();
+    b.canonicalize();
+    AddrDiff d = subtractExprs(a, b);
+    EXPECT_EQ(d.constDiff, 8);
+    ASSERT_EQ(d.terms.size(), 2u);
+    EXPECT_EQ(d.terms[0].sym, 1u);
+    EXPECT_EQ(d.terms[0].coeff, 3);
+    EXPECT_EQ(d.terms[1].sym, 2u);
+    EXPECT_EQ(d.terms[1].coeff, -4);
+}
+
+TEST(AddrExpr, SubtractIdenticalIsConstantZero)
+{
+    AddrExpr a;
+    a.base = {BaseKind::Param, 2};
+    a.terms = {{0, 8}};
+    AddrDiff d = subtractExprs(a, a);
+    EXPECT_TRUE(d.isConstant());
+    EXPECT_EQ(d.constDiff, 0);
+}
+
+TEST(AddrExprDeathTest, SubtractDifferentBasesPanics)
+{
+    AddrExpr a, b;
+    a.base = {BaseKind::Object, 0};
+    b.base = {BaseKind::Object, 1};
+    EXPECT_DEATH(subtractExprs(a, b), "identical bases");
+}
+
+TEST(OpaqueValue, DeterministicAndBounded)
+{
+    Symbol s;
+    s.kind = SymKind::Opaque;
+    s.opaqueSeed = 42;
+    s.opaqueModulus = 100;
+    s.opaqueScale = 8;
+    s.opaqueBias = 64;
+    for (uint64_t inv = 0; inv < 50; ++inv) {
+        int64_t v1 = opaqueValue(s, inv);
+        int64_t v2 = opaqueValue(s, inv);
+        EXPECT_EQ(v1, v2);
+        EXPECT_GE(v1, 64);
+        EXPECT_LT(v1, 64 + 100 * 8);
+        EXPECT_EQ((v1 - 64) % 8, 0);
+    }
+}
+
+TEST(OpaqueValue, VariesAcrossInvocations)
+{
+    Symbol s;
+    s.kind = SymKind::Opaque;
+    s.opaqueSeed = 7;
+    s.opaqueModulus = 1 << 20;
+    int distinct = 0;
+    int64_t prev = -1;
+    for (uint64_t inv = 0; inv < 20; ++inv) {
+        int64_t v = opaqueValue(s, inv);
+        distinct += v != prev;
+        prev = v;
+    }
+    EXPECT_GT(distinct, 15);
+}
+
+TEST(HasSymbolOfKind, ChecksTable)
+{
+    std::vector<Symbol> tab(2);
+    tab[0].kind = SymKind::Invocation;
+    tab[1].kind = SymKind::DimStride;
+    AddrExpr e;
+    e.terms = {{0, 4}};
+    EXPECT_TRUE(e.hasSymbolOfKind(SymKind::Invocation, tab));
+    EXPECT_FALSE(e.hasSymbolOfKind(SymKind::DimStride, tab));
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+
+namespace nachos {
+namespace {
+
+TEST(Builder, MemIndexAssignedInProgramOrder)
+{
+    RegionBuilder b;
+    ObjectId obj = b.object("A", 4096);
+    OpId l0 = b.load(b.at(obj, 0));
+    OpId s0 = b.store(b.at(obj, 8), l0);
+    OpId l1 = b.load(b.at(obj, 16));
+    Region r = b.build();
+    EXPECT_EQ(r.op(l0).mem->memIndex, 0u);
+    EXPECT_EQ(r.op(s0).mem->memIndex, 1u);
+    EXPECT_EQ(r.op(l1).mem->memIndex, 2u);
+}
+
+TEST(Builder, ScratchOpsGetNoMemIndex)
+{
+    RegionBuilder b;
+    ObjectId loc = b.localObject("L", 512);
+    ObjectId obj = b.object("A", 512);
+    OpId sl = b.scratchLoad(loc, 0);
+    OpId gl = b.load(b.at(obj, 0));
+    Region r = b.build();
+    EXPECT_EQ(r.op(sl).mem->memIndex, kNoMemIndex);
+    EXPECT_TRUE(r.op(sl).mem->scratchpad);
+    EXPECT_EQ(r.op(gl).mem->memIndex, 0u);
+    EXPECT_EQ(r.memOps().size(), 1u);
+}
+
+TEST(Builder, OpaqueSymWiresProducerDependence)
+{
+    RegionBuilder b;
+    ObjectId idxs = b.object("idx", 4096);
+    ObjectId data = b.object("data", 1 << 16);
+    OpId idx_load = b.load(b.at(idxs, 0));
+    SymbolId osym = b.opaqueSym("i", idx_load, 1024, 8);
+    AddrExpr gather = b.at(data, 0);
+    gather.terms.push_back({osym, 1});
+    OpId g = b.load(gather);
+    Region r = b.build();
+    // The gather load must depend on the index load.
+    ASSERT_EQ(r.op(g).operands.size(), 1u);
+    EXPECT_EQ(r.op(g).operands[0], idx_load);
+}
+
+TEST(Builder, OpaqueBaseWiresProducerDependence)
+{
+    RegionBuilder b;
+    ObjectId heap = b.object("heap", 1 << 16);
+    OpId ptr_load = b.load(b.at(heap, 0), 8, {}, DataType::Ptr);
+    SymbolId osym = b.opaqueSym("p", ptr_load, 512, 64);
+    OpId chase = b.load(b.opaque(osym, 16));
+    Region r = b.build();
+    ASSERT_EQ(r.op(chase).operands.size(), 1u);
+    EXPECT_EQ(r.op(chase).operands[0], ptr_load);
+}
+
+TEST(Builder, StoreDataIsFirstOperand)
+{
+    RegionBuilder b;
+    ObjectId obj = b.object("A", 128);
+    OpId v = b.constant(7);
+    OpId dep = b.constant(1);
+    OpId st = b.store(b.at(obj, 0), v, 8, {dep});
+    Region r = b.build();
+    ASSERT_EQ(r.op(st).operands.size(), 2u);
+    EXPECT_EQ(r.op(st).operands[0], v);
+    EXPECT_EQ(r.op(st).operands[1], dep);
+    EXPECT_EQ(r.op(st).firstAddrOperand(), 1u);
+}
+
+TEST(Builder, InvocationSymIsShared)
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 1 << 20);
+    ObjectId c = b.object("C", 1 << 20);
+    OpId l1 = b.load(b.stream(a, 8));
+    OpId l2 = b.load(b.stream(c, 16));
+    Region r = b.build();
+    EXPECT_EQ(r.op(l1).mem->addr.terms[0].sym,
+              r.op(l2).mem->addr.terms[0].sym);
+}
+
+TEST(Builder, At2dAddsInvocationTermWhenRequested)
+{
+    RegionBuilder b;
+    ObjectId m = b.object2d("M", 64, 64);
+    OpId ld = b.load(b.at2d(m, 1, 2, 512));
+    Region r = b.build();
+    const AddrExpr &e = r.op(ld).mem->addr;
+    EXPECT_EQ(e.terms.size(), 2u); // row-stride term + invocation term
+}
+
+TEST(Builder, Object3dGroundTruthAddressing)
+{
+    RegionBuilder b;
+    ObjectId lat = b.object3d("L", 4, 8, 16, DataType::F64);
+    OpId ld = b.load(b.at3d(lat, 2, 3, 5));
+    Region r = b.build();
+    const uint64_t base = r.object(lat).baseAddr;
+    EXPECT_EQ(r.evalAddr(ld, 0),
+              base + 2 * (8 * 16 * 8) + 3 * (16 * 8) + 5 * 8);
+}
+
+TEST(BuilderDeathTest, ScratchLoadOnGlobalPanics)
+{
+    RegionBuilder b;
+    ObjectId obj = b.object("A", 128);
+    EXPECT_DEATH(b.scratchLoad(obj, 0), "local object");
+}
+
+TEST(BuilderDeathTest, RowStrideOfFlatObjectPanics)
+{
+    RegionBuilder b;
+    ObjectId obj = b.object("A", 128);
+    EXPECT_DEATH(b.rowStrideSym(obj), "row-stride");
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "lsq/bloom.hh"
+
+namespace nachos {
+namespace {
+
+TEST(Bloom, InsertQueryRemove)
+{
+    BloomFilter bloom;
+    EXPECT_FALSE(bloom.mayContain(0x100, 8));
+    bloom.insert(0x100, 8);
+    EXPECT_TRUE(bloom.mayContain(0x100, 8));
+    bloom.remove(0x100, 8);
+    EXPECT_FALSE(bloom.mayContain(0x100, 8));
+    EXPECT_TRUE(bloom.empty());
+}
+
+TEST(Bloom, NoFalseNegatives)
+{
+    BloomFilter bloom;
+    for (uint64_t a = 0; a < 100; ++a)
+        bloom.insert(0x1000 + a * 24, 8);
+    for (uint64_t a = 0; a < 100; ++a)
+        EXPECT_TRUE(bloom.mayContain(0x1000 + a * 24, 8));
+}
+
+TEST(Bloom, RangeStraddlingGranules)
+{
+    BloomFilter bloom;
+    bloom.insert(0x104, 8); // covers granules 0x100 and 0x108
+    EXPECT_TRUE(bloom.mayContain(0x100, 4));
+    EXPECT_TRUE(bloom.mayContain(0x108, 8));
+    bloom.remove(0x104, 8);
+    EXPECT_TRUE(bloom.empty());
+}
+
+TEST(Bloom, CountingSurvivesDuplicates)
+{
+    BloomFilter bloom;
+    bloom.insert(0x200, 8);
+    bloom.insert(0x200, 8);
+    bloom.remove(0x200, 8);
+    EXPECT_TRUE(bloom.mayContain(0x200, 8)); // one copy remains
+    bloom.remove(0x200, 8);
+    EXPECT_FALSE(bloom.mayContain(0x200, 8));
+}
+
+TEST(Bloom, FalsePositiveRateIsModest)
+{
+    BloomConfig cfg;
+    cfg.counters = 1024;
+    BloomFilter bloom(cfg);
+    for (uint64_t a = 0; a < 32; ++a)
+        bloom.insert(0x10000 + a * 8, 8);
+    int fp = 0;
+    for (uint64_t a = 0; a < 1000; ++a) {
+        if (bloom.mayContain(0x900000 + a * 8, 8))
+            ++fp;
+    }
+    EXPECT_LT(fp, 100); // well under 10%
+}
+
+TEST(BloomDeathTest, RemoveWithoutInsertPanics)
+{
+    BloomFilter bloom;
+    EXPECT_DEATH(bloom.remove(0x300, 8), "without insert");
+}
+
+TEST(BloomDeathTest, NonPowerOfTwoCountersPanics)
+{
+    BloomConfig cfg;
+    cfg.counters = 100;
+    EXPECT_DEATH(BloomFilter{cfg}, "power of two");
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ir/builder.hh"
+#include "mde/mde.hh"
+
+namespace nachos {
+namespace {
+
+Region
+threeMemOpRegion()
+{
+    RegionBuilder b;
+    ObjectId a = b.object("A", 4096);
+    OpId v = b.constant(1);
+    b.store(b.at(a, 0), v);
+    b.load(b.at(a, 0));
+    b.store(b.at(a, 8), v);
+    return b.build();
+}
+
+TEST(MdeSet, AddAndIndex)
+{
+    Region r = threeMemOpRegion();
+    const auto &mem = r.memOps();
+    MdeSet mdes(r);
+    mdes.add(mem[0], mem[1], MdeKind::Forward);
+    mdes.add(mem[0], mem[2], MdeKind::Order);
+    mdes.add(mem[1], mem[2], MdeKind::May);
+
+    EXPECT_EQ(mdes.size(), 3u);
+    EXPECT_EQ(mdes.incoming(mem[2]).size(), 2u);
+    EXPECT_EQ(mdes.outgoing(mem[0]).size(), 2u);
+    EXPECT_EQ(mdes.incoming(mem[0]).size(), 0u);
+
+    MdeCounts c = mdes.counts();
+    EXPECT_EQ(c.forward, 1u);
+    EXPECT_EQ(c.order, 1u);
+    EXPECT_EQ(c.may, 1u);
+    EXPECT_EQ(c.total(), 3u);
+}
+
+TEST(MdeSet, ForwardSourceLookup)
+{
+    Region r = threeMemOpRegion();
+    const auto &mem = r.memOps();
+    MdeSet mdes(r);
+    EXPECT_FALSE(mdes.hasForwardSource(mem[1]));
+    mdes.add(mem[0], mem[1], MdeKind::Forward);
+    EXPECT_TRUE(mdes.hasForwardSource(mem[1]));
+    EXPECT_EQ(mdes.forwardSource(mem[1]), mem[0]);
+}
+
+TEST(MdeSet, MayFanIns)
+{
+    Region r = threeMemOpRegion();
+    const auto &mem = r.memOps();
+    MdeSet mdes(r);
+    mdes.add(mem[0], mem[2], MdeKind::May);
+    mdes.add(mem[1], mem[2], MdeKind::May);
+    auto fanins = mdes.mayFanIns(r);
+    ASSERT_EQ(fanins.size(), 3u);
+    EXPECT_EQ(fanins[0], 0u);
+    EXPECT_EQ(fanins[1], 0u);
+    EXPECT_EQ(fanins[2], 2u);
+}
+
+TEST(MdeSetDeathTest, BackwardEdgePanics)
+{
+    Region r = threeMemOpRegion();
+    const auto &mem = r.memOps();
+    MdeSet mdes(r);
+    EXPECT_DEATH(mdes.add(mem[2], mem[0], MdeKind::Order),
+                 "older -> younger");
+}
+
+TEST(MdeSetDeathTest, MissingForwardSourcePanics)
+{
+    Region r = threeMemOpRegion();
+    MdeSet mdes(r);
+    EXPECT_DEATH(mdes.forwardSource(r.memOps()[1]), "no FORWARD");
+}
+
+TEST(MdeDot, EmitsDashedEdges)
+{
+    Region r = threeMemOpRegion();
+    const auto &mem = r.memOps();
+    MdeSet mdes(r);
+    mdes.add(mem[0], mem[1], MdeKind::Forward);
+    std::ostringstream os;
+    dumpDotWithMdes(r, mdes, os);
+    EXPECT_NE(os.str().find("style=dashed"), std::string::npos);
+    EXPECT_NE(os.str().find("FORWARD"), std::string::npos);
+}
+
+TEST(MdeKindNames, AllNamed)
+{
+    EXPECT_STREQ(mdeKindName(MdeKind::Order), "ORDER");
+    EXPECT_STREQ(mdeKindName(MdeKind::Forward), "FORWARD");
+    EXPECT_STREQ(mdeKindName(MdeKind::May), "MAY");
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+
+namespace nachos {
+namespace {
+
+TEST(BandwidthRegulator, AdmitsPerCycleLimit)
+{
+    BandwidthRegulator bw(2);
+    EXPECT_EQ(bw.admit(10), 10u);
+    EXPECT_EQ(bw.admit(10), 10u);
+    EXPECT_EQ(bw.admit(10), 11u); // third in the same cycle spills
+    EXPECT_EQ(bw.admit(10), 11u); // requests may arrive "late"
+    EXPECT_EQ(bw.admit(12), 12u);
+}
+
+TEST(MainMemory, FixedLatency)
+{
+    MainMemory dram(200, 4);
+    EXPECT_EQ(dram.access(0, false, 5), 205u);
+    EXPECT_EQ(dram.totalAccesses(), 1u);
+}
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    StatSet stats;
+    MainMemory dram{100, 8};
+    CacheConfig cfg{1024, 2, 64, 3, 4, 2, "l1"};
+    Cache cache{cfg, dram, stats};
+};
+
+TEST_F(CacheTest, MissThenHit)
+{
+    uint64_t t1 = cache.access(0x80, false, 0);
+    EXPECT_GT(t1, 100u); // went to DRAM
+    EXPECT_EQ(stats.get("l1.misses"), 1u);
+    uint64_t t2 = cache.access(0x80, false, t1 + 1);
+    EXPECT_EQ(t2, t1 + 1 + 3); // hit latency
+    EXPECT_EQ(stats.get("l1.hits"), 1u);
+}
+
+TEST_F(CacheTest, SameLineDifferentWordHits)
+{
+    uint64_t t1 = cache.access(0x100, false, 0);
+    uint64_t t2 = cache.access(0x138, false, t1 + 1); // same 64B line
+    EXPECT_EQ(t2, t1 + 1 + 3);
+}
+
+TEST_F(CacheTest, MshrMergesConcurrentMissesToSameLine)
+{
+    cache.access(0x200, false, 0);
+    uint64_t t2 = cache.access(0x208, false, 1); // same line, in flight
+    EXPECT_EQ(stats.get("l1.mshrMerges"), 1u);
+    EXPECT_EQ(stats.get("l1.misses"), 2u);
+    EXPECT_EQ(dram.totalAccesses(), 1u); // one fill only
+    EXPECT_GT(t2, 100u);
+}
+
+TEST_F(CacheTest, EvictionWritesBackDirtyLine)
+{
+    // 1 KiB, 2-way, 64 B lines -> 8 sets. Two different lines mapping
+    // to set 0 fill both ways; a third evicts the LRU.
+    uint64_t t = cache.access(0 * 512, true, 0); // set 0, dirty
+    t = cache.access(1 * 512, false, t + 1);     // set 0
+    t = cache.access(2 * 512, false, t + 1);     // evicts the dirty way
+    EXPECT_EQ(stats.get("l1.writebacks"), 1u);
+}
+
+TEST_F(CacheTest, LruKeepsRecentlyUsedLine)
+{
+    uint64_t t = cache.access(0 * 512, false, 0);
+    t = cache.access(1 * 512, false, t + 1);
+    t = cache.access(0 * 512, false, t + 1); // refresh line 0
+    t = cache.access(2 * 512, false, t + 1); // evicts line 1 (LRU)
+    uint64_t hit = cache.access(0 * 512, false, t + 1);
+    EXPECT_EQ(hit, t + 1 + 3);
+}
+
+TEST_F(CacheTest, ProbeDoesNotAllocate)
+{
+    EXPECT_FALSE(cache.probe(0x400));
+    cache.access(0x400, false, 0);
+    EXPECT_TRUE(cache.probe(0x400));
+}
+
+TEST_F(CacheTest, ResetDropsEverything)
+{
+    cache.access(0x80, false, 0);
+    cache.reset();
+    EXPECT_FALSE(cache.probe(0x80));
+}
+
+TEST(Hierarchy, L2BackstopsL1)
+{
+    StatSet stats;
+    HierarchyConfig cfg;
+    MemoryHierarchy mem(cfg, stats);
+    uint64_t t1 = mem.timedAccess(0x1000, false, 0);
+    // cold: L1 miss + LLC miss + DRAM
+    EXPECT_GT(t1, 200u);
+    uint64_t t2 = mem.timedAccess(0x1000, false, t1 + 1);
+    EXPECT_EQ(t2, t1 + 1 + cfg.l1.hitLatency);
+    EXPECT_EQ(stats.get("llc.misses"), 1u);
+}
+
+TEST(Hierarchy, ScratchpadIsOneCycle)
+{
+    StatSet stats;
+    HierarchyConfig cfg;
+    MemoryHierarchy mem(cfg, stats);
+    EXPECT_EQ(mem.scratchpadAccess(0x10, false, 7), 8u);
+    EXPECT_EQ(stats.get("scratchpad.reads"), 1u);
+}
+
+TEST(Hierarchy, ResetClearsFunctionalAndTiming)
+{
+    StatSet stats;
+    HierarchyConfig cfg;
+    MemoryHierarchy mem(cfg, stats);
+    mem.data().write(0x10, 8, 5);
+    mem.timedAccess(0x10, true, 0);
+    mem.reset();
+    EXPECT_EQ(mem.data().footprint(), 0u);
+    EXPECT_FALSE(mem.l1Probe(0x10));
+}
+
+} // namespace
+} // namespace nachos

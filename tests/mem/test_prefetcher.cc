@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace nachos {
+namespace {
+
+TEST(Prefetcher, NextLinePrefetchTurnsMissesIntoHits)
+{
+    StatSet stats;
+    MainMemory dram(100, 8);
+    CacheConfig cfg{8192, 2, 64, 3, 8, 4, "l1", true};
+    Cache cache(cfg, dram, stats);
+
+    // Sequential line-by-line stream, spaced so fills complete.
+    uint64_t t = 0;
+    for (uint64_t line = 0; line < 16; ++line)
+        t = cache.access(line * 64, false, t + 150);
+
+    EXPECT_GE(stats.get("l1.prefetches"), 8u);
+    // Every other line was prefetched ahead of its demand access.
+    EXPECT_GE(stats.get("l1.hits"), 7u);
+}
+
+TEST(Prefetcher, OffByDefault)
+{
+    StatSet stats;
+    MainMemory dram(100, 8);
+    CacheConfig cfg;
+    Cache cache(cfg, dram, stats);
+    uint64_t t = cache.access(0, false, 0);
+    cache.access(64, false, t + 1);
+    EXPECT_EQ(stats.get("cache.prefetches"), 0u);
+    EXPECT_EQ(stats.get("cache.misses"), 2u);
+}
+
+TEST(Prefetcher, DoesNotRefetchResidentLine)
+{
+    StatSet stats;
+    MainMemory dram(100, 8);
+    CacheConfig cfg{8192, 2, 64, 3, 8, 4, "l1", true};
+    Cache cache(cfg, dram, stats);
+    uint64_t t = cache.access(64, false, 0); // makes line 1 resident
+    t = cache.access(0, false, t + 1);       // miss; next line resident
+    // Only the two demand fills went to DRAM plus at most the first
+    // access's own prefetch of line 2.
+    EXPECT_LE(dram.totalAccesses(), 3u);
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mem/cache.hh"
+#include "support/random.hh"
+
+namespace nachos {
+namespace {
+
+class RegulatorProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RegulatorProperty, NeverExceedsRateAndNeverRewindsTime)
+{
+    Rng rng(GetParam() * 13 + 1);
+    const uint32_t rate = static_cast<uint32_t>(rng.range(1, 6));
+    BandwidthRegulator bw(rate);
+
+    std::map<uint64_t, uint32_t> per_cycle;
+    uint64_t cursor = 0;
+    for (int i = 0; i < 500; ++i) {
+        // Mostly monotone requests with occasional out-of-order dips
+        // (the writeback pattern the cache model produces).
+        if (rng.chance(0.8))
+            cursor += rng.below(3);
+        uint64_t ask =
+            rng.chance(0.15) && cursor > 4 ? cursor - 4 : cursor;
+        uint64_t granted = bw.admit(ask);
+        EXPECT_GE(granted, ask);
+        ++per_cycle[granted];
+    }
+    for (const auto &[cycle, count] : per_cycle)
+        EXPECT_LE(count, rate) << "cycle " << cycle;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegulatorProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{10}));
+
+TEST(Regulator, GrantsAreMonotoneNonDecreasing)
+{
+    BandwidthRegulator bw(2);
+    uint64_t last = 0;
+    for (uint64_t c = 0; c < 100; ++c) {
+        uint64_t g = bw.admit(c / 3);
+        EXPECT_GE(g, last);
+        last = g;
+    }
+}
+
+} // namespace
+} // namespace nachos

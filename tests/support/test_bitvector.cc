@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "support/bitvector.hh"
+
+namespace nachos {
+namespace {
+
+TEST(BitVector, SetAndTest)
+{
+    BitVector bv(130);
+    EXPECT_FALSE(bv.test(0));
+    bv.set(0);
+    bv.set(63);
+    bv.set(64);
+    bv.set(129);
+    EXPECT_TRUE(bv.test(0));
+    EXPECT_TRUE(bv.test(63));
+    EXPECT_TRUE(bv.test(64));
+    EXPECT_TRUE(bv.test(129));
+    EXPECT_FALSE(bv.test(1));
+    EXPECT_FALSE(bv.test(128));
+}
+
+TEST(BitVector, Count)
+{
+    BitVector bv(200);
+    for (size_t i = 0; i < 200; i += 3)
+        bv.set(i);
+    EXPECT_EQ(bv.count(), 67u);
+}
+
+TEST(BitVector, UnionWithReportsChange)
+{
+    BitVector a(70), b(70);
+    b.set(5);
+    b.set(69);
+    EXPECT_TRUE(a.unionWith(b));
+    EXPECT_TRUE(a.test(5));
+    EXPECT_TRUE(a.test(69));
+    EXPECT_FALSE(a.unionWith(b)); // no new bits
+}
+
+TEST(BitVector, ClearAll)
+{
+    BitVector bv(64);
+    bv.set(10);
+    bv.clearAll();
+    EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVectorDeathTest, OutOfRangePanics)
+{
+    BitVector bv(8);
+    EXPECT_DEATH(bv.set(8), "out of range");
+    EXPECT_DEATH(bv.test(100), "out of range");
+}
+
+TEST(BitVectorDeathTest, UnionSizeMismatchPanics)
+{
+    BitVector a(8), b(16);
+    EXPECT_DEATH(a.unionWith(b), "size mismatch");
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace nachos {
+namespace {
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    NACHOS_ASSERT(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(NACHOS_PANIC("boom ", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeathTest, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH(NACHOS_ASSERT(false, "ctx ", 7), "assertion failed");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithCode1)
+{
+    EXPECT_EXIT(NACHOS_FATAL("bad config"),
+                ::testing::ExitedWithCode(1), "fatal: bad config");
+}
+
+TEST(Logging, QuietSuppressesInform)
+{
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    inform("this should not print");
+    warn("nor this");
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+}
+
+} // namespace
+} // namespace nachos

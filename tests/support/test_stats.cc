@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "support/stats.hh"
+
+namespace nachos {
+namespace {
+
+TEST(StatSet, CounterCreatedOnFirstUse)
+{
+    StatSet stats;
+    EXPECT_EQ(stats.get("l1.hits"), 0u);
+    stats.counter("l1.hits").inc();
+    stats.counter("l1.hits").inc(4);
+    EXPECT_EQ(stats.get("l1.hits"), 5u);
+}
+
+TEST(StatSet, ResetAllZeroes)
+{
+    StatSet stats;
+    stats.counter("a").inc(3);
+    stats.counter("b").inc(7);
+    stats.resetAll();
+    EXPECT_EQ(stats.get("a"), 0u);
+    EXPECT_EQ(stats.get("b"), 0u);
+}
+
+TEST(StatSet, DumpSortedByName)
+{
+    StatSet stats;
+    stats.counter("z").inc(1);
+    stats.counter("a").inc(2);
+    auto dump = stats.dump();
+    ASSERT_EQ(dump.size(), 2u);
+    EXPECT_EQ(dump[0].first, "a");
+    EXPECT_EQ(dump[1].first, "z");
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(1, 2);
+    h.sample(3);
+    h.sample(10); // overflow
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h(16);
+    h.sample(2);
+    h.sample(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+    Histogram empty(4);
+    EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+TEST(Histogram, CumulativeFraction)
+{
+    Histogram h(8);
+    h.sample(0);
+    h.sample(1);
+    h.sample(2);
+    h.sample(20); // overflow
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(2), 0.75);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(100), 1.0);
+}
+
+} // namespace
+} // namespace nachos

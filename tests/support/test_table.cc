@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "support/table.hh"
+
+namespace nachos {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"short", "1"});
+    t.row({"a-much-longer-name", "12345"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+    // All lines equal width up to trailing spaces: header rule present.
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RightAlignsNumbers)
+{
+    TextTable t;
+    t.header({"n"});
+    t.row({"5"});
+    t.row({"12345"});
+    std::string s = t.str();
+    // "5" padded to width 5 -> four spaces before it.
+    EXPECT_NE(s.find("    5"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"1"});
+    t.row({"1", "2", "3"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_FALSE(t.str().empty());
+}
+
+TEST(Format, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(-1.5, 1), "-1.5");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(Format, FmtPct)
+{
+    EXPECT_EQ(fmtPct(0.5), "50.0%");
+    EXPECT_EQ(fmtPct(0.123, 1), "12.3%");
+    EXPECT_EQ(fmtPct(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace nachos

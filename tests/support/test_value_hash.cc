@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/value_hash.hh"
+
+namespace nachos {
+namespace {
+
+TEST(ValueHash, Mix64IsDeterministicAndDispersed)
+{
+    std::set<uint64_t> outputs;
+    for (uint64_t i = 0; i < 1000; ++i)
+        outputs.insert(valueMix64(i));
+    EXPECT_EQ(outputs.size(), 1000u);
+    EXPECT_EQ(valueMix64(42), valueMix64(42));
+}
+
+TEST(ValueHash, LiveInVariesByOpAndInvocation)
+{
+    EXPECT_NE(liveInValueFor(1, 0), liveInValueFor(2, 0));
+    EXPECT_NE(liveInValueFor(1, 0), liveInValueFor(1, 1));
+    EXPECT_EQ(liveInValueFor(7, 3), liveInValueFor(7, 3));
+}
+
+TEST(ValueHash, DigestTermOrderInsensitiveBySum)
+{
+    // The digest is a sum of per-load terms: any completion order of
+    // the same observations yields the same total.
+    uint64_t a = loadDigestTerm(1, 0, 100);
+    uint64_t b = loadDigestTerm(2, 0, 200);
+    uint64_t c = loadDigestTerm(3, 1, 300);
+    EXPECT_EQ(a + b + c, c + a + b);
+}
+
+TEST(ValueHash, DigestTermSensitiveToEachField)
+{
+    uint64_t base = loadDigestTerm(1, 2, 3);
+    EXPECT_NE(base, loadDigestTerm(2, 2, 3));
+    EXPECT_NE(base, loadDigestTerm(1, 3, 3));
+    EXPECT_NE(base, loadDigestTerm(1, 2, 4));
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared test helper: deterministic random offload regions covering
+ * every address-pattern class (constant, strided, param, 2-D symbolic,
+ * opaque gather) with real dynamic conflicts. Used by the analysis
+ * property tests and the cross-backend equivalence tests.
+ */
+
+#ifndef NACHOS_TESTS_TESTING_RANDOM_REGION_HH
+#define NACHOS_TESTS_TESTING_RANDOM_REGION_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/builder.hh"
+#include "support/random.hh"
+
+namespace nachos {
+namespace testing {
+
+/** Tuning knobs for random region generation. */
+struct RandomRegionOptions
+{
+    int minMemOps = 4;
+    int maxMemOps = 14;
+    /** Probability a memory op is a store. */
+    double storeFraction = 0.5;
+    /** Add a compute cloud chained off loads. */
+    bool withCompute = true;
+};
+
+/** Build a random-but-deterministic region from a seed. */
+inline Region
+randomRegion(uint64_t seed, const RandomRegionOptions &opts = {})
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    RegionBuilder b("rand" + std::to_string(seed));
+
+    const int n_objects = static_cast<int>(rng.range(1, 4));
+    std::vector<ObjectId> objs;
+    objs.reserve(n_objects);
+    for (int i = 0; i < n_objects; ++i)
+        objs.push_back(b.object("o" + std::to_string(i), 1 << 14));
+    ObjectId m2 = b.object2d("m2", 32, 16, DataType::F64);
+
+    std::vector<ParamId> params;
+    for (int i = 0; i < 2; ++i) {
+        ObjectId target = objs[rng.below(objs.size())];
+        int64_t off = rng.range(0, 16) * 8;
+        ParamId p =
+            b.pointerParam("p" + std::to_string(i), target, off);
+        if (rng.chance(0.5))
+            b.paramProvenance(p, target, off);
+        params.push_back(p);
+    }
+
+    OpId seed_val = b.liveIn();
+    OpId idx_load = b.load(b.at(objs[0], 0));
+    SymbolId osym = b.opaqueSym("gidx", idx_load, 64, 8, 0, seed + 7);
+
+    std::vector<OpId> values = {seed_val, idx_load};
+    const int n_mem =
+        static_cast<int>(rng.range(opts.minMemOps, opts.maxMemOps));
+    for (int i = 0; i < n_mem; ++i) {
+        AddrExpr e;
+        switch (rng.below(5)) {
+          case 0:
+            e = b.at(objs[rng.below(objs.size())],
+                     rng.range(0, 32) * 8);
+            break;
+          case 1:
+            e = b.stream(objs[rng.below(objs.size())],
+                         rng.range(0, 4) * 8, rng.range(0, 16) * 8);
+            break;
+          case 2:
+            e = b.atParam(params[rng.below(params.size())],
+                          rng.range(0, 32) * 8);
+            break;
+          case 3:
+            e = b.at2d(m2, rng.range(0, 8), rng.range(0, 15));
+            break;
+          default:
+            e = b.at(objs[rng.below(objs.size())], 0);
+            e.terms.push_back({osym, 1});
+            e.canonicalize();
+            break;
+        }
+        if (rng.chance(opts.storeFraction)) {
+            OpId data = values[rng.below(values.size())];
+            b.store(e, data, 8);
+        } else {
+            OpId v = b.load(e, 8);
+            values.push_back(v);
+            if (opts.withCompute && rng.chance(0.6)) {
+                OpId a = values[rng.below(values.size())];
+                values.push_back(b.iadd(v, a));
+            }
+        }
+    }
+    if (!values.empty())
+        b.liveOut(values.back());
+    return b.build();
+}
+
+} // namespace testing
+} // namespace nachos
+
+#endif // NACHOS_TESTS_TESTING_RANDOM_REGION_HH

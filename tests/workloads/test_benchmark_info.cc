@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/benchmark_info.hh"
+
+namespace nachos {
+namespace {
+
+TEST(BenchmarkInfo, SuiteHas27Workloads)
+{
+    EXPECT_EQ(benchmarkSuite().size(), 27u);
+}
+
+TEST(BenchmarkInfo, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto &b : benchmarkSuite())
+        EXPECT_TRUE(names.insert(b.shortName).second) << b.shortName;
+}
+
+TEST(BenchmarkInfo, FamilyFractionsSumToAtMostOne)
+{
+    for (const auto &b : benchmarkSuite()) {
+        double sum = b.famNoFrac + b.famStage2Frac + b.famStage4Frac +
+                     b.famOpaqueFrac;
+        EXPECT_LE(sum, 1.0 + 1e-9) << b.shortName;
+        if (b.memOps > 0) {
+            EXPECT_GT(sum, 0.99) << b.shortName;
+        }
+    }
+}
+
+TEST(BenchmarkInfo, MostWorkloadsFullyResolvable)
+{
+    // §VIII-B reports 15 of 27 workloads with the compiler certain
+    // about all dependencies; our reading of the per-stage efficacy
+    // lists yields 17 fully-resolved workloads (documented as a
+    // deviation in EXPERIMENTS.md). At minimum the paper's 15 must
+    // resolve, and the 10 §VI slowdown/fan-in workloads must not.
+    int resolved = 0;
+    for (const auto &b : benchmarkSuite())
+        resolved += b.expectResidualMay() ? 0 : 1;
+    EXPECT_EQ(resolved, 17);
+    EXPECT_GE(resolved, 15);
+}
+
+TEST(BenchmarkInfo, Table2HeadlineValues)
+{
+    const auto &equake = benchmarkByName("equake");
+    EXPECT_EQ(equake.ops, 559u);
+    EXPECT_EQ(equake.memOps, 215u);
+    EXPECT_EQ(equake.mlp, 16u);
+
+    const auto &bzip2 = benchmarkByName("bzip2");
+    EXPECT_EQ(bzip2.mlp, 128u);
+    EXPECT_EQ(bzip2.fanInClass, FanInClass::High);
+
+    const auto &blacks = benchmarkByName("blackscholes");
+    EXPECT_EQ(blacks.memOps, 0u);
+}
+
+TEST(BenchmarkInfo, BloomClassesMatchFig18Table)
+{
+    // Spot-check the verbatim bucket assignments from Figure 18.
+    EXPECT_EQ(benchmarkByName("gzip").bloomClass, BloomClass::Zero);
+    EXPECT_EQ(benchmarkByName("sjeng").bloomClass, BloomClass::Low);
+    EXPECT_EQ(benchmarkByName("parser").bloomClass, BloomClass::Mid);
+    EXPECT_EQ(benchmarkByName("fft2d").bloomClass, BloomClass::High);
+    EXPECT_EQ(benchmarkByName("histogram").bloomClass,
+              BloomClass::High);
+    EXPECT_EQ(benchmarkByName("fluidanimate").bloomClass,
+              BloomClass::Zero);
+}
+
+TEST(BenchmarkInfo, EnumNamesPrintable)
+{
+    EXPECT_STREQ(suiteName(Suite::Parsec), "PARSEC");
+    EXPECT_STREQ(bloomClassName(BloomClass::High), "20+");
+    EXPECT_STREQ(fanInClassName(FanInClass::High), "high");
+}
+
+TEST(BenchmarkInfoDeathTest, UnknownNameFatals)
+{
+    EXPECT_EXIT(benchmarkByName("nope"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+} // namespace
+} // namespace nachos

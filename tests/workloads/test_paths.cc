@@ -1,0 +1,95 @@
+/**
+ * Top-5-path coverage: the 135-region study (27 workloads x 5 paths)
+ * relies on every scaled path variant being as sound and well-formed
+ * as the hottest path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hh"
+#include "workloads/suite.hh"
+
+namespace nachos {
+namespace {
+
+struct PathCase
+{
+    size_t benchmark;
+    uint32_t path;
+};
+
+class PathSoundness
+    : public ::testing::TestWithParam<std::tuple<size_t, uint32_t>>
+{};
+
+TEST_P(PathSoundness, ScaledPathsStaySound)
+{
+    const auto [bench_idx, path] = GetParam();
+    const BenchmarkInfo &info = benchmarkSuite()[bench_idx];
+    SynthesisOptions opts;
+    opts.pathIndex = path;
+    Region r = synthesizeRegion(info, opts);
+    AliasAnalysisResult res = runAliasPipeline(r);
+    EXPECT_EQ(countSoundnessViolations(r, res.matrix, 24), 0u)
+        << info.shortName << " path " << path;
+}
+
+// Representative slice: one workload per family archetype, all paths.
+INSTANTIATE_TEST_SUITE_P(
+    Representative, PathSoundness,
+    ::testing::Combine(::testing::Values(size_t{0},  // gzip
+                                         size_t{3},  // equake
+                                         size_t{6},  // bzip2
+                                         size_t{14}, // lbm (3-D)
+                                         size_t{23}, // sarback
+                                         size_t{26}  // histogram
+                                         ),
+                       ::testing::Range(uint32_t{1}, uint32_t{5})));
+
+TEST(PathScaling, SizesShrinkMonotonically)
+{
+    for (const char *name : {"equake", "povray", "histogram"}) {
+        const BenchmarkInfo &info = benchmarkByName(name);
+        size_t prev_ops = SIZE_MAX;
+        for (uint32_t path = 0; path < 5; ++path) {
+            SynthesisOptions opts;
+            opts.pathIndex = path;
+            Region r = synthesizeRegion(info, opts);
+            EXPECT_LE(r.numOps(), prev_ops)
+                << name << " path " << path;
+            prev_ops = r.numOps();
+        }
+    }
+}
+
+TEST(PathScaling, FamilyCharacterSurvivesScaling)
+{
+    // Even the smallest path of a residual-MAY workload keeps MAYs,
+    // and of a stage-4 workload still resolves fully.
+    SynthesisOptions p4;
+    p4.pathIndex = 4;
+    {
+        Region r = synthesizeRegion(benchmarkByName("bzip2"), p4);
+        AliasAnalysisResult res = runAliasPipeline(r);
+        EXPECT_GT(res.final().all.may, 0u);
+    }
+    {
+        Region r = synthesizeRegion(benchmarkByName("equake"), p4);
+        AliasAnalysisResult res = runAliasPipeline(r);
+        EXPECT_EQ(res.final().all.may, 0u);
+        EXPECT_GT(res.afterStage3.all.may, 0u); // stage 4 did the work
+    }
+}
+
+TEST(PathScaling, DistinctPathsAreDistinctRegions)
+{
+    const BenchmarkInfo &info = benchmarkByName("parser");
+    SynthesisOptions p0, p1;
+    p1.pathIndex = 1;
+    Region a = synthesizeRegion(info, p0);
+    Region b = synthesizeRegion(info, p1);
+    EXPECT_NE(a.numOps(), b.numOps());
+}
+
+} // namespace
+} // namespace nachos

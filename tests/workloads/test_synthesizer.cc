@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hh"
+#include "workloads/suite.hh"
+#include "workloads/synthesizer.hh"
+
+namespace nachos {
+namespace {
+
+TEST(Synthesizer, MemOpCountsNearDescriptor)
+{
+    for (const auto &info : benchmarkSuite()) {
+        Region r = synthesizeRegion(info);
+        const double mem = static_cast<double>(r.numMemOps());
+        if (info.memOps == 0) {
+            EXPECT_EQ(r.numMemOps(), 0u) << info.shortName;
+        } else {
+            EXPECT_NEAR(mem, info.memOps,
+                        std::max(2.0, info.memOps * 0.1))
+                << info.shortName;
+        }
+    }
+}
+
+TEST(Synthesizer, TotalOpCountsNearDescriptor)
+{
+    for (const auto &info : benchmarkSuite()) {
+        Region r = synthesizeRegion(info);
+        EXPECT_GE(r.numOps() + 2, info.ops) << info.shortName;
+        // Allow overhead (delay lines, liveins) of up to 35%.
+        EXPECT_LE(r.numOps(), info.ops * 1.35 + 16) << info.shortName;
+    }
+}
+
+TEST(Synthesizer, ScratchpadShareTracksLocalPct)
+{
+    const auto &crafty = benchmarkByName("crafty"); // 40% local
+    Region r = synthesizeRegion(crafty);
+    EXPECT_GT(r.numScratchpadOps(), 0u);
+    double promoted = static_cast<double>(r.numScratchpadOps());
+    double share =
+        promoted / (promoted + static_cast<double>(r.numMemOps()));
+    EXPECT_NEAR(share, 0.40, 0.12);
+
+    const auto &histogram = benchmarkByName("histogram"); // 0% local
+    EXPECT_EQ(synthesizeRegion(histogram).numScratchpadOps(), 0u);
+}
+
+TEST(Synthesizer, DeterministicForSameSeed)
+{
+    const auto &info = benchmarkByName("parser");
+    Region a = synthesizeRegion(info);
+    Region b = synthesizeRegion(info);
+    ASSERT_EQ(a.numOps(), b.numOps());
+    for (OpId i = 0; i < a.numOps(); ++i) {
+        EXPECT_EQ(a.op(i).kind, b.op(i).kind) << i;
+        EXPECT_EQ(a.op(i).operands, b.op(i).operands) << i;
+    }
+}
+
+TEST(Synthesizer, PathScalesShrinkRegions)
+{
+    const auto &info = benchmarkByName("equake");
+    SynthesisOptions p0, p4;
+    p4.pathIndex = 4;
+    Region r0 = synthesizeRegion(info, p0);
+    Region r4 = synthesizeRegion(info, p4);
+    EXPECT_LT(r4.numOps(), r0.numOps());
+    EXPECT_LT(r4.numMemOps(), r0.numMemOps());
+    EXPECT_NEAR(static_cast<double>(r4.numMemOps()),
+                0.45 * static_cast<double>(r0.numMemOps()),
+                0.15 * static_cast<double>(r0.numMemOps()));
+}
+
+/** Alias-pipeline soundness across the full suite (hottest paths). */
+class SuiteSoundness
+    : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(SuiteSoundness, NoLabelNeverOverlaps)
+{
+    const auto &info = benchmarkSuite()[GetParam()];
+    Region r = synthesizeRegion(info);
+    AliasAnalysisResult res = runAliasPipeline(r);
+    EXPECT_EQ(countSoundnessViolations(r, res.matrix, 40), 0u)
+        << info.shortName;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteSoundness,
+                         ::testing::Range(size_t{0}, size_t{27}));
+
+TEST(Synthesizer, Stage1CompleteWorkloadsHaveNoResidualMay)
+{
+    for (const char *name :
+         {"gzip", "mcf181", "crafty", "mcf429", "sjeng"}) {
+        Region r = synthesizeRegion(benchmarkByName(name));
+        AliasAnalysisResult res = runAliasPipeline(r);
+        EXPECT_EQ(res.final().all.may, 0u) << name;
+        // Even Stage 1 alone suffices for these workloads.
+        EXPECT_EQ(res.afterStage1.all.may, 0u) << name;
+    }
+}
+
+TEST(Synthesizer, Stage4WorkloadsNeedStage4)
+{
+    for (const char *name :
+         {"equake", "lbm", "namd", "bodytrack", "dwt53"}) {
+        Region r = synthesizeRegion(benchmarkByName(name));
+        AliasAnalysisResult res = runAliasPipeline(r);
+        EXPECT_GT(res.afterStage3.all.may, 0u) << name;
+        EXPECT_EQ(res.afterStage4.all.may, 0u) << name;
+    }
+}
+
+TEST(Synthesizer, Stage2WorkloadsNeedStage2)
+{
+    for (const char *name : {"gcc", "fluidanimate", "sarback"}) {
+        Region r = synthesizeRegion(benchmarkByName(name));
+        AliasAnalysisResult full = runAliasPipeline(r);
+        // Stage 2 does the conversion (Figure 7): MAYs drop between
+        // the stage-1 and stage-2 snapshots.
+        EXPECT_GT(full.afterStage1.all.may, 0u) << name;
+        EXPECT_LT(full.afterStage2.all.may, full.afterStage1.all.may)
+            << name;
+        EXPECT_EQ(full.final().all.may, 0u) << name;
+
+        // The baseline compiler (stages 1+3, Figure 12) cannot
+        // resolve these workloads.
+        AliasAnalysisResult baseline = runAliasPipeline(
+            r, PipelineConfig::baselineCompiler());
+        EXPECT_GT(baseline.final().all.may, 0u) << name;
+    }
+}
+
+TEST(Synthesizer, ResidualMayWorkloadsKeepMay)
+{
+    for (const char *name :
+         {"bzip2", "povray", "fft2d", "art", "soplex"}) {
+        Region r = synthesizeRegion(benchmarkByName(name));
+        AliasAnalysisResult res = runAliasPipeline(r);
+        EXPECT_GT(res.final().all.may, 0u) << name;
+    }
+}
+
+TEST(Synthesizer, ScopeStudyAddsMayRelations)
+{
+    const auto &bzip2 = benchmarkByName("bzip2");
+    ScopeStudyRegions study = synthesizeScopeStudy(bzip2);
+    AliasAnalysisResult base = runAliasPipeline(study.regionOnly);
+    AliasAnalysisResult wide = runAliasPipeline(study.withParent);
+    EXPECT_GT(wide.afterStage1.all.may, base.afterStage1.all.may);
+}
+
+TEST(Synthesizer, ScopeStudyNoGrowthWithoutParentOps)
+{
+    const auto &gzip = benchmarkByName("gzip");
+    ASSERT_EQ(gzip.parentContextOps, 0u);
+    ScopeStudyRegions study = synthesizeScopeStudy(gzip);
+    AliasAnalysisResult base = runAliasPipeline(study.regionOnly);
+    AliasAnalysisResult wide = runAliasPipeline(study.withParent);
+    EXPECT_EQ(wide.afterStage1.all.may, base.afterStage1.all.may);
+}
+
+TEST(Suite, FullSuiteHas135Regions)
+{
+    auto suite = buildFullSuite();
+    EXPECT_EQ(suite.size(), 135u);
+    // Path indices cycle 0..4 per batch of 27.
+    EXPECT_EQ(suite[0].pathIndex, 0u);
+    EXPECT_EQ(suite[134].pathIndex, 4u);
+}
+
+} // namespace
+} // namespace nachos
