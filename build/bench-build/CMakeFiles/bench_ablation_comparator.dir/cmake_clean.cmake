@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_comparator"
+  "../bench/bench_ablation_comparator.pdb"
+  "CMakeFiles/bench_ablation_comparator.dir/bench_ablation_comparator.cc.o"
+  "CMakeFiles/bench_ablation_comparator.dir/bench_ablation_comparator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_comparator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lsq"
+  "../bench/bench_ablation_lsq.pdb"
+  "CMakeFiles/bench_ablation_lsq.dir/bench_ablation_lsq.cc.o"
+  "CMakeFiles/bench_ablation_lsq.dir/bench_ablation_lsq.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_stages"
+  "../bench/bench_ablation_stages.pdb"
+  "CMakeFiles/bench_ablation_stages.dir/bench_ablation_stages.cc.o"
+  "CMakeFiles/bench_ablation_stages.dir/bench_ablation_stages.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

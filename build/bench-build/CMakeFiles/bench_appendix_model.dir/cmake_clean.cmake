@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_appendix_model"
+  "../bench/bench_appendix_model.pdb"
+  "CMakeFiles/bench_appendix_model.dir/bench_appendix_model.cc.o"
+  "CMakeFiles/bench_appendix_model.dir/bench_appendix_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

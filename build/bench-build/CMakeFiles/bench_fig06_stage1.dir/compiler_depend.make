@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig06_stage1.
+# This may be replaced when dependencies are built.

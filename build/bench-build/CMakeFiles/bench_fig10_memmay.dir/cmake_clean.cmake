@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_memmay"
+  "../bench/bench_fig10_memmay.pdb"
+  "CMakeFiles/bench_fig10_memmay.dir/bench_fig10_memmay.cc.o"
+  "CMakeFiles/bench_fig10_memmay.dir/bench_fig10_memmay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_memmay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_baseline_compiler"
+  "../bench/bench_fig12_baseline_compiler.pdb"
+  "CMakeFiles/bench_fig12_baseline_compiler.dir/bench_fig12_baseline_compiler.cc.o"
+  "CMakeFiles/bench_fig12_baseline_compiler.dir/bench_fig12_baseline_compiler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_baseline_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

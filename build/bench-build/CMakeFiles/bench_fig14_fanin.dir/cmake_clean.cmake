@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_fanin"
+  "../bench/bench_fig14_fanin.pdb"
+  "CMakeFiles/bench_fig14_fanin.dir/bench_fig14_fanin.cc.o"
+  "CMakeFiles/bench_fig14_fanin.dir/bench_fig14_fanin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_fanin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

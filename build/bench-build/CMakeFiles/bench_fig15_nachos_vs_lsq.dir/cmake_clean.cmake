@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_nachos_vs_lsq"
+  "../bench/bench_fig15_nachos_vs_lsq.pdb"
+  "CMakeFiles/bench_fig15_nachos_vs_lsq.dir/bench_fig15_nachos_vs_lsq.cc.o"
+  "CMakeFiles/bench_fig15_nachos_vs_lsq.dir/bench_fig15_nachos_vs_lsq.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_nachos_vs_lsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

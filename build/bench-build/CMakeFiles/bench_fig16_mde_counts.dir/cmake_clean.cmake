@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_mde_counts"
+  "../bench/bench_fig16_mde_counts.pdb"
+  "CMakeFiles/bench_fig16_mde_counts.dir/bench_fig16_mde_counts.cc.o"
+  "CMakeFiles/bench_fig16_mde_counts.dir/bench_fig16_mde_counts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_mde_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

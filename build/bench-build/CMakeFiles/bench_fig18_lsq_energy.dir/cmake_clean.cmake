@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_lsq_energy"
+  "../bench/bench_fig18_lsq_energy.pdb"
+  "CMakeFiles/bench_fig18_lsq_energy.dir/bench_fig18_lsq_energy.cc.o"
+  "CMakeFiles/bench_fig18_lsq_energy.dir/bench_fig18_lsq_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_lsq_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

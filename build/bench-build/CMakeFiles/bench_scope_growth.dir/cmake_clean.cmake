@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scope_growth"
+  "../bench/bench_scope_growth.pdb"
+  "CMakeFiles/bench_scope_growth.dir/bench_scope_growth.cc.o"
+  "CMakeFiles/bench_scope_growth.dir/bench_scope_growth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scope_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2.cc" "bench-build/CMakeFiles/bench_table2.dir/bench_table2.cc.o" "gcc" "bench-build/CMakeFiles/bench_table2.dir/bench_table2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nachos_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_cgra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_mde.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_lsq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_chase.dir/pointer_chase.cpp.o"
+  "CMakeFiles/pointer_chase.dir/pointer_chase.cpp.o.d"
+  "pointer_chase"
+  "pointer_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_tool.dir/region_tool.cpp.o"
+  "CMakeFiles/region_tool.dir/region_tool.cpp.o.d"
+  "region_tool"
+  "region_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

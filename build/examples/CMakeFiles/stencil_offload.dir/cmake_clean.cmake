@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_offload.dir/stencil_offload.cpp.o"
+  "CMakeFiles/stencil_offload.dir/stencil_offload.cpp.o.d"
+  "stencil_offload"
+  "stencil_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_explorer.dir/suite_explorer.cpp.o"
+  "CMakeFiles/suite_explorer.dir/suite_explorer.cpp.o.d"
+  "suite_explorer"
+  "suite_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_workload.dir/verify_workload.cpp.o"
+  "CMakeFiles/verify_workload.dir/verify_workload.cpp.o.d"
+  "verify_workload"
+  "verify_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/alias_matrix.cc" "src/CMakeFiles/nachos_analysis.dir/analysis/alias_matrix.cc.o" "gcc" "src/CMakeFiles/nachos_analysis.dir/analysis/alias_matrix.cc.o.d"
+  "/root/repo/src/analysis/pipeline.cc" "src/CMakeFiles/nachos_analysis.dir/analysis/pipeline.cc.o" "gcc" "src/CMakeFiles/nachos_analysis.dir/analysis/pipeline.cc.o.d"
+  "/root/repo/src/analysis/stage1_basic.cc" "src/CMakeFiles/nachos_analysis.dir/analysis/stage1_basic.cc.o" "gcc" "src/CMakeFiles/nachos_analysis.dir/analysis/stage1_basic.cc.o.d"
+  "/root/repo/src/analysis/stage2_interproc.cc" "src/CMakeFiles/nachos_analysis.dir/analysis/stage2_interproc.cc.o" "gcc" "src/CMakeFiles/nachos_analysis.dir/analysis/stage2_interproc.cc.o.d"
+  "/root/repo/src/analysis/stage3_redundancy.cc" "src/CMakeFiles/nachos_analysis.dir/analysis/stage3_redundancy.cc.o" "gcc" "src/CMakeFiles/nachos_analysis.dir/analysis/stage3_redundancy.cc.o.d"
+  "/root/repo/src/analysis/stage4_polyhedral.cc" "src/CMakeFiles/nachos_analysis.dir/analysis/stage4_polyhedral.cc.o" "gcc" "src/CMakeFiles/nachos_analysis.dir/analysis/stage4_polyhedral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nachos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

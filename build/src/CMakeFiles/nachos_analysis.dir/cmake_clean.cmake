@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nachos_analysis.dir/analysis/alias_matrix.cc.o"
+  "CMakeFiles/nachos_analysis.dir/analysis/alias_matrix.cc.o.d"
+  "CMakeFiles/nachos_analysis.dir/analysis/pipeline.cc.o"
+  "CMakeFiles/nachos_analysis.dir/analysis/pipeline.cc.o.d"
+  "CMakeFiles/nachos_analysis.dir/analysis/stage1_basic.cc.o"
+  "CMakeFiles/nachos_analysis.dir/analysis/stage1_basic.cc.o.d"
+  "CMakeFiles/nachos_analysis.dir/analysis/stage2_interproc.cc.o"
+  "CMakeFiles/nachos_analysis.dir/analysis/stage2_interproc.cc.o.d"
+  "CMakeFiles/nachos_analysis.dir/analysis/stage3_redundancy.cc.o"
+  "CMakeFiles/nachos_analysis.dir/analysis/stage3_redundancy.cc.o.d"
+  "CMakeFiles/nachos_analysis.dir/analysis/stage4_polyhedral.cc.o"
+  "CMakeFiles/nachos_analysis.dir/analysis/stage4_polyhedral.cc.o.d"
+  "libnachos_analysis.a"
+  "libnachos_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nachos_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

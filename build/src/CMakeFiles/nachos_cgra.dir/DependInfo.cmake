@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgra/function_unit.cc" "src/CMakeFiles/nachos_cgra.dir/cgra/function_unit.cc.o" "gcc" "src/CMakeFiles/nachos_cgra.dir/cgra/function_unit.cc.o.d"
+  "/root/repo/src/cgra/lsq_backend.cc" "src/CMakeFiles/nachos_cgra.dir/cgra/lsq_backend.cc.o" "gcc" "src/CMakeFiles/nachos_cgra.dir/cgra/lsq_backend.cc.o.d"
+  "/root/repo/src/cgra/nachos_backend.cc" "src/CMakeFiles/nachos_cgra.dir/cgra/nachos_backend.cc.o" "gcc" "src/CMakeFiles/nachos_cgra.dir/cgra/nachos_backend.cc.o.d"
+  "/root/repo/src/cgra/network.cc" "src/CMakeFiles/nachos_cgra.dir/cgra/network.cc.o" "gcc" "src/CMakeFiles/nachos_cgra.dir/cgra/network.cc.o.d"
+  "/root/repo/src/cgra/placement.cc" "src/CMakeFiles/nachos_cgra.dir/cgra/placement.cc.o" "gcc" "src/CMakeFiles/nachos_cgra.dir/cgra/placement.cc.o.d"
+  "/root/repo/src/cgra/simulator.cc" "src/CMakeFiles/nachos_cgra.dir/cgra/simulator.cc.o" "gcc" "src/CMakeFiles/nachos_cgra.dir/cgra/simulator.cc.o.d"
+  "/root/repo/src/cgra/sw_backend.cc" "src/CMakeFiles/nachos_cgra.dir/cgra/sw_backend.cc.o" "gcc" "src/CMakeFiles/nachos_cgra.dir/cgra/sw_backend.cc.o.d"
+  "/root/repo/src/cgra/trace.cc" "src/CMakeFiles/nachos_cgra.dir/cgra/trace.cc.o" "gcc" "src/CMakeFiles/nachos_cgra.dir/cgra/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nachos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_mde.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_lsq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

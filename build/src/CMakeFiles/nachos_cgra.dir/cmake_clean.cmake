@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nachos_cgra.dir/cgra/function_unit.cc.o"
+  "CMakeFiles/nachos_cgra.dir/cgra/function_unit.cc.o.d"
+  "CMakeFiles/nachos_cgra.dir/cgra/lsq_backend.cc.o"
+  "CMakeFiles/nachos_cgra.dir/cgra/lsq_backend.cc.o.d"
+  "CMakeFiles/nachos_cgra.dir/cgra/nachos_backend.cc.o"
+  "CMakeFiles/nachos_cgra.dir/cgra/nachos_backend.cc.o.d"
+  "CMakeFiles/nachos_cgra.dir/cgra/network.cc.o"
+  "CMakeFiles/nachos_cgra.dir/cgra/network.cc.o.d"
+  "CMakeFiles/nachos_cgra.dir/cgra/placement.cc.o"
+  "CMakeFiles/nachos_cgra.dir/cgra/placement.cc.o.d"
+  "CMakeFiles/nachos_cgra.dir/cgra/simulator.cc.o"
+  "CMakeFiles/nachos_cgra.dir/cgra/simulator.cc.o.d"
+  "CMakeFiles/nachos_cgra.dir/cgra/sw_backend.cc.o"
+  "CMakeFiles/nachos_cgra.dir/cgra/sw_backend.cc.o.d"
+  "CMakeFiles/nachos_cgra.dir/cgra/trace.cc.o"
+  "CMakeFiles/nachos_cgra.dir/cgra/trace.cc.o.d"
+  "libnachos_cgra.a"
+  "libnachos_cgra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nachos_cgra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nachos_energy.dir/energy/model.cc.o"
+  "CMakeFiles/nachos_energy.dir/energy/model.cc.o.d"
+  "libnachos_energy.a"
+  "libnachos_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nachos_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnachos_energy.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for nachos_energy.
+# This may be replaced when dependencies are built.

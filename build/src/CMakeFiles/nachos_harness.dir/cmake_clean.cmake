@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nachos_harness.dir/harness/golden.cc.o"
+  "CMakeFiles/nachos_harness.dir/harness/golden.cc.o.d"
+  "CMakeFiles/nachos_harness.dir/harness/report.cc.o"
+  "CMakeFiles/nachos_harness.dir/harness/report.cc.o.d"
+  "CMakeFiles/nachos_harness.dir/harness/runner.cc.o"
+  "CMakeFiles/nachos_harness.dir/harness/runner.cc.o.d"
+  "libnachos_harness.a"
+  "libnachos_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nachos_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

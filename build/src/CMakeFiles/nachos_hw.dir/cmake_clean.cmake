@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nachos_hw.dir/nachos/may_station.cc.o"
+  "CMakeFiles/nachos_hw.dir/nachos/may_station.cc.o.d"
+  "libnachos_hw.a"
+  "libnachos_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nachos_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

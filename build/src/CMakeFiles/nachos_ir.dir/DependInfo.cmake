@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/addr_expr.cc" "src/CMakeFiles/nachos_ir.dir/ir/addr_expr.cc.o" "gcc" "src/CMakeFiles/nachos_ir.dir/ir/addr_expr.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/nachos_ir.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/nachos_ir.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/dfg.cc" "src/CMakeFiles/nachos_ir.dir/ir/dfg.cc.o" "gcc" "src/CMakeFiles/nachos_ir.dir/ir/dfg.cc.o.d"
+  "/root/repo/src/ir/dot.cc" "src/CMakeFiles/nachos_ir.dir/ir/dot.cc.o" "gcc" "src/CMakeFiles/nachos_ir.dir/ir/dot.cc.o.d"
+  "/root/repo/src/ir/mem_object.cc" "src/CMakeFiles/nachos_ir.dir/ir/mem_object.cc.o" "gcc" "src/CMakeFiles/nachos_ir.dir/ir/mem_object.cc.o.d"
+  "/root/repo/src/ir/operation.cc" "src/CMakeFiles/nachos_ir.dir/ir/operation.cc.o" "gcc" "src/CMakeFiles/nachos_ir.dir/ir/operation.cc.o.d"
+  "/root/repo/src/ir/serialize.cc" "src/CMakeFiles/nachos_ir.dir/ir/serialize.cc.o" "gcc" "src/CMakeFiles/nachos_ir.dir/ir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nachos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nachos_ir.dir/ir/addr_expr.cc.o"
+  "CMakeFiles/nachos_ir.dir/ir/addr_expr.cc.o.d"
+  "CMakeFiles/nachos_ir.dir/ir/builder.cc.o"
+  "CMakeFiles/nachos_ir.dir/ir/builder.cc.o.d"
+  "CMakeFiles/nachos_ir.dir/ir/dfg.cc.o"
+  "CMakeFiles/nachos_ir.dir/ir/dfg.cc.o.d"
+  "CMakeFiles/nachos_ir.dir/ir/dot.cc.o"
+  "CMakeFiles/nachos_ir.dir/ir/dot.cc.o.d"
+  "CMakeFiles/nachos_ir.dir/ir/mem_object.cc.o"
+  "CMakeFiles/nachos_ir.dir/ir/mem_object.cc.o.d"
+  "CMakeFiles/nachos_ir.dir/ir/operation.cc.o"
+  "CMakeFiles/nachos_ir.dir/ir/operation.cc.o.d"
+  "CMakeFiles/nachos_ir.dir/ir/serialize.cc.o"
+  "CMakeFiles/nachos_ir.dir/ir/serialize.cc.o.d"
+  "libnachos_ir.a"
+  "libnachos_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nachos_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

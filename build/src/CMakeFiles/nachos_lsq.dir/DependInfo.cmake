@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsq/bloom.cc" "src/CMakeFiles/nachos_lsq.dir/lsq/bloom.cc.o" "gcc" "src/CMakeFiles/nachos_lsq.dir/lsq/bloom.cc.o.d"
+  "/root/repo/src/lsq/opt_lsq.cc" "src/CMakeFiles/nachos_lsq.dir/lsq/opt_lsq.cc.o" "gcc" "src/CMakeFiles/nachos_lsq.dir/lsq/opt_lsq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nachos_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

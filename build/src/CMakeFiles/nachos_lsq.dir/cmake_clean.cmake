@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nachos_lsq.dir/lsq/bloom.cc.o"
+  "CMakeFiles/nachos_lsq.dir/lsq/bloom.cc.o.d"
+  "CMakeFiles/nachos_lsq.dir/lsq/opt_lsq.cc.o"
+  "CMakeFiles/nachos_lsq.dir/lsq/opt_lsq.cc.o.d"
+  "libnachos_lsq.a"
+  "libnachos_lsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nachos_lsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nachos_mde.dir/mde/inserter.cc.o"
+  "CMakeFiles/nachos_mde.dir/mde/inserter.cc.o.d"
+  "CMakeFiles/nachos_mde.dir/mde/mde.cc.o"
+  "CMakeFiles/nachos_mde.dir/mde/mde.cc.o.d"
+  "libnachos_mde.a"
+  "libnachos_mde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nachos_mde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

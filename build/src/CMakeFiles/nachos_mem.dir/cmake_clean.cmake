@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nachos_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/nachos_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/nachos_mem.dir/mem/functional_memory.cc.o"
+  "CMakeFiles/nachos_mem.dir/mem/functional_memory.cc.o.d"
+  "CMakeFiles/nachos_mem.dir/mem/hierarchy.cc.o"
+  "CMakeFiles/nachos_mem.dir/mem/hierarchy.cc.o.d"
+  "CMakeFiles/nachos_mem.dir/mem/scratchpad.cc.o"
+  "CMakeFiles/nachos_mem.dir/mem/scratchpad.cc.o.d"
+  "libnachos_mem.a"
+  "libnachos_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nachos_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/nachos_support.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/nachos_support.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/random.cc" "src/CMakeFiles/nachos_support.dir/support/random.cc.o" "gcc" "src/CMakeFiles/nachos_support.dir/support/random.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/nachos_support.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/nachos_support.dir/support/stats.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/CMakeFiles/nachos_support.dir/support/table.cc.o" "gcc" "src/CMakeFiles/nachos_support.dir/support/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nachos_support.dir/support/logging.cc.o"
+  "CMakeFiles/nachos_support.dir/support/logging.cc.o.d"
+  "CMakeFiles/nachos_support.dir/support/random.cc.o"
+  "CMakeFiles/nachos_support.dir/support/random.cc.o.d"
+  "CMakeFiles/nachos_support.dir/support/stats.cc.o"
+  "CMakeFiles/nachos_support.dir/support/stats.cc.o.d"
+  "CMakeFiles/nachos_support.dir/support/table.cc.o"
+  "CMakeFiles/nachos_support.dir/support/table.cc.o.d"
+  "libnachos_support.a"
+  "libnachos_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nachos_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

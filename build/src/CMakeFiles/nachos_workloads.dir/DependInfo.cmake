@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/benchmark_info.cc" "src/CMakeFiles/nachos_workloads.dir/workloads/benchmark_info.cc.o" "gcc" "src/CMakeFiles/nachos_workloads.dir/workloads/benchmark_info.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/nachos_workloads.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/nachos_workloads.dir/workloads/suite.cc.o.d"
+  "/root/repo/src/workloads/synthesizer.cc" "src/CMakeFiles/nachos_workloads.dir/workloads/synthesizer.cc.o" "gcc" "src/CMakeFiles/nachos_workloads.dir/workloads/synthesizer.cc.o.d"
+  "/root/repo/src/workloads/table2_data.cc" "src/CMakeFiles/nachos_workloads.dir/workloads/table2_data.cc.o" "gcc" "src/CMakeFiles/nachos_workloads.dir/workloads/table2_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nachos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

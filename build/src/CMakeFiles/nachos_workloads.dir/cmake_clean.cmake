@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nachos_workloads.dir/workloads/benchmark_info.cc.o"
+  "CMakeFiles/nachos_workloads.dir/workloads/benchmark_info.cc.o.d"
+  "CMakeFiles/nachos_workloads.dir/workloads/suite.cc.o"
+  "CMakeFiles/nachos_workloads.dir/workloads/suite.cc.o.d"
+  "CMakeFiles/nachos_workloads.dir/workloads/synthesizer.cc.o"
+  "CMakeFiles/nachos_workloads.dir/workloads/synthesizer.cc.o.d"
+  "CMakeFiles/nachos_workloads.dir/workloads/table2_data.cc.o"
+  "CMakeFiles/nachos_workloads.dir/workloads/table2_data.cc.o.d"
+  "libnachos_workloads.a"
+  "libnachos_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nachos_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_classify_property.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_classify_property.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_classify_property.cc.o.d"
+  "/root/repo/tests/analysis/test_pipeline.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_pipeline.cc.o.d"
+  "/root/repo/tests/analysis/test_stage1.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_stage1.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_stage1.cc.o.d"
+  "/root/repo/tests/analysis/test_stage2.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_stage2.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_stage2.cc.o.d"
+  "/root/repo/tests/analysis/test_stage3.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_stage3.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_stage3.cc.o.d"
+  "/root/repo/tests/analysis/test_stage4.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_stage4.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_stage4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nachos_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_cgra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_mde.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_lsq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

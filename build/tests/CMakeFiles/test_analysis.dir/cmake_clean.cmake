@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_classify_property.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_classify_property.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_pipeline.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_pipeline.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_stage1.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_stage1.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_stage2.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_stage2.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_stage3.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_stage3.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_stage4.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_stage4.cc.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cgra.dir/cgra/test_backends.cc.o"
+  "CMakeFiles/test_cgra.dir/cgra/test_backends.cc.o.d"
+  "CMakeFiles/test_cgra.dir/cgra/test_equivalence.cc.o"
+  "CMakeFiles/test_cgra.dir/cgra/test_equivalence.cc.o.d"
+  "CMakeFiles/test_cgra.dir/cgra/test_placement.cc.o"
+  "CMakeFiles/test_cgra.dir/cgra/test_placement.cc.o.d"
+  "CMakeFiles/test_cgra.dir/cgra/test_simulator.cc.o"
+  "CMakeFiles/test_cgra.dir/cgra/test_simulator.cc.o.d"
+  "CMakeFiles/test_cgra.dir/cgra/test_trace.cc.o"
+  "CMakeFiles/test_cgra.dir/cgra/test_trace.cc.o.d"
+  "test_cgra"
+  "test_cgra.pdb"
+  "test_cgra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cgra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

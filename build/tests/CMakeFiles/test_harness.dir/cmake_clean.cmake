@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness.dir/harness/test_golden.cc.o"
+  "CMakeFiles/test_harness.dir/harness/test_golden.cc.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_runner.cc.o"
+  "CMakeFiles/test_harness.dir/harness/test_runner.cc.o.d"
+  "test_harness"
+  "test_harness.pdb"
+  "test_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_paper_figure2.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_paper_figure2.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_paper_shapes.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_paper_shapes.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_suite_equivalence.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_suite_equivalence.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

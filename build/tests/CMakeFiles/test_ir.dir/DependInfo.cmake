@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/test_addr_expr.cc" "tests/CMakeFiles/test_ir.dir/ir/test_addr_expr.cc.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_addr_expr.cc.o.d"
+  "/root/repo/tests/ir/test_builder.cc" "tests/CMakeFiles/test_ir.dir/ir/test_builder.cc.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_builder.cc.o.d"
+  "/root/repo/tests/ir/test_operation.cc" "tests/CMakeFiles/test_ir.dir/ir/test_operation.cc.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_operation.cc.o.d"
+  "/root/repo/tests/ir/test_region.cc" "tests/CMakeFiles/test_ir.dir/ir/test_region.cc.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nachos_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_cgra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_mde.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_lsq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir.dir/ir/test_addr_expr.cc.o"
+  "CMakeFiles/test_ir.dir/ir/test_addr_expr.cc.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_builder.cc.o"
+  "CMakeFiles/test_ir.dir/ir/test_builder.cc.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_operation.cc.o"
+  "CMakeFiles/test_ir.dir/ir/test_operation.cc.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_region.cc.o"
+  "CMakeFiles/test_ir.dir/ir/test_region.cc.o.d"
+  "test_ir"
+  "test_ir.pdb"
+  "test_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

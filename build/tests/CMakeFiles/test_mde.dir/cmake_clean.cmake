@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mde.dir/mde/test_inserter.cc.o"
+  "CMakeFiles/test_mde.dir/mde/test_inserter.cc.o.d"
+  "CMakeFiles/test_mde.dir/mde/test_mde.cc.o"
+  "CMakeFiles/test_mde.dir/mde/test_mde.cc.o.d"
+  "test_mde"
+  "test_mde.pdb"
+  "test_mde[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

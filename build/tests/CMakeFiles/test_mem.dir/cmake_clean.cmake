@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_cache.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_functional_memory.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_functional_memory.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_prefetcher.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_prefetcher.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_regulator_property.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_regulator_property.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nachos_hw.dir/nachos/test_may_station.cc.o"
+  "CMakeFiles/test_nachos_hw.dir/nachos/test_may_station.cc.o.d"
+  "test_nachos_hw"
+  "test_nachos_hw.pdb"
+  "test_nachos_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nachos_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

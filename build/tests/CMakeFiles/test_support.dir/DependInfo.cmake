@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/test_bitvector.cc" "tests/CMakeFiles/test_support.dir/support/test_bitvector.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_bitvector.cc.o.d"
+  "/root/repo/tests/support/test_logging.cc" "tests/CMakeFiles/test_support.dir/support/test_logging.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_logging.cc.o.d"
+  "/root/repo/tests/support/test_random.cc" "tests/CMakeFiles/test_support.dir/support/test_random.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_random.cc.o.d"
+  "/root/repo/tests/support/test_stats.cc" "tests/CMakeFiles/test_support.dir/support/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_stats.cc.o.d"
+  "/root/repo/tests/support/test_table.cc" "tests/CMakeFiles/test_support.dir/support/test_table.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_table.cc.o.d"
+  "/root/repo/tests/support/test_value_hash.cc" "tests/CMakeFiles/test_support.dir/support/test_value_hash.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_value_hash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nachos_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_cgra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_mde.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_lsq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nachos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

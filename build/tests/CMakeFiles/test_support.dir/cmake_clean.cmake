@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/test_bitvector.cc.o"
+  "CMakeFiles/test_support.dir/support/test_bitvector.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_logging.cc.o"
+  "CMakeFiles/test_support.dir/support/test_logging.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_random.cc.o"
+  "CMakeFiles/test_support.dir/support/test_random.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_stats.cc.o"
+  "CMakeFiles/test_support.dir/support/test_stats.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_table.cc.o"
+  "CMakeFiles/test_support.dir/support/test_table.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_value_hash.cc.o"
+  "CMakeFiles/test_support.dir/support/test_value_hash.cc.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

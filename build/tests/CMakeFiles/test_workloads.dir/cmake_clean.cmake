@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/test_benchmark_info.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_benchmark_info.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_descriptor_fuzz.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_descriptor_fuzz.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_paths.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_paths.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_synthesizer.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_synthesizer.cc.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
