@@ -16,10 +16,12 @@
 #include "analysis/pipeline.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "ir/builder.hh"
 #include "mde/inserter.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 
 using namespace nachos;
 
@@ -53,35 +55,42 @@ victimRegion(uint32_t k_parents)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Ablation (synthetic)",
                 "One victim store with K simultaneous MAY parents: "
                 "cycles/invocation by arbiter width");
 
+    ThreadPool pool(suiteThreads(argc, argv));
+
     TextTable sweep;
     sweep.header({"K parents", "width=1", "width=8", "width=64",
                   "arbitration delay"});
-    for (uint32_t k : {4u, 16u, 32u, 64u}) {
-        Region r = victimRegion(k);
-        AliasAnalysisResult res = runAliasPipeline(r);
-        MdeSet mdes = insertMdes(r, res.matrix);
-        std::vector<std::string> row = {std::to_string(k)};
-        double w1 = 0, wide = 0;
-        for (uint32_t width : {1u, 8u, 64u}) {
-            SimConfig cfg;
-            cfg.invocations = 200;
-            cfg.nachosComparesPerCycle = width;
-            SimResult sim = simulate(r, mdes, BackendKind::Nachos, cfg);
-            row.push_back(fmtDouble(sim.cyclesPerInvocation, 1));
-            if (width == 1)
-                w1 = sim.cyclesPerInvocation;
-            wide = sim.cyclesPerInvocation;
-        }
-        row.push_back(fmtDouble(w1 - wide, 1) + " cyc");
+    const std::vector<uint32_t> parents = {4, 16, 32, 64};
+    std::vector<std::vector<std::string>> sweep_rows = parallelMap(
+        pool, parents, [](const uint32_t &k, size_t) {
+            Region r = victimRegion(k);
+            AliasAnalysisResult res = runAliasPipeline(r);
+            MdeSet mdes = insertMdes(r, res.matrix);
+            std::vector<std::string> row = {std::to_string(k)};
+            double w1 = 0, wide = 0;
+            for (uint32_t width : {1u, 8u, 64u}) {
+                SimConfig cfg;
+                cfg.invocations = 200;
+                cfg.nachosComparesPerCycle = width;
+                SimResult sim =
+                    simulate(r, mdes, BackendKind::Nachos, cfg);
+                row.push_back(fmtDouble(sim.cyclesPerInvocation, 1));
+                if (width == 1)
+                    w1 = sim.cyclesPerInvocation;
+                wide = sim.cyclesPerInvocation;
+            }
+            row.push_back(fmtDouble(w1 - wide, 1) + " cyc");
+            return row;
+        });
+    for (const std::vector<std::string> &row : sweep_rows)
         sweep.row(row);
-    }
     sweep.print(std::cout);
     std::cout << "\nThe single-comparator delay grows linearly with "
                  "fan-in — the paper's §VII\ncontention mechanism "
@@ -91,25 +100,32 @@ main()
                 "Arbiter width on the high-fan-in workloads");
     TextTable table;
     table.header({"app", "width=1", "width=64", "contention cost"});
-    for (const char *name :
-         {"bzip2", "sarpfa", "povray", "fft2d", "soplex", "art"}) {
-        const BenchmarkInfo &info = benchmarkByName(name);
-        Region r = synthesizeRegion(info);
-        AliasAnalysisResult res = runAliasPipeline(r);
-        MdeSet mdes = insertMdes(r, res.matrix);
-        double w1 = 0, wide = 0;
-        for (uint32_t width : {1u, 64u}) {
-            SimConfig cfg;
-            cfg.invocations = info.invocations;
-            cfg.nachosComparesPerCycle = width;
-            SimResult sim = simulate(r, mdes, BackendKind::Nachos, cfg);
-            if (width == 1)
-                w1 = sim.cyclesPerInvocation;
-            wide = sim.cyclesPerInvocation;
-        }
-        table.row({info.shortName, fmtDouble(w1, 1), fmtDouble(wide, 1),
-                   fmtPct(wide == 0 ? 0 : (w1 - wide) / wide)});
-    }
+    const std::vector<std::string> names = {"bzip2",  "sarpfa",
+                                            "povray", "fft2d",
+                                            "soplex", "art"};
+    std::vector<std::vector<std::string>> suite_rows = parallelMap(
+        pool, names, [](const std::string &name, size_t) {
+            const BenchmarkInfo &info = benchmarkByName(name);
+            Region r = synthesizeRegion(info);
+            AliasAnalysisResult res = runAliasPipeline(r);
+            MdeSet mdes = insertMdes(r, res.matrix);
+            double w1 = 0, wide = 0;
+            for (uint32_t width : {1u, 64u}) {
+                SimConfig cfg;
+                cfg.invocations = info.invocations;
+                cfg.nachosComparesPerCycle = width;
+                SimResult sim =
+                    simulate(r, mdes, BackendKind::Nachos, cfg);
+                if (width == 1)
+                    w1 = sim.cyclesPerInvocation;
+                wide = sim.cyclesPerInvocation;
+            }
+            return std::vector<std::string>{
+                info.shortName, fmtDouble(w1, 1), fmtDouble(wide, 1),
+                fmtPct(wide == 0 ? 0 : (w1 - wide) / wide)};
+        });
+    for (const std::vector<std::string> &row : suite_rows)
+        table.row(row);
     table.print(std::cout);
     std::cout << "\nIn full workloads the arbitration largely overlaps "
                  "other latency; the paper\nsaw it surface as "

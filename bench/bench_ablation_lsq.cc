@@ -16,9 +16,11 @@
 #include "analysis/pipeline.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "mde/inserter.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 
 using namespace nachos;
 
@@ -37,33 +39,40 @@ runLsq(const Region &r, const MdeSet &mdes, const BenchmarkInfo &info,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Ablation (LSQ banks)",
                 "OPT-LSQ bank count vs cycles/invocation "
                 "(2 ports per bank)");
 
+    ThreadPool pool(suiteThreads(argc, argv));
+
     TextTable banks;
     banks.header({"app", "#MEM", "1 bank", "2 banks", "4 banks",
                   "8 banks"});
-    for (const char *name : {"equake", "bzip2", "namd", "h264ref",
-                             "sphinx3", "gzip"}) {
-        const BenchmarkInfo &info = benchmarkByName(name);
-        Region r = synthesizeRegion(info);
-        AliasAnalysisResult res = runAliasPipeline(r);
-        MdeSet mdes = insertMdes(r, res.matrix);
-        std::vector<std::string> row = {
-            info.shortName, std::to_string(r.numMemOps())};
-        for (uint32_t nb : {1u, 2u, 4u, 8u}) {
-            LsqConfig lsq;
-            lsq.banks = nb;
-            lsq.portsPerBank = 2;
-            SimResult sim = runLsq(r, mdes, info, lsq);
-            row.push_back(fmtDouble(sim.cyclesPerInvocation, 1));
-        }
+    const std::vector<std::string> names = {"equake",  "bzip2",
+                                            "namd",    "h264ref",
+                                            "sphinx3", "gzip"};
+    std::vector<std::vector<std::string>> bank_rows = parallelMap(
+        pool, names, [](const std::string &name, size_t) {
+            const BenchmarkInfo &info = benchmarkByName(name);
+            Region r = synthesizeRegion(info);
+            AliasAnalysisResult res = runAliasPipeline(r);
+            MdeSet mdes = insertMdes(r, res.matrix);
+            std::vector<std::string> row = {
+                info.shortName, std::to_string(r.numMemOps())};
+            for (uint32_t nb : {1u, 2u, 4u, 8u}) {
+                LsqConfig lsq;
+                lsq.banks = nb;
+                lsq.portsPerBank = 2;
+                SimResult sim = runLsq(r, mdes, info, lsq);
+                row.push_back(fmtDouble(sim.cyclesPerInvocation, 1));
+            }
+            return row;
+        });
+    for (const std::vector<std::string> &row : bank_rows)
         banks.row(row);
-    }
     banks.print(std::cout);
     std::cout << "\nMem-heavy regions (equake: 215 ops) need the "
                  "aggregate port bandwidth of many\nbanks just to "
@@ -80,16 +89,22 @@ main()
     TextTable bloom;
     bloom.header({"counters", "bloom hits", "CAM searches",
                   "LSQ energy (nJ)"});
-    for (uint32_t counters : {64u, 128u, 512u, 2048u}) {
-        LsqConfig lsq;
-        lsq.bloom.counters = counters;
-        SimResult sim = runLsq(r, mdes, info, lsq);
-        bloom.row({std::to_string(counters),
-                   std::to_string(sim.stats.get("lsq.bloomHits")),
-                   std::to_string(sim.stats.get("lsq.camLoads") +
-                                  sim.stats.get("lsq.camStores")),
-                   fmtDouble(sim.energy.lsq() / 1e6, 1)});
-    }
+    const std::vector<uint32_t> counter_sizes = {64, 128, 512, 2048};
+    std::vector<std::vector<std::string>> bloom_rows = parallelMap(
+        pool, counter_sizes,
+        [&r, &mdes, &info](const uint32_t &counters, size_t) {
+            LsqConfig lsq;
+            lsq.bloom.counters = counters;
+            SimResult sim = runLsq(r, mdes, info, lsq);
+            return std::vector<std::string>{
+                std::to_string(counters),
+                std::to_string(sim.stats.get("lsq.bloomHits")),
+                std::to_string(sim.stats.get("lsq.camLoads") +
+                               sim.stats.get("lsq.camStores")),
+                fmtDouble(sim.energy.lsq() / 1e6, 1)};
+        });
+    for (const std::vector<std::string> &row : bloom_rows)
+        bloom.row(row);
     bloom.print(std::cout);
     std::cout << "\nSmaller filters false-positive into CAM searches; "
                  "the filter is best-effort\n(Figure 18): correctness "

@@ -13,9 +13,11 @@
 #include "analysis/pipeline.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "mde/inserter.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 
 using namespace nachos;
 
@@ -27,10 +29,17 @@ struct StageCase
     PipelineConfig cfg;
 };
 
+struct WorkloadContribution
+{
+    uint64_t may = 0;
+    uint64_t mdes = 0;
+    double logRatio = 0;
+};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Ablation (stages)",
@@ -55,25 +64,37 @@ main()
     TextTable table;
     table.header({"configuration", "MAY pairs", "enforced MDEs",
                   "SW geomean vs LSQ"});
+    ThreadPool pool(suiteThreads(argc, argv));
     for (const StageCase &c : cases) {
+        std::vector<WorkloadContribution> per = parallelMap(
+            pool, benchmarkSuite(),
+            [&c](const BenchmarkInfo &info, size_t) {
+                Region r = synthesizeRegion(info);
+                AliasAnalysisResult res = runAliasPipeline(r, c.cfg);
+                MdeSet mdes = insertMdes(r, res.matrix);
+
+                SimConfig sim;
+                sim.invocations =
+                    std::min<uint64_t>(info.invocations, 60);
+                SimResult lsq =
+                    simulate(r, mdes, BackendKind::OptLsq, sim);
+                SimResult sw =
+                    simulate(r, mdes, BackendKind::NachosSw, sim);
+                WorkloadContribution w;
+                w.may = res.final().all.may;
+                w.mdes = mdes.counts().total();
+                w.logRatio =
+                    std::log(static_cast<double>(sw.cycles) /
+                             static_cast<double>(lsq.cycles));
+                return w;
+            });
         uint64_t may = 0, mdes_total = 0;
         double log_sum = 0;
         int n = 0;
-        for (const BenchmarkInfo &info : benchmarkSuite()) {
-            Region r = synthesizeRegion(info);
-            AliasAnalysisResult res = runAliasPipeline(r, c.cfg);
-            may += res.final().all.may;
-            MdeSet mdes = insertMdes(r, res.matrix);
-            mdes_total += mdes.counts().total();
-
-            SimConfig sim;
-            sim.invocations = std::min<uint64_t>(info.invocations, 60);
-            SimResult lsq =
-                simulate(r, mdes, BackendKind::OptLsq, sim);
-            SimResult sw =
-                simulate(r, mdes, BackendKind::NachosSw, sim);
-            log_sum += std::log(static_cast<double>(sw.cycles) /
-                                static_cast<double>(lsq.cycles));
+        for (const WorkloadContribution &w : per) {
+            may += w.may;
+            mdes_total += w.mdes;
+            log_sum += w.logRatio;
             ++n;
         }
         const double geomean = std::exp(log_sum / n);

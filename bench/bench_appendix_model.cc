@@ -19,13 +19,25 @@
 
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 
 using namespace nachos;
 
+namespace {
+
+struct Density
+{
+    uint64_t may = 0;
+    size_t memOps = 0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Appendix",
@@ -47,19 +59,28 @@ main()
     std::cout << "\nCrossover at density = " << fmtDouble(e_lsq / e_may, 0)
               << " (paper: 6)\n\nMeasured per-workload MAY density:\n\n";
 
+    ThreadPool pool(suiteThreads(argc, argv));
+    std::vector<Density> densities = parallelMap(
+        pool, benchmarkSuite(),
+        [](const BenchmarkInfo &info, size_t) {
+            Region r = synthesizeRegion(info);
+            AliasAnalysisResult res = runAliasPipeline(r);
+            return Density{res.final().enforced.may, r.numMemOps()};
+        });
+
     TextTable table;
     table.header({"app", "MAY pairs", "#MEM", "density", ">1?"});
     int above_one = 0;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        Region r = synthesizeRegion(info);
-        AliasAnalysisResult res = runAliasPipeline(r);
-        const uint64_t may = res.final().enforced.may;
+    for (size_t i = 0; i < densities.size(); ++i) {
+        const BenchmarkInfo &info = benchmarkSuite()[i];
+        const uint64_t may = densities[i].may;
+        const size_t mem_ops = densities[i].memOps;
         const double n =
-            static_cast<double>(std::max<size_t>(r.numMemOps(), 1));
+            static_cast<double>(std::max<size_t>(mem_ops, 1));
         const double density = static_cast<double>(may) / n;
         above_one += density > 1.0 ? 1 : 0;
         table.row({info.shortName, std::to_string(may),
-                   std::to_string(r.numMemOps()),
+                   std::to_string(mem_ops),
                    fmtDouble(density, 2), density > 1 ? "yes" : "no"});
     }
     table.print(std::cout);

@@ -16,33 +16,44 @@
 #include "harness/report.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
+#include "harness/suite_runner.hh"
 #include "workloads/suite.hh"
 
 using namespace nachos;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Figure 6",
                 "Stage 1: %MAY / %MUST of pairwise relations "
                 "(top-5 paths)");
 
+    ThreadPool pool(suiteThreads(argc, argv));
+    std::vector<PairCounts> totals = parallelMap(
+        pool, benchmarkSuite(),
+        [](const BenchmarkInfo &info, size_t) {
+            PairCounts total;
+            for (uint32_t path = 0; path < 5; ++path) {
+                SynthesisOptions opts;
+                opts.pathIndex = path;
+                Region r = synthesizeRegion(info, opts);
+                AliasMatrix m = runStage1(r);
+                PairCounts c = m.counts();
+                total.no += c.no;
+                total.may += c.may;
+                total.must += c.must;
+            }
+            return total;
+        });
+
     TextTable table;
     table.header({"app", "pairs", "%MAY", "%MUST", "%NO", "resolved?"});
     int fully_resolved = 0;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        PairCounts total;
-        for (uint32_t path = 0; path < 5; ++path) {
-            SynthesisOptions opts;
-            opts.pathIndex = path;
-            Region r = synthesizeRegion(info, opts);
-            AliasMatrix m = runStage1(r);
-            PairCounts c = m.counts();
-            total.no += c.no;
-            total.may += c.may;
-            total.must += c.must;
-        }
+    for (size_t i = 0; i < totals.size(); ++i) {
+        const BenchmarkInfo &info = benchmarkSuite()[i];
+        const PairCounts &total = totals[i];
         const bool resolved = total.may == 0;
         fully_resolved += resolved ? 1 : 0;
         table.row({info.shortName, std::to_string(total.total()),

@@ -12,34 +12,56 @@
 
 #include "analysis/pipeline.hh"
 #include "harness/report.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 #include "workloads/suite.hh"
 
 using namespace nachos;
 
+namespace {
+
+struct MayCounts
+{
+    uint64_t may1 = 0;
+    uint64_t may2 = 0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Figure 7",
                 "Stage 2: MAY -> NO conversion by inter-procedural "
                 "provenance (top-5 paths)");
 
+    ThreadPool pool(suiteThreads(argc, argv));
+    std::vector<MayCounts> counts = parallelMap(
+        pool, benchmarkSuite(),
+        [](const BenchmarkInfo &info, size_t) {
+            MayCounts c;
+            for (uint32_t path = 0; path < 5; ++path) {
+                SynthesisOptions opts;
+                opts.pathIndex = path;
+                Region r = synthesizeRegion(info, opts);
+                PipelineConfig cfg; // full pipeline; snapshots used
+                AliasAnalysisResult res = runAliasPipeline(r, cfg);
+                c.may1 += res.afterStage1.all.may;
+                c.may2 += res.afterStage2.all.may;
+            }
+            return c;
+        });
+
     TextTable table;
     table.header({"app", "MAY@1", "MAY@2", "converted", "%converted"});
     int refined = 0;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        uint64_t may1 = 0, may2 = 0;
-        for (uint32_t path = 0; path < 5; ++path) {
-            SynthesisOptions opts;
-            opts.pathIndex = path;
-            Region r = synthesizeRegion(info, opts);
-            PipelineConfig cfg; // full pipeline; snapshots used
-            AliasAnalysisResult res = runAliasPipeline(r, cfg);
-            may1 += res.afterStage1.all.may;
-            may2 += res.afterStage2.all.may;
-        }
+    for (size_t i = 0; i < counts.size(); ++i) {
+        const BenchmarkInfo &info = benchmarkSuite()[i];
+        const uint64_t may1 = counts[i].may1;
+        const uint64_t may2 = counts[i].may2;
         const uint64_t converted = may1 - may2;
         refined += converted > 0 ? 1 : 0;
         table.row({info.shortName, std::to_string(may1),

@@ -12,40 +12,66 @@
 
 #include "analysis/pipeline.hh"
 #include "harness/report.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 #include "workloads/suite.hh"
 
 using namespace nachos;
 
+namespace {
+
+struct Retention
+{
+    uint64_t relations = 0;
+    uint64_t retained = 0;
+    uint64_t rMay = 0;
+    uint64_t rMust = 0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Figure 9",
                 "Stage 3: alias relations retained after redundancy "
                 "removal (top-5 paths)");
 
+    ThreadPool pool(suiteThreads(argc, argv));
+    std::vector<Retention> rows = parallelMap(
+        pool, benchmarkSuite(),
+        [](const BenchmarkInfo &info, size_t) {
+            Retention ret;
+            for (uint32_t path = 0; path < 5; ++path) {
+                SynthesisOptions opts;
+                opts.pathIndex = path;
+                Region r = synthesizeRegion(info, opts);
+                AliasAnalysisResult res = runAliasPipeline(r);
+                // Relations found by stages 1+2 (MUST + MAY).
+                ret.relations += res.afterStage2.all.may +
+                                 res.afterStage2.all.must;
+                ret.retained += res.afterStage3.enforced.may +
+                                res.afterStage3.enforced.must;
+                ret.rMay += res.afterStage3.enforced.may;
+                ret.rMust += res.afterStage3.enforced.must;
+            }
+            return ret;
+        });
+
     TextTable table;
     table.header({"app", "relations", "retained", "%removed",
                   "retained MAY", "retained MUST"});
     double removed_sum = 0;
     int counted = 0;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        uint64_t relations = 0, retained = 0, r_may = 0, r_must = 0;
-        for (uint32_t path = 0; path < 5; ++path) {
-            SynthesisOptions opts;
-            opts.pathIndex = path;
-            Region r = synthesizeRegion(info, opts);
-            AliasAnalysisResult res = runAliasPipeline(r);
-            // Relations found by stages 1+2 (MUST + MAY).
-            relations += res.afterStage2.all.may +
-                         res.afterStage2.all.must;
-            retained += res.afterStage3.enforced.may +
-                        res.afterStage3.enforced.must;
-            r_may += res.afterStage3.enforced.may;
-            r_must += res.afterStage3.enforced.must;
-        }
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const BenchmarkInfo &info = benchmarkSuite()[i];
+        const uint64_t relations = rows[i].relations;
+        const uint64_t retained = rows[i].retained;
+        const uint64_t r_may = rows[i].rMay;
+        const uint64_t r_must = rows[i].rMust;
         std::string removed = "-";
         if (relations > 0) {
             double frac = 1.0 - static_cast<double>(retained) /

@@ -14,53 +14,62 @@
 
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 
 using namespace nachos;
 
+namespace {
+
+struct Row
+{
+    std::string name;
+    double memPct;
+    double mayPct;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Figure 10",
                 "%MEM vs %MAY per workload (sorted by %MAY)");
 
-    struct Row
-    {
-        std::string name;
-        double memPct;
-        double mayPct;
-    };
-    std::vector<Row> rows;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        Region r = synthesizeRegion(info);
-        AliasAnalysisResult res = runAliasPipeline(r);
-        const double mem_pct =
-            100.0 * static_cast<double>(r.numMemOps()) /
-            static_cast<double>(r.numOps());
+    ThreadPool pool(suiteThreads(argc, argv));
+    std::vector<Row> rows = parallelMap(
+        pool, benchmarkSuite(),
+        [](const BenchmarkInfo &info, size_t) {
+            Region r = synthesizeRegion(info);
+            AliasAnalysisResult res = runAliasPipeline(r);
+            const double mem_pct =
+                100.0 * static_cast<double>(r.numMemOps()) /
+                static_cast<double>(r.numOps());
 
-        // %MAY: memory ops involved in at least one MAY pair.
-        const AliasMatrix &m = res.matrix;
-        std::vector<bool> in_may(m.numMemOps(), false);
-        for (uint32_t i = 0; i < m.numMemOps(); ++i) {
-            for (uint32_t j = i + 1; j < m.numMemOps(); ++j) {
-                if (m.relevant(i, j) &&
-                    m.label(i, j) == AliasLabel::May) {
-                    in_may[i] = in_may[j] = true;
+            // %MAY: memory ops involved in at least one MAY pair.
+            const AliasMatrix &m = res.matrix;
+            std::vector<bool> in_may(m.numMemOps(), false);
+            for (uint32_t i = 0; i < m.numMemOps(); ++i) {
+                for (uint32_t j = i + 1; j < m.numMemOps(); ++j) {
+                    if (m.relevant(i, j) &&
+                        m.label(i, j) == AliasLabel::May) {
+                        in_may[i] = in_may[j] = true;
+                    }
                 }
             }
-        }
-        uint64_t may_ops = 0;
-        for (bool b : in_may)
-            may_ops += b ? 1 : 0;
-        const double may_pct =
-            m.numMemOps() == 0
-                ? 0
-                : 100.0 * static_cast<double>(may_ops) /
-                      static_cast<double>(m.numMemOps());
-        rows.push_back({info.shortName, mem_pct, may_pct});
-    }
+            uint64_t may_ops = 0;
+            for (bool b : in_may)
+                may_ops += b ? 1 : 0;
+            const double may_pct =
+                m.numMemOps() == 0
+                    ? 0
+                    : 100.0 * static_cast<double>(may_ops) /
+                          static_cast<double>(m.numMemOps());
+            return Row{info.shortName, mem_pct, may_pct};
+        });
     std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
         return a.mayPct < b.mayPct;
     });

@@ -11,25 +11,29 @@
 #include <iostream>
 
 #include "harness/report.hh"
-#include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
 using namespace nachos;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Figure 11",
                 "NACHOS-SW vs OPT-LSQ (positive = %slowdown)");
 
+    RunRequest req;
+    req.runNachos = false;
+    SuiteRun run =
+        runSuite(benchmarkSuite(), req, suiteThreads(argc, argv));
+
     std::vector<BarEntry> series;
     int within = 0, faster = 0, slower = 0;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        RunRequest req;
-        req.runNachos = false;
-        RunOutcome out = runWorkload(info, req);
+    for (size_t i = 0; i < run.outcomes.size(); ++i) {
+        const BenchmarkInfo &info = benchmarkSuite()[i];
+        const RunOutcome &out = run.outcomes[i];
         const double delta =
             pctDelta(static_cast<double>(out.lsq->cycles),
                      static_cast<double>(out.sw->cycles));
@@ -47,5 +51,6 @@ main()
               << "Paper:   21 within 4%; ~7 faster 8-62%; 6 slower "
                  "18-100% (bzip2, art, fft, povray, histogram, "
                  "soplex)\n";
+    printSuiteTiming(std::cerr, run);
     return 0;
 }

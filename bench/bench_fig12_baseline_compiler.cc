@@ -13,28 +13,32 @@
 #include <iostream>
 
 #include "harness/report.hh"
-#include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
 using namespace nachos;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Figure 12",
                 "Baseline compiler (stages 1+3) NACHOS-SW vs OPT-LSQ "
                 "(positive = %slowdown)");
 
+    RunRequest req;
+    req.runNachos = false;
+    req.pipeline = PipelineConfig::baselineCompiler();
+    SuiteRun run =
+        runSuite(benchmarkSuite(), req, suiteThreads(argc, argv));
+
     std::vector<BarEntry> series;
     int big_slowdowns = 0;
     double max_slowdown = 0;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        RunRequest req;
-        req.runNachos = false;
-        req.pipeline = PipelineConfig::baselineCompiler();
-        RunOutcome out = runWorkload(info, req);
+    for (size_t i = 0; i < run.outcomes.size(); ++i) {
+        const BenchmarkInfo &info = benchmarkSuite()[i];
+        const RunOutcome &out = run.outcomes[i];
         const double delta =
             pctDelta(static_cast<double>(out.lsq->cycles),
                      static_cast<double>(out.sw->cycles));
@@ -48,5 +52,6 @@ main()
               << " workloads slow down >10%; max slowdown "
               << fmtDouble(max_slowdown, 0) << "%\n"
               << "Paper:   10 workloads >10%; max ~400% (lbm)\n";
+    printSuiteTiming(std::cerr, run);
     return 0;
 }

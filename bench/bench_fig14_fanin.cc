@@ -14,13 +14,26 @@
 
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 
 using namespace nachos;
 
+namespace {
+
+struct FanInRow
+{
+    uint64_t b0 = 0, b1 = 0, b24 = 0, b5 = 0, mx = 0;
+    uint64_t finalMax = 0;
+    size_t memOps = 0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Figure 14",
@@ -31,53 +44,61 @@ main()
     // of 9 is below the 15 fully-certain workloads of §VIII-B, so the
     // distribution cannot be over final MDEs); we report fan-ins at
     // the Stage-2 level plus the final enforced-MDE maximum.
+    ThreadPool pool(suiteThreads(argc, argv));
+    std::vector<FanInRow> rows = parallelMap(
+        pool, benchmarkSuite(),
+        [](const BenchmarkInfo &info, size_t) {
+            Region r = synthesizeRegion(info);
+            PipelineConfig upto2;
+            upto2.stage3 = false;
+            upto2.stage4 = false;
+            AliasAnalysisResult at2 = runAliasPipeline(r, upto2);
+            const AliasMatrix &m = at2.matrix;
+            std::vector<uint32_t> fanins(m.numMemOps(), 0);
+            for (uint32_t i = 0; i < m.numMemOps(); ++i) {
+                for (uint32_t j = i + 1; j < m.numMemOps(); ++j) {
+                    if (m.relevant(i, j) &&
+                        m.label(i, j) == AliasLabel::May) {
+                        ++fanins[j];
+                    }
+                }
+            }
+
+            AliasAnalysisResult full = runAliasPipeline(r);
+            MdeSet mdes = insertMdes(r, full.matrix);
+            FanInRow row;
+            row.memOps = fanins.size();
+            for (uint32_t f : mdes.mayFanIns(r))
+                row.finalMax = std::max<uint64_t>(row.finalMax, f);
+            for (uint32_t f : fanins) {
+                row.mx = std::max<uint64_t>(row.mx, f);
+                if (f == 0)
+                    ++row.b0;
+                else if (f == 1)
+                    ++row.b1;
+                else if (f <= 4)
+                    ++row.b24;
+                else
+                    ++row.b5;
+            }
+            return row;
+        });
+
     TextTable table;
     table.header({"app", "=0", "=1", "2-4", ">4", "max@2",
                   "max final", "class"});
     int none_count = 0, median_low = 0;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        Region r = synthesizeRegion(info);
-        PipelineConfig upto2;
-        upto2.stage3 = false;
-        upto2.stage4 = false;
-        AliasAnalysisResult at2 = runAliasPipeline(r, upto2);
-        const AliasMatrix &m = at2.matrix;
-        std::vector<uint32_t> fanins(m.numMemOps(), 0);
-        for (uint32_t i = 0; i < m.numMemOps(); ++i) {
-            for (uint32_t j = i + 1; j < m.numMemOps(); ++j) {
-                if (m.relevant(i, j) &&
-                    m.label(i, j) == AliasLabel::May) {
-                    ++fanins[j];
-                }
-            }
-        }
-
-        AliasAnalysisResult full = runAliasPipeline(r);
-        MdeSet mdes = insertMdes(r, full.matrix);
-        uint64_t final_max = 0;
-        for (uint32_t f : mdes.mayFanIns(r))
-            final_max = std::max<uint64_t>(final_max, f);
-
-        uint64_t b0 = 0, b1 = 0, b24 = 0, b5 = 0, mx = 0;
-        for (uint32_t f : fanins) {
-            mx = std::max<uint64_t>(mx, f);
-            if (f == 0)
-                ++b0;
-            else if (f == 1)
-                ++b1;
-            else if (f <= 4)
-                ++b24;
-            else
-                ++b5;
-        }
-        if (mx == 0)
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const BenchmarkInfo &info = benchmarkSuite()[i];
+        const FanInRow &row = rows[i];
+        if (row.mx == 0)
             ++none_count;
-        else if (!fanins.empty() && b0 * 2 >= fanins.size())
+        else if (row.memOps > 0 && row.b0 * 2 >= row.memOps)
             ++median_low;
-        table.row({info.shortName, std::to_string(b0),
-                   std::to_string(b1), std::to_string(b24),
-                   std::to_string(b5), std::to_string(mx),
-                   std::to_string(final_max),
+        table.row({info.shortName, std::to_string(row.b0),
+                   std::to_string(row.b1), std::to_string(row.b24),
+                   std::to_string(row.b5), std::to_string(row.mx),
+                   std::to_string(row.finalMax),
                    fanInClassName(info.fanInClass)});
     }
     table.print(std::cout);

@@ -12,24 +12,28 @@
 #include <iostream>
 
 #include "harness/report.hh"
-#include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
 using namespace nachos;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Figure 15",
                 "NACHOS vs OPT-LSQ performance (negative = NACHOS "
                 "faster); marker = NACHOS-SW");
 
+    SuiteRun run = runSuite(benchmarkSuite(), RunRequest{},
+                            suiteThreads(argc, argv));
+
     std::vector<BarEntry> series;
     int close = 0, speedup = 0, slowdown = 0;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        RunOutcome out = runWorkload(info);
+    for (size_t i = 0; i < run.outcomes.size(); ++i) {
+        const BenchmarkInfo &info = benchmarkSuite()[i];
+        const RunOutcome &out = run.outcomes[i];
         const double lsq =
             static_cast<double>(out.lsq->cycles);
         const double hw_delta =
@@ -51,5 +55,6 @@ main()
               << " slower (>2.5%)\n";
     std::cout << "Paper:   19 within 2.5%, 6 faster by 6-70%, "
                  "bzip2/sar-pfa ~8% slower\n";
+    printSuiteTiming(std::cerr, run);
     return 0;
 }

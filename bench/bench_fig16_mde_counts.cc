@@ -13,35 +13,55 @@
 
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 
 using namespace nachos;
 
+namespace {
+
+struct MdeRow
+{
+    MdeCounts counts;
+    uint64_t baseline = 0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Figure 16",
                 "MDEs: NACHOS vs baseline compiler (ratio; lower is "
                 "better)");
 
+    ThreadPool pool(suiteThreads(argc, argv));
+    std::vector<MdeRow> rows = parallelMap(
+        pool, benchmarkSuite(),
+        [](const BenchmarkInfo &info, size_t) {
+            Region r = synthesizeRegion(info);
+
+            AliasAnalysisResult full = runAliasPipeline(r);
+            MdeSet mdes = insertMdes(r, full.matrix);
+            AliasAnalysisResult base = runAliasPipeline(
+                r, PipelineConfig::baselineCompiler());
+            MdeSet base_mdes = insertMdes(r, base.matrix);
+            return MdeRow{mdes.counts(),
+                          base_mdes.counts().total()};
+        });
+
     TextTable table;
     table.header({"app", "NACHOS MDEs", "(MAY/MUST/FWD)",
                   "baseline MDEs", "ratio"});
     uint64_t total_mdes = 0;
     int with_mdes = 0;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        Region r = synthesizeRegion(info);
-
-        AliasAnalysisResult full = runAliasPipeline(r);
-        MdeSet mdes = insertMdes(r, full.matrix);
-        AliasAnalysisResult base = runAliasPipeline(
-            r, PipelineConfig::baselineCompiler());
-        MdeSet base_mdes = insertMdes(r, base.matrix);
-
-        const MdeCounts c = mdes.counts();
-        const uint64_t b = base_mdes.counts().total();
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const BenchmarkInfo &info = benchmarkSuite()[i];
+        const MdeCounts c = rows[i].counts;
+        const uint64_t b = rows[i].baseline;
         if (c.total() > 0) {
             total_mdes += c.total();
             ++with_mdes;

@@ -11,18 +11,23 @@
 #include <iostream>
 
 #include "harness/report.hh"
-#include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
 using namespace nachos;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Figure 17",
                 "NACHOS energy breakdown and savings vs OPT-LSQ");
+
+    RunRequest req;
+    req.runSw = false;
+    SuiteRun run =
+        runSuite(benchmarkSuite(), req, suiteThreads(argc, argv));
 
     TextTable table;
     table.header({"app", "%COMPUTE", "%MDE", "%L1", "%memops",
@@ -30,10 +35,9 @@ main()
     double mde_sum = 0, savings_sum = 0;
     double mde_nonzero_sum = 0;
     int zero_mde = 0;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        RunRequest req;
-        req.runSw = false;
-        RunOutcome out = runWorkload(info, req);
+    for (size_t i = 0; i < run.outcomes.size(); ++i) {
+        const BenchmarkInfo &info = benchmarkSuite()[i];
+        const RunOutcome &out = run.outcomes[i];
         const EnergyBreakdown &hw = out.nachos->energy;
         const EnergyBreakdown &lsq = out.lsq->energy;
 
@@ -66,5 +70,6 @@ main()
               << " (paper: 15)\n"
               << "Mean energy savings vs OPT-LSQ: "
               << fmtPct(savings_sum / n) << " (paper: 21%, 12-40%)\n";
+    printSuiteTiming(std::cerr, run);
     return 0;
 }

@@ -13,29 +13,33 @@
 #include <iostream>
 
 #include "harness/report.hh"
-#include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
 using namespace nachos;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Figure 18",
                 "OPT-LSQ dynamic energy breakdown + bloom hit rates");
+
+    RunRequest req;
+    req.runSw = false;
+    req.runNachos = false;
+    SuiteRun run =
+        runSuite(benchmarkSuite(), req, suiteThreads(argc, argv));
 
     TextTable table;
     table.header({"app", "%COMPUTE", "%BLOOM", "%CAM", "%L1",
                   "%memops", "bloomHit%", "paper bucket"});
     double lsq_share_sum = 0;
     int zero_bloom = 0;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        RunRequest req;
-        req.runSw = false;
-        req.runNachos = false;
-        RunOutcome out = runWorkload(info, req);
+    for (size_t i = 0; i < run.outcomes.size(); ++i) {
+        const BenchmarkInfo &info = benchmarkSuite()[i];
+        const RunOutcome &out = run.outcomes[i];
         const EnergyBreakdown &e = out.lsq->energy;
         lsq_share_sum += e.frac(e.lsq());
 
@@ -67,5 +71,6 @@ main()
               << fmtPct(lsq_share_sum / n)
               << " (paper: 27%); perfect-bloom workloads: "
               << zero_bloom << " (paper: 9)\n";
+    printSuiteTiming(std::cerr, run);
     return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "analysis/pipeline.hh"
 #include "cgra/simulator.hh"
+#include "harness/suite_runner.hh"
 #include "lsq/bloom.hh"
 #include "mde/inserter.hh"
 #include "nachos/may_station.hh"
@@ -95,6 +96,28 @@ BM_BloomFilter(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BloomFilter);
+
+void
+BM_SuiteRunner(benchmark::State &state)
+{
+    setQuiet(true);
+    RunRequest req;
+    req.invocationsOverride = 4;
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        SuiteRun run = runSuite(benchmarkSuite(), req, threads);
+        benchmark::DoNotOptimize(run.outcomes.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(benchmarkSuite().size()));
+}
+BENCHMARK(BM_SuiteRunner)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_MayStationHighFanIn(benchmark::State &state)

@@ -13,30 +13,51 @@
 #include "analysis/pipeline.hh"
 #include "analysis/stage1_basic.hh"
 #include "harness/report.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 #include "workloads/suite.hh"
 
 using namespace nachos;
 
+namespace {
+
+struct ScopeCounts
+{
+    uint64_t mayBase = 0;
+    uint64_t mayWide = 0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Section IV-A",
                 "MAY-alias growth when analysis scope widens to the "
                 "parent function (Stage-1 labels)");
 
+    ThreadPool pool(suiteThreads(argc, argv));
+    std::vector<ScopeCounts> counts = parallelMap(
+        pool, benchmarkSuite(),
+        [](const BenchmarkInfo &info, size_t) {
+            ScopeStudyRegions study = synthesizeScopeStudy(info);
+            AliasMatrix base = runStage1(study.regionOnly);
+            AliasMatrix wide = runStage1(study.withParent);
+            return ScopeCounts{base.counts().may,
+                               wide.counts().may};
+        });
+
     TextTable table;
     table.header({"app", "MAY(path)", "MAY(function)", "added",
                   "growth"});
     int increased = 0, large = 0;
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        ScopeStudyRegions study = synthesizeScopeStudy(info);
-        AliasMatrix base = runStage1(study.regionOnly);
-        AliasMatrix wide = runStage1(study.withParent);
-        const uint64_t may_base = base.counts().may;
-        const uint64_t may_wide = wide.counts().may;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        const BenchmarkInfo &info = benchmarkSuite()[i];
+        const uint64_t may_base = counts[i].mayBase;
+        const uint64_t may_wide = counts[i].mayWide;
         const uint64_t added =
             may_wide > may_base ? may_wide - may_base : 0;
         increased += added > 0 ? 1 : 0;

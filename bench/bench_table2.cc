@@ -9,30 +9,34 @@
 #include <iostream>
 
 #include "harness/report.hh"
-#include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
 using namespace nachos;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     printHeader(std::cout, "Table II",
                 "Acceleration region characteristics "
                 "(paper value / synthesized-measured value)");
 
+    RunRequest req;
+    req.runSw = false;
+    req.runNachos = false;
+    req.invocationsOverride = 24;
+    SuiteRun run =
+        runSuite(benchmarkSuite(), req, suiteThreads(argc, argv));
+
     TextTable table;
     table.header({"app", "suite", "#OPs", "#MEM", "MLP", "St-St",
                   "St-Ld", "Ld-St", "%LOC"});
 
-    for (const BenchmarkInfo &info : benchmarkSuite()) {
-        RunRequest req;
-        req.runSw = false;
-        req.runNachos = false;
-        req.invocationsOverride = 24;
-        RunOutcome out = runWorkload(info, req);
+    for (size_t w = 0; w < run.outcomes.size(); ++w) {
+        const BenchmarkInfo &info = benchmarkSuite()[w];
+        const RunOutcome &out = run.outcomes[w];
 
         // Dynamic MUST-dependence counts by type from the final matrix.
         uint64_t st_st = 0, st_ld = 0, ld_st = 0;
@@ -87,5 +91,6 @@ main()
     std::cout << "\nMLP is measured as the max outstanding memory "
                  "accesses under OPT-LSQ;\ndependence counts are MUST "
                  "pairs in the final alias matrix.\n";
+    printSuiteTiming(std::cerr, run);
     return 0;
 }

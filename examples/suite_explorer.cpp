@@ -17,6 +17,7 @@
 
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
@@ -25,9 +26,20 @@ using namespace nachos;
 namespace {
 
 void
+reportOutcome(const BenchmarkInfo &info, const RunOutcome &out,
+              const char *trace_file = nullptr);
+
+void
 report(const BenchmarkInfo &info, const char *trace_file = nullptr)
 {
     RunOutcome out = runWorkload(info);
+    reportOutcome(info, out, trace_file);
+}
+
+void
+reportOutcome(const BenchmarkInfo &info, const RunOutcome &out,
+              const char *trace_file)
+{
     if (trace_file != nullptr &&
         std::strcmp(trace_file, "--stats") != 0) {
         // Re-run NACHOS with tracing on.
@@ -82,7 +94,8 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     if (argc < 2) {
-        std::cout << "usage: suite_explorer <workload>|--all\n\n"
+        std::cout << "usage: suite_explorer <workload> [trace.json]\n"
+                     "       suite_explorer --all [--threads N]\n\n"
                      "workloads:\n";
         for (const BenchmarkInfo &info : benchmarkSuite())
             std::cout << "  " << info.shortName << "  (" << info.name
@@ -90,8 +103,12 @@ main(int argc, char **argv)
         return 0;
     }
     if (std::strcmp(argv[1], "--all") == 0) {
-        for (const BenchmarkInfo &info : benchmarkSuite())
-            report(info);
+        // Parallel fan-out; reports print in suite order regardless.
+        SuiteRun run = runSuite(benchmarkSuite(), RunRequest{},
+                                suiteThreads(argc, argv));
+        for (size_t i = 0; i < run.outcomes.size(); ++i)
+            reportOutcome(benchmarkSuite()[i], run.outcomes[i]);
+        printSuiteTiming(std::cerr, run);
         return 0;
     }
     report(benchmarkByName(argv[1]), argc > 2 ? argv[2] : nullptr);

@@ -1,18 +1,32 @@
 #include "harness/runner.hh"
 
+#include <chrono>
+
 namespace nachos {
 
 RunOutcome
-runWorkload(const BenchmarkInfo &info, const RunRequest &request)
+runWorkload(const BenchmarkInfo &info, const RunRequest &request,
+            StageTimes &times)
 {
+    using clock = std::chrono::steady_clock;
+    clock::time_point mark = clock::now();
+    auto lap = [&mark] {
+        const clock::time_point prev = mark;
+        mark = clock::now();
+        return std::chrono::duration<double>(mark - prev).count();
+    };
+
     SynthesisOptions synth;
     synth.pathIndex = request.pathIndex;
     synth.seed = request.seed;
 
     RunOutcome out;
     out.region = synthesizeRegion(info, synth);
+    times.synthSeconds = lap();
     out.analysis = runAliasPipeline(out.region, request.pipeline);
+    times.analysisSeconds = lap();
     out.mdes = insertMdes(out.region, out.analysis.matrix);
+    times.mdeSeconds = lap();
 
     SimConfig sim;
     sim.invocations = request.invocationsOverride
@@ -27,7 +41,15 @@ runWorkload(const BenchmarkInfo &info, const RunRequest &request)
     if (request.runNachos)
         out.nachos = simulate(out.region, out.mdes,
                               BackendKind::Nachos, sim);
+    times.simSeconds = lap();
     return out;
+}
+
+RunOutcome
+runWorkload(const BenchmarkInfo &info, const RunRequest &request)
+{
+    StageTimes times;
+    return runWorkload(info, request, times);
 }
 
 RunOutcome

@@ -41,9 +41,22 @@ struct RunOutcome
     std::optional<SimResult> nachos;
 };
 
+/** Per-stage wall-clock seconds of one runWorkload call. */
+struct StageTimes
+{
+    double synthSeconds = 0;
+    double analysisSeconds = 0;
+    double mdeSeconds = 0;
+    double simSeconds = 0; ///< all requested backends together
+};
+
 /** Synthesize + analyze + simulate one workload. */
 RunOutcome runWorkload(const BenchmarkInfo &info,
                        const RunRequest &request = {});
+
+/** As above, recording how long each pipeline stage took. */
+RunOutcome runWorkload(const BenchmarkInfo &info,
+                       const RunRequest &request, StageTimes &times);
 
 /** Analyze (no simulation) an already-built region. */
 RunOutcome analyzeRegion(Region region,

@@ -2,36 +2,46 @@
  * Paper-shape regression tests: the qualitative results recorded in
  * EXPERIMENTS.md, encoded as assertions so a future change that breaks
  * a reproduced trend fails CI rather than silently drifting. Each test
- * names the paper artifact it guards.
+ * names the paper artifact it guards. Workload subsets run through the
+ * parallel suite runner, so these tests double as an exercise of the
+ * fan-out path the bench binaries use.
  */
 
 #include <gtest/gtest.h>
 
 #include "analysis/pipeline.hh"
-#include "harness/runner.hh"
+#include "harness/suite_runner.hh"
 #include "mde/inserter.hh"
 
 namespace nachos {
 namespace {
 
-RunOutcome
-runFull(const char *name)
+/** Run the named workloads through runSuite on a few workers. */
+std::vector<RunOutcome>
+runNamed(const std::vector<std::string> &names,
+         const RunRequest &req = {})
 {
-    return runWorkload(benchmarkByName(name));
+    std::vector<BenchmarkInfo> subset;
+    subset.reserve(names.size());
+    for (const std::string &name : names)
+        subset.push_back(benchmarkByName(name));
+    return runSuite(subset, req, 2).outcomes;
 }
 
 TEST(PaperShape, Fig11_SwSerializationCripplesIrregularWorkloads)
 {
     // §VI: MAY-heavy workloads slow down substantially under the
     // software-only scheme.
-    for (const char *name : {"bzip2", "histogram", "sarpfa"}) {
-        RunRequest req;
-        req.runNachos = false;
-        RunOutcome out = runWorkload(benchmarkByName(name), req);
+    const std::vector<std::string> names = {"bzip2", "histogram",
+                                            "sarpfa"};
+    RunRequest req;
+    req.runNachos = false;
+    std::vector<RunOutcome> outs = runNamed(names, req);
+    for (size_t i = 0; i < names.size(); ++i) {
         const double delta =
-            pctDelta(static_cast<double>(out.lsq->cycles),
-                     static_cast<double>(out.sw->cycles));
-        EXPECT_GT(delta, 15.0) << name;
+            pctDelta(static_cast<double>(outs[i].lsq->cycles),
+                     static_cast<double>(outs[i].sw->cycles));
+        EXPECT_GT(delta, 15.0) << names[i];
     }
 }
 
@@ -39,25 +49,30 @@ TEST(PaperShape, Fig11_LoadLatencyWorkloadsBeatTheLsq)
 {
     // §VI: h264ref/equake/namd-style workloads are faster without the
     // LSQ's load-to-use tax.
-    for (const char *name : {"h264ref", "equake", "namd", "lbm"}) {
-        RunRequest req;
-        req.runNachos = false;
-        RunOutcome out = runWorkload(benchmarkByName(name), req);
-        EXPECT_LT(out.sw->cycles, out.lsq->cycles) << name;
-    }
+    const std::vector<std::string> names = {"h264ref", "equake",
+                                            "namd", "lbm"};
+    RunRequest req;
+    req.runNachos = false;
+    std::vector<RunOutcome> outs = runNamed(names, req);
+    for (size_t i = 0; i < names.size(); ++i)
+        EXPECT_LT(outs[i].sw->cycles, outs[i].lsq->cycles)
+            << names[i];
 }
 
 TEST(PaperShape, Fig15_NachosRecoversWhatSwSerializes)
 {
     // §VIII-A: NACHOS parallelizes the MAY pairs NACHOS-SW serialized
     // and lands near (or past) OPT-LSQ.
-    for (const char *name : {"bzip2", "histogram", "povray", "fft2d"}) {
-        RunOutcome out = runFull(name);
-        EXPECT_LT(out.nachos->cycles, out.sw->cycles) << name;
+    const std::vector<std::string> names = {"bzip2", "histogram",
+                                            "povray", "fft2d"};
+    std::vector<RunOutcome> outs = runNamed(names);
+    for (size_t i = 0; i < names.size(); ++i) {
+        EXPECT_LT(outs[i].nachos->cycles, outs[i].sw->cycles)
+            << names[i];
         const double vs_lsq =
-            pctDelta(static_cast<double>(out.lsq->cycles),
-                     static_cast<double>(out.nachos->cycles));
-        EXPECT_LT(vs_lsq, 10.0) << name; // within/below the LSQ band
+            pctDelta(static_cast<double>(outs[i].lsq->cycles),
+                     static_cast<double>(outs[i].nachos->cycles));
+        EXPECT_LT(vs_lsq, 10.0) << names[i]; // within/below LSQ band
     }
 }
 
@@ -65,10 +80,14 @@ TEST(PaperShape, Fig15_CertainWorkloadsMatchAcrossSchemes)
 {
     // 15+ workloads where the compiler resolves everything: SW and
     // NACHOS behave identically (no checks to run).
-    for (const char *name : {"gzip", "sjeng", "equake", "dwt53"}) {
-        RunOutcome out = runFull(name);
-        EXPECT_EQ(out.nachos->cycles, out.sw->cycles) << name;
-        EXPECT_EQ(out.nachos->stats.get("mde.mayChecks"), 0u) << name;
+    const std::vector<std::string> names = {"gzip", "sjeng", "equake",
+                                            "dwt53"};
+    std::vector<RunOutcome> outs = runNamed(names);
+    for (size_t i = 0; i < names.size(); ++i) {
+        EXPECT_EQ(outs[i].nachos->cycles, outs[i].sw->cycles)
+            << names[i];
+        EXPECT_EQ(outs[i].nachos->stats.get("mde.mayChecks"), 0u)
+            << names[i];
     }
 }
 
@@ -76,28 +95,30 @@ TEST(PaperShape, Fig17_NachosSavesEnergyOnEveryWorkload)
 {
     // §VIII-B: 21% average savings, 12-40% range; at minimum NACHOS
     // must never cost more than OPT-LSQ.
-    for (const char *name : {"gzip", "equake", "bzip2", "histogram",
-                             "povray", "sphinx3"}) {
-        RunRequest req;
-        req.runSw = false;
-        RunOutcome out = runWorkload(benchmarkByName(name), req);
-        EXPECT_LT(out.nachos->energy.total(), out.lsq->energy.total())
-            << name;
-    }
+    const std::vector<std::string> names = {
+        "gzip", "equake", "bzip2", "histogram", "povray", "sphinx3"};
+    RunRequest req;
+    req.runSw = false;
+    std::vector<RunOutcome> outs = runNamed(names, req);
+    for (size_t i = 0; i < names.size(); ++i)
+        EXPECT_LT(outs[i].nachos->energy.total(),
+                  outs[i].lsq->energy.total())
+            << names[i];
 }
 
 TEST(PaperShape, Fig17_MdeShareFarBelowLsqShare)
 {
     // The pay-as-you-go claim: MDE energy is a small fraction of what
     // the LSQ would spend on the same workload.
-    for (const char *name : {"bzip2", "povray", "fft2d"}) {
-        RunRequest req;
-        req.runSw = false;
-        RunOutcome out = runWorkload(benchmarkByName(name), req);
-        EXPECT_LT(out.nachos->energy.mde,
-                  out.lsq->energy.lsq() * 0.75)
-            << name;
-    }
+    const std::vector<std::string> names = {"bzip2", "povray",
+                                            "fft2d"};
+    RunRequest req;
+    req.runSw = false;
+    std::vector<RunOutcome> outs = runNamed(names, req);
+    for (size_t i = 0; i < names.size(); ++i)
+        EXPECT_LT(outs[i].nachos->energy.mde,
+                  outs[i].lsq->energy.lsq() * 0.75)
+            << names[i];
 }
 
 TEST(PaperShape, Fig18_BloomBucketsOrderedLikeThePaper)
@@ -107,18 +128,19 @@ TEST(PaperShape, Fig18_BloomBucketsOrderedLikeThePaper)
     RunRequest req;
     req.runSw = false;
     req.runNachos = false;
+    std::vector<RunOutcome> outs =
+        runNamed({"gzip", "sphinx3", "bodytrack"}, req);
 
-    auto hit_rate = [&](const char *name) {
-        RunOutcome out = runWorkload(benchmarkByName(name), req);
+    auto hit_rate = [&outs](size_t i) {
         const double probes = static_cast<double>(
-            out.lsq->stats.get("lsq.bloomProbes"));
+            outs[i].lsq->stats.get("lsq.bloomProbes"));
         const double hits = static_cast<double>(
-            out.lsq->stats.get("lsq.bloomHits"));
+            outs[i].lsq->stats.get("lsq.bloomHits"));
         return probes == 0 ? 0.0 : hits / probes;
     };
-    EXPECT_LT(hit_rate("gzip"), 0.01);
-    EXPECT_LT(hit_rate("sphinx3"), 0.01);
-    EXPECT_GT(hit_rate("bodytrack"), 0.10);
+    EXPECT_LT(hit_rate(0), 0.01); // gzip
+    EXPECT_LT(hit_rate(1), 0.01); // sphinx3
+    EXPECT_GT(hit_rate(2), 0.10); // bodytrack
 }
 
 TEST(PaperShape, Appendix_DensityStaysBelowCrossover)

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "support/thread_pool.hh"
+
+namespace nachos {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit([i, &ran] {
+            ++ran;
+            return i * i;
+        }));
+    }
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ClampsZeroThreadsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures)
+{
+    ThreadPool pool(2);
+    std::future<int> bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    std::future<int> good = pool.submit([] { return 3; });
+
+    try {
+        bad.get();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+    // A failing task must not poison its siblings or the pool.
+    EXPECT_EQ(good.get(), 3);
+    EXPECT_EQ(pool.submit([] { return 4; }).get(), 4);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> futures;
+    {
+        // 1 worker, many slow-ish tasks: most are still queued when
+        // the destructor runs; all must still complete.
+        ThreadPool pool(1);
+        for (int i = 0; i < 32; ++i) {
+            futures.push_back(pool.submit([i, &ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                ++ran;
+                return i;
+            }));
+        }
+    }
+    EXPECT_EQ(ran.load(), 32);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i);
+}
+
+TEST(ThreadPool, ParallelMapPreservesInputOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int> items;
+    for (int i = 0; i < 100; ++i)
+        items.push_back(i);
+
+    std::vector<int> out = parallelMap(
+        pool, items, [](const int &item, size_t idx) {
+            // Stagger completion so results arrive out of order.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((item % 7) * 50));
+            EXPECT_EQ(static_cast<size_t>(item), idx);
+            return item * 2;
+        });
+    ASSERT_EQ(out.size(), items.size());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(out[static_cast<size_t>(i)], i * 2);
+}
+
+TEST(ThreadPool, ParallelMapPropagatesTaskExceptions)
+{
+    ThreadPool pool(4);
+    const std::vector<int> items = {0, 1, 2, 3, 4, 5};
+    EXPECT_THROW(parallelMap(pool, items,
+                             [](const int &item, size_t) -> int {
+                                 if (item == 3)
+                                     throw std::runtime_error("task");
+                                 return item;
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvironment)
+{
+    ASSERT_EQ(setenv("NACHOS_THREADS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+
+    // Malformed values fall back to hardware concurrency (>= 1).
+    ASSERT_EQ(setenv("NACHOS_THREADS", "lots", 1), 0);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+
+    ASSERT_EQ(unsetenv("NACHOS_THREADS"), 0);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+} // namespace
+} // namespace nachos
