@@ -72,5 +72,7 @@ main(int argc, char **argv)
               << " (paper: 27%); perfect-bloom workloads: "
               << zero_bloom << " (paper: 9)\n";
     printSuiteTiming(std::cerr, run);
+    maybeWriteSuiteTimingJson(suiteJsonPath(argc, argv),
+                              benchmarkSuite(), run);
     return 0;
 }

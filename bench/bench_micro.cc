@@ -7,12 +7,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <queue>
+
 #include "analysis/pipeline.hh"
 #include "cgra/simulator.hh"
 #include "harness/suite_runner.hh"
+#include "ir/builder.hh"
 #include "lsq/bloom.hh"
 #include "mde/inserter.hh"
 #include "nachos/may_station.hh"
+#include "support/event_queue.hh"
 #include "support/logging.hh"
 #include "workloads/suite.hh"
 
@@ -82,6 +87,146 @@ BENCHMARK(BM_SimulatorInvocation)
     ->Arg(0)  // OPT-LSQ
     ->Arg(1)  // NACHOS-SW
     ->Arg(2); // NACHOS
+
+/**
+ * Event-queue push/pop throughput: the typed-record CalendarQueue the
+ * simulator dispatches from. The schedule pattern mimics the hot path
+ * (mixed near-future latencies, occasional DRAM-distance completions).
+ */
+void
+BM_EventQueuePushPop(benchmark::State &state)
+{
+    struct Ev
+    {
+        int64_t value;
+        uint32_t op;
+        uint32_t slot;
+    };
+    constexpr int kBatch = 64;
+    CalendarQueue<Ev> queue;
+    uint64_t scheduled = 0;
+    for (auto _ : state) {
+        Ev ev;
+        for (uint32_t i = 0; i < kBatch; ++i) {
+            // Latency mix: mesh hops (1-16), L1 (3), DRAM-ish (228).
+            const uint64_t lat = (i % 8 == 0) ? 228 : 1 + (i % 16);
+            queue.schedule(queue.now() + lat,
+                           {static_cast<int64_t>(i), i, 0});
+            ++scheduled;
+        }
+        for (int i = 0; i < kBatch; ++i)
+            benchmark::DoNotOptimize(queue.pop(ev));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(scheduled));
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+/**
+ * The engine the CalendarQueue replaced: heap-allocated std::function
+ * events through a std::priority_queue ordered by (cycle, seq) — kept
+ * as the before/after yardstick for the event-engine overhaul.
+ */
+void
+BM_LegacyFunctionQueue(benchmark::State &state)
+{
+    struct Event
+    {
+        uint64_t cycle;
+        uint64_t seq;
+        std::function<void()> fn;
+        bool
+        operator>(const Event &other) const
+        {
+            return cycle != other.cycle ? cycle > other.cycle
+                                        : seq > other.seq;
+        }
+    };
+    constexpr int kBatch = 64;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        queue;
+    uint64_t seq = 0;
+    uint64_t now = 0;
+    uint64_t sink = 0;
+    uint64_t scheduled = 0;
+    for (auto _ : state) {
+        for (uint32_t i = 0; i < kBatch; ++i) {
+            const uint64_t lat = (i % 8 == 0) ? 228 : 1 + (i % 16);
+            const uint64_t value = i;
+            queue.push(Event{now + lat, seq++,
+                             [&sink, value] { sink += value; }});
+            ++scheduled;
+        }
+        for (int i = 0; i < kBatch; ++i) {
+            const Event &top = queue.top();
+            now = top.cycle;
+            top.fn();
+            queue.pop();
+        }
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<int64_t>(scheduled));
+}
+BENCHMARK(BM_LegacyFunctionQueue);
+
+/**
+ * Operand fan-out delivery: one producer feeding `range(0)` consumers
+ * stresses the precomputed CSR edge tables (vs the former per-delivery
+ * users x operand-slots rescan). Items = delivered operands.
+ */
+void
+BM_OperandFanout(benchmark::State &state)
+{
+    setQuiet(true);
+    const uint32_t consumers = static_cast<uint32_t>(state.range(0));
+    RegionBuilder b("fanout");
+    OpId x = b.liveIn();
+    OpId y = b.liveIn();
+    for (uint32_t i = 0; i < consumers; ++i)
+        b.liveOut(b.iadd(x, y));
+    Region r = b.build();
+    AliasAnalysisResult res = runAliasPipeline(r);
+    MdeSet mdes = insertMdes(r, res.matrix);
+    SimConfig cfg;
+    cfg.invocations = 8;
+    for (auto _ : state) {
+        SimResult sim = simulate(r, mdes, BackendKind::NachosSw, cfg);
+        benchmark::DoNotOptimize(sim.cycles);
+    }
+    // Each invocation delivers 2 operands to every consumer.
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            8 * 2 * consumers);
+}
+BENCHMARK(BM_OperandFanout)->Arg(16)->Arg(128);
+
+/**
+ * Per-invocation state reset: a wide, shallow region re-entered for
+ * many invocations is dominated by seedInvocation (arena clears + seed
+ * events), the former states_.assign + per-op inputValues.assign path.
+ * Items = op-resets.
+ */
+void
+BM_InvocationReset(benchmark::State &state)
+{
+    setQuiet(true);
+    constexpr uint32_t kOps = 256;
+    constexpr uint64_t kInvocations = 64;
+    RegionBuilder b("reset");
+    for (uint32_t i = 0; i < kOps; ++i)
+        b.liveOut(b.constant(static_cast<int64_t>(i)));
+    Region r = b.build();
+    AliasAnalysisResult res = runAliasPipeline(r);
+    MdeSet mdes = insertMdes(r, res.matrix);
+    SimConfig cfg;
+    cfg.invocations = kInvocations;
+    for (auto _ : state) {
+        SimResult sim = simulate(r, mdes, BackendKind::NachosSw, cfg);
+        benchmark::DoNotOptimize(sim.cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(kInvocations) *
+                            (2 * kOps));
+}
+BENCHMARK(BM_InvocationReset);
 
 void
 BM_BloomFilter(benchmark::State &state)

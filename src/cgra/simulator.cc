@@ -21,6 +21,23 @@ backendName(BackendKind k)
     return "?";
 }
 
+void
+OrderingBackend::onOrderToken(OpId op, uint64_t cycle)
+{
+    (void)cycle;
+    NACHOS_PANIC("backend received an ORDER token for op ", op,
+                 " but does not override onOrderToken");
+}
+
+void
+OrderingBackend::onForwardValue(OpId op, uint64_t cycle, int64_t value)
+{
+    (void)cycle;
+    (void)value;
+    NACHOS_PANIC("backend received a FORWARD value for op ", op,
+                 " but does not override onForwardValue");
+}
+
 SimCore::SimCore(const Region &region, const MdeSet &mdes,
                  OrderingBackend &backend, const SimConfig &cfg)
     : region_(region), mdes_(mdes), backend_(backend), cfg_(cfg),
@@ -30,12 +47,97 @@ SimCore::SimCore(const Region &region, const MdeSet &mdes,
 {
     NACHOS_ASSERT(region_.finalized(), "simulate a finalized region");
     backend_.attach(*this);
+    buildStaticTables();
+}
+
+void
+SimCore::buildStaticTables()
+{
+    const size_t n = region_.numOps();
+    states_.resize(n);
+
+    // Operand-value arena: one flat buffer addressed by prefix sums.
+    inputOffset_.assign(n + 1, 0);
+    initialPendingAll_.assign(n, 0);
+    initialPendingAddr_.assign(n, 0);
+    for (const auto &o : region_.ops()) {
+        inputOffset_[o.id + 1] = static_cast<uint32_t>(o.operands.size());
+        initialPendingAll_[o.id] =
+            static_cast<uint32_t>(o.operands.size());
+        initialPendingAddr_[o.id] =
+            o.isMem() ? static_cast<uint32_t>(o.operands.size() -
+                                              o.firstAddrOperand())
+                      : 0;
+    }
+    for (size_t i = 0; i < n; ++i)
+        inputOffset_[i + 1] += inputOffset_[i];
+    inputArena_.assign(inputOffset_[n], 0);
+
+    // Invocation-start events, in program order: a mem op whose address
+    // needs no operands fires noteAddrReady, a source op (no operands)
+    // fires opInputsComplete — the same op can fire both, in that order.
+    for (const auto &o : region_.ops()) {
+        if (o.isMem() && initialPendingAddr_[o.id] == 0)
+            seedEvents_.push_back({o.id, EvKind::SeedAddrReady});
+        if (initialPendingAll_[o.id] == 0)
+            seedEvents_.push_back({o.id, EvKind::SeedInputs});
+    }
+
+    // CSR fan-out: per producer, the (user, slot) edges with the static
+    // route's hop count and latency cached — replaces the per-delivery
+    // users × operand-slots rescan and latency rederivation.
+    fanoutOffset_.assign(n + 1, 0);
+    for (const auto &o : region_.ops()) {
+        if (!producesValue(o.kind))
+            continue;
+        for (OpId user : region_.users(o.id)) {
+            const Operation &u = region_.op(user);
+            for (uint32_t slot = 0; slot < u.operands.size(); ++slot) {
+                if (u.operands[slot] != o.id)
+                    continue;
+                fanoutEdges_.push_back(
+                    {user, static_cast<uint16_t>(slot),
+                     static_cast<uint16_t>(placement_.hops(o.id, user)),
+                     static_cast<uint32_t>(
+                         network_.latency(o.id, user))});
+                ++fanoutOffset_[o.id + 1];
+            }
+        }
+    }
+    for (size_t i = 0; i < n; ++i)
+        fanoutOffset_[i + 1] += fanoutOffset_[i];
+
+    netTransfers_ =
+        &stats_.counter(energy_events::kNetworkTransfers);
+    netHops_ = &stats_.counter("net.hops");
 }
 
 void
 SimCore::schedule(uint64_t cycle, std::function<void()> fn)
 {
-    events_.push(Event{cycle, nextSeq_++, std::move(fn)});
+    uint32_t idx;
+    if (!freeThunks_.empty()) {
+        idx = freeThunks_.back();
+        freeThunks_.pop_back();
+        thunks_[idx] = std::move(fn);
+    } else {
+        idx = static_cast<uint32_t>(thunks_.size());
+        thunks_.push_back(std::move(fn));
+    }
+    events_.schedule(cycle, SimEvent{0, idx, 0, EvKind::Thunk});
+}
+
+void
+SimCore::scheduleOrderToken(uint64_t cycle, OpId to)
+{
+    events_.schedule(cycle, SimEvent{0, to, 0, EvKind::OrderToken});
+}
+
+void
+SimCore::scheduleForwardValue(uint64_t cycle, OpId to, int64_t value)
+{
+    events_.schedule(cycle,
+                     SimEvent{value, to, 0, EvKind::ForwardValue});
 }
 
 uint64_t
@@ -65,9 +167,9 @@ SimCore::storeData(OpId op) const
 {
     const Operation &o = region_.op(op);
     NACHOS_ASSERT(o.isStore(), "storeData on non-store");
-    const OpState &st = states_[op];
-    NACHOS_ASSERT(st.pendingAllInputs == 0, "store data not ready");
-    return st.inputValues[0];
+    NACHOS_ASSERT(states_[op].pendingAllInputs == 0,
+                  "store data not ready");
+    return inputs(op)[0];
 }
 
 uint64_t
@@ -108,11 +210,11 @@ SimCore::performMemAccess(OpId op, uint64_t cycle)
     // Functional ordering correctness requires the access to happen
     // while the event clock is at `cycle`; defer if called early.
     if (cycle > now_) {
-        schedule(cycle,
-                 [this, op, cycle] { performMemAccess(op, cycle); });
+        events_.schedule(cycle, SimEvent{0, op, 0, EvKind::MemPerform});
         return;
     }
-    cycle = std::max(cycle, now_);
+    NACHOS_ASSERT(cycle == now_, "performMemAccess in the past: op ",
+                  op, " cycle ", cycle, " now ", now_);
     OpState &st = states_[op];
     NACHOS_ASSERT(!st.performed, "op ", op, " performed twice");
     st.performed = true;
@@ -140,22 +242,19 @@ SimCore::performMemAccess(OpId op, uint64_t cycle)
                        placement_.coordOf(op).row});
     }
     mlpChange(+1, cycle);
-    schedule(done, [this, op, done, value] {
-        mlpChange(-1, done);
-        completeOp(op, done, value);
-    });
+    events_.schedule(done, SimEvent{value, op, 0, EvKind::MemDone});
 }
 
 void
 SimCore::completeLoadForwarded(OpId op, uint64_t cycle, int64_t value)
 {
     if (cycle > now_) {
-        schedule(cycle, [this, op, cycle, value] {
-            completeLoadForwarded(op, cycle, value);
-        });
+        events_.schedule(cycle,
+                         SimEvent{value, op, 0, EvKind::LoadForward});
         return;
     }
-    cycle = std::max(cycle, now_);
+    NACHOS_ASSERT(cycle == now_, "completeLoadForwarded in the past: ",
+                  "op ", op, " cycle ", cycle, " now ", now_);
     OpState &st = states_[op];
     NACHOS_ASSERT(!st.performed, "op ", op, " performed twice");
     st.performed = true;
@@ -197,15 +296,14 @@ SimCore::opInputsComplete(OpId op, uint64_t cycle)
             int64_t value = 0;
             if (o.isStore())
                 hierarchy_.data().write(st.addr, o.mem->accessSize,
-                                        st.inputValues[0]);
+                                        inputs(op)[0]);
             else
                 value = hierarchy_.data().read(st.addr,
                                                o.mem->accessSize);
             const uint64_t done = hierarchy_.scratchpadAccess(
                 st.addr, o.isStore(), ready);
-            schedule(done, [this, op, done, value] {
-                completeOp(op, done, value);
-            });
+            events_.schedule(done,
+                             SimEvent{value, op, 0, EvKind::CompleteOp});
         } else {
             backend_.memFullyReady(op, ready);
         }
@@ -220,6 +318,7 @@ SimCore::opInputsComplete(OpId op, uint64_t cycle)
                        "compute", cycle, fuLatency(o.kind),
                        placement_.coordOf(op).row});
     }
+    const int64_t *in = inputs(op);
     int64_t value = 0;
     switch (o.kind) {
       case OpKind::Const:
@@ -229,21 +328,17 @@ SimCore::opInputsComplete(OpId op, uint64_t cycle)
         value = liveInValue(op);
         break;
       case OpKind::LiveOut:
-        value = st.inputValues[0];
+        value = in[0];
         break;
       case OpKind::Select:
-        value = st.inputValues.size() == 3
-                    ? (st.inputValues[0] ? st.inputValues[1]
-                                         : st.inputValues[2])
-                    : st.inputValues[0];
+        value = o.operands.size() == 3 ? (in[0] ? in[1] : in[2])
+                                       : in[0];
         break;
       default:
-        value = evalCompute(o.kind, st.inputValues[0],
-                            st.inputValues[1]);
+        value = evalCompute(o.kind, in[0], in[1]);
         break;
     }
-    schedule(done,
-             [this, op, done, value] { completeOp(op, done, value); });
+    events_.schedule(done, SimEvent{value, op, 0, EvKind::CompleteOp});
 }
 
 void
@@ -270,21 +365,18 @@ SimCore::completeOp(OpId op, uint64_t cycle, int64_t value)
 void
 SimCore::deliverToUsers(OpId op, uint64_t cycle)
 {
-    const Operation &o = region_.op(op);
-    if (!producesValue(o.kind))
+    const uint32_t begin = fanoutOffset_[op];
+    const uint32_t end = fanoutOffset_[op + 1];
+    if (begin == end)
         return;
     const int64_t value = states_[op].value;
-    for (OpId user : region_.users(op)) {
-        const Operation &u = region_.op(user);
-        for (uint32_t slot = 0; slot < u.operands.size(); ++slot) {
-            if (u.operands[slot] != op)
-                continue;
-            network_.countTransfer(op, user);
-            const uint64_t arrive = cycle + network_.latency(op, user);
-            schedule(arrive, [this, user, slot, arrive, value] {
-                operandArrived(user, slot, arrive, value);
-            });
-        }
+    for (uint32_t i = begin; i < end; ++i) {
+        const FanoutEdge &e = fanoutEdges_[i];
+        netTransfers_->inc();
+        netHops_->inc(e.hops);
+        events_.schedule(
+            cycle + e.latency,
+            SimEvent{value, e.user, e.slot, EvKind::OperandArrival});
     }
 }
 
@@ -294,8 +386,8 @@ SimCore::operandArrived(OpId op, uint32_t slot, uint64_t cycle,
 {
     const Operation &o = region_.op(op);
     OpState &st = states_[op];
-    NACHOS_ASSERT(slot < st.inputValues.size(), "operand slot range");
-    st.inputValues[slot] = value;
+    NACHOS_ASSERT(slot < numInputs(op), "operand slot range");
+    inputs(op)[slot] = value;
     st.readyCycle = std::max(st.readyCycle, cycle);
     NACHOS_ASSERT(st.pendingAllInputs > 0, "operand arrival underflow op=", op, " kind=", opKindName(o.kind), " slot=", slot, " nops=", o.operands.size());
     --st.pendingAllInputs;
@@ -314,37 +406,63 @@ SimCore::operandArrived(OpId op, uint32_t slot, uint64_t cycle,
 void
 SimCore::seedInvocation(uint64_t start_cycle)
 {
-    states_.assign(region_.numOps(), OpState{});
-    opsRemaining_ = region_.numOps();
-    invocationEnd_ = start_cycle;
-
-    for (const auto &o : region_.ops()) {
-        OpState &st = states_[o.id];
-        st.inputValues.assign(o.operands.size(), 0);
-        st.pendingAllInputs = static_cast<uint32_t>(o.operands.size());
-        st.pendingAddrInputs =
-            o.isMem() ? static_cast<uint32_t>(o.operands.size() -
-                                              o.firstAddrOperand())
-                      : 0;
+    // Arena-backed reset: flat clears, no per-op allocation.
+    std::fill(inputArena_.begin(), inputArena_.end(), 0);
+    const size_t n = region_.numOps();
+    for (size_t i = 0; i < n; ++i) {
+        OpState &st = states_[i];
+        st = OpState{};
+        st.pendingAllInputs = initialPendingAll_[i];
+        st.pendingAddrInputs = initialPendingAddr_[i];
         st.readyCycle = start_cycle;
         st.addrReadyCycle = start_cycle;
     }
-    // Fire source ops (no operands) and memory ops whose address needs
-    // no operands.
-    for (const auto &o : region_.ops()) {
-        OpState &st = states_[o.id];
-        if (o.isMem() && st.pendingAddrInputs == 0) {
-            const OpId id = o.id;
-            schedule(start_cycle, [this, id, start_cycle] {
-                noteAddrReady(id, start_cycle);
-            });
-        }
-        if (st.pendingAllInputs == 0) {
-            const OpId id = o.id;
-            schedule(start_cycle, [this, id, start_cycle] {
-                opInputsComplete(id, start_cycle);
-            });
-        }
+    opsRemaining_ = n;
+    invocationEnd_ = start_cycle;
+
+    for (const SeedEvent &s : seedEvents_)
+        events_.schedule(start_cycle, SimEvent{0, s.op, 0, s.kind});
+}
+
+void
+SimCore::dispatch(const SimEvent &ev)
+{
+    switch (ev.kind) {
+      case EvKind::OperandArrival:
+        operandArrived(ev.op, ev.slot, now_, ev.value);
+        break;
+      case EvKind::CompleteOp:
+        completeOp(ev.op, now_, ev.value);
+        break;
+      case EvKind::MemDone:
+        mlpChange(-1, now_);
+        completeOp(ev.op, now_, ev.value);
+        break;
+      case EvKind::MemPerform:
+        performMemAccess(ev.op, now_);
+        break;
+      case EvKind::LoadForward:
+        completeLoadForwarded(ev.op, now_, ev.value);
+        break;
+      case EvKind::SeedAddrReady:
+        noteAddrReady(ev.op, now_);
+        break;
+      case EvKind::SeedInputs:
+        opInputsComplete(ev.op, now_);
+        break;
+      case EvKind::OrderToken:
+        backend_.onOrderToken(ev.op, now_);
+        break;
+      case EvKind::ForwardValue:
+        backend_.onForwardValue(ev.op, now_, ev.value);
+        break;
+      case EvKind::Thunk: {
+        std::function<void()> fn = std::move(thunks_[ev.op]);
+        thunks_[ev.op] = nullptr;
+        freeThunks_.push_back(ev.op);
+        fn();
+        break;
+      }
     }
 }
 
@@ -356,12 +474,10 @@ SimCore::runInvocation(uint64_t inv, uint64_t start_cycle)
     backend_.beginInvocation(inv);
     seedInvocation(start_cycle);
 
+    SimEvent ev;
     while (!events_.empty()) {
-        Event ev = events_.top();
-        events_.pop();
-        NACHOS_ASSERT(ev.cycle >= now_, "event clock went backwards");
-        now_ = ev.cycle;
-        ev.fn();
+        now_ = events_.pop(ev);
+        dispatch(ev);
     }
     NACHOS_ASSERT(opsRemaining_ == 0,
                   "dataflow deadlock: ", opsRemaining_,

@@ -18,6 +18,13 @@
  * Invocations execute back-to-back and drain fully (the offload path
  * is re-entered like the paper's unrolled hot path; caches stay warm
  * across invocations).
+ *
+ * Execution engine: events are small typed records (operand arrival,
+ * memory perform/complete, load forward, seeds, backend token/value
+ * deliveries, plus a generic-thunk fallback) dispatched from a
+ * cycle-bucketed CalendarQueue — no per-event allocation on the hot
+ * path. Same-cycle events fire in schedule order (FIFO), so results
+ * are bit-identical to the original (cycle, seq) priority queue.
  */
 
 #ifndef NACHOS_CGRA_SIMULATOR_HH
@@ -27,7 +34,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "cgra/function_unit.hh"
@@ -39,6 +45,7 @@
 #include "lsq/opt_lsq.hh"
 #include "mde/mde.hh"
 #include "mem/hierarchy.hh"
+#include "support/event_queue.hh"
 #include "support/stats.hh"
 
 namespace nachos {
@@ -106,6 +113,14 @@ class OrderingBackend
     /** The op's memory action finished at `cycle`. */
     virtual void memCompleted(OpId op, uint64_t cycle) = 0;
 
+    /**
+     * Typed event deliveries: fire when a token/value scheduled via
+     * SimCore::scheduleOrderToken / scheduleForwardValue arrives.
+     * Backends that schedule them must override; the defaults panic.
+     */
+    virtual void onOrderToken(OpId op, uint64_t cycle);
+    virtual void onForwardValue(OpId op, uint64_t cycle, int64_t value);
+
   protected:
     SimCore *core_ = nullptr;
 };
@@ -125,8 +140,17 @@ class SimCore
 
     // ---- backend services --------------------------------------------
 
-    /** Schedule a callback at `cycle` (deterministic FIFO per cycle). */
+    /**
+     * Schedule a callback at `cycle` (deterministic FIFO per cycle).
+     * Generic fallback: the typed schedulers below are cheaper.
+     */
     void schedule(uint64_t cycle, std::function<void()> fn);
+
+    /** Deliver a 1-bit ORDER token to backend.onOrderToken at `cycle`. */
+    void scheduleOrderToken(uint64_t cycle, OpId to);
+
+    /** Deliver a FORWARD value to backend.onForwardValue at `cycle`. */
+    void scheduleForwardValue(uint64_t cycle, OpId to, int64_t value);
 
     /**
      * Perform op's memory access at `cycle`: functional data motion
@@ -158,33 +182,58 @@ class SimCore
     uint64_t invocation() const { return invocation_; }
 
   private:
+    /** Typed event record (16 bytes); cycle lives in the queue bucket. */
+    enum class EvKind : uint8_t
+    {
+        OperandArrival, ///< op=consumer, slot, value
+        CompleteOp,     ///< op finished (FU/scratchpad); value
+        MemDone,        ///< timed memory completion; value
+        MemPerform,     ///< deferred performMemAccess
+        LoadForward,    ///< deferred completeLoadForwarded; value
+        SeedAddrReady,  ///< invocation-start noteAddrReady
+        SeedInputs,     ///< invocation-start opInputsComplete
+        OrderToken,     ///< backend.onOrderToken(op)
+        ForwardValue,   ///< backend.onForwardValue(op, value)
+        Thunk,          ///< op indexes the generic-thunk slab
+    };
+
+    struct SimEvent
+    {
+        int64_t value = 0;
+        uint32_t op = 0;
+        uint16_t slot = 0;
+        EvKind kind = EvKind::Thunk;
+    };
+
+    /** Per-invocation dynamic op state (POD; reset by assignment). */
     struct OpState
     {
         uint32_t pendingAddrInputs = 0;
         uint32_t pendingAllInputs = 0;
-        std::vector<int64_t> inputValues;
         uint64_t readyCycle = 0;     ///< max operand arrival
         uint64_t addrReadyCycle = 0;
         bool addrNotified = false;
-        bool fullNotified = false;
-        int64_t value = 0;
         bool completed = false;
+        bool performed = false;
+        int64_t value = 0;
         uint64_t completeCycle = 0;
         uint64_t addr = 0;
-        bool performed = false;
     };
 
-    struct Event
+    /** One precomputed operand-delivery edge (CSR fan-out table). */
+    struct FanoutEdge
     {
-        uint64_t cycle;
-        uint64_t seq;
-        std::function<void()> fn;
-        bool
-        operator>(const Event &other) const
-        {
-            return cycle != other.cycle ? cycle > other.cycle
-                                        : seq > other.seq;
-        }
+        uint32_t user = 0;
+        uint16_t slot = 0;
+        uint16_t hops = 0;
+        uint32_t latency = 0;
+    };
+
+    /** Invocation-start event (precomputed; fired in program order). */
+    struct SeedEvent
+    {
+        uint32_t op = 0;
+        EvKind kind = EvKind::SeedInputs;
     };
 
     const Region &region_;
@@ -197,11 +246,28 @@ class SimCore
     MemoryHierarchy hierarchy_;
     EnergyModel energyModel_;
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        events_;
-    uint64_t nextSeq_ = 0;
+    CalendarQueue<SimEvent> events_;
     uint64_t now_ = 0;
+
+    /** Generic-thunk slab: slots reused through a free list. */
+    std::vector<std::function<void()>> thunks_;
+    std::vector<uint32_t> freeThunks_;
+
     std::vector<OpState> states_;
+    /** Operand-value arena: op's slots at inputOffset_[op]. */
+    std::vector<int64_t> inputArena_;
+    std::vector<uint32_t> inputOffset_; ///< numOps + 1 prefix sums
+    /** Static per-op initial pending counts. */
+    std::vector<uint32_t> initialPendingAll_;
+    std::vector<uint32_t> initialPendingAddr_;
+    std::vector<SeedEvent> seedEvents_;
+
+    /** CSR fan-out: producer op's edges with cached route data. */
+    std::vector<FanoutEdge> fanoutEdges_;
+    std::vector<uint32_t> fanoutOffset_; ///< numOps + 1
+    Counter *netTransfers_ = nullptr;
+    Counter *netHops_ = nullptr;
+
     uint64_t invocation_ = 0;
     uint64_t invocationStart_ = 0;
     size_t opsRemaining_ = 0;
@@ -218,6 +284,21 @@ class SimCore
     uint64_t loadValueDigest_ = 0;
     TraceCollector trace_;
 
+    int64_t *inputs(OpId op)
+    {
+        return inputArena_.data() + inputOffset_[op];
+    }
+    const int64_t *inputs(OpId op) const
+    {
+        return inputArena_.data() + inputOffset_[op];
+    }
+    uint32_t numInputs(OpId op) const
+    {
+        return inputOffset_[op + 1] - inputOffset_[op];
+    }
+
+    void buildStaticTables();
+    void dispatch(const SimEvent &ev);
     uint64_t runInvocation(uint64_t inv, uint64_t start_cycle);
     void seedInvocation(uint64_t start_cycle);
     void operandArrived(OpId op, uint32_t slot, uint64_t cycle,

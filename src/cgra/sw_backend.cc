@@ -91,10 +91,7 @@ SwBackend::memFullyReady(OpId op, uint64_t cycle)
             const uint64_t arrive =
                 cycle + core_->netLatency(e.older, e.younger);
             core_->countForward(e.older, e.younger);
-            const OpId younger = e.younger;
-            core_->schedule(arrive, [this, younger, arrive, value] {
-                forwardValueArrived(younger, arrive, value);
-            });
+            core_->scheduleForwardValue(arrive, e.younger, value);
         }
     }
     tryIssue(op);
@@ -108,11 +105,20 @@ SwBackend::memCompleted(OpId op, uint64_t cycle)
         const uint64_t arrive =
             cycle + core_->netLatency(e.older, e.younger);
         core_->countOrderToken(e.older, e.younger);
-        const OpId younger = e.younger;
-        core_->schedule(arrive, [this, younger, arrive] {
-            orderTokenArrived(younger, arrive);
-        });
+        core_->scheduleOrderToken(arrive, e.younger);
     }
+}
+
+void
+SwBackend::onOrderToken(OpId op, uint64_t cycle)
+{
+    orderTokenArrived(op, cycle);
+}
+
+void
+SwBackend::onForwardValue(OpId op, uint64_t cycle, int64_t value)
+{
+    forwardValueArrived(op, cycle, value);
 }
 
 void

@@ -43,6 +43,8 @@ class SwBackend : public OrderingBackend
                       uint64_t cycle) override;
     void memFullyReady(OpId op, uint64_t cycle) override;
     void memCompleted(OpId op, uint64_t cycle) override;
+    void onOrderToken(OpId op, uint64_t cycle) override;
+    void onForwardValue(OpId op, uint64_t cycle, int64_t value) override;
 
   protected:
     /** Static per-op MDE shape (shared with the NACHOS backend). */

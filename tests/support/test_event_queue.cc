@@ -1,0 +1,167 @@
+/**
+ * @file
+ * CalendarQueue ordering contract: pops come in non-decreasing cycle
+ * order with FIFO ordering among same-cycle events — bit-identical to
+ * the (cycle, seq) priority queue the simulator used previously. The
+ * property test replays random schedules (including schedules issued
+ * from within handlers, for the current cycle and far beyond the ring
+ * window) against a reference model of the old contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/event_queue.hh"
+#include "support/random.hh"
+
+namespace nachos {
+namespace {
+
+struct Ev
+{
+    uint32_t tag = 0;
+};
+
+using Queue = CalendarQueue<Ev, 64>;
+
+std::vector<std::pair<uint64_t, uint32_t>>
+drain(Queue &q)
+{
+    std::vector<std::pair<uint64_t, uint32_t>> out;
+    Ev ev;
+    while (!q.empty()) {
+        const uint64_t cycle = q.pop(ev);
+        out.push_back({cycle, ev.tag});
+    }
+    return out;
+}
+
+TEST(CalendarQueue, SameCycleEventsPopFifo)
+{
+    Queue q;
+    for (uint32_t i = 0; i < 100; ++i)
+        q.schedule(7, {i});
+    const auto out = drain(q);
+    ASSERT_EQ(out.size(), 100u);
+    for (uint32_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(out[i].first, 7u);
+        EXPECT_EQ(out[i].second, i);
+    }
+}
+
+TEST(CalendarQueue, CyclesPopInOrderAcrossRingAndOverflow)
+{
+    Queue q;
+    // Far beyond the 64-cycle ring, interleaved with near events.
+    q.schedule(1000, {0});
+    q.schedule(3, {1});
+    q.schedule(500, {2});
+    q.schedule(3, {3});
+    q.schedule(65, {4}); // outside the initial window
+    const auto out = drain(q);
+    const std::vector<std::pair<uint64_t, uint32_t>> want = {
+        {3, 1}, {3, 3}, {65, 4}, {500, 2}, {1000, 0}};
+    EXPECT_EQ(out, want);
+}
+
+TEST(CalendarQueue, HandlerMaySchedForCurrentCycle)
+{
+    // Events scheduled *for the current cycle* from within a handler
+    // must run in this cycle, after everything already queued for it —
+    // exactly what the old seq tiebreaker guaranteed.
+    Queue q;
+    q.schedule(5, {0});
+    q.schedule(5, {1});
+    std::vector<uint32_t> order;
+    Ev ev;
+    while (!q.empty()) {
+        const uint64_t cycle = q.pop(ev);
+        EXPECT_EQ(cycle, 5u);
+        order.push_back(ev.tag);
+        if (ev.tag == 0)
+            q.schedule(5, {2}); // from "inside" handler 0
+        if (ev.tag == 2)
+            q.schedule(5, {3});
+    }
+    const std::vector<uint32_t> want = {0, 1, 2, 3};
+    EXPECT_EQ(order, want);
+}
+
+TEST(CalendarQueue, ClockNeverRunsBackwards)
+{
+    Queue q;
+    q.schedule(10, {0});
+    Ev ev;
+    EXPECT_EQ(q.pop(ev), 10u);
+    EXPECT_EQ(q.now(), 10u);
+    // Scheduling at now() is allowed; the past would assert.
+    q.schedule(10, {1});
+    EXPECT_EQ(q.pop(ev), 10u);
+}
+
+TEST(CalendarQueue, ReschedulingKeepsWindowInvariantAfterLongJump)
+{
+    Queue q;
+    q.schedule(0, {0});
+    q.schedule(100000, {1}); // deep overflow
+    Ev ev;
+    EXPECT_EQ(q.pop(ev), 0u);
+    EXPECT_EQ(q.pop(ev), 100000u);
+    EXPECT_EQ(ev.tag, 1u);
+    // After the jump the ring must accept nearby cycles again.
+    q.schedule(100001, {2});
+    q.schedule(100063, {3});
+    EXPECT_EQ(q.pop(ev), 100001u);
+    EXPECT_EQ(q.pop(ev), 100063u);
+    EXPECT_TRUE(q.empty());
+}
+
+/**
+ * Reference model of the previous engine's contract: a list stably
+ * sorted by cycle (stable sort preserves insertion order, i.e. the
+ * old seq tiebreaker).
+ */
+TEST(CalendarQueue, PropertyMatchesPriorityQueueContract)
+{
+    Rng rng(12345);
+    for (int round = 0; round < 50; ++round) {
+        Queue q;
+        std::vector<std::pair<uint64_t, uint32_t>> model;
+        uint32_t tag = 0;
+
+        // Initial burst.
+        for (int i = 0; i < 40; ++i) {
+            const uint64_t cycle = rng.below(300);
+            q.schedule(cycle, {tag});
+            model.push_back({cycle, tag});
+            ++tag;
+        }
+
+        std::vector<std::pair<uint64_t, uint32_t>> got;
+        Ev ev;
+        while (!q.empty()) {
+            const uint64_t cycle = q.pop(ev);
+            got.push_back({cycle, ev.tag});
+            // Handlers occasionally schedule follow-ups: same cycle,
+            // near future, or deep into overflow territory.
+            if (rng.below(100) < 30 && tag < 2000) {
+                const uint64_t delta =
+                    rng.below(100) < 20 ? 0 : 1 + rng.below(400);
+                q.schedule(cycle + delta, {tag});
+                model.push_back({cycle + delta, tag});
+                ++tag;
+            }
+        }
+
+        std::stable_sort(model.begin(), model.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        ASSERT_EQ(got, model) << "round " << round;
+    }
+}
+
+} // namespace
+} // namespace nachos
