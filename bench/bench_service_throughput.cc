@@ -1,0 +1,144 @@
+/**
+ * @file
+ * nachosd serving throughput: an in-process daemon on a Unix-domain
+ * socket, driven by 1/4/16 concurrent client connections pipelining
+ * small identical jobs. Reports jobs/sec and the daemon's own
+ * queue/total latency percentiles per client count — the smoke-level
+ * answer to "what does the JSON-lines layer cost on top of the
+ * Runner?".
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "harness/report.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+#include "service/protocol.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+using namespace nachos;
+
+namespace {
+
+constexpr int kJobsPerClient = 8;
+
+JsonValue
+smallJob(uint64_t id)
+{
+    JsonValue run = JsonValue::makeObject();
+    run.set("workload", "164.gzip");
+    run.set("invocations", 1);
+    JsonValue backends = JsonValue::makeArray();
+    backends.push("nachos");
+    run.set("backends", std::move(backends));
+    JsonValue req = requestEnvelope(id, "run");
+    req.set("run", std::move(run));
+    return req;
+}
+
+/** One client: pipeline all jobs, then collect every response. */
+bool
+driveClient(const std::string &socketPath)
+{
+    std::string error;
+    std::unique_ptr<ServiceClient> client =
+        ServiceClient::connectUnix(socketPath, &error);
+    if (!client) {
+        std::cerr << "connect: " << error << "\n";
+        return false;
+    }
+    for (uint64_t id = 1; id <= kJobsPerClient; ++id)
+        if (!client->sendRequest(smallJob(id)))
+            return false;
+    for (uint64_t id = 1; id <= kJobsPerClient; ++id) {
+        std::optional<JsonValue> response = client->waitFor(id);
+        const JsonValue *type =
+            response ? response->find("type") : nullptr;
+        if (!type || !type->isString() || type->str() != "result")
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+histogramField(const JsonValue &snapshot, const char *histogram,
+               const char *field)
+{
+    const JsonValue *h = snapshot.find("histograms");
+    const JsonValue *lat = h ? h->find(histogram) : nullptr;
+    const JsonValue *v = lat ? lat->find(field) : nullptr;
+    return v && v->isU64() ? v->asU64() : 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    printHeader(std::cout, "Service",
+                "nachosd throughput: pipelined small jobs (164.gzip, "
+                "1 invocation, nachos backend)");
+
+    TextTable table;
+    table.header({"clients", "jobs", "wall ms", "jobs/s",
+                  "queue p95 us", "total p95 us"});
+
+    for (const int clients : {1, 4, 16}) {
+        const std::string socketPath =
+            "/tmp/nachos-bench-" + std::to_string(::getpid()) + "-" +
+            std::to_string(clients) + ".sock";
+        DaemonConfig config;
+        config.socketPath = socketPath;
+        config.workers = 2;
+        config.queueCapacity =
+            static_cast<size_t>(clients) * kJobsPerClient;
+        Daemon daemon(config);
+        std::string error;
+        if (!daemon.start(&error)) {
+            std::cerr << "nachosd start: " << error << "\n";
+            return 1;
+        }
+
+        const auto begin = std::chrono::steady_clock::now();
+        std::vector<std::thread> threads;
+        std::vector<char> ok(static_cast<size_t>(clients), 0);
+        for (int c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                ok[static_cast<size_t>(c)] = driveClient(socketPath);
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+        const double wallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        for (const char good : ok) {
+            if (!good) {
+                std::cerr << "a client failed; results are invalid\n";
+                return 1;
+            }
+        }
+
+        const JsonValue snapshot = daemon.metricsSnapshot();
+        const int jobs = clients * kJobsPerClient;
+        table.row({std::to_string(clients), std::to_string(jobs),
+                   fmtDouble(wallMs, 1),
+                   fmtDouble(jobs / (wallMs / 1e3), 0),
+                   std::to_string(histogramField(
+                       snapshot, "latency.queueMicros", "p95")),
+                   std::to_string(histogramField(
+                       snapshot, "latency.totalMicros", "p95"))});
+        daemon.drain();
+        ::unlink(socketPath.c_str());
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <string>
 
+#include "harness/run_json.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
@@ -131,10 +133,11 @@ jsonRecord(std::ostream &os, bool &first, const std::string &workload,
            const char *stage, double seconds, uint64_t threads,
            const std::string &sha)
 {
-    os << (first ? "" : ",") << "\n  {\"workload\": \"" << workload
-       << "\", \"stage\": \"" << stage << "\", \"seconds\": "
-       << fmtDouble(seconds, 6) << ", \"threads\": " << threads
-       << ", \"git_sha\": \"" << sha << "\"}";
+    // Same encoder as the daemon protocol (harness/run_json), so the
+    // two JSON surfaces share one formatting path.
+    os << (first ? "" : ",") << "\n  "
+       << dumpJson(encodeTimingRecord(workload, stage, seconds, threads,
+                                      sha));
     first = false;
 }
 

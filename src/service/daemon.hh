@@ -1,0 +1,180 @@
+/**
+ * @file
+ * nachosd: a long-running experiment server around the harness. It
+ * listens on a Unix-domain socket (plus an optional loopback TCP
+ * port), speaks the JSON-lines protocol of service/protocol.hh, and
+ * executes admitted run requests on the existing ThreadPool via
+ * runWorkload — amortizing process setup across many requests instead
+ * of paying it per bench invocation.
+ *
+ * Architecture (one box per thread kind):
+ *
+ *   accept loop ──> connection readers (1/conn) ──> bounded JobQueue
+ *                                                        │
+ *   timeout watchdog <── deadline registry          worker loops
+ *        │                                          (ThreadPool)
+ *        └── answers `timeout`, workers answer `result`/`error`;
+ *            an atomic per-job state machine guarantees exactly one
+ *            response per request no matter who wins the race.
+ *
+ * Backpressure: JobQueue capacity bounds admission; a full queue
+ * answers `queue_full` immediately. Shutdown: drain() stops the
+ * accept loop, lets every admitted job finish and flush its response,
+ * then closes connections — SIGTERM/SIGINT in the nachosd binary and
+ * the `shutdown` request both route here.
+ */
+
+#ifndef NACHOS_SERVICE_DAEMON_HH
+#define NACHOS_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job_queue.hh"
+#include "service/protocol.hh"
+#include "support/stats.hh"
+#include "support/thread_pool.hh"
+
+namespace nachos {
+
+struct DaemonConfig
+{
+    /** Unix-domain socket path (required). */
+    std::string socketPath;
+    /** Also listen on loopback TCP when nonzero. */
+    uint16_t tcpPort = 0;
+    /** Worker threads executing jobs. */
+    unsigned workers = 2;
+    /** JobQueue capacity (admission control). */
+    size_t queueCapacity = 64;
+    /** Deadline applied to jobs that do not set one; 0 = none. */
+    uint64_t defaultTimeoutMillis = 0;
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonConfig config);
+
+    /** Drains if still running. */
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Bind sockets and spawn the accept loop, workers, and watchdog.
+     * False (with *error filled) on socket setup failure.
+     */
+    bool start(std::string *error = nullptr);
+
+    /**
+     * Ask the daemon to stop (signal handler / `shutdown` request).
+     * Thread-safe and idempotent; returns immediately. The thread
+     * sitting in waitUntilStopRequested() performs the actual drain.
+     */
+    void requestStop();
+
+    /** Block until requestStop() is called. */
+    void waitUntilStopRequested();
+
+    bool stopRequested() const;
+
+    /**
+     * Graceful shutdown: stop accepting, answer everything already
+     * admitted, then tear down threads and sockets. Idempotent.
+     */
+    void drain();
+
+    /** JSON snapshot of all daemon metrics (the `metrics` payload). */
+    JsonValue metricsSnapshot() const;
+
+    const DaemonConfig &config() const { return config_; }
+
+  private:
+    /** Per-connection shared state; the last owner closes the fd. */
+    struct Connection
+    {
+        explicit Connection(int connFd) : fd(connFd) {}
+        ~Connection();
+
+        /** Serialized, best-effort line write (MSG_NOSIGNAL). */
+        void sendLine(const std::string &line);
+
+        /** Wake a reader blocked in recv (drain path). */
+        void shutdownSocket();
+
+        int fd;
+        std::mutex writeMutex;
+        std::mutex jobsMutex;
+        /** Live jobs by client request id (for cancel/duplicate). */
+        std::map<uint64_t, std::weak_ptr<Job>> jobs;
+    };
+
+    void acceptLoop();
+    void connectionLoop(std::shared_ptr<Connection> conn);
+    void handleLine(const std::shared_ptr<Connection> &conn,
+                    const std::string &line);
+    void handleRun(const std::shared_ptr<Connection> &conn,
+                   Request &req);
+    void handleCancel(const std::shared_ptr<Connection> &conn,
+                      const Request &req);
+    void workerLoop();
+    void executeJob(const std::shared_ptr<Job> &job);
+    void watchdogLoop(std::stop_token st);
+    void registerDeadline(std::shared_ptr<Job> job);
+    void finishJob(); ///< outstanding-- and wake drain()
+
+    void sendTo(const std::shared_ptr<Connection> &conn,
+                const JsonValue &v);
+    void bump(const char *name, uint64_t n = 1);
+    void sampleLatency(const char *name, uint64_t micros);
+
+    DaemonConfig config_;
+    JobQueue queue_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<std::future<void>> workerExits_;
+
+    int listenUnixFd_ = -1;
+    int listenTcpFd_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    std::jthread acceptThread_;
+    std::jthread watchdogThread_;
+
+    std::mutex connsMutex_;
+    std::vector<std::jthread> connThreads_;
+    std::vector<std::weak_ptr<Connection>> conns_;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> drained_{false};
+    std::atomic<uint64_t> activeConns_{0};
+    /** Jobs admitted but not yet finally disposed of. */
+    std::atomic<uint64_t> outstanding_{0};
+
+    mutable std::mutex stopMutex_;
+    std::condition_variable stopCv_;
+    bool stopRequested_ = false;
+
+    std::mutex idleMutex_;
+    std::condition_variable idleCv_;
+
+    std::mutex watchdogMutex_;
+    std::condition_variable_any watchdogCv_;
+    std::vector<std::shared_ptr<Job>> deadlineJobs_;
+
+    mutable std::mutex statsMutex_;
+    StatSet stats_;
+};
+
+} // namespace nachos
+
+#endif // NACHOS_SERVICE_DAEMON_HH

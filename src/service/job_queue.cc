@@ -1,0 +1,85 @@
+#include "service/job_queue.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+JobQueue::JobQueue(size_t capacity) : capacity_(capacity)
+{
+    NACHOS_ASSERT(capacity > 0, "job queue needs capacity >= 1");
+}
+
+bool
+JobQueue::tryPush(std::shared_ptr<Job> job,
+                  const std::function<void()> &onAdmit)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || queue_.size() >= capacity_)
+            return false;
+        queue_.push_back(std::move(job));
+        if (onAdmit)
+            onAdmit();
+    }
+    cv_.notify_one();
+    return true;
+}
+
+std::shared_ptr<Job>
+JobQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        cv_.wait(lock,
+                 [this] { return closed_ || !queue_.empty(); });
+        if (queue_.empty())
+            return nullptr; // closed and drained
+        std::shared_ptr<Job> job = std::move(queue_.front());
+        queue_.pop_front();
+        // A watchdog/cancel transition may have claimed the job while
+        // it sat in the queue; its owner already responded.
+        if (job->state.load() == JobState::Queued)
+            return job;
+    }
+}
+
+bool
+JobQueue::cancel(const std::shared_ptr<Job> &job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find(queue_.begin(), queue_.end(), job);
+    if (it == queue_.end())
+        return false;
+    if (!job->tryTransition(JobState::Queued, JobState::Cancelled))
+        return false;
+    queue_.erase(it);
+    return true;
+}
+
+void
+JobQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+size_t
+JobQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+bool
+JobQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+} // namespace nachos

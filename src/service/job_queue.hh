@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bounded admission queue between the daemon's connection threads and
+ * its worker pool. Capacity is the backpressure mechanism: when the
+ * queue is full, tryPush fails and the daemon answers `queue_full`
+ * instead of buffering unboundedly (the JSON-lines equivalent of an
+ * HTTP 503). Jobs carry an atomic state machine so three parties —
+ * the popping worker, the timeout watchdog, and a cancel request —
+ * can race for a job and exactly one wins the right to answer it.
+ */
+
+#ifndef NACHOS_SERVICE_JOB_QUEUE_HH
+#define NACHOS_SERVICE_JOB_QUEUE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "harness/run_json.hh"
+#include "support/json.hh"
+
+namespace nachos {
+
+/**
+ * Lifecycle of a job. Legal transitions (all CAS-guarded):
+ * Queued -> Running (worker), Queued -> Cancelled (cancel request),
+ * Queued/Running -> TimedOut (watchdog), Running -> Done (worker).
+ * Whoever performs the transition out of Queued/Running owns the
+ * response; a worker that finishes a job the watchdog already timed
+ * out discards its result.
+ */
+enum class JobState : int { Queued, Running, Done, TimedOut, Cancelled };
+
+/** One admitted run request. */
+struct Job
+{
+    uint64_t requestId = 0; ///< client-visible id (per connection)
+    JobSpec spec;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;
+    bool hasDeadline = false;
+
+    /** Sends one response line to the job's connection (thread-safe). */
+    std::function<void(const JsonValue &)> respond;
+
+    std::atomic<JobState> state{JobState::Queued};
+
+    bool
+    tryTransition(JobState from, JobState to)
+    {
+        return state.compare_exchange_strong(from, to);
+    }
+};
+
+/** Bounded FIFO of shared Jobs. */
+class JobQueue
+{
+  public:
+    explicit JobQueue(size_t capacity);
+
+    /**
+     * Admit a job; false when the queue is full or closed. When
+     * admission succeeds, `onAdmit` runs under the queue lock before
+     * any worker can pop the job — use it for accounting that must be
+     * ordered before the job's completion (e.g. an accepted counter
+     * that a metrics reader compares against completed).
+     */
+    bool tryPush(std::shared_ptr<Job> job,
+                 const std::function<void()> &onAdmit = {});
+
+    /**
+     * Take the next job, blocking while the queue is open and empty.
+     * Returns nullptr once the queue is closed and drained. Jobs
+     * whose state already left Queued (cancelled/timed out while
+     * waiting) are skipped here, not returned.
+     */
+    std::shared_ptr<Job> pop();
+
+    /**
+     * Cancel a still-queued job (matched by pointer identity).
+     * Performs Queued -> Cancelled; false if the job already left the
+     * queue or the Queued state.
+     */
+    bool cancel(const std::shared_ptr<Job> &job);
+
+    /** Close the queue: pushes fail, poppers drain then get nullptr. */
+    void close();
+
+    size_t depth() const;
+    bool closed() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::shared_ptr<Job>> queue_;
+    size_t capacity_;
+    bool closed_ = false;
+};
+
+} // namespace nachos
+
+#endif // NACHOS_SERVICE_JOB_QUEUE_HH

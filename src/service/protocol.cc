@@ -1,0 +1,179 @@
+#include "service/protocol.hh"
+
+namespace nachos {
+
+namespace {
+
+bool
+failProto(CodecError &err, std::string code, std::string message)
+{
+    err.code = std::move(code);
+    err.message = std::move(message);
+    return false;
+}
+
+} // namespace
+
+bool
+parseRequestLine(const std::string &line, Request &req, CodecError &err)
+{
+    if (line.size() > kMaxRequestLineBytes)
+        return failProto(err, "oversized",
+                         "request line exceeds " +
+                             std::to_string(kMaxRequestLineBytes) +
+                             " bytes");
+    JsonParseResult parsed = parseJson(line);
+    if (!parsed.ok)
+        return failProto(err, "bad_json",
+                         parsed.error + " at offset " +
+                             std::to_string(parsed.errorOffset));
+    const JsonValue &v = parsed.value;
+    if (!v.isObject())
+        return failProto(err, "bad_request",
+                         "request must be a JSON object");
+
+    // Pull the id first so every later error can echo it.
+    if (const JsonValue *id = v.find("id")) {
+        if (!id->isU64() || id->asU64() == 0)
+            return failProto(err, "bad_request",
+                             "'id' must be a positive integer");
+        req.id = id->asU64();
+    } else {
+        return failProto(err, "bad_request", "'id' is required");
+    }
+
+    const JsonValue *version = v.find("v");
+    if (!version || !version->isU64())
+        return failProto(err, "bad_request",
+                         "'v' (protocol version) is required");
+    if (version->asU64() != kProtocolVersion)
+        return failProto(err, "unsupported_version",
+                         "protocol version " +
+                             std::to_string(version->asU64()) +
+                             " not supported (want " +
+                             std::to_string(kProtocolVersion) + ")");
+
+    const JsonValue *type = v.find("type");
+    if (!type || !type->isString())
+        return failProto(err, "bad_request",
+                         "'type' (string) is required");
+
+    const std::string &name = type->str();
+    if (name == "run") {
+        req.type = Request::Type::Run;
+        for (const auto &member : v.members()) {
+            if (member.first != "v" && member.first != "id" &&
+                member.first != "type" && member.first != "run")
+                return failProto(err, "bad_request",
+                                 "unknown member '" + member.first +
+                                     "'");
+        }
+        const JsonValue *run = v.find("run");
+        if (!run)
+            return failProto(err, "bad_request",
+                             "'run' (object) is required");
+        return decodeRunRequest(*run, req.job, err);
+    }
+
+    // The payload-free types accept only the envelope (+ cancel's
+    // target); anything else is a typo worth rejecting loudly.
+    const bool isCancel = name == "cancel";
+    for (const auto &member : v.members()) {
+        if (member.first != "v" && member.first != "id" &&
+            member.first != "type" &&
+            !(isCancel && member.first == "target"))
+            return failProto(err, "bad_request",
+                             "unknown member '" + member.first + "'");
+    }
+    if (name == "metrics") {
+        req.type = Request::Type::Metrics;
+        return true;
+    }
+    if (name == "ping") {
+        req.type = Request::Type::Ping;
+        return true;
+    }
+    if (name == "shutdown") {
+        req.type = Request::Type::Shutdown;
+        return true;
+    }
+    if (isCancel) {
+        req.type = Request::Type::Cancel;
+        const JsonValue *target = v.find("target");
+        if (!target || !target->isU64() || target->asU64() == 0)
+            return failProto(err, "bad_request",
+                             "'target' must be a positive integer");
+        req.cancelTarget = target->asU64();
+        return true;
+    }
+    return failProto(err, "unknown_type",
+                     "unknown request type '" + name + "'");
+}
+
+namespace {
+
+JsonValue
+envelope(uint64_t id, const char *type)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("v", kProtocolVersion);
+    v.set("id", id);
+    v.set("type", type);
+    return v;
+}
+
+} // namespace
+
+JsonValue
+errorResponse(uint64_t id, const std::string &code,
+              const std::string &message)
+{
+    JsonValue v = envelope(id, "error");
+    v.set("code", code);
+    v.set("message", message);
+    return v;
+}
+
+JsonValue
+resultResponse(uint64_t id, JsonValue outcome)
+{
+    JsonValue v = envelope(id, "result");
+    v.set("outcome", std::move(outcome));
+    return v;
+}
+
+JsonValue
+metricsResponse(uint64_t id, JsonValue stats)
+{
+    JsonValue v = envelope(id, "metrics");
+    v.set("stats", std::move(stats));
+    return v;
+}
+
+JsonValue
+pongResponse(uint64_t id)
+{
+    return envelope(id, "pong");
+}
+
+JsonValue
+okResponse(uint64_t id)
+{
+    return envelope(id, "ok");
+}
+
+JsonValue
+requestEnvelope(uint64_t id, const char *type)
+{
+    return envelope(id, type);
+}
+
+JsonValue
+runRequestEnvelope(uint64_t id, const JobSpec &spec)
+{
+    JsonValue v = envelope(id, "run");
+    v.set("run", encodeRunRequest(spec));
+    return v;
+}
+
+} // namespace nachos

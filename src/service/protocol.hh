@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The nachosd wire protocol: versioned JSON lines over a stream
+ * socket. Every request is one JSON object on one line and yields
+ * exactly one response line; responses to pipelined requests may
+ * arrive out of order and are matched by the client-chosen `id`.
+ *
+ * Requests (envelope members `v`, `id`, `type` are required):
+ *
+ *   {"v":1,"id":7,"type":"run","run":{"workload":"164.gzip",...}}
+ *   {"v":1,"id":8,"type":"metrics"}
+ *   {"v":1,"id":9,"type":"ping"}
+ *   {"v":1,"id":10,"type":"cancel","target":7}
+ *   {"v":1,"id":11,"type":"shutdown"}
+ *
+ * Responses:
+ *
+ *   {"v":1,"id":7,"type":"result","outcome":{...}}     (run)
+ *   {"v":1,"id":8,"type":"metrics","stats":{...}}
+ *   {"v":1,"id":9,"type":"pong"}
+ *   {"v":1,"id":10,"type":"ok"}                        (cancel/shutdown)
+ *   {"v":1,"id":N,"type":"error","code":"...","message":"..."}
+ *
+ * Error codes: bad_json, oversized, unsupported_version, bad_request,
+ * unknown_type, unknown_workload, bad_path_index, bad_seed,
+ * queue_full, timeout, cancelled, not_cancellable, shutting_down,
+ * internal. Malformed input of any shape gets an `error` response
+ * (id 0 when the id itself was unreadable) — never a dropped
+ * connection mid-protocol and never a crash.
+ */
+
+#ifndef NACHOS_SERVICE_PROTOCOL_HH
+#define NACHOS_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/run_json.hh"
+#include "support/json.hh"
+
+namespace nachos {
+
+/** Protocol version spoken by this build. */
+constexpr uint64_t kProtocolVersion = 1;
+
+/** Longest accepted request line (bytes, newline excluded). */
+constexpr size_t kMaxRequestLineBytes = 1 << 20;
+
+/** A parsed, validated request. */
+struct Request
+{
+    enum class Type : uint8_t { Run, Metrics, Ping, Cancel, Shutdown };
+
+    Type type = Type::Ping;
+    uint64_t id = 0;
+    JobSpec job;               ///< Type::Run only
+    uint64_t cancelTarget = 0; ///< Type::Cancel only
+};
+
+/**
+ * Parse and validate one request line. On failure returns false and
+ * fills `err` with a typed error; `req.id` is still set when the id
+ * was readable, so the error response can echo it.
+ */
+bool parseRequestLine(const std::string &line, Request &req,
+                      CodecError &err);
+
+// ---- response builders (all include the envelope) -------------------
+
+JsonValue errorResponse(uint64_t id, const std::string &code,
+                        const std::string &message);
+JsonValue resultResponse(uint64_t id, JsonValue outcome);
+JsonValue metricsResponse(uint64_t id, JsonValue stats);
+JsonValue pongResponse(uint64_t id);
+JsonValue okResponse(uint64_t id);
+
+/** Build a request envelope of the given type (no payload members). */
+JsonValue requestEnvelope(uint64_t id, const char *type);
+
+/** Wrap a JobSpec as a full run-request line value. */
+JsonValue runRequestEnvelope(uint64_t id, const JobSpec &spec);
+
+} // namespace nachos
+
+#endif // NACHOS_SERVICE_PROTOCOL_HH

@@ -1,0 +1,625 @@
+#include "support/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+bool
+JsonValue::boolean() const
+{
+    NACHOS_ASSERT(kind_ == Kind::Bool, "json value is not a bool");
+    return bool_;
+}
+
+const std::string &
+JsonValue::str() const
+{
+    NACHOS_ASSERT(kind_ == Kind::String, "json value is not a string");
+    return str_;
+}
+
+bool
+JsonValue::isU64() const
+{
+    if (kind_ != Kind::Number)
+        return false;
+    switch (rep_) {
+      case NumRep::U64:
+        return true;
+      case NumRep::I64:
+        return i64_ >= 0;
+      case NumRep::Dbl:
+        return dbl_ >= 0 && dbl_ < 18446744073709551616.0 &&
+               dbl_ == std::floor(dbl_);
+    }
+    return false;
+}
+
+bool
+JsonValue::isI64() const
+{
+    if (kind_ != Kind::Number)
+        return false;
+    switch (rep_) {
+      case NumRep::U64:
+        return u64_ <= static_cast<uint64_t>(INT64_MAX);
+      case NumRep::I64:
+        return true;
+      case NumRep::Dbl:
+        return dbl_ >= -9223372036854775808.0 &&
+               dbl_ < 9223372036854775808.0 && dbl_ == std::floor(dbl_);
+    }
+    return false;
+}
+
+uint64_t
+JsonValue::asU64() const
+{
+    NACHOS_ASSERT(isU64(), "json number is not a uint64");
+    switch (rep_) {
+      case NumRep::U64:
+        return u64_;
+      case NumRep::I64:
+        return static_cast<uint64_t>(i64_);
+      case NumRep::Dbl:
+        return static_cast<uint64_t>(dbl_);
+    }
+    return 0;
+}
+
+int64_t
+JsonValue::asI64() const
+{
+    NACHOS_ASSERT(isI64(), "json number is not an int64");
+    switch (rep_) {
+      case NumRep::U64:
+        return static_cast<int64_t>(u64_);
+      case NumRep::I64:
+        return i64_;
+      case NumRep::Dbl:
+        return static_cast<int64_t>(dbl_);
+    }
+    return 0;
+}
+
+double
+JsonValue::asDouble() const
+{
+    NACHOS_ASSERT(kind_ == Kind::Number, "json value is not a number");
+    switch (rep_) {
+      case NumRep::U64:
+        return static_cast<double>(u64_);
+      case NumRep::I64:
+        return static_cast<double>(i64_);
+      case NumRep::Dbl:
+        return dbl_;
+    }
+    return 0;
+}
+
+const JsonValue &
+JsonValue::at(size_t i) const
+{
+    NACHOS_ASSERT(kind_ == Kind::Array, "json value is not an array");
+    NACHOS_ASSERT(i < items_.size(), "json array index out of range");
+    return items_[i];
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    NACHOS_ASSERT(kind_ == Kind::Array, "json value is not an array");
+    items_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(std::string key, JsonValue v)
+{
+    NACHOS_ASSERT(kind_ == Kind::Object, "json value is not an object");
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &member : members_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, size_t max_depth)
+        : text_(text), maxDepth_(max_depth)
+    {
+    }
+
+    JsonParseResult
+    run()
+    {
+        JsonParseResult result;
+        skipWs();
+        if (!parseValue(result.value, 0)) {
+            result.error = error_;
+            result.errorOffset = pos_;
+            return result;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            result.error = "trailing characters after JSON value";
+            result.errorOffset = pos_;
+            return result;
+        }
+        result.ok = true;
+        return result;
+    }
+
+  private:
+    bool
+    fail(const char *msg)
+    {
+        if (error_.empty())
+            error_ = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("invalid literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, size_t depth)
+    {
+        if (depth > maxDepth_)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case 'n':
+            out = JsonValue();
+            return literal("null");
+          case 't':
+            out = JsonValue(true);
+            return literal("true");
+          case 'f':
+            out = JsonValue(false);
+            return literal("false");
+          case '"':
+            return parseString(out);
+          case '[':
+            return parseArray(out, depth);
+          case '{':
+            return parseObject(out, depth);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseString(JsonValue &out)
+    {
+        std::string s;
+        if (!parseRawString(s))
+            return false;
+        out = JsonValue(std::move(s));
+        return true;
+    }
+
+    bool
+    parseRawString(std::string &s)
+    {
+        ++pos_; // opening quote
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                s.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': s.push_back('"'); break;
+              case '\\': s.push_back('\\'); break;
+              case '/': s.push_back('/'); break;
+              case 'b': s.push_back('\b'); break;
+              case 'f': s.push_back('\f'); break;
+              case 'n': s.push_back('\n'); break;
+              case 'r': s.push_back('\r'); break;
+              case 't': s.push_back('\t'); break;
+              case 'u': {
+                uint32_t cp = 0;
+                if (!parseHex4(cp))
+                    return false;
+                // Surrogate pair: combine; a lone surrogate becomes
+                // U+FFFD rather than an error (lenient like most
+                // parsers; the daemon treats text as opaque anyway).
+                if (cp >= 0xD800 && cp <= 0xDBFF &&
+                    text_.compare(pos_, 2, "\\u") == 0) {
+                    const size_t save = pos_;
+                    pos_ += 2;
+                    uint32_t lo = 0;
+                    if (!parseHex4(lo))
+                        return false;
+                    if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                        cp = 0x10000 + ((cp - 0xD800) << 10) +
+                             (lo - 0xDC00);
+                    } else {
+                        pos_ = save;
+                        cp = 0xFFFD;
+                    }
+                } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+                    cp = 0xFFFD;
+                }
+                appendUtf8(s, cp);
+                break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+    }
+
+    bool
+    parseHex4(uint32_t &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                return fail("invalid \\u escape digit");
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &s, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            s.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            s.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        bool negative = false;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            negative = true;
+            ++pos_;
+        }
+        if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+            return fail("invalid number");
+        if (text_[pos_] == '0') {
+            ++pos_;
+            if (pos_ < text_.size() && text_[pos_] >= '0' &&
+                text_[pos_] <= '9')
+                return fail("leading zero in number");
+        } else {
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        bool integral = true;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            integral = false;
+            ++pos_;
+            if (pos_ >= text_.size() || text_[pos_] < '0' ||
+                text_[pos_] > '9')
+                return fail("digit expected after decimal point");
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || text_[pos_] < '0' ||
+                text_[pos_] > '9')
+                return fail("digit expected in exponent");
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        const std::string_view token = text_.substr(start, pos_ - start);
+        if (integral && !negative) {
+            uint64_t u = 0;
+            auto [p, ec] = std::from_chars(token.data(),
+                                           token.data() + token.size(), u);
+            if (ec == std::errc() && p == token.data() + token.size()) {
+                out = JsonValue(u);
+                return true;
+            }
+        } else if (integral) {
+            int64_t i = 0;
+            auto [p, ec] = std::from_chars(token.data(),
+                                           token.data() + token.size(), i);
+            if (ec == std::errc() && p == token.data() + token.size()) {
+                out = JsonValue(i);
+                return true;
+            }
+        }
+        double d = 0;
+        auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), d);
+        if (ec != std::errc() || p != token.data() + token.size())
+            return fail("number out of range");
+        out = JsonValue(d);
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue &out, size_t depth)
+    {
+        ++pos_; // '['
+        out = JsonValue::makeArray();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue item;
+            skipWs();
+            if (!parseValue(item, depth + 1))
+                return false;
+            out.push(std::move(item));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            const char c = text_[pos_++];
+            if (c == ']')
+                return true;
+            if (c != ',')
+                return fail("',' or ']' expected in array");
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, size_t depth)
+    {
+        ++pos_; // '{'
+        out = JsonValue::makeObject();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("object key expected");
+            std::string key;
+            if (!parseRawString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_++] != ':')
+                return fail("':' expected after object key");
+            skipWs();
+            JsonValue item;
+            if (!parseValue(item, depth + 1))
+                return false;
+            out.set(std::move(key), std::move(item));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            const char c = text_[pos_++];
+            if (c == '}')
+                return true;
+            if (c != ',')
+                return fail("',' or '}' expected in object");
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    size_t maxDepth_;
+    std::string error_;
+};
+
+} // namespace
+
+JsonParseResult
+parseJson(std::string_view text, size_t maxDepth)
+{
+    return Parser(text, maxDepth).run();
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+writeEscaped(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+writeNumber(std::string &out, const JsonValue &v)
+{
+    char buf[40];
+    if (v.isU64()) {
+        auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v.asU64());
+        out.append(buf, p);
+        return;
+    }
+    if (v.isI64()) {
+        auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v.asI64());
+        out.append(buf, p);
+        return;
+    }
+    const double d = v.asDouble();
+    if (!std::isfinite(d)) {
+        // JSON has no Inf/NaN; emit null like most encoders.
+        out += "null";
+        return;
+    }
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+    out.append(buf, p);
+}
+
+void
+writeValue(std::string &out, const JsonValue &v, int indent, int level)
+{
+    const bool pretty = indent >= 0;
+    auto newline = [&out, indent, pretty](int lvl) {
+        if (!pretty)
+            return;
+        out.push_back('\n');
+        out.append(static_cast<size_t>(indent) * lvl, ' ');
+    };
+
+    switch (v.kind()) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Bool:
+        out += v.boolean() ? "true" : "false";
+        break;
+      case JsonValue::Kind::Number:
+        writeNumber(out, v);
+        break;
+      case JsonValue::Kind::String:
+        writeEscaped(out, v.str());
+        break;
+      case JsonValue::Kind::Array:
+        out.push_back('[');
+        for (size_t i = 0; i < v.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(level + 1);
+            writeValue(out, v.at(i), indent, level + 1);
+        }
+        if (v.size())
+            newline(level);
+        out.push_back(']');
+        break;
+      case JsonValue::Kind::Object: {
+        out.push_back('{');
+        bool first = true;
+        for (const auto &member : v.members()) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            newline(level + 1);
+            writeEscaped(out, member.first);
+            out.push_back(':');
+            if (pretty)
+                out.push_back(' ');
+            writeValue(out, member.second, indent, level + 1);
+        }
+        if (!v.members().empty())
+            newline(level);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+dumpJson(const JsonValue &v, int indent)
+{
+    std::string out;
+    writeValue(out, v, indent, 0);
+    return out;
+}
+
+} // namespace nachos

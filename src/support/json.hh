@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Minimal JSON value / parser / writer for the serving layer and the
+ * machine-readable bench output. Deliberately small: no external
+ * dependency, insertion-ordered objects (so encodings are
+ * deterministic and byte-stable across runs), a recursive-descent
+ * parser that returns errors instead of crashing on malformed input
+ * (the daemon feeds it untrusted bytes), and a writer whose number
+ * formatting round-trips uint64 counters and doubles exactly.
+ */
+
+#ifndef NACHOS_SUPPORT_JSON_HH
+#define NACHOS_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nachos {
+
+/**
+ * One JSON value. Numbers remember how they were built (unsigned,
+ * signed, or floating) so writing them back is lossless — counters and
+ * 64-bit digests survive a round trip bit-exactly.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+    /** How a Number is represented internally. */
+    enum class NumRep : uint8_t { U64, I64, Dbl };
+
+    JsonValue() = default; ///< null
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(uint64_t u) : kind_(Kind::Number), rep_(NumRep::U64), u64_(u) {}
+    JsonValue(int64_t i) : kind_(Kind::Number), rep_(NumRep::I64), i64_(i) {}
+    JsonValue(int i) : JsonValue(static_cast<int64_t>(i)) {}
+    JsonValue(unsigned u) : JsonValue(static_cast<uint64_t>(u)) {}
+    JsonValue(double d) : kind_(Kind::Number), rep_(NumRep::Dbl), dbl_(d) {}
+    JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    JsonValue(const char *s) : JsonValue(std::string(s)) {}
+
+    static JsonValue makeArray() { JsonValue v; v.kind_ = Kind::Array; return v; }
+    static JsonValue makeObject() { JsonValue v; v.kind_ = Kind::Object; return v; }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool boolean() const;
+    const std::string &str() const;
+
+    /** True for a Number without a fractional part that fits uint64. */
+    bool isU64() const;
+    /** True for a Number without a fractional part that fits int64. */
+    bool isI64() const;
+    uint64_t asU64() const; ///< requires isU64()
+    int64_t asI64() const;  ///< requires isI64()
+    double asDouble() const; ///< any Number
+
+    // ---- arrays -----------------------------------------------------
+    size_t size() const { return items_.size(); }
+    const JsonValue &at(size_t i) const;
+    void push(JsonValue v);
+
+    // ---- objects (insertion-ordered) --------------------------------
+    /** Set (or replace) a member; insertion order is emission order. */
+    void set(std::string key, JsonValue v);
+    /** Member lookup; nullptr if absent (or not an object). */
+    const JsonValue *find(std::string_view key) const;
+    const std::vector<std::pair<std::string, JsonValue>> &members() const
+    {
+        return members_;
+    }
+
+  private:
+    Kind kind_ = Kind::Null;
+    NumRep rep_ = NumRep::U64;
+    bool bool_ = false;
+    uint64_t u64_ = 0;
+    int64_t i64_ = 0;
+    double dbl_ = 0;
+    std::string str_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Outcome of parseJson: a value or a position-tagged error. */
+struct JsonParseResult
+{
+    JsonValue value;
+    bool ok = false;
+    std::string error;  ///< empty when ok
+    size_t errorOffset = 0;
+};
+
+/**
+ * Parse one JSON document. Never throws and never aborts: malformed
+ * input, over-deep nesting (> maxDepth) and trailing garbage all come
+ * back as errors. Input size is the caller's problem (the daemon caps
+ * line length before parsing).
+ */
+JsonParseResult parseJson(std::string_view text, size_t maxDepth = 64);
+
+/**
+ * Serialize. indent < 0 gives the compact one-line wire form (the
+ * canonical encoding: no spaces, members in insertion order);
+ * indent >= 0 pretty-prints with that many spaces per level.
+ */
+std::string dumpJson(const JsonValue &v, int indent = -1);
+
+} // namespace nachos
+
+#endif // NACHOS_SUPPORT_JSON_HH

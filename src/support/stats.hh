@@ -16,6 +16,8 @@
 
 namespace nachos {
 
+class JsonValue;
+
 /** A single scalar event counter. */
 class Counter
 {
@@ -31,9 +33,58 @@ class Counter
 };
 
 /**
- * A registry of named counters. Names are hierarchical by convention
- * ("l1.hits", "lsq.camSearches"). Lookup creates the counter on first
- * use so call sites stay terse.
+ * Streaming latency distribution over fixed log2-scale buckets:
+ * bucket b holds samples whose value has bit-width b (0, 1, 2-3, 4-7,
+ * ... up to 2^63-). Constant memory, O(1) sampling, and percentile
+ * reads that are exact to within one octave — plenty for the daemon's
+ * p50/p95/p99 service-latency metrics, where the interesting signal
+ * is orders of magnitude, not microseconds.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr size_t kBuckets = 65; ///< bit-widths 0..64
+
+    void sample(uint64_t value, uint64_t weight = 1);
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    /** Smallest / largest sampled value (0 when empty). */
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    double mean() const;
+
+    /**
+     * Value at percentile p (0 < p <= 100): the upper bound of the
+     * bucket holding the rank-ceil(p/100*count) sample, clamped to the
+     * observed min/max. 0 when empty.
+     */
+    uint64_t percentile(double p) const;
+
+    uint64_t p50() const { return percentile(50); }
+    uint64_t p95() const { return percentile(95); }
+    uint64_t p99() const { return percentile(99); }
+
+    uint64_t bucket(size_t idx) const;
+
+    void reset();
+
+    /** {"count":..,"sum":..,"min":..,"max":..,"mean":..,
+     *  "p50":..,"p95":..,"p99":..} */
+    JsonValue jsonSnapshot() const;
+
+  private:
+    uint64_t buckets_[kBuckets] = {};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = UINT64_MAX;
+    uint64_t max_ = 0;
+};
+
+/**
+ * A registry of named counters and latency histograms. Names are
+ * hierarchical by convention ("l1.hits", "lsq.camSearches"). Lookup
+ * creates the stat on first use so call sites stay terse.
  */
 class StatSet
 {
@@ -44,14 +95,31 @@ class StatSet
     /** Read a counter's value; zero if it was never touched. */
     uint64_t get(const std::string &name) const;
 
-    /** Reset every counter to zero. */
+    /** Get (creating if needed) the histogram with the given name. */
+    LatencyHistogram &histogram(const std::string &name);
+
+    /** Reset every counter and histogram to zero. */
     void resetAll();
 
     /** Snapshot of all (name, value) pairs in name order. */
     std::vector<std::pair<std::string, uint64_t>> dump() const;
 
+    const std::map<std::string, LatencyHistogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    /**
+     * JSON snapshot {"counters":{name:value,...},
+     * "histograms":{name:{count,sum,min,max,mean,p50,p95,p99},...}},
+     * both in name order — the payload of the daemon's `metrics`
+     * response.
+     */
+    JsonValue jsonSnapshot() const;
+
   private:
     std::map<std::string, Counter> counters_;
+    std::map<std::string, LatencyHistogram> histograms_;
 };
 
 /**

@@ -49,4 +49,14 @@ benchmarkByName(const std::string &short_name)
     NACHOS_FATAL("unknown benchmark '", short_name, "'");
 }
 
+const BenchmarkInfo *
+findBenchmark(const std::string &name)
+{
+    for (const BenchmarkInfo &info : benchmarkSuite()) {
+        if (info.name == name || info.shortName == name)
+            return &info;
+    }
+    return nullptr;
+}
+
 } // namespace nachos

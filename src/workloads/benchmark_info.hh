@@ -106,6 +106,13 @@ const std::vector<BenchmarkInfo> &benchmarkSuite();
 /** Look a benchmark up by short name; panics if absent. */
 const BenchmarkInfo &benchmarkByName(const std::string &short_name);
 
+/**
+ * Look a benchmark up by full or short name ("164.gzip" or "gzip");
+ * nullptr if absent. The non-crashing lookup the daemon uses to
+ * validate untrusted request fields.
+ */
+const BenchmarkInfo *findBenchmark(const std::string &name);
+
 } // namespace nachos
 
 #endif // NACHOS_WORKLOADS_BENCHMARK_INFO_HH

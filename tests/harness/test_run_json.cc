@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "harness/run_json.hh"
+#include "harness/runner.hh"
+#include "support/json.hh"
+#include "workloads/benchmark_info.hh"
+
+namespace nachos {
+namespace {
+
+JsonValue
+mustParse(const std::string &text)
+{
+    JsonParseResult r = parseJson(text);
+    EXPECT_TRUE(r.ok) << r.error;
+    return std::move(r.value);
+}
+
+TEST(DecodeRunRequest, FullRequest)
+{
+    JobSpec spec;
+    CodecError err;
+    ASSERT_TRUE(decodeRunRequest(
+        mustParse("{\"workload\":\"179.art\",\"pathIndex\":1,"
+                  "\"seed\":7,\"backends\":[\"sw\",\"nachos\"],"
+                  "\"pipeline\":{\"stage3\":false},"
+                  "\"invocations\":42,\"timeoutMillis\":500,"
+                  "\"sleepMillis\":10}"),
+        spec, err))
+        << err.code << ": " << err.message;
+    ASSERT_NE(spec.info, nullptr);
+    EXPECT_EQ(spec.info->name, "179.art");
+    EXPECT_EQ(spec.request.pathIndex, 1u);
+    EXPECT_EQ(spec.request.seed, 7u);
+    EXPECT_FALSE(spec.request.runLsq);
+    EXPECT_TRUE(spec.request.runSw);
+    EXPECT_TRUE(spec.request.runNachos);
+    EXPECT_TRUE(spec.request.pipeline.stage2);
+    EXPECT_FALSE(spec.request.pipeline.stage3);
+    EXPECT_EQ(spec.request.invocationsOverride, 42u);
+    EXPECT_EQ(spec.timeoutMillis, 500u);
+    EXPECT_EQ(spec.sleepMillis, 10u);
+}
+
+TEST(DecodeRunRequest, ShortNameAndDefaults)
+{
+    JobSpec spec;
+    CodecError err;
+    ASSERT_TRUE(decodeRunRequest(mustParse("{\"workload\":\"art\"}"),
+                                 spec, err));
+    ASSERT_NE(spec.info, nullptr);
+    EXPECT_EQ(spec.info->name, "179.art");
+    EXPECT_EQ(spec.request.pathIndex, 0u);
+    EXPECT_EQ(spec.request.seed, 1u);
+    EXPECT_TRUE(spec.request.runLsq);
+    EXPECT_TRUE(spec.request.runSw);
+    EXPECT_TRUE(spec.request.runNachos);
+    EXPECT_EQ(spec.request.invocationsOverride, 0u);
+}
+
+struct BadCase
+{
+    const char *json;
+    const char *code;
+};
+
+TEST(DecodeRunRequest, TypedValidationErrors)
+{
+    const BadCase cases[] = {
+        {"[]", "bad_request"},
+        {"{}", "bad_request"},
+        {"{\"workload\":7}", "bad_request"},
+        {"{\"workload\":\"no-such-bench\"}", "unknown_workload"},
+        {"{\"workload\":\"art\",\"pathIndex\":5}", "bad_path_index"},
+        {"{\"workload\":\"art\",\"pathIndex\":-1}", "bad_path_index"},
+        {"{\"workload\":\"art\",\"pathIndex\":\"x\"}",
+         "bad_path_index"},
+        {"{\"workload\":\"art\",\"seed\":0}", "bad_seed"},
+        {"{\"workload\":\"art\",\"seed\":1.5}", "bad_seed"},
+        {"{\"workload\":\"art\",\"backends\":[]}", "bad_request"},
+        {"{\"workload\":\"art\",\"backends\":[\"gpu\"]}",
+         "bad_request"},
+        {"{\"workload\":\"art\",\"backends\":[7]}", "bad_request"},
+        {"{\"workload\":\"art\",\"pipeline\":{\"stage9\":true}}",
+         "bad_request"},
+        {"{\"workload\":\"art\",\"pipeline\":{\"stage2\":1}}",
+         "bad_request"},
+        {"{\"workload\":\"art\",\"invocations\":99999999999}",
+         "bad_request"},
+        {"{\"workload\":\"art\",\"sleepMillis\":60001}",
+         "bad_request"},
+        {"{\"workload\":\"art\",\"typo\":1}", "bad_request"},
+    };
+    for (const BadCase &c : cases) {
+        JobSpec spec;
+        CodecError err;
+        EXPECT_FALSE(decodeRunRequest(mustParse(c.json), spec, err))
+            << "accepted: " << c.json;
+        EXPECT_EQ(err.code, c.code) << c.json;
+        EXPECT_FALSE(err.message.empty()) << c.json;
+    }
+}
+
+TEST(RunRequest, EncodeDecodeRoundTrip)
+{
+    JobSpec spec;
+    spec.info = findBenchmark("183.equake");
+    ASSERT_NE(spec.info, nullptr);
+    spec.request.pathIndex = 2;
+    spec.request.seed = 99;
+    spec.request.runLsq = false;
+    spec.request.pipeline.stage4 = false;
+    spec.request.invocationsOverride = 17;
+    spec.timeoutMillis = 250;
+
+    JobSpec decoded;
+    CodecError err;
+    ASSERT_TRUE(decodeRunRequest(encodeRunRequest(spec), decoded, err))
+        << err.code << ": " << err.message;
+    EXPECT_EQ(decoded.info, spec.info);
+    EXPECT_EQ(decoded.request.pathIndex, 2u);
+    EXPECT_EQ(decoded.request.seed, 99u);
+    EXPECT_FALSE(decoded.request.runLsq);
+    EXPECT_TRUE(decoded.request.runSw);
+    EXPECT_FALSE(decoded.request.pipeline.stage4);
+    EXPECT_EQ(decoded.request.invocationsOverride, 17u);
+    EXPECT_EQ(decoded.timeoutMillis, 250u);
+    // Round-trips to identical bytes as well.
+    EXPECT_EQ(dumpJson(encodeRunRequest(decoded)),
+              dumpJson(encodeRunRequest(spec)));
+}
+
+TEST(Outcome, EncodeDecodeRoundTripOnRealRun)
+{
+    const BenchmarkInfo *info = findBenchmark("179.art");
+    ASSERT_NE(info, nullptr);
+    RunRequest request;
+    request.invocationsOverride = 3;
+    const RunOutcome outcome = runWorkload(*info, request);
+    const JsonValue encoded =
+        encodeRunOutcome(*info, request, outcome);
+
+    OutcomeSummary summary;
+    CodecError err;
+    ASSERT_TRUE(decodeOutcome(encoded, summary, err))
+        << err.code << ": " << err.message;
+    EXPECT_EQ(summary.workload, "179.art");
+    EXPECT_EQ(summary.invocations, 3u);
+    // art has real pairwise relations, so the labels must be nonzero.
+    EXPECT_GT(summary.labels.no + summary.labels.may +
+                  summary.labels.must,
+              0u);
+    ASSERT_TRUE(summary.lsq.has_value());
+    ASSERT_TRUE(summary.sw.has_value());
+    ASSERT_TRUE(summary.nachos.has_value());
+    EXPECT_GT(summary.nachos->cycles, 0u);
+    // Re-encoding the decoded summary is byte-identical (canonical
+    // member order + lossless numbers).
+    EXPECT_EQ(dumpJson(encodeOutcome(summary)), dumpJson(encoded));
+}
+
+TEST(Outcome, DecodeRejectsUnknownMember)
+{
+    const BenchmarkInfo *info = findBenchmark("gzip");
+    ASSERT_NE(info, nullptr);
+    RunRequest request;
+    request.runLsq = false;
+    request.runSw = false;
+    request.invocationsOverride = 2;
+    JsonValue encoded =
+        encodeRunOutcome(*info, request, runWorkload(*info, request));
+    encoded.set("extra", 1);
+    OutcomeSummary summary;
+    CodecError err;
+    EXPECT_FALSE(decodeOutcome(encoded, summary, err));
+    EXPECT_EQ(err.code, "bad_request");
+}
+
+TEST(TimingRecord, StableEncoding)
+{
+    const JsonValue v =
+        encodeTimingRecord("164.gzip", "analysis", 0.1234567891, 4,
+                           "abc123");
+    EXPECT_EQ(dumpJson(v),
+              "{\"workload\":\"164.gzip\",\"stage\":\"analysis\","
+              "\"seconds\":0.123457,\"threads\":4,"
+              "\"git_sha\":\"abc123\"}");
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "service/job_queue.hh"
+
+namespace nachos {
+namespace {
+
+std::shared_ptr<Job>
+makeJob(uint64_t id)
+{
+    auto job = std::make_shared<Job>();
+    job->requestId = id;
+    return job;
+}
+
+TEST(JobQueue, FifoOrder)
+{
+    JobQueue q(4);
+    EXPECT_TRUE(q.tryPush(makeJob(1)));
+    EXPECT_TRUE(q.tryPush(makeJob(2)));
+    EXPECT_TRUE(q.tryPush(makeJob(3)));
+    EXPECT_EQ(q.depth(), 3u);
+    EXPECT_EQ(q.pop()->requestId, 1u);
+    EXPECT_EQ(q.pop()->requestId, 2u);
+    EXPECT_EQ(q.pop()->requestId, 3u);
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(JobQueue, CapacityBoundsAdmission)
+{
+    JobQueue q(2);
+    EXPECT_TRUE(q.tryPush(makeJob(1)));
+    EXPECT_TRUE(q.tryPush(makeJob(2)));
+    EXPECT_FALSE(q.tryPush(makeJob(3))); // full -> queue_full upstream
+    q.pop();
+    EXPECT_TRUE(q.tryPush(makeJob(4))); // slot freed
+}
+
+TEST(JobQueue, CloseRejectsPushesAndDrainsPoppers)
+{
+    JobQueue q(4);
+    ASSERT_TRUE(q.tryPush(makeJob(1)));
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.tryPush(makeJob(2)));
+    // Already-admitted work still drains...
+    ASSERT_NE(q.pop(), nullptr);
+    // ...then poppers get the end-of-stream marker instead of blocking.
+    EXPECT_EQ(q.pop(), nullptr);
+    EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(JobQueue, CloseWakesBlockedPopper)
+{
+    JobQueue q(4);
+    std::atomic<bool> gotNull{false};
+    std::thread popper([&] {
+        gotNull = q.pop() == nullptr;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    popper.join();
+    EXPECT_TRUE(gotNull);
+}
+
+TEST(JobQueue, CancelOnlyWhileQueued)
+{
+    JobQueue q(4);
+    auto job = makeJob(1);
+    ASSERT_TRUE(q.tryPush(job));
+    EXPECT_TRUE(q.cancel(job));
+    EXPECT_EQ(job->state.load(), JobState::Cancelled);
+    // Cancelling twice (or after the job left the queue) fails.
+    EXPECT_FALSE(q.cancel(job));
+
+    auto popped = makeJob(2);
+    ASSERT_TRUE(q.tryPush(popped));
+    // The cancelled corpse is skipped; pop returns the live job.
+    std::shared_ptr<Job> next = q.pop();
+    ASSERT_NE(next, nullptr);
+    EXPECT_EQ(next->requestId, 2u);
+    EXPECT_FALSE(q.cancel(popped));
+}
+
+TEST(JobQueue, PopSkipsTimedOutCorpses)
+{
+    JobQueue q(4);
+    auto dead = makeJob(1);
+    auto live = makeJob(2);
+    ASSERT_TRUE(q.tryPush(dead));
+    ASSERT_TRUE(q.tryPush(live));
+    // Watchdog expired the queued job before any worker popped it.
+    ASSERT_TRUE(dead->tryTransition(JobState::Queued,
+                                    JobState::TimedOut));
+    EXPECT_EQ(q.pop()->requestId, 2u);
+}
+
+TEST(Job, TransitionIsExactlyOnce)
+{
+    auto job = makeJob(1);
+    // Worker, watchdog, and cancel race; exactly one wins.
+    std::atomic<int> winners{0};
+    std::vector<std::thread> racers;
+    for (const JobState to :
+         {JobState::Running, JobState::TimedOut, JobState::Cancelled}) {
+        racers.emplace_back([&, to] {
+            if (job->tryTransition(JobState::Queued, to))
+                ++winners;
+        });
+    }
+    for (std::thread &t : racers)
+        t.join();
+    EXPECT_EQ(winners.load(), 1);
+}
+
+TEST(JobQueue, ConcurrentProducersConsumers)
+{
+    JobQueue q(1024);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 200;
+    std::atomic<int> popped{0};
+    std::atomic<uint64_t> idSum{0};
+
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 2; ++c) {
+        consumers.emplace_back([&] {
+            while (std::shared_ptr<Job> job = q.pop()) {
+                idSum += job->requestId;
+                ++popped;
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                const uint64_t id =
+                    static_cast<uint64_t>(p) * kPerProducer + i + 1;
+                while (!q.tryPush(makeJob(id)))
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (std::thread &t : producers)
+        t.join();
+    // Close only after every producer is done; consumers then drain.
+    q.close();
+    for (std::thread &t : consumers)
+        t.join();
+
+    constexpr uint64_t kTotal = kProducers * kPerProducer;
+    EXPECT_EQ(popped.load(), static_cast<int>(kTotal));
+    EXPECT_EQ(idSum.load(), kTotal * (kTotal + 1) / 2);
+}
+
+} // namespace
+} // namespace nachos

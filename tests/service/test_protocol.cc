@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "service/protocol.hh"
+#include "support/json.hh"
+
+namespace nachos {
+namespace {
+
+TEST(ParseRequestLine, PingMetricsShutdown)
+{
+    Request req;
+    CodecError err;
+    ASSERT_TRUE(parseRequestLine("{\"v\":1,\"id\":3,\"type\":\"ping\"}",
+                                 req, err));
+    EXPECT_EQ(req.type, Request::Type::Ping);
+    EXPECT_EQ(req.id, 3u);
+    ASSERT_TRUE(parseRequestLine(
+        "{\"v\":1,\"id\":4,\"type\":\"metrics\"}", req, err));
+    EXPECT_EQ(req.type, Request::Type::Metrics);
+    ASSERT_TRUE(parseRequestLine(
+        "{\"v\":1,\"id\":5,\"type\":\"shutdown\"}", req, err));
+    EXPECT_EQ(req.type, Request::Type::Shutdown);
+}
+
+TEST(ParseRequestLine, RunRequest)
+{
+    Request req;
+    CodecError err;
+    ASSERT_TRUE(parseRequestLine(
+        "{\"v\":1,\"id\":9,\"type\":\"run\",\"run\":"
+        "{\"workload\":\"art\",\"seed\":2}}",
+        req, err))
+        << err.code << ": " << err.message;
+    EXPECT_EQ(req.type, Request::Type::Run);
+    EXPECT_EQ(req.id, 9u);
+    ASSERT_NE(req.job.info, nullptr);
+    EXPECT_EQ(req.job.info->name, "179.art");
+    EXPECT_EQ(req.job.request.seed, 2u);
+}
+
+TEST(ParseRequestLine, CancelRequest)
+{
+    Request req;
+    CodecError err;
+    ASSERT_TRUE(parseRequestLine(
+        "{\"v\":1,\"id\":10,\"type\":\"cancel\",\"target\":9}", req,
+        err));
+    EXPECT_EQ(req.type, Request::Type::Cancel);
+    EXPECT_EQ(req.cancelTarget, 9u);
+    EXPECT_FALSE(parseRequestLine(
+        "{\"v\":1,\"id\":10,\"type\":\"cancel\"}", req, err));
+    EXPECT_EQ(err.code, "bad_request");
+    EXPECT_FALSE(parseRequestLine(
+        "{\"v\":1,\"id\":10,\"type\":\"cancel\",\"target\":0}", req,
+        err));
+    EXPECT_EQ(err.code, "bad_request");
+}
+
+struct BadLine
+{
+    const char *line;
+    const char *code;
+};
+
+TEST(ParseRequestLine, TypedErrors)
+{
+    const BadLine cases[] = {
+        {"", "bad_json"},
+        {"{", "bad_json"},
+        {"nonsense", "bad_json"},
+        {"\x01\x02garbage", "bad_json"},
+        {"[1,2,3]", "bad_request"},
+        {"\"just a string\"", "bad_request"},
+        {"{\"v\":1,\"type\":\"ping\"}", "bad_request"},     // no id
+        {"{\"v\":1,\"id\":0,\"type\":\"ping\"}", "bad_request"},
+        {"{\"v\":1,\"id\":\"x\",\"type\":\"ping\"}", "bad_request"},
+        {"{\"id\":1,\"type\":\"ping\"}", "bad_request"},    // no v
+        {"{\"v\":2,\"id\":1,\"type\":\"ping\"}", "unsupported_version"},
+        {"{\"v\":1,\"id\":1}", "bad_request"},              // no type
+        {"{\"v\":1,\"id\":1,\"type\":7}", "bad_request"},
+        {"{\"v\":1,\"id\":1,\"type\":\"frob\"}", "unknown_type"},
+        {"{\"v\":1,\"id\":1,\"type\":\"ping\",\"x\":1}", "bad_request"},
+        {"{\"v\":1,\"id\":1,\"type\":\"run\"}", "bad_request"},
+        {"{\"v\":1,\"id\":1,\"type\":\"run\",\"run\":"
+         "{\"workload\":\"nope\"}}",
+         "unknown_workload"},
+        {"{\"v\":1,\"id\":1,\"type\":\"run\",\"run\":"
+         "{\"workload\":\"art\",\"pathIndex\":9}}",
+         "bad_path_index"},
+    };
+    for (const BadLine &c : cases) {
+        Request req;
+        CodecError err;
+        EXPECT_FALSE(parseRequestLine(c.line, req, err))
+            << "accepted: " << c.line;
+        EXPECT_EQ(err.code, c.code) << c.line;
+    }
+}
+
+TEST(ParseRequestLine, IdSurvivesLaterErrors)
+{
+    // The id parses before the failing member, so the daemon's error
+    // response can echo it back.
+    Request req;
+    CodecError err;
+    EXPECT_FALSE(parseRequestLine(
+        "{\"id\":42,\"v\":2,\"type\":\"ping\"}", req, err));
+    EXPECT_EQ(err.code, "unsupported_version");
+    EXPECT_EQ(req.id, 42u);
+}
+
+TEST(ParseRequestLine, OversizedLineRejected)
+{
+    std::string line = "{\"v\":1,\"id\":1,\"type\":\"ping\",\"p\":\"";
+    line.append(kMaxRequestLineBytes, 'x');
+    line += "\"}";
+    Request req;
+    CodecError err;
+    EXPECT_FALSE(parseRequestLine(line, req, err));
+    EXPECT_EQ(err.code, "oversized");
+}
+
+TEST(Responses, BuildersIncludeEnvelope)
+{
+    EXPECT_EQ(dumpJson(errorResponse(7, "queue_full", "try later")),
+              "{\"v\":1,\"id\":7,\"type\":\"error\","
+              "\"code\":\"queue_full\",\"message\":\"try later\"}");
+    EXPECT_EQ(dumpJson(pongResponse(1)),
+              "{\"v\":1,\"id\":1,\"type\":\"pong\"}");
+    EXPECT_EQ(dumpJson(okResponse(2)),
+              "{\"v\":1,\"id\":2,\"type\":\"ok\"}");
+    JsonValue outcome = JsonValue::makeObject();
+    outcome.set("cycles", 5);
+    EXPECT_EQ(dumpJson(resultResponse(3, std::move(outcome))),
+              "{\"v\":1,\"id\":3,\"type\":\"result\","
+              "\"outcome\":{\"cycles\":5}}");
+}
+
+TEST(Responses, RunEnvelopeRoundTrips)
+{
+    Request req;
+    CodecError err;
+    ASSERT_TRUE(parseRequestLine(
+        "{\"v\":1,\"id\":6,\"type\":\"run\",\"run\":"
+        "{\"workload\":\"183.equake\",\"backends\":[\"nachos\"]}}",
+        req, err));
+    const JsonValue again = runRequestEnvelope(req.id, req.job);
+    Request req2;
+    ASSERT_TRUE(parseRequestLine(dumpJson(again), req2, err))
+        << err.code << ": " << err.message;
+    EXPECT_EQ(req2.id, 6u);
+    EXPECT_EQ(req2.job.info, req.job.info);
+    EXPECT_FALSE(req2.job.request.runLsq);
+    EXPECT_TRUE(req2.job.request.runNachos);
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/json.hh"
+
+namespace nachos {
+namespace {
+
+TEST(Json, ScalarRoundTrips)
+{
+    EXPECT_EQ(dumpJson(JsonValue()), "null");
+    EXPECT_EQ(dumpJson(JsonValue(true)), "true");
+    EXPECT_EQ(dumpJson(JsonValue(false)), "false");
+    EXPECT_EQ(dumpJson(JsonValue(uint64_t{0})), "0");
+    EXPECT_EQ(dumpJson(JsonValue(UINT64_MAX)), "18446744073709551615");
+    EXPECT_EQ(dumpJson(JsonValue(int64_t{-42})), "-42");
+    EXPECT_EQ(dumpJson(JsonValue(1.5)), "1.5");
+    EXPECT_EQ(dumpJson(JsonValue("hi")), "\"hi\"");
+}
+
+TEST(Json, Uint64SurvivesParseDump)
+{
+    // 64-bit digests above 2^53 must not go through double.
+    const std::string text = "18446744073709551615";
+    JsonParseResult r = parseJson(text);
+    ASSERT_TRUE(r.ok);
+    ASSERT_TRUE(r.value.isU64());
+    EXPECT_EQ(r.value.asU64(), UINT64_MAX);
+    EXPECT_EQ(dumpJson(r.value), text);
+}
+
+TEST(Json, NegativeAndDoubleNumbers)
+{
+    JsonParseResult r = parseJson("[-9223372036854775808, 2.5, 1e3]");
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(r.value.at(0).isI64());
+    EXPECT_EQ(r.value.at(0).asI64(), INT64_MIN);
+    EXPECT_FALSE(r.value.at(1).isU64());
+    EXPECT_DOUBLE_EQ(r.value.at(1).asDouble(), 2.5);
+    // Exponent form parses as double but canonicalizes to the
+    // integral spelling when it fits.
+    EXPECT_EQ(dumpJson(r.value.at(2)), "1000");
+}
+
+TEST(Json, StringEscapes)
+{
+    JsonParseResult r =
+        parseJson("\"a\\\"b\\\\c\\n\\t\\u0041\\u00e9\"");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.value.str(), "a\"b\\c\n\tA\xc3\xa9");
+    // Control characters re-escape on output.
+    EXPECT_EQ(dumpJson(JsonValue(std::string("x\ny"))), "\"x\\ny\"");
+    EXPECT_EQ(dumpJson(JsonValue(std::string(1, '\x01'))),
+              "\"\\u0001\"");
+}
+
+TEST(Json, SurrogatePairDecodes)
+{
+    JsonParseResult r = parseJson("\"\\ud83d\\ude00\"");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.value.str(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("zebra", 1);
+    v.set("alpha", 2);
+    EXPECT_EQ(dumpJson(v), "{\"zebra\":1,\"alpha\":2}");
+    v.set("zebra", 3); // replace keeps position
+    EXPECT_EQ(dumpJson(v), "{\"zebra\":3,\"alpha\":2}");
+    ASSERT_NE(v.find("alpha"), nullptr);
+    EXPECT_EQ(v.find("alpha")->asU64(), 2u);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, NestedRoundTrip)
+{
+    const std::string text =
+        "{\"a\":[1,2,{\"b\":null}],\"c\":{\"d\":[true,false]}}";
+    JsonParseResult r = parseJson(text);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(dumpJson(r.value), text);
+}
+
+TEST(Json, PrettyPrint)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("a", 1);
+    JsonValue arr = JsonValue::makeArray();
+    arr.push(2);
+    v.set("b", std::move(arr));
+    EXPECT_EQ(dumpJson(v, 2),
+              "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(Json, MalformedInputsReportErrors)
+{
+    const char *bad[] = {
+        "",          "{",          "[1,",      "\"unterminated",
+        "tru",       "01",         "1.",       "1e",
+        "{\"a\":}",  "{\"a\" 1}",  "{1:2}",    "[1 2]",
+        "\"\\x\"",   "\"\\u12\"",  "nullX",    "1 2",
+        "{\"a\":1,}" };
+    for (const char *text : bad) {
+        JsonParseResult r = parseJson(text);
+        EXPECT_FALSE(r.ok) << "accepted: " << text;
+        EXPECT_FALSE(r.error.empty()) << text;
+    }
+}
+
+TEST(Json, RawControlCharacterRejected)
+{
+    JsonParseResult r = parseJson("\"a\nb\"");
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Json, DepthLimit)
+{
+    std::string deep;
+    for (int i = 0; i < 200; ++i)
+        deep += "[";
+    EXPECT_FALSE(parseJson(deep).ok);
+    // A comfortably-nested document still parses.
+    EXPECT_TRUE(parseJson("[[[[[[[[[[1]]]]]]]]]]").ok);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    EXPECT_EQ(dumpJson(JsonValue(
+                  std::numeric_limits<double>::infinity())),
+              "null");
+}
+
+} // namespace
+} // namespace nachos

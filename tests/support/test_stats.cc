@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "support/json.hh"
 #include "support/stats.hh"
 
 namespace nachos {
@@ -33,6 +34,109 @@ TEST(StatSet, DumpSortedByName)
     ASSERT_EQ(dump.size(), 2u);
     EXPECT_EQ(dump[0].first, "a");
     EXPECT_EQ(dump[1].first, "z");
+}
+
+TEST(LatencyHistogram, EmptyIsAllZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.p50(), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(LatencyHistogram, SingleSampleClampsToExactValue)
+{
+    LatencyHistogram h;
+    h.sample(10);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.sum(), 10u);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 10u);
+    // Bucket upper bound is 15, but the clamp to the observed range
+    // makes every percentile exact for a single sample.
+    EXPECT_EQ(h.p50(), 10u);
+    EXPECT_EQ(h.p95(), 10u);
+    EXPECT_EQ(h.p99(), 10u);
+}
+
+TEST(LatencyHistogram, Log2BucketPercentiles)
+{
+    LatencyHistogram h;
+    for (uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.sum(), 5050u);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    // Rank 50 lands in the 32..63 bucket; its upper bound is the
+    // answer (exact to within one octave by design).
+    EXPECT_EQ(h.p50(), 63u);
+    // Ranks 95 and 99 land in the 64..127 bucket, whose upper bound
+    // clamps to the observed max of 100.
+    EXPECT_EQ(h.p95(), 100u);
+    EXPECT_EQ(h.p99(), 100u);
+    EXPECT_EQ(h.percentile(1), 1u);
+}
+
+TEST(LatencyHistogram, WeightAndBuckets)
+{
+    LatencyHistogram h;
+    h.sample(0);
+    h.sample(4, 3);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 12u);
+    EXPECT_EQ(h.bucket(0), 1u); // bit-width of 0
+    EXPECT_EQ(h.bucket(3), 3u); // bit-width of 4
+}
+
+TEST(LatencyHistogram, ResetAndJsonSnapshot)
+{
+    LatencyHistogram h;
+    h.sample(7);
+    h.sample(9);
+    JsonValue snap = h.jsonSnapshot();
+    ASSERT_NE(snap.find("count"), nullptr);
+    EXPECT_EQ(snap.find("count")->asU64(), 2u);
+    EXPECT_EQ(snap.find("sum")->asU64(), 16u);
+    EXPECT_EQ(snap.find("min")->asU64(), 7u);
+    EXPECT_EQ(snap.find("max")->asU64(), 9u);
+    EXPECT_DOUBLE_EQ(snap.find("mean")->asDouble(), 8.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.p50(), 0u);
+}
+
+TEST(StatSet, JsonSnapshotHasCountersAndHistograms)
+{
+    StatSet stats;
+    stats.counter("z.late").inc(2);
+    stats.counter("a.early").inc(1);
+    stats.histogram("lat.us").sample(100);
+    JsonValue snap = stats.jsonSnapshot();
+    const JsonValue *counters = snap.find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_EQ(counters->members().size(), 2u);
+    // Name order, not insertion order.
+    EXPECT_EQ(counters->members()[0].first, "a.early");
+    EXPECT_EQ(counters->members()[1].first, "z.late");
+    EXPECT_EQ(counters->find("z.late")->asU64(), 2u);
+    const JsonValue *histograms = snap.find("histograms");
+    ASSERT_NE(histograms, nullptr);
+    const JsonValue *lat = histograms->find("lat.us");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->find("count")->asU64(), 1u);
+    EXPECT_EQ(lat->find("p50")->asU64(), 100u);
+}
+
+TEST(StatSet, ResetAllClearsHistograms)
+{
+    StatSet stats;
+    stats.histogram("h").sample(5);
+    stats.resetAll();
+    EXPECT_EQ(stats.histogram("h").count(), 0u);
 }
 
 TEST(Histogram, BucketsAndOverflow)
