@@ -16,6 +16,7 @@
 #include "ir/builder.hh"
 #include "lsq/bloom.hh"
 #include "mde/inserter.hh"
+#include "mem/hierarchy.hh"
 #include "nachos/may_station.hh"
 #include "support/event_queue.hh"
 #include "support/logging.hh"
@@ -227,6 +228,140 @@ BM_InvocationReset(benchmark::State &state)
                             (2 * kOps));
 }
 BENCHMARK(BM_InvocationReset);
+
+/**
+ * L1 hit streaming: a working set far smaller than the 64 KiB L1,
+ * touched line by line — after warm-up every access runs the inlined
+ * hit path (handle-cached stats, no hashing, devirtualized chain).
+ * Items = timed accesses.
+ */
+void
+BM_MemHitStreaming(benchmark::State &state)
+{
+    StatSet stats;
+    MemoryHierarchy mem{HierarchyConfig{}, stats};
+    constexpr uint64_t kLines = 128; // 8 KiB, fits every L1 set
+    uint64_t cycle = 0;
+    uint64_t accesses = 0;
+    for (uint64_t line = 0; line < kLines; ++line)
+        mem.timedAccess(line * 64, false, cycle++);
+    for (auto _ : state) {
+        for (uint64_t line = 0; line < kLines; ++line) {
+            benchmark::DoNotOptimize(
+                mem.timedAccess(line * 64, (line & 7) == 0, cycle));
+            ++cycle;
+        }
+        accesses += kLines;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(accesses));
+}
+BENCHMARK(BM_MemHitStreaming);
+
+/**
+ * Miss streaming: every access touches a new line of an 8 MiB sweep
+ * (larger than the LLC), exercising the out-of-line miss path — MSHR
+ * allocation, next-level fill, victim choice, writeback of dirtied
+ * lines. Items = timed accesses.
+ */
+void
+BM_MemMissStreaming(benchmark::State &state)
+{
+    StatSet stats;
+    MemoryHierarchy mem{HierarchyConfig{}, stats};
+    constexpr uint64_t kLines = (8 * 1024 * 1024) / 64;
+    uint64_t cycle = 0;
+    uint64_t line = 0;
+    uint64_t accesses = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mem.timedAccess((line % kLines) * 64, (line & 1) == 0,
+                            cycle));
+        ++line;
+        cycle += 4; // keep MSHRs from saturating into stalls only
+        ++accesses;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(accesses));
+}
+BENCHMARK(BM_MemMissStreaming);
+
+/**
+ * Random mix over a 1 MiB window: hits in L1 and LLC interleave with
+ * misses and writebacks, approximating the simulator's real address
+ * streams. Items = timed accesses.
+ */
+void
+BM_MemRandomMix(benchmark::State &state)
+{
+    StatSet stats;
+    MemoryHierarchy mem{HierarchyConfig{}, stats};
+    constexpr uint64_t kMask = (1 << 20) - 1; // 1 MiB window
+    uint64_t x = 0x9e3779b97f4a7c15ull;
+    uint64_t cycle = 0;
+    uint64_t accesses = 0;
+    for (auto _ : state) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        benchmark::DoNotOptimize(
+            mem.timedAccess(x & kMask & ~uint64_t{7}, (x & 3) == 0,
+                            cycle));
+        ++cycle;
+        ++accesses;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(accesses));
+}
+BENCHMARK(BM_MemRandomMix);
+
+/**
+ * Functional (value) memory read/write mix: word writes then a read
+ * stream over half-written pages, so both the memcpy fast path and the
+ * background-byte merge path run. Items = operations.
+ */
+void
+BM_FunctionalMemoryMix(benchmark::State &state)
+{
+    FunctionalMemory fm;
+    constexpr uint64_t kWords = 4096; // 32 KiB: 8 pages
+    for (uint64_t w = 0; w < kWords; w += 2)
+        fm.write(w * 8, 8, static_cast<int64_t>(w));
+    uint64_t w = 0;
+    uint64_t ops = 0;
+    int64_t sink = 0;
+    for (auto _ : state) {
+        if ((w & 7) == 0)
+            fm.write((w % kWords) * 8, 8, static_cast<int64_t>(w));
+        else
+            sink += fm.read((w % kWords) * 8, 8);
+        ++w;
+        ++ops;
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_FunctionalMemoryMix);
+
+/**
+ * Hierarchy reset cost after a bounded touch: the epoch-bump cache
+ * reset plus the page-bitmap clear must scale with touched state, not
+ * with capacity. Items = resets.
+ */
+void
+BM_HierarchyReset(benchmark::State &state)
+{
+    StatSet stats;
+    MemoryHierarchy mem{HierarchyConfig{}, stats};
+    uint64_t resets = 0;
+    for (auto _ : state) {
+        for (uint64_t line = 0; line < 64; ++line) {
+            mem.timedAccess(line * 64, true, line);
+            mem.data().write(line * 64, 8, static_cast<int64_t>(line));
+        }
+        mem.reset();
+        ++resets;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(resets));
+}
+BENCHMARK(BM_HierarchyReset);
 
 void
 BM_BloomFilter(benchmark::State &state)

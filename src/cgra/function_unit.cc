@@ -1,7 +1,5 @@
 #include "cgra/function_unit.hh"
 
-#include "energy/model.hh"
-
 namespace nachos {
 
 uint32_t
@@ -33,19 +31,6 @@ fuLatency(OpKind kind)
         return 1; // address generation; memory time modeled separately
     }
     return 1;
-}
-
-void
-countFuExecution(OpKind kind, StatSet &stats)
-{
-    if (kind == OpKind::Const || kind == OpKind::LiveIn ||
-        kind == OpKind::LiveOut) {
-        return; // free: immediates and region boundary latches
-    }
-    if (isFloatKind(kind))
-        stats.counter(energy_events::kFpOps).inc();
-    else
-        stats.counter(energy_events::kIntOps).inc();
 }
 
 } // namespace nachos

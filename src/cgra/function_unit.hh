@@ -17,8 +17,23 @@ namespace nachos {
 /** Execution latency of a compute operation in cycles. */
 uint32_t fuLatency(OpKind kind);
 
-/** Account the energy event for executing one compute op. */
-void countFuExecution(OpKind kind, StatSet &stats);
+/**
+ * Account the energy event for executing one compute op. Takes the
+ * two counters directly so callers resolve the stat handles once
+ * instead of per executed op.
+ */
+inline void
+countFuExecution(OpKind kind, Counter &int_ops, Counter &fp_ops)
+{
+    if (kind == OpKind::Const || kind == OpKind::LiveIn ||
+        kind == OpKind::LiveOut) {
+        return; // free: immediates and region boundary latches
+    }
+    if (isFloatKind(kind))
+        fp_ops.inc();
+    else
+        int_ops.inc();
+}
 
 } // namespace nachos
 

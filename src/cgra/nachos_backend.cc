@@ -36,6 +36,9 @@ void
 NachosBackend::beginInvocation(uint64_t inv)
 {
     SwBackend::beginInvocation(inv);
+    if (runtimeForwarding_ && !runtimeForwards_)
+        runtimeForwards_ =
+            &core_->stats().counter("nachos.runtimeForwards");
     if (stations_.empty()) {
         for (const StationInfo &info : stationInfo_) {
             stations_.push_back(std::make_unique<MayCheckStation>(
@@ -142,7 +145,7 @@ NachosBackend::tryRuntimeForward(OpId op)
          dyn_[parent].fullCycle + core_->netLatency(parent, op)});
     d.issued = true;
     core_->countForward(parent, op);
-    core_->stats().counter("nachos.runtimeForwards").inc();
+    runtimeForwards_->inc();
     core_->completeLoadForwarded(op, when + 1,
                                  core_->storeData(parent));
     return true;

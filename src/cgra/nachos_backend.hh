@@ -57,6 +57,9 @@ class NachosBackend : public SwBackend
     std::vector<std::vector<MayTarget>> mayTargets_;
 
     bool runtimeForwarding_ = true;
+    /** Resolved on first invocation (hot path: no string building
+     * per forward). */
+    Counter *runtimeForwards_ = nullptr;
 
     uint64_t extraGate(OpId op, bool &blocked) const override;
     void tryIssue(OpId op) override;

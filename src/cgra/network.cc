@@ -6,7 +6,9 @@ namespace nachos {
 
 OperandNetwork::OperandNetwork(const Placement &placement,
                                const NetworkConfig &cfg, StatSet &stats)
-    : placement_(placement), cfg_(cfg), stats_(stats)
+    : placement_(placement), cfg_(cfg),
+      transfers_(&stats.counter(energy_events::kNetworkTransfers)),
+      hops_(&stats.counter("net.hops"))
 {}
 
 uint64_t
@@ -24,8 +26,8 @@ OperandNetwork::countTransfer(OpId from, OpId to)
     // Energy: the paper charges 600 fJ per *link* — one configured
     // static-network route per dataflow edge (per-edge activation).
     // Raw hop counts are kept as a separate diagnostic.
-    stats_.counter(energy_events::kNetworkTransfers).inc();
-    stats_.counter("net.hops").inc(placement_.hops(from, to));
+    transfers_->inc();
+    hops_->inc(placement_.hops(from, to));
 }
 
 } // namespace nachos

@@ -40,7 +40,10 @@ class OperandNetwork
   private:
     const Placement &placement_;
     NetworkConfig cfg_;
-    StatSet &stats_;
+    /** Handles resolved once at construction (hot path: no string
+     * building per transfer). */
+    Counter *transfers_;
+    Counter *hops_;
 };
 
 } // namespace nachos

@@ -110,6 +110,10 @@ SimCore::buildStaticTables()
     netTransfers_ =
         &stats_.counter(energy_events::kNetworkTransfers);
     netHops_ = &stats_.counter("net.hops");
+    mdeMust_ = &stats_.counter(energy_events::kMdeMust);
+    mdeForwards_ = &stats_.counter(energy_events::kMdeForward);
+    intOps_ = &stats_.counter(energy_events::kIntOps);
+    fpOps_ = &stats_.counter(energy_events::kFpOps);
 }
 
 void
@@ -151,7 +155,7 @@ SimCore::countOrderToken(OpId from, OpId to)
 {
     (void)from;
     (void)to;
-    stats_.counter(energy_events::kMdeMust).inc();
+    mdeMust_->inc();
 }
 
 void
@@ -159,7 +163,7 @@ SimCore::countForward(OpId from, OpId to)
 {
     (void)from;
     (void)to;
-    stats_.counter(energy_events::kMdeForward).inc();
+    mdeForwards_->inc();
 }
 
 int64_t
@@ -310,7 +314,7 @@ SimCore::opInputsComplete(OpId op, uint64_t cycle)
         return;
     }
 
-    countFuExecution(o.kind, stats_);
+    countFuExecution(o.kind, *intOps_, *fpOps_);
     const uint64_t done = cycle + fuLatency(o.kind);
     if (trace_.enabled() && fuLatency(o.kind) > 0) {
         trace_.record({std::string(opKindName(o.kind)) + "#" +

@@ -267,6 +267,10 @@ class SimCore
     std::vector<uint32_t> fanoutOffset_; ///< numOps + 1
     Counter *netTransfers_ = nullptr;
     Counter *netHops_ = nullptr;
+    Counter *mdeMust_ = nullptr;
+    Counter *mdeForwards_ = nullptr;
+    Counter *intOps_ = nullptr;
+    Counter *fpOps_ = nullptr;
 
     uint64_t invocation_ = 0;
     uint64_t invocationStart_ = 0;

@@ -44,13 +44,6 @@ Region::addOp(Operation op)
     return ops_.back().id;
 }
 
-const Operation &
-Region::op(OpId id) const
-{
-    NACHOS_ASSERT(id < ops_.size(), "op id out of range");
-    return ops_[id];
-}
-
 const MemObject &
 Region::object(ObjectId id) const
 {
@@ -84,21 +77,6 @@ Region::symbol(SymbolId id) const
 {
     NACHOS_ASSERT(id < symbols_.size(), "symbol id out of range");
     return symbols_[id];
-}
-
-const std::vector<OpId> &
-Region::memOps() const
-{
-    NACHOS_ASSERT(finalized_, "memOps before finalize");
-    return memOps_;
-}
-
-const std::vector<OpId> &
-Region::users(OpId id) const
-{
-    NACHOS_ASSERT(finalized_, "users before finalize");
-    NACHOS_ASSERT(id < users_.size(), "op id out of range");
-    return users_[id];
 }
 
 size_t

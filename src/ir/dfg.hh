@@ -18,6 +18,7 @@
 
 #include "ir/mem_object.hh"
 #include "ir/operation.hh"
+#include "support/logging.hh"
 
 namespace nachos {
 
@@ -58,7 +59,12 @@ class Region
     void setName(std::string n) { name_ = std::move(n); }
 
     size_t numOps() const { return ops_.size(); }
-    const Operation &op(OpId id) const;
+    // Inline: on the simulator's per-event path (millions of calls).
+    const Operation &op(OpId id) const
+    {
+        NACHOS_ASSERT(id < ops_.size(), "op id out of range");
+        return ops_[id];
+    }
     const std::vector<Operation> &ops() const { return ops_; }
 
     const MemObject &object(ObjectId id) const;
@@ -78,10 +84,19 @@ class Region
      * Disambiguated memory ops in program order (memIndex order).
      * Valid after finalize().
      */
-    const std::vector<OpId> &memOps() const;
+    const std::vector<OpId> &memOps() const
+    {
+        NACHOS_ASSERT(finalized_, "memOps before finalize");
+        return memOps_;
+    }
 
     /** Ops that consume op `id`'s value. Valid after finalize(). */
-    const std::vector<OpId> &users(OpId id) const;
+    const std::vector<OpId> &users(OpId id) const
+    {
+        NACHOS_ASSERT(finalized_, "users before finalize");
+        NACHOS_ASSERT(id < users_.size(), "op id out of range");
+        return users_[id];
+    }
 
     /** Count of operations matching a predicate-style summary. */
     size_t numMemOps() const;        ///< disambiguated only

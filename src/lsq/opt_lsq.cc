@@ -1,6 +1,7 @@
 #include "lsq/opt_lsq.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "energy/model.hh"
 #include "support/logging.hh"
@@ -10,12 +11,20 @@ namespace nachos {
 namespace ev = energy_events;
 
 OptLsq::OptLsq(const LsqConfig &cfg, uint32_t num_mem_ops, StatSet &stats)
-    : cfg_(cfg), stats_(stats), entries_(num_mem_ops),
+    : cfg_(cfg), allocs_(&stats.counter(ev::kLsqAlloc)),
+      bloomProbes_(&stats.counter(ev::kLsqBloom)),
+      bloomHits_(&stats.counter("lsq.bloomHits")),
+      bloomMisses_(&stats.counter("lsq.bloomMisses")),
+      camStores_(&stats.counter(ev::kLsqCamStore)),
+      camLoads_(&stats.counter(ev::kLsqCamLoad)),
+      forwards_(&stats.counter(ev::kLsqForward)), entries_(num_mem_ops),
       bloom_(cfg.bloom)
 {
     NACHOS_ASSERT(cfg_.banks >= 1, "need at least one bank");
     for (uint32_t b = 0; b < cfg_.banks; ++b)
         bankPorts_.emplace_back(cfg_.portsPerBank);
+    bankQueues_.resize(cfg_.banks);
+    loadWatchers_.resize(num_mem_ops);
 }
 
 void
@@ -24,6 +33,15 @@ OptLsq::reset()
     std::fill(entries_.begin(), entries_.end(), Entry{});
     for (auto &bank : bankPorts_)
         bank.reset();
+    for (auto &q : bankQueues_) {
+        q.stores.clear();
+        q.head = 0;
+        q.lastCommit = 0;
+        q.anyCommit = false;
+    }
+    for (auto &w : loadWatchers_)
+        w.clear();
+    commitCandidates_.clear();
     bloom_.clear();
     nextToAlloc_ = 0;
     lastAllocSlot_ = 0;
@@ -68,17 +86,18 @@ OptLsq::addressReady(uint32_t m, bool is_store, uint64_t addr,
         lastAllocSlot_ = slot;
         uint64_t granted = slot + cfg_.allocLatency;
         a.alloc = granted;
-        stats_.counter(ev::kLsqAlloc).inc();
+        allocs_->inc();
         if (a.isStore) {
+            bankQueues_[bankOf(a.addr)].stores.push_back(nextToAlloc_);
             // Stores probe the filter BEFORE inserting their own
             // address (no self-hits) and CAM-check both queues on a
             // probe hit, as in a conventional LSQ.
-            stats_.counter(ev::kLsqBloom).inc();
+            bloomProbes_->inc();
             if (bloom_.mayContain(a.addr, a.size)) {
-                stats_.counter("lsq.bloomHits").inc();
-                stats_.counter(ev::kLsqCamStore).inc();
+                bloomHits_->inc();
+                camStores_->inc();
             } else {
-                stats_.counter("lsq.bloomMisses").inc();
+                bloomMisses_->inc();
             }
             bloom_.insert(a.addr, a.size);
         }
@@ -99,14 +118,14 @@ OptLsq::loadSearch(uint32_t m, uint64_t cycle)
     LoadSearchResult result;
     result.cycle = cycle + cfg_.searchLatency;
 
-    stats_.counter(ev::kLsqBloom).inc();
+    bloomProbes_->inc();
     if (!bloom_.mayContain(e.addr, e.size)) {
-        stats_.counter("lsq.bloomMisses").inc();
+        bloomMisses_->inc();
         result.kind = LoadSearchResult::Kind::ToCache;
         return result;
     }
-    stats_.counter("lsq.bloomHits").inc();
-    stats_.counter(ev::kLsqCamLoad).inc();
+    bloomHits_->inc();
+    camLoads_->inc();
 
     // CAM: youngest older in-flight store overlapping this load.
     for (uint32_t i = m; i-- > 0;) {
@@ -116,7 +135,7 @@ OptLsq::loadSearch(uint32_t m, uint64_t cycle)
         if (!overlaps(e, s))
             continue;
         if (s.addr == e.addr && s.size == e.size) {
-            stats_.counter(ev::kLsqForward).inc();
+            forwards_->inc();
             result.kind = LoadSearchResult::Kind::ForwardFrom;
         } else {
             result.kind = LoadSearchResult::Kind::WaitCommit;
@@ -137,6 +156,26 @@ OptLsq::storeDataArrived(uint32_t m, uint64_t cycle)
     NACHOS_ASSERT(e.alloc, "store data before allocation");
     NACHOS_ASSERT(!e.dataReady, "store data arrived twice for ", m);
     e.dataReady = std::max(cycle, *e.alloc);
+
+    // One-time anti-dependence registration. In-order allocation
+    // guarantees every older op's address is resolved by the time a
+    // younger store has allocated (a precondition of having data), so
+    // the set of older overlapping loads is final here: fold the
+    // already-performed ones into the commit floor and subscribe to
+    // the rest.
+    for (uint32_t i = 0; i < m; ++i) {
+        const Entry &o = entries_[i];
+        NACHOS_ASSERT(o.seen, "older op unresolved after allocation");
+        if (o.isStore || o.elided || !overlaps(o, e))
+            continue;
+        if (o.performAt) {
+            e.loadFloor = std::max(e.loadFloor, *o.performAt + 1);
+        } else {
+            ++e.pendingOlderLoads;
+            loadWatchers_[i].push_back(m);
+        }
+    }
+    noteCommitCandidate(m);
     return resumeCommits();
 }
 
@@ -147,6 +186,14 @@ OptLsq::loadPerformAt(uint32_t m, uint64_t cycle)
     NACHOS_ASSERT(e.seen && !e.isStore, "loadPerformAt on non-load ", m);
     NACHOS_ASSERT(!e.performAt && !e.elided, "load perform set twice");
     e.performAt = cycle;
+    for (uint32_t s : loadWatchers_[m]) {
+        Entry &st = entries_[s];
+        NACHOS_ASSERT(st.pendingOlderLoads > 0, "watcher underflow");
+        st.loadFloor = std::max(st.loadFloor, cycle + 1);
+        if (--st.pendingOlderLoads == 0)
+            noteCommitCandidate(s);
+    }
+    loadWatchers_[m].clear();
 }
 
 void
@@ -156,6 +203,23 @@ OptLsq::loadElided(uint32_t m)
     NACHOS_ASSERT(e.seen && !e.isStore, "loadElided on non-load ", m);
     NACHOS_ASSERT(!e.performAt && !e.elided, "load perform set twice");
     e.elided = true;
+    for (uint32_t s : loadWatchers_[m]) {
+        Entry &st = entries_[s];
+        NACHOS_ASSERT(st.pendingOlderLoads > 0, "watcher underflow");
+        if (--st.pendingOlderLoads == 0)
+            noteCommitCandidate(s);
+    }
+    loadWatchers_[m].clear();
+}
+
+void
+OptLsq::noteCommitCandidate(uint32_t m)
+{
+    const Entry &s = entries_[m];
+    const BankQueue &q = bankQueues_[bankOf(s.addr)];
+    if (s.dataReady && !s.commit && s.pendingOlderLoads == 0 &&
+        q.head < q.stores.size() && q.stores[q.head] == m)
+        commitCandidates_.push_back(m);
 }
 
 std::vector<std::pair<uint32_t, uint64_t>>
@@ -167,46 +231,51 @@ OptLsq::resumeCommits()
     // ST-ST program order holds) and after every older overlapping
     // load has issued its cache read (anti-dependence), so loads never
     // observe a younger store's value. Banks drain independently.
+    //
+    // Blocking relations only point at OLDER ops, so the cascade is
+    // a single pass over a min-heap of unblocked stores: committing a
+    // store can unblock only its (younger) bank successor, and the
+    // heap keeps the emitted order ascending in memIndex — the same
+    // order the previous full-rescan implementation produced.
     std::vector<std::pair<uint32_t, uint64_t>> committed;
-    bool progress = true;
-    while (progress) {
-        progress = false;
-        for (uint32_t m = 0; m < entries_.size(); ++m) {
-            Entry &s = entries_[m];
-            if (!s.isStore || !s.seen || !s.dataReady || s.commit)
-                continue;
-            const uint32_t bank = bankOf(s.addr);
+    if (commitCandidates_.empty())
+        return committed;
 
-            uint64_t floor = *s.dataReady;
-            bool blocked = false;
-            for (uint32_t i = 0; i < m && !blocked; ++i) {
-                const Entry &e = entries_[i];
-                if (!e.seen) {
-                    // Older op not even address-resolved: with
-                    // in-order allocation this store cannot have
-                    // allocated either; defensive stop.
-                    blocked = true;
-                } else if (e.isStore) {
-                    if (bankOf(e.addr) != bank)
-                        continue;
-                    if (!e.commit)
-                        blocked = true;
-                    else
-                        floor = std::max(floor, *e.commit + 1);
-                } else if (!e.elided && overlaps(e, s)) {
-                    if (!e.performAt)
-                        blocked = true;
-                    else
-                        floor = std::max(floor, *e.performAt + 1);
-                }
+    std::vector<uint32_t> heap = std::move(commitCandidates_);
+    commitCandidates_.clear();
+    std::make_heap(heap.begin(), heap.end(), std::greater<>{});
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+        const uint32_t m = heap.back();
+        heap.pop_back();
+        Entry &s = entries_[m];
+        if (s.commit)
+            continue; // duplicate candidate
+        const uint32_t bank = bankOf(s.addr);
+        BankQueue &q = bankQueues_[bank];
+        NACHOS_ASSERT(s.dataReady && s.pendingOlderLoads == 0 &&
+                          q.head < q.stores.size() &&
+                          q.stores[q.head] == m,
+                      "stale commit candidate ", m);
+
+        uint64_t floor = std::max(*s.dataReady, s.loadFloor);
+        if (q.anyCommit)
+            floor = std::max(floor, q.lastCommit + 1);
+        const uint64_t commit = bankPorts_[bank].admit(floor);
+        s.commit = commit;
+        q.lastCommit = commit;
+        q.anyCommit = true;
+        ++q.head;
+        committed.emplace_back(m, commit);
+
+        if (q.head < q.stores.size()) {
+            const uint32_t next = q.stores[q.head];
+            const Entry &sn = entries_[next];
+            if (sn.dataReady && sn.pendingOlderLoads == 0) {
+                heap.push_back(next);
+                std::push_heap(heap.begin(), heap.end(),
+                               std::greater<>{});
             }
-            if (blocked)
-                continue;
-
-            uint64_t commit = bankPorts_[bank].admit(floor);
-            s.commit = commit;
-            committed.emplace_back(m, commit);
-            progress = true;
         }
     }
     return committed;

@@ -168,18 +168,52 @@ class OptLsq
         bool done = false;                  ///< loads
         std::optional<uint64_t> performAt;  ///< loads: cache-read cycle
         bool elided = false;                ///< loads: forwarded
+        /** Stores: older overlapping loads not yet performed/elided
+         * (registered once, when the store's data arrives). */
+        uint32_t pendingOlderLoads = 0;
+        /** Stores: max(performAt + 1) over older overlapping loads. */
+        uint64_t loadFloor = 0;
+    };
+
+    /**
+     * Program-order store queue of one address bank. Stores commit
+     * strictly in order within a bank, so "every older same-bank
+     * store has committed" reduces to "I am the queue head", and the
+     * max over their commit cycles is the (monotone) last grant.
+     */
+    struct BankQueue
+    {
+        std::vector<uint32_t> stores; ///< memIndex, program order
+        uint32_t head = 0;            ///< first uncommitted store
+        uint64_t lastCommit = 0;
+        bool anyCommit = false;
     };
 
     LsqConfig cfg_;
-    StatSet &stats_;
+    /** Handles resolved once at construction (hot path: no string
+     * building per allocation/search). */
+    Counter *allocs_;
+    Counter *bloomProbes_;
+    Counter *bloomHits_;
+    Counter *bloomMisses_;
+    Counter *camStores_;
+    Counter *camLoads_;
+    Counter *forwards_;
     std::vector<Entry> entries_;
     std::vector<BandwidthRegulator> bankPorts_;
+    std::vector<BankQueue> bankQueues_;
+    /** Per-load list of younger stores watching its perform/elide. */
+    std::vector<std::vector<uint32_t>> loadWatchers_;
+    /** Stores that may have become committable since the last
+     * resumeCommits() (re-verified before committing). */
+    std::vector<uint32_t> commitCandidates_;
     BloomFilter bloom_;
     uint32_t nextToAlloc_ = 0;
     uint64_t lastAllocSlot_ = 0;
 
     uint32_t bankOf(uint64_t addr) const;
     bool overlaps(const Entry &a, const Entry &b) const;
+    void noteCommitCandidate(uint32_t m);
 };
 
 } // namespace nachos

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Monotone single-server bandwidth model shared by the cache levels,
+ * DRAM, and the scratchpad. Requests may arrive slightly out of cycle
+ * order (e.g., writebacks issued at fill time); grants never rewind,
+ * which keeps every timing model deterministic regardless.
+ */
+
+#ifndef NACHOS_MEM_BANDWIDTH_HH
+#define NACHOS_MEM_BANDWIDTH_HH
+
+#include <cstdint>
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+/**
+ * Admits at most `perCycle` requests per cycle; a request asking for
+ * cycle c is granted the earliest cycle >= c with a free slot.
+ */
+class BandwidthRegulator
+{
+  public:
+    explicit BandwidthRegulator(uint32_t per_cycle)
+        : perCycle_(per_cycle),
+          cycleLimit_(per_cycle ? UINT64_MAX / per_cycle : 0)
+    {
+        NACHOS_ASSERT(per_cycle > 0,
+                      "bandwidth needs at least one slot per cycle");
+    }
+
+    uint64_t
+    admit(uint64_t cycle)
+    {
+        // `cycle * perCycle_` is the one place the slot clock can
+        // overflow; a wrap would silently grant a cycle in the past
+        // and break the monotone-grant contract, so refuse instead.
+        NACHOS_ASSERT(cycle <= cycleLimit_,
+                      "BandwidthRegulator cycle overflow: cycle ",
+                      cycle, " x ", perCycle_, "/cycle");
+        const uint64_t want = cycle * perCycle_;
+        if (slot_ < want)
+            slot_ = want;
+        const uint64_t granted = slot_ / perCycle_;
+        ++slot_;
+        return granted;
+    }
+
+    void reset() { slot_ = 0; }
+
+  private:
+    uint32_t perCycle_;
+    /** Largest admissible cycle: UINT64_MAX / perCycle_. */
+    uint64_t cycleLimit_;
+    uint64_t slot_ = 0;
+};
+
+} // namespace nachos
+
+#endif // NACHOS_MEM_BANDWIDTH_HH

@@ -1,168 +1,11 @@
 #include "mem/cache.hh"
 
-#include <algorithm>
-
-#include "support/logging.hh"
-
 namespace nachos {
 
-uint64_t
-MainMemory::access(uint64_t addr, bool write, uint64_t cycle)
-{
-    (void)addr;
-    (void)write;
-    ++accesses_;
-    return bw_.admit(cycle) + latency_;
-}
-
-Cache::Cache(const CacheConfig &cfg, MemLevel &next, StatSet &stats)
-    : cfg_(cfg), next_(next), stats_(stats), bw_(cfg.ports)
-{
-    NACHOS_ASSERT(cfg_.lineBytes > 0 && cfg_.assoc > 0,
-                  "bad cache geometry");
-    numSets_ = static_cast<uint32_t>(cfg_.sizeBytes /
-                                     (cfg_.lineBytes * cfg_.assoc));
-    NACHOS_ASSERT(numSets_ > 0, "cache too small for its geometry");
-    ways_.assign(static_cast<size_t>(numSets_) * cfg_.assoc, {});
-    mshrFreeAt_.assign(cfg_.numMshrs, 0);
-}
-
-void
-Cache::reset()
-{
-    std::fill(ways_.begin(), ways_.end(), Way{});
-    std::fill(mshrFreeAt_.begin(), mshrFreeAt_.end(), 0);
-    pendingFills_.clear();
-    bw_.reset();
-    useClock_ = 0;
-}
-
-Cache::Way *
-Cache::findWay(uint64_t line)
-{
-    const uint32_t set = setOf(line);
-    for (uint32_t w = 0; w < cfg_.assoc; ++w) {
-        Way &way = ways_[static_cast<size_t>(set) * cfg_.assoc + w];
-        if (way.valid && way.tag == line)
-            return &way;
-    }
-    return nullptr;
-}
-
-const Cache::Way *
-Cache::findWay(uint64_t line) const
-{
-    return const_cast<Cache *>(this)->findWay(line);
-}
-
-Cache::Way &
-Cache::victimWay(uint64_t line)
-{
-    const uint32_t set = setOf(line);
-    Way *victim = nullptr;
-    for (uint32_t w = 0; w < cfg_.assoc; ++w) {
-        Way &way = ways_[static_cast<size_t>(set) * cfg_.assoc + w];
-        if (!way.valid)
-            return way;
-        if (victim == nullptr || way.lastUse < victim->lastUse)
-            victim = &way;
-    }
-    return *victim;
-}
-
-bool
-Cache::probe(uint64_t addr) const
-{
-    return findWay(lineOf(addr)) != nullptr;
-}
-
-uint64_t
-Cache::access(uint64_t addr, bool write, uint64_t cycle)
-{
-    const std::string prefix = cfg_.name;
-    cycle = bw_.admit(cycle);
-    ++useClock_;
-
-    const uint64_t line = lineOf(addr);
-    stats_.counter(prefix + (write ? ".writes" : ".reads")).inc();
-
-    if (Way *way = findWay(line)) {
-        way->lastUse = useClock_;
-        way->dirty |= write;
-        // A fill may still be in flight for this (installed) line:
-        // the access is a miss that merges into the pending MSHR.
-        auto pending = pendingFills_.find(line);
-        if (pending != pendingFills_.end()) {
-            if (pending->second > cycle) {
-                stats_.counter(prefix + ".misses").inc();
-                stats_.counter(prefix + ".mshrMerges").inc();
-                return std::max(pending->second,
-                                cycle + cfg_.hitLatency);
-            }
-            pendingFills_.erase(pending);
-        }
-        stats_.counter(prefix + ".hits").inc();
-        return cycle + cfg_.hitLatency;
-    }
-
-    stats_.counter(prefix + ".misses").inc();
-
-    // Allocate an MSHR: take the earliest-free entry; if none is free
-    // at `cycle`, the request stalls until one is.
-    auto earliest =
-        std::min_element(mshrFreeAt_.begin(), mshrFreeAt_.end());
-    uint64_t issue = std::max(cycle, *earliest);
-    if (*earliest > cycle)
-        stats_.counter(prefix + ".mshrStalls").inc();
-
-    const uint64_t fill_done =
-        next_.access(line * cfg_.lineBytes, false,
-                     issue + cfg_.hitLatency);
-    *earliest = fill_done;
-    pendingFills_[line] = fill_done;
-
-    // Optional next-line prefetch: issued at fill time, off the
-    // demand path, skipped when the next line is resident or pending.
-    if (cfg_.nextLinePrefetch) {
-        const uint64_t next_line = line + 1;
-        if (findWay(next_line) == nullptr &&
-            pendingFills_.find(next_line) == pendingFills_.end()) {
-            stats_.counter(prefix + ".prefetches").inc();
-            const uint64_t pf_done = next_.access(
-                next_line * cfg_.lineBytes, false, fill_done);
-            pendingFills_[next_line] = pf_done;
-            Way &pf_victim = victimWay(next_line);
-            if (pf_victim.valid && pf_victim.dirty) {
-                stats_.counter(prefix + ".writebacks").inc();
-                next_.access(pf_victim.tag * cfg_.lineBytes, true,
-                             pf_done);
-            }
-            if (pf_victim.valid)
-                pendingFills_.erase(pf_victim.tag);
-            pf_victim.valid = true;
-            pf_victim.dirty = false;
-            pf_victim.tag = next_line;
-            pf_victim.lastUse = useClock_;
-        }
-    }
-
-    // Install the line now; timing-wise it becomes usable at
-    // fill_done (enforced for merging requests via pendingFills_).
-    Way &victim = victimWay(line);
-    if (victim.valid && victim.dirty) {
-        stats_.counter(prefix + ".writebacks").inc();
-        // Writeback is off the critical path: issue it at fill time
-        // without delaying the demand request.
-        next_.access(victim.tag * cfg_.lineBytes, true, fill_done);
-    }
-    if (victim.valid)
-        pendingFills_.erase(victim.tag);
-    victim.valid = true;
-    victim.dirty = write;
-    victim.tag = line;
-    victim.lastUse = useClock_;
-
-    return fill_done;
-}
+// Out-of-line homes for the cache template over the fixed hierarchy
+// chain (L1 -> LLC -> DRAM) and the virtual test seam.
+template class CacheT<MemLevel>;
+template class CacheT<MainMemory>;
+template class CacheT<CacheT<MainMemory>>;
 
 } // namespace nachos

@@ -11,7 +11,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace nachos {
@@ -20,21 +22,37 @@ namespace nachos {
  * Sparse byte-addressable memory. Untouched bytes read as a
  * deterministic hash of their address, so loads observe reproducible
  * non-zero data without pre-initialization.
+ *
+ * Storage is paged (DESIGN.md §10), in the spirit of gem5's paged
+ * physical memory: 4 KiB pages each hold a flat byte array plus a
+ * written-bitmap so unwritten bytes still read backgroundByte(addr).
+ * Accesses that stay within one page move a word at a time; a
+ * last-page pointer cache makes sequential streams touch the page
+ * table only once per 4 KiB. Observable behavior — load values,
+ * footprint(), image() — is bit-identical to the original per-byte
+ * hash map.
  */
 class FunctionalMemory
 {
   public:
+    static constexpr uint32_t kPageBytes = 4096;
+
     /** Read `size` bytes (1..8) little-endian. */
     int64_t read(uint64_t addr, uint32_t size) const;
 
     /** Write the low `size` bytes (1..8) of `value` little-endian. */
     void write(uint64_t addr, uint32_t size, int64_t value);
 
-    /** Forget all written state. */
-    void reset() { bytes_.clear(); }
+    /**
+     * Forget all written state. Cost is proportional to the pages
+     * touched since construction, not to any address-space capacity;
+     * page storage is retained for reuse so reset-heavy callers do
+     * not churn the allocator.
+     */
+    void reset();
 
     /** Number of distinct bytes written so far. */
-    size_t footprint() const { return bytes_.size(); }
+    size_t footprint() const { return writtenBytes_; }
 
     /**
      * Snapshot of all written bytes, sorted by address — used to
@@ -46,7 +64,27 @@ class FunctionalMemory
     static uint8_t backgroundByte(uint64_t addr);
 
   private:
-    std::unordered_map<uint64_t, uint8_t> bytes_;
+    static constexpr uint32_t kBitmapWords = kPageBytes / 64;
+
+    struct Page
+    {
+        uint8_t data[kPageBytes];
+        /** Bit i set iff data[i] has been written. */
+        uint64_t written[kBitmapWords];
+    };
+
+    /** Page lookup through the last-page cache; nullptr if absent. */
+    Page *findPage(uint64_t page_index) const;
+    /** Page lookup, creating (zero-bitmap) on first touch. */
+    Page &touchPage(uint64_t page_index);
+
+    uint8_t readByte(uint64_t addr) const;
+    void writeByte(uint64_t addr, uint8_t byte);
+
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    mutable uint64_t cachedIndex_ = ~uint64_t{0};
+    mutable Page *cachedPage_ = nullptr;
+    size_t writtenBytes_ = 0;
 };
 
 } // namespace nachos

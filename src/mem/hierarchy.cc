@@ -4,32 +4,16 @@ namespace nachos {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &cfg,
                                  StatSet &stats)
-    : cfg_(cfg), stats_(stats), dram_(cfg.dramLatency,
-                                      cfg.dramRequestsPerCycle),
+    : cfg_(cfg), dram_(cfg.dramLatency, cfg.dramRequestsPerCycle),
+      llc_(cfg_.llc, dram_, stats), l1_(cfg_.l1, llc_, stats),
       scratchpad_(cfg.scratchpadLatency, 8, stats)
-{
-    llc_ = std::make_unique<Cache>(cfg_.llc, dram_, stats_);
-    l1_ = std::make_unique<Cache>(cfg_.l1, *llc_, stats_);
-}
-
-uint64_t
-MemoryHierarchy::timedAccess(uint64_t addr, bool write, uint64_t cycle)
-{
-    return l1_->access(addr, write, cycle);
-}
-
-uint64_t
-MemoryHierarchy::scratchpadAccess(uint64_t addr, bool write,
-                                  uint64_t cycle)
-{
-    return scratchpad_.access(addr, write, cycle);
-}
+{}
 
 void
 MemoryHierarchy::reset()
 {
-    l1_->reset();
-    llc_->reset();
+    l1_.reset();
+    llc_.reset();
     dram_.reset();
     scratchpad_.reset();
     data_.reset();

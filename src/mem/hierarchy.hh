@@ -4,12 +4,15 @@
  * private L1 (64 KiB, 4-way, 3 cycles) -> shared LLC (4 MiB, 16-way,
  * 25 cycles) -> DRAM (200 cycles), plus the 1-cycle scratchpad that
  * serves compiler-localized accesses.
+ *
+ * The chain is held by value with each level typed on its concrete
+ * successor (L1Cache -> LlcCache -> MainMemory), so a timedAccess()
+ * compiles to direct calls with an inlined L1 hit path — no virtual
+ * hop per level (DESIGN.md §10).
  */
 
 #ifndef NACHOS_MEM_HIERARCHY_HH
 #define NACHOS_MEM_HIERARCHY_HH
-
-#include <memory>
 
 #include "mem/cache.hh"
 #include "mem/functional_memory.hh"
@@ -40,13 +43,21 @@ class MemoryHierarchy
     explicit MemoryHierarchy(const HierarchyConfig &cfg, StatSet &stats);
 
     /** Issue a timed access to L1; returns completion cycle. */
-    uint64_t timedAccess(uint64_t addr, bool write, uint64_t cycle);
+    uint64_t
+    timedAccess(uint64_t addr, bool write, uint64_t cycle)
+    {
+        return l1_.access(addr, write, cycle);
+    }
 
     /** Timed scratchpad access; returns completion cycle. */
-    uint64_t scratchpadAccess(uint64_t addr, bool write, uint64_t cycle);
+    uint64_t
+    scratchpadAccess(uint64_t addr, bool write, uint64_t cycle)
+    {
+        return scratchpad_.access(addr, write, cycle);
+    }
 
     /** Would `addr` hit in the L1 right now? */
-    bool l1Probe(uint64_t addr) const { return l1_->probe(addr); }
+    bool l1Probe(uint64_t addr) const { return l1_.probe(addr); }
 
     FunctionalMemory &data() { return data_; }
     const FunctionalMemory &data() const { return data_; }
@@ -58,10 +69,9 @@ class MemoryHierarchy
 
   private:
     HierarchyConfig cfg_;
-    StatSet &stats_;
     MainMemory dram_;
-    std::unique_ptr<Cache> llc_;
-    std::unique_ptr<Cache> l1_;
+    LlcCache llc_;
+    L1Cache l1_;
     Scratchpad scratchpad_;
     FunctionalMemory data_;
 };

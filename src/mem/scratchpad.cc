@@ -3,27 +3,8 @@
 namespace nachos {
 
 Scratchpad::Scratchpad(uint32_t latency, uint32_t ports, StatSet &stats)
-    : latency_(latency), stats_(stats), ports_(ports)
+    : latency_(latency), reads_(&stats.counter("scratchpad.reads")),
+      writes_(&stats.counter("scratchpad.writes")), bw_(ports)
 {}
-
-uint64_t
-Scratchpad::access(uint64_t addr, bool write, uint64_t cycle)
-{
-    (void)addr;
-    stats_.counter(write ? "scratchpad.writes" : "scratchpad.reads")
-        .inc();
-    uint64_t want = cycle * ports_;
-    if (slot_ < want)
-        slot_ = want;
-    uint64_t granted = slot_ / ports_;
-    ++slot_;
-    return granted + latency_;
-}
-
-void
-Scratchpad::reset()
-{
-    slot_ = 0;
-}
 
 } // namespace nachos

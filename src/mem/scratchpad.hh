@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "mem/bandwidth.hh"
 #include "support/stats.hh"
 
 namespace nachos {
@@ -21,16 +22,23 @@ class Scratchpad
     Scratchpad(uint32_t latency, uint32_t ports, StatSet &stats);
 
     /** Timed access; returns completion cycle. */
-    uint64_t access(uint64_t addr, bool write, uint64_t cycle);
+    uint64_t
+    access(uint64_t addr, bool write, uint64_t cycle)
+    {
+        (void)addr;
+        (write ? writes_ : reads_)->inc();
+        // Banked: bandwidth is rarely the bottleneck; model
+        // generously.
+        return bw_.admit(cycle) + latency_;
+    }
 
-    void reset();
+    void reset() { bw_.reset(); }
 
   private:
     uint32_t latency_;
-    StatSet &stats_;
-    // Banked: bandwidth is rarely the bottleneck; model generously.
-    uint64_t slot_ = 0;
-    uint32_t ports_;
+    Counter *reads_;
+    Counter *writes_;
+    BandwidthRegulator bw_;
 };
 
 } // namespace nachos

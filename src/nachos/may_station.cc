@@ -9,7 +9,10 @@ namespace nachos {
 
 MayCheckStation::MayCheckStation(uint32_t num_parents, StatSet &stats,
                                  uint32_t compares_per_cycle)
-    : numParents_(num_parents), stats_(stats),
+    : numParents_(num_parents),
+      mayChecks_(&stats.counter(energy_events::kMdeMay)),
+      checksClear_(&stats.counter("nachos.checksClear")),
+      checksConflict_(&stats.counter("nachos.checksConflict")),
       comparesPerCycle_(compares_per_cycle), parents_(num_parents)
 {
     NACHOS_ASSERT(comparesPerCycle_ >= 1, "need at least one comparator");
@@ -87,16 +90,16 @@ MayCheckStation::tryCompare(uint32_t parent)
     p.compared = true;
     p.compareDoneCycle = start + 1;
     ++comparesDone_;
-    stats_.counter(energy_events::kMdeMay).inc();
+    mayChecks_->inc();
 
     const bool overlap = p.addr < ownAddr_ + ownSize_ &&
                          ownAddr_ < p.addr + p.size;
     p.conflict = overlap;
     if (!overlap) {
         p.bitSet = p.compareDoneCycle;
-        stats_.counter("nachos.checksClear").inc();
+        checksClear_->inc();
     } else {
-        stats_.counter("nachos.checksConflict").inc();
+        checksConflict_->inc();
         if (p.completed)
             p.bitSet = std::max(p.compareDoneCycle, p.completeCycle);
     }

@@ -94,7 +94,11 @@ class MayCheckStation
     };
 
     uint32_t numParents_;
-    StatSet &stats_;
+    /** Handles resolved once at construction (hot path: no string
+     * building per comparison). */
+    Counter *mayChecks_;
+    Counter *checksClear_;
+    Counter *checksConflict_;
     uint32_t comparesPerCycle_;
     uint64_t comparatorSlot_ = 0;
     std::vector<ParentState> parents_;

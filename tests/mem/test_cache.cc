@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "mem/cache.hh"
 #include "mem/hierarchy.hh"
 
@@ -91,6 +93,64 @@ TEST_F(CacheTest, ResetDropsEverything)
     cache.access(0x80, false, 0);
     cache.reset();
     EXPECT_FALSE(cache.probe(0x80));
+}
+
+TEST_F(CacheTest, LruVictimIsOldestUntouchedWay)
+{
+    // Fill set 0 (2 ways) in a known order, then hit way A so way B is
+    // LRU; the next conflict must evict B, not A.
+    uint64_t t = cache.access(0 * 512, false, 0);   // way A
+    t = cache.access(1 * 512, false, t + 1);        // way B
+    t = cache.access(0 * 512, false, t + 1);        // refresh A
+    t = cache.access(2 * 512, false, t + 1);        // evicts B
+    EXPECT_TRUE(cache.probe(0 * 512));
+    EXPECT_FALSE(cache.probe(1 * 512));
+    EXPECT_TRUE(cache.probe(2 * 512));
+}
+
+TEST_F(CacheTest, MshrMergeTimingIsDeterministic)
+{
+    // Same access pattern replayed after reset() must produce the same
+    // completion cycles and the same stat deltas: reset leaves no
+    // residue (pending fills, LRU clocks, bandwidth slots).
+    const auto run = [&] {
+        std::vector<uint64_t> done;
+        uint64_t t = 0;
+        done.push_back(cache.access(0x200, false, t));      // miss
+        done.push_back(cache.access(0x208, false, t + 1));  // merge
+        done.push_back(cache.access(0x240, true, t + 2));   // miss
+        done.push_back(cache.access(0x200, false, done[0])); // hit
+        done.push_back(cache.access(0x248, true, done[2] + 1));
+        return done;
+    };
+    const std::vector<uint64_t> first = run();
+    const uint64_t merges = stats.get("l1.mshrMerges");
+    const uint64_t hits = stats.get("l1.hits");
+    cache.reset();
+    dram.reset();
+    const std::vector<uint64_t> second = run();
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(stats.get("l1.mshrMerges"), 2 * merges);
+    EXPECT_EQ(stats.get("l1.hits"), 2 * hits);
+}
+
+TEST_F(CacheTest, ResetClearsAllObservableState)
+{
+    // Dirty a line, leave a fill in flight, advance the LRU clock.
+    cache.access(0x80, true, 0);
+    cache.access(0x300, false, 1); // fill still pending at reset
+    cache.reset();
+    dram.reset();
+    for (uint64_t a = 0; a < 16; ++a)
+        EXPECT_FALSE(cache.probe(a * 64)) << a;
+    // A clean re-run starts from cold: same first-access result as a
+    // freshly constructed cache over the same next level.
+    StatSet fresh_stats;
+    MainMemory fresh_dram{100, 8};
+    Cache fresh{cfg, fresh_dram, fresh_stats};
+    EXPECT_EQ(cache.access(0x80, false, 50), fresh.access(0x80, false, 50));
+    // The old dirty line must not write back after reset.
+    EXPECT_EQ(stats.get("l1.writebacks"), 0u);
 }
 
 TEST(Hierarchy, L2BackstopsL1)

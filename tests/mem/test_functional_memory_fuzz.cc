@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Differential fuzz of the paged FunctionalMemory against a
+ * straightforward per-byte map reference (the pre-optimization data
+ * structure). Random reads, writes, sizes, and addresses — including
+ * page-straddling and unaligned accesses — must produce identical
+ * load values, footprint(), and image() on both implementations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "mem/functional_memory.hh"
+#include "support/random.hh"
+
+namespace nachos {
+namespace {
+
+/** The original implementation: one map entry per written byte. */
+class ReferenceMemory
+{
+  public:
+    int64_t
+    read(uint64_t addr, uint32_t size) const
+    {
+        uint64_t v = 0;
+        for (uint32_t i = 0; i < size; ++i) {
+            auto it = bytes_.find(addr + i);
+            const uint8_t b = it != bytes_.end()
+                                  ? it->second
+                                  : FunctionalMemory::backgroundByte(
+                                        addr + i);
+            v |= static_cast<uint64_t>(b) << (8 * i);
+        }
+        // No sign extension: read() returns the raw little-endian
+        // bytes zero-extended, compared bit-for-bit by callers.
+        return static_cast<int64_t>(v);
+    }
+
+    void
+    write(uint64_t addr, uint32_t size, int64_t value)
+    {
+        for (uint32_t i = 0; i < size; ++i)
+            bytes_[addr + i] =
+                static_cast<uint8_t>(static_cast<uint64_t>(value) >>
+                                     (8 * i));
+    }
+
+    void reset() { bytes_.clear(); }
+
+    size_t footprint() const { return bytes_.size(); }
+
+    std::vector<std::pair<uint64_t, uint8_t>>
+    image() const
+    {
+        return {bytes_.begin(), bytes_.end()};
+    }
+
+  private:
+    std::map<uint64_t, uint8_t> bytes_;
+};
+
+class FunctionalMemoryFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+/**
+ * Address generator biased toward interesting spots: page boundaries
+ * (straddles), small clusters (read-after-write hits), and a sprinkle
+ * of far-away pages (sparse map churn).
+ */
+uint64_t
+fuzzAddr(Rng &rng)
+{
+    constexpr uint64_t kPage = FunctionalMemory::kPageBytes;
+    if (rng.chance(0.25)) {
+        // Within +/-8 bytes of a page boundary: straddling accesses.
+        const uint64_t page = 1 + rng.below(8);
+        return page * kPage - 8 + rng.below(16);
+    }
+    if (rng.chance(0.5))
+        return rng.below(256); // dense cluster, frequent overlap
+    return rng.below(8 * kPage);
+}
+
+TEST_P(FunctionalMemoryFuzz, MatchesByteMapReference)
+{
+    Rng rng(GetParam() * 0x9e37 + 17);
+    FunctionalMemory paged;
+    ReferenceMemory ref;
+
+    for (int step = 0; step < 20000; ++step) {
+        const uint64_t addr = fuzzAddr(rng); // unaligned on purpose
+        const uint32_t size = static_cast<uint32_t>(rng.range(1, 8));
+        if (rng.chance(0.45)) {
+            const int64_t value = static_cast<int64_t>(rng.next());
+            paged.write(addr, size, value);
+            ref.write(addr, size, value);
+        } else {
+            ASSERT_EQ(paged.read(addr, size), ref.read(addr, size))
+                << "step " << step << " addr " << addr << " size "
+                << size;
+        }
+        if (step % 1024 == 0) {
+            ASSERT_EQ(paged.footprint(), ref.footprint())
+                << "step " << step;
+        }
+        if (rng.chance(0.0005)) {
+            paged.reset();
+            ref.reset();
+        }
+    }
+
+    ASSERT_EQ(paged.footprint(), ref.footprint());
+    ASSERT_EQ(paged.image(), ref.image());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FunctionalMemoryFuzz,
+                         ::testing::Range(uint64_t{0}, uint64_t{8}));
+
+TEST(FunctionalMemoryPaged, UnwrittenBytesReadBackground)
+{
+    FunctionalMemory fm;
+    // Mixed word: write bytes 0,2 of an 8-byte read; 1,3..7 come from
+    // the background hash.
+    fm.write(0x1000, 1, 0x11);
+    fm.write(0x1002, 1, 0x33);
+    const uint64_t got = static_cast<uint64_t>(fm.read(0x1000, 8));
+    EXPECT_EQ(got & 0xff, 0x11u);
+    EXPECT_EQ((got >> 16) & 0xff, 0x33u);
+    EXPECT_EQ((got >> 8) & 0xff, FunctionalMemory::backgroundByte(0x1001));
+    for (uint32_t i = 3; i < 8; ++i)
+        EXPECT_EQ((got >> (8 * i)) & 0xff,
+                  FunctionalMemory::backgroundByte(0x1000 + i));
+}
+
+TEST(FunctionalMemoryPaged, PageStraddleRoundTrips)
+{
+    constexpr uint64_t kPage = FunctionalMemory::kPageBytes;
+    FunctionalMemory fm;
+    const int64_t v = static_cast<int64_t>(0x0123456789abcdefULL);
+    fm.write(kPage - 3, 8, v); // 3 bytes in page 0, 5 in page 1
+    EXPECT_EQ(fm.read(kPage - 3, 8), v);
+    EXPECT_EQ(fm.footprint(), 8u);
+}
+
+TEST(FunctionalMemoryPaged, ResetKeepsPagesButForgetsContents)
+{
+    FunctionalMemory fm;
+    fm.write(0x40, 8, -1);
+    ASSERT_EQ(fm.footprint(), 8u);
+    fm.reset();
+    EXPECT_EQ(fm.footprint(), 0u);
+    EXPECT_TRUE(fm.image().empty());
+    // Reads after reset see background bytes again, not stale data.
+    EXPECT_EQ(static_cast<uint64_t>(fm.read(0x40, 1)) & 0xff,
+              FunctionalMemory::backgroundByte(0x40));
+}
+
+} // namespace
+} // namespace nachos

@@ -48,5 +48,52 @@ TEST(Regulator, GrantsAreMonotoneNonDecreasing)
     }
 }
 
+// Pins the monotone-grant semantics for out-of-order request cycles:
+// once the regulator has granted up to cycle C, a later request for an
+// earlier cycle is served AT C (never back in time), and extra
+// requests spill forward one slot at a time.
+TEST(Regulator, OutOfOrderRequestsNeverRewind)
+{
+    BandwidthRegulator bw(2);
+    EXPECT_EQ(bw.admit(10), 10u); // first slot of cycle 10
+    EXPECT_EQ(bw.admit(4), 10u);  // late request rides cycle 10's slot
+    EXPECT_EQ(bw.admit(4), 11u);  // cycle 10 full: spills to 11
+    EXPECT_EQ(bw.admit(4), 11u);
+    EXPECT_EQ(bw.admit(4), 12u);
+    EXPECT_EQ(bw.admit(20), 20u); // jump forward resumes at request
+}
+
+TEST(Regulator, SingleSlotSerializes)
+{
+    BandwidthRegulator bw(1);
+    EXPECT_EQ(bw.admit(0), 0u);
+    EXPECT_EQ(bw.admit(0), 1u);
+    EXPECT_EQ(bw.admit(0), 2u);
+    EXPECT_EQ(bw.admit(2), 3u); // cycle 2 already consumed by spill
+}
+
+// cycle * perCycle_ must not wrap: the regulator asserts on requests
+// beyond UINT64_MAX / rate instead of silently granting bogus slots.
+TEST(RegulatorDeath, AssertsOnCycleOverflow)
+{
+    BandwidthRegulator bw(4);
+    EXPECT_EQ(bw.admit(1000), 1000u); // sane cycles still fine
+    EXPECT_DEATH(bw.admit(UINT64_MAX / 2), "overflow");
+}
+
+TEST(RegulatorDeath, AssertsOnZeroRate)
+{
+    EXPECT_DEATH(BandwidthRegulator bw(0), "at least one slot");
+}
+
+// The largest representable cycle for the rate is still granted
+// exactly (boundary of the overflow guard).
+TEST(Regulator, GrantsAtOverflowBoundary)
+{
+    BandwidthRegulator bw(4);
+    const uint64_t limit = UINT64_MAX / 4;
+    EXPECT_EQ(bw.admit(limit), limit);
+}
+
 } // namespace
 } // namespace nachos

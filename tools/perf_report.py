@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Report-only perf comparison of two suite timing JSONs.
+
+Compares the sim-stage seconds of a fresh run against the checked-in
+baseline (BENCH_suite.json) and prints a per-workload ratio table plus
+stage totals. Timing is machine-dependent, so this NEVER gates CI: the
+exit code is 0 whenever both inputs parse. Output-byte determinism is
+what CI fails on (see the perf-smoke job); this table just makes the
+perf trajectory visible per commit.
+
+Usage: perf_report.py BASELINE.json CURRENT.json
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+STAGES = ("synth", "analysis", "mde", "sim")
+
+
+def load(path):
+    """-> {workload: {stage: seconds}}, plus the file's git_sha set."""
+    with open(path, "r", encoding="utf-8") as fh:
+        rows = json.load(fh)
+    table = defaultdict(dict)
+    shas = set()
+    for row in rows:
+        table[row["workload"]][row["stage"]] = row["seconds"]
+        if "git_sha" in row:
+            shas.add(row["git_sha"])
+    return table, shas
+
+
+def fmt_ratio(base, cur):
+    if cur <= 0:
+        return "   n/a"
+    return f"{base / cur:5.2f}x"
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        base, base_shas = load(argv[1])
+        cur, cur_shas = load(argv[2])
+    except (OSError, ValueError, KeyError) as err:
+        print(f"perf_report: cannot read inputs: {err}", file=sys.stderr)
+        return 2
+
+    print(f"baseline: {argv[1]} (git {','.join(sorted(base_shas)) or '?'})")
+    print(f"current:  {argv[2]} (git {','.join(sorted(cur_shas)) or '?'})")
+    print()
+    print(f"{'workload':<22} {'base sim':>10} {'cur sim':>10} {'speedup':>8}")
+    print("-" * 54)
+
+    totals = {s: [0.0, 0.0] for s in STAGES}
+    for workload in sorted(set(base) | set(cur)):
+        b = base.get(workload, {})
+        c = cur.get(workload, {})
+        for stage in STAGES:
+            totals[stage][0] += b.get(stage, 0.0)
+            totals[stage][1] += c.get(stage, 0.0)
+        b_sim = b.get("sim")
+        c_sim = c.get("sim")
+        if b_sim is None or c_sim is None:
+            print(f"{workload:<22} {'(only in one input)':>30}")
+            continue
+        print(f"{workload:<22} {b_sim:>9.4f}s {c_sim:>9.4f}s "
+              f"{fmt_ratio(b_sim, c_sim):>8}")
+
+    print("-" * 54)
+    for stage in STAGES:
+        b_total, c_total = totals[stage]
+        print(f"{'TOTAL ' + stage:<22} {b_total:>9.4f}s {c_total:>9.4f}s "
+              f"{fmt_ratio(b_total, c_total):>8}")
+    print()
+    print("report-only: timing never fails CI; byte-identical output does.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Refresh the checked-in suite timing baseline (BENCH_suite.json).
+#
+# One command, run from the repo root on a quiet machine:
+#
+#   tools/refresh_bench_suite.sh
+#
+# Builds the Release benchmark binary and rewrites BENCH_suite.json
+# with --threads 1 timings stamped with the current git SHA. Commit the
+# refreshed file together with the change that moved the numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j"$(nproc)" --target bench_fig15_nachos_vs_lsq
+
+./build/bench/bench_fig15_nachos_vs_lsq --threads 1 \
+    --json BENCH_suite.json > /dev/null
+
+echo "refreshed BENCH_suite.json:"
+python3 - <<'EOF'
+import json
+rows = json.load(open("BENCH_suite.json"))
+sim = sum(r["seconds"] for r in rows if r["stage"] == "sim")
+shas = {r.get("git_sha", "?") for r in rows}
+print(f"  git_sha {','.join(sorted(shas))}, "
+      f"{len({r['workload'] for r in rows})} workloads, "
+      f"sim total {sim:.3f}s at --threads 1")
+EOF
