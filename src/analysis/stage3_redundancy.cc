@@ -106,7 +106,16 @@ runStage3(const Region &region, AliasMatrix &matrix)
             }
             matrix.setEnforced(i, j, true);
             ++stats.retained;
-            graph.addOrderEdge(older, younger);
+            // An exact ST->LD pair may be lowered to a FORWARD edge,
+            // which hands the load the store's VALUE without waiting
+            // for the store's memory write — it orders dataflow, not
+            // memory. Using it as an ordering link would unsoundly
+            // subsume e.g. a ST->ST pair whose younger store consumes
+            // the forwarded value, letting it overtake the older
+            // store's write. Keep such pairs out of the graph.
+            if (!(st_ld &&
+                  matrix.relation(i, j) == PairRelation::MustExact))
+                graph.addOrderEdge(older, younger);
         }
     }
 

@@ -115,20 +115,33 @@ LsqBackend::finishLoadDecision(OpId load, const LoadSearchResult &dec)
         drainCommits(lsq_->resumeCommits());
         return;
       }
-      case LoadSearchResult::Kind::WaitCommit: {
-        const uint32_t s = dec.store;
-        if (lsq_->storeHasData(s) && lsq_->storeCommitted(s)) {
-            const uint64_t when =
-                std::max(dec.cycle, lsq_->storeCommitCycle(s) + 1);
-            lsq_->loadPerformAt(m, when);
-            core_->performMemAccess(load, when);
-            drainCommits(lsq_->resumeCommits());
-        } else {
-            parked_[s].push_back({load, dec.cycle, false});
-        }
+      case LoadSearchResult::Kind::WaitCommit:
+        waitOrPerformLoad(load, dec.cycle);
         return;
-      }
     }
+}
+
+/**
+ * A partially-overlapped load reads the cache only after EVERY older
+ * overlapping store committed. The CAM's youngest conflictor is not
+ * enough with multiple banks: a line-spanning older store homed in a
+ * different bank commits independently of the youngest one. Park on
+ * the youngest uncommitted conflictor and re-evaluate at each commit
+ * until only the committed-floor remains.
+ */
+void
+LsqBackend::waitOrPerformLoad(OpId load, uint64_t ready)
+{
+    const uint32_t m = idxOf(load);
+    const LoadWaitStatus st = lsq_->loadWaitStatus(m);
+    if (st.blockingStore != LoadWaitStatus::kNone) {
+        parked_[st.blockingStore].push_back({load, ready, false});
+        return;
+    }
+    const uint64_t when = std::max(ready, st.commitFloor);
+    lsq_->loadPerformAt(m, when);
+    core_->performMemAccess(load, when);
+    drainCommits(lsq_->resumeCommits());
 }
 
 void
@@ -174,18 +187,20 @@ LsqBackend::releaseForwardWaiters(uint32_t store_m)
 void
 LsqBackend::releaseCommitWaiters(uint32_t store_m)
 {
+    // Detach the woken entries first: re-evaluation may park a load on
+    // another store (and cascade further commits) while we iterate.
+    std::vector<ParkedLoad> woken;
     auto &parked = parked_[store_m];
     for (auto it = parked.begin(); it != parked.end();) {
         if (it->wantsForward) {
             ++it;
             continue;
         }
-        const uint64_t when = std::max(
-            it->searchDone, lsq_->storeCommitCycle(store_m) + 1);
-        lsq_->loadPerformAt(idxOf(it->load), when);
-        core_->performMemAccess(it->load, when);
+        woken.push_back(*it);
         it = parked.erase(it);
     }
+    for (const ParkedLoad &w : woken)
+        waitOrPerformLoad(w.load, w.searchDone);
 }
 
 void

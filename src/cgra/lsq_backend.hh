@@ -61,6 +61,7 @@ class LsqBackend : public OrderingBackend
     void releaseForwardWaiters(uint32_t store_m);
     void releaseCommitWaiters(uint32_t store_m);
     void finishLoadDecision(OpId load, const LoadSearchResult &dec);
+    void waitOrPerformLoad(OpId load, uint64_t ready);
 };
 
 } // namespace nachos

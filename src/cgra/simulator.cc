@@ -236,6 +236,11 @@ SimCore::performMemAccess(OpId op, uint64_t cycle)
         value = hierarchy_.data().read(st.addr, size);
         loadValueDigest_ += loadDigestTerm(op, invocation_, value);
     }
+    if (cfg_.recordMemTrace) {
+        memCommits_.push_back({op,
+                               static_cast<uint32_t>(invocation_),
+                               cycle, st.addr, false});
+    }
 
     const uint64_t done =
         hierarchy_.timedAccess(st.addr, o.isStore(), cycle);
@@ -263,7 +268,22 @@ SimCore::completeLoadForwarded(OpId op, uint64_t cycle, int64_t value)
     NACHOS_ASSERT(!st.performed, "op ", op, " performed twice");
     st.performed = true;
     NACHOS_ASSERT(region_.op(op).isLoad(), "only loads forward");
+    // Every forwarding path (FORWARD MDE, LSQ CAM, MAY-station runtime
+    // forward) requires an exact address+size match, so the forwarded
+    // value must equal what a store-then-load memory round trip would
+    // yield: the store's low accessSize bytes, zero-extended.
+    const uint32_t size = region_.op(op).mem->accessSize;
+    if (size < 8) {
+        value = static_cast<int64_t>(
+            static_cast<uint64_t>(value) &
+            ((uint64_t{1} << (8 * size)) - 1));
+    }
     loadValueDigest_ += loadDigestTerm(op, invocation_, value);
+    if (cfg_.recordMemTrace) {
+        memCommits_.push_back({op,
+                               static_cast<uint32_t>(invocation_),
+                               cycle, st.addr, true});
+    }
     if (trace_.enabled()) {
         trace_.record({"forward#" + std::to_string(op), "forward",
                        cycle, 1, placement_.coordOf(op).row});
@@ -520,6 +540,7 @@ SimCore::run()
     result.loadValueDigest = loadValueDigest_;
     result.criticalOp = criticalOp_;
     result.memImage = hierarchy_.data().image();
+    result.memCommits = std::move(memCommits_);
     if (trace_.enabled())
         trace_.writeFile(cfg_.traceFile);
     return result;

@@ -70,6 +70,26 @@ struct SimConfig
     bool nachosRuntimeForwarding = true;
     /** Write a Chrome trace-event JSON of op executions here. */
     std::string traceFile;
+    /**
+     * Record every committed memory op into SimResult::memCommits, in
+     * functional commit order (the order data motion hit memory). The
+     * differential fuzzer checks ordering invariants against it.
+     */
+    bool recordMemTrace = false;
+};
+
+/** One committed memory operation (recordMemTrace only). */
+struct MemCommit
+{
+    uint32_t op = 0;
+    uint32_t invocation = 0;
+    uint64_t cycle = 0;
+    /** Concrete address; meaningful for performed accesses (a
+     *  forwarded load may complete before its address resolves). */
+    uint64_t addr = 0;
+    /** True if a load completed via ST->LD forwarding (no memory
+     *  access was performed). */
+    bool forwarded = false;
 };
 
 /** Simulation outcome. */
@@ -88,6 +108,8 @@ struct SimResult
     OpId criticalOp = 0;
     /** Final functional-memory image (sorted bytes). */
     std::vector<std::pair<uint64_t, uint8_t>> memImage;
+    /** Commit-ordered memory trace (cfg.recordMemTrace only). */
+    std::vector<MemCommit> memCommits;
 };
 
 class SimCore;
@@ -286,6 +308,7 @@ class SimCore
     uint64_t mlpBusyCycles_ = 0;
 
     uint64_t loadValueDigest_ = 0;
+    std::vector<MemCommit> memCommits_;
     TraceCollector trace_;
 
     int64_t *inputs(OpId op)

@@ -1,8 +1,7 @@
 #include "harness/golden.hh"
 
-#include "mem/functional_memory.hh"
-#include "support/logging.hh"
 #include "support/value_hash.hh"
+#include "testing/reference.hh"
 
 namespace nachos {
 
@@ -21,54 +20,14 @@ goldenLiveIn(OpId op, uint64_t inv)
 GoldenResult
 goldenExecute(const Region &region, uint64_t invocations)
 {
-    NACHOS_ASSERT(region.finalized(), "golden needs a finalized region");
-    FunctionalMemory mem;
+    // The program-order execution lives in the verification
+    // subsystem's reference interpreter; golden keeps its narrow
+    // digest+image view for the equivalence tests.
+    testing::ReferenceResult ref =
+        testing::referenceExecute(region, invocations);
     GoldenResult result;
-    std::vector<int64_t> values(region.numOps(), 0);
-
-    for (uint64_t inv = 0; inv < invocations; ++inv) {
-        for (const Operation &o : region.ops()) {
-            switch (o.kind) {
-              case OpKind::Const:
-                values[o.id] = o.imm;
-                break;
-              case OpKind::LiveIn:
-                values[o.id] = liveInValueFor(o.id, inv);
-                break;
-              case OpKind::LiveOut:
-                values[o.id] = values[o.operands[0]];
-                break;
-              case OpKind::Select:
-                values[o.id] =
-                    o.operands.size() == 3
-                        ? (values[o.operands[0]]
-                               ? values[o.operands[1]]
-                               : values[o.operands[2]])
-                        : values[o.operands[0]];
-                break;
-              case OpKind::Load: {
-                const uint64_t addr = region.evalAddr(o.id, inv);
-                values[o.id] = mem.read(addr, o.mem->accessSize);
-                if (o.mem->disambiguated()) {
-                    result.loadValueDigest +=
-                        loadDigestTerm(o.id, inv, values[o.id]);
-                }
-                break;
-              }
-              case OpKind::Store: {
-                const uint64_t addr = region.evalAddr(o.id, inv);
-                mem.write(addr, o.mem->accessSize,
-                          values[o.operands[0]]);
-                break;
-              }
-              default:
-                values[o.id] = evalCompute(o.kind, values[o.operands[0]],
-                                           values[o.operands[1]]);
-                break;
-            }
-        }
-    }
-    result.memImage = mem.image();
+    result.loadValueDigest = ref.loadValueDigest;
+    result.memImage = std::move(ref.memImage);
     return result;
 }
 

@@ -1,0 +1,208 @@
+#include "ir/rewrite.hh"
+
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+namespace {
+
+constexpr uint32_t kUnmapped = 0xffffffffu;
+
+/** Dense remap table: mark ids used, then number the survivors. */
+class IdMap
+{
+  public:
+    explicit IdMap(size_t n) : map_(n, kUnmapped) {}
+
+    void use(uint32_t id) { map_.at(id) = 0; }
+
+    /** Assign dense new ids to every used entry; returns the count. */
+    uint32_t
+    number()
+    {
+        uint32_t next = 0;
+        for (auto &slot : map_) {
+            if (slot != kUnmapped)
+                slot = next++;
+        }
+        return next;
+    }
+
+    bool isUsed(uint32_t id) const { return map_.at(id) != kUnmapped; }
+
+    uint32_t
+    at(uint32_t id) const
+    {
+        NACHOS_ASSERT(map_.at(id) != kUnmapped,
+                      "rewrite: dangling reference to id ", id);
+        return map_[id];
+    }
+
+  private:
+    std::vector<uint32_t> map_;
+};
+
+} // namespace
+
+Region
+rebuildRegion(const Region &region, std::vector<Operation> ops,
+              bool compact_env)
+{
+    NACHOS_ASSERT(region.finalized(), "rebuildRegion needs a finalized "
+                                      "source region");
+
+    // Old op id (the .id field as handed in) -> position in `ops`.
+    std::vector<uint32_t> op_map(region.numOps(), kUnmapped);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        NACHOS_ASSERT(ops[i].id < op_map.size(),
+                      "rewrite: op id out of range");
+        op_map[ops[i].id] = static_cast<uint32_t>(i);
+    }
+
+    IdMap objects(region.objects().size());
+    IdMap params(region.params().size());
+    IdMap symbols(region.symbols().size());
+
+    if (compact_env) {
+        // Roots: everything an op's address expression names.
+        for (const Operation &o : ops) {
+            if (!o.mem)
+                continue;
+            const AddrExpr &a = o.mem->addr;
+            switch (a.base.kind) {
+              case BaseKind::Object: objects.use(a.base.id); break;
+              case BaseKind::Param: params.use(a.base.id); break;
+              case BaseKind::Opaque: symbols.use(a.base.id); break;
+            }
+            for (const AffineTerm &t : a.terms)
+                symbols.use(t.sym);
+        }
+        // Closure: params pull in their ground-truth target and their
+        // provenance chain; symbols pull in their DimStride object.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const PointerParam &p : region.params()) {
+                if (!params.isUsed(p.id))
+                    continue;
+                if (!objects.isUsed(p.actualObject)) {
+                    objects.use(p.actualObject);
+                    changed = true;
+                }
+                if (p.provenance) {
+                    const auto &prov = *p.provenance;
+                    if (prov.isObject
+                            ? !objects.isUsed(prov.sourceId)
+                            : !params.isUsed(prov.sourceId)) {
+                        if (prov.isObject)
+                            objects.use(prov.sourceId);
+                        else
+                            params.use(prov.sourceId);
+                        changed = true;
+                    }
+                }
+            }
+            for (const Symbol &s : region.symbols()) {
+                if (!symbols.isUsed(s.id) || s.kind != SymKind::DimStride)
+                    continue;
+                if (!objects.isUsed(s.object)) {
+                    objects.use(s.object);
+                    changed = true;
+                }
+            }
+        }
+    } else {
+        for (const MemObject &o : region.objects())
+            objects.use(o.id);
+        for (const PointerParam &p : region.params())
+            params.use(p.id);
+        for (const Symbol &s : region.symbols())
+            symbols.use(s.id);
+    }
+    objects.number();
+    params.number();
+    symbols.number();
+
+    Region out(region.name());
+    out.setStrictAliasing(region.strictAliasing());
+
+    for (const MemObject &o : region.objects()) {
+        if (!objects.isUsed(o.id))
+            continue;
+        MemObject copy = o; // baseAddr preserved: no re-layout
+        out.addObject(std::move(copy));
+    }
+    for (const PointerParam &p : region.params()) {
+        if (!params.isUsed(p.id))
+            continue;
+        PointerParam copy = p;
+        copy.actualObject = objects.at(p.actualObject);
+        if (copy.provenance) {
+            copy.provenance->sourceId =
+                copy.provenance->isObject
+                    ? objects.at(copy.provenance->sourceId)
+                    : params.at(copy.provenance->sourceId);
+        }
+        out.addParam(std::move(copy));
+    }
+    for (const Symbol &s : region.symbols()) {
+        if (!symbols.isUsed(s.id))
+            continue;
+        Symbol copy = s;
+        if (s.kind == SymKind::DimStride)
+            copy.object = objects.at(s.object);
+        if (s.kind == SymKind::Opaque) {
+            NACHOS_ASSERT(s.producer < op_map.size() &&
+                              op_map[s.producer] != kUnmapped,
+                          "rewrite: opaque symbol '", s.name,
+                          "' lost its producer op");
+            copy.producer = op_map[s.producer];
+        }
+        out.addSymbol(std::move(copy));
+    }
+
+    uint32_t next_mem_index = 0;
+    for (Operation &o : ops) {
+        for (OpId &src : o.operands) {
+            NACHOS_ASSERT(src < op_map.size() &&
+                              op_map[src] != kUnmapped,
+                          "rewrite: op ", o.id, " lost operand ", src);
+            src = op_map[src];
+        }
+        if (o.mem) {
+            AddrExpr &a = o.mem->addr;
+            switch (a.base.kind) {
+              case BaseKind::Object: a.base.id = objects.at(a.base.id);
+                  break;
+              case BaseKind::Param: a.base.id = params.at(a.base.id);
+                  break;
+              case BaseKind::Opaque: a.base.id = symbols.at(a.base.id);
+                  break;
+            }
+            for (AffineTerm &t : a.terms)
+                t.sym = symbols.at(t.sym);
+            if (o.mem->disambiguated())
+                o.mem->memIndex = next_mem_index++;
+        }
+        out.addOp(std::move(o));
+    }
+    return std::move(out.finalize());
+}
+
+Region
+extractSubRegion(const Region &region, const std::vector<bool> &keep,
+                 bool compact_env)
+{
+    NACHOS_ASSERT(keep.size() == region.numOps(),
+                  "extractSubRegion: keep mask size mismatch");
+    std::vector<Operation> ops;
+    for (const Operation &o : region.ops()) {
+        if (keep[o.id])
+            ops.push_back(o);
+    }
+    return rebuildRegion(region, std::move(ops), compact_env);
+}
+
+} // namespace nachos

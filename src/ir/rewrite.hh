@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Region surgery: rebuild a region from an edited operation list or a
+ * kept-op subset, renumbering ids and compacting the memory
+ * environment. This is the substrate the failure minimizer (shrinking)
+ * is built on: candidate regions are produced by removing ops or
+ * operands and must come out structurally valid (dense ids, dense
+ * memIndex, no dangling object/param/symbol references) so they can be
+ * simulated and serialized like any other region.
+ *
+ * Object base addresses are preserved verbatim — a rewritten region is
+ * NOT re-laid-out, so ground-truth addresses of surviving ops are
+ * unchanged and a shrunk reproducer fails for the same reason the
+ * original did.
+ */
+
+#ifndef NACHOS_IR_REWRITE_HH
+#define NACHOS_IR_REWRITE_HH
+
+#include <vector>
+
+#include "ir/dfg.hh"
+
+namespace nachos {
+
+/**
+ * Rebuild a finalized region from an explicit operation list (ids are
+ * reassigned densely in list order; operand ids must already refer to
+ * list positions). memIndex is reassigned densely over disambiguated
+ * memory ops. When `compact_env` is set, objects, params, and symbols
+ * not reachable from the surviving ops are dropped and all references
+ * are remapped; otherwise the environment is copied verbatim.
+ *
+ * An opaque symbol whose producer op did not survive is rejected with
+ * a panic — callers must keep producers of referenced opaque symbols.
+ */
+Region rebuildRegion(const Region &region, std::vector<Operation> ops,
+                     bool compact_env = true);
+
+/**
+ * Keep exactly the ops with keep[id] set, renumber, and compact the
+ * environment. Every kept op's operands must be kept too (asserted):
+ * use dead-op elimination order (remove value-less or user-less ops
+ * first) to guarantee this.
+ */
+Region extractSubRegion(const Region &region,
+                        const std::vector<bool> &keep,
+                        bool compact_env = true);
+
+} // namespace nachos
+
+#endif // NACHOS_IR_REWRITE_HH

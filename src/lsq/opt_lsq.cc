@@ -25,6 +25,7 @@ OptLsq::OptLsq(const LsqConfig &cfg, uint32_t num_mem_ops, StatSet &stats)
         bankPorts_.emplace_back(cfg_.portsPerBank);
     bankQueues_.resize(cfg_.banks);
     loadWatchers_.resize(num_mem_ops);
+    storeWatchers_.resize(num_mem_ops);
 }
 
 void
@@ -40,6 +41,8 @@ OptLsq::reset()
         q.anyCommit = false;
     }
     for (auto &w : loadWatchers_)
+        w.clear();
+    for (auto &w : storeWatchers_)
         w.clear();
     commitCandidates_.clear();
     bloom_.clear();
@@ -147,6 +150,28 @@ OptLsq::loadSearch(uint32_t m, uint64_t cycle)
     return result;
 }
 
+LoadWaitStatus
+OptLsq::loadWaitStatus(uint32_t m) const
+{
+    const Entry &e = entries_[m];
+    NACHOS_ASSERT(e.seen && !e.isStore, "loadWaitStatus on non-load ",
+                  m);
+    LoadWaitStatus st;
+    for (uint32_t i = m; i-- > 0;) {
+        const Entry &s = entries_[i];
+        if (!s.isStore || !s.seen || s.drained)
+            continue;
+        if (!overlaps(e, s))
+            continue;
+        if (s.commit) {
+            st.commitFloor = std::max(st.commitFloor, *s.commit + 1);
+        } else if (st.blockingStore == LoadWaitStatus::kNone) {
+            st.blockingStore = i;
+        }
+    }
+    return st;
+}
+
 std::vector<std::pair<uint32_t, uint64_t>>
 OptLsq::storeDataArrived(uint32_t m, uint64_t cycle)
 {
@@ -166,7 +191,23 @@ OptLsq::storeDataArrived(uint32_t m, uint64_t cycle)
     for (uint32_t i = 0; i < m; ++i) {
         const Entry &o = entries_[i];
         NACHOS_ASSERT(o.seen, "older op unresolved after allocation");
-        if (o.isStore || o.elided || !overlaps(o, e))
+        if (!overlaps(o, e))
+            continue;
+        if (o.isStore) {
+            // Same-bank ST-ST order comes from the bank's program-
+            // order queue; a line-spanning overlap into another bank
+            // must wait for the older store's commit explicitly.
+            if (bankOf(o.addr) == bankOf(e.addr))
+                continue;
+            if (o.commit) {
+                e.storeFloor = std::max(e.storeFloor, *o.commit + 1);
+            } else {
+                ++e.pendingOlderStores;
+                storeWatchers_[i].push_back(m);
+            }
+            continue;
+        }
+        if (o.elided)
             continue;
         if (o.performAt) {
             e.loadFloor = std::max(e.loadFloor, *o.performAt + 1);
@@ -218,7 +259,8 @@ OptLsq::noteCommitCandidate(uint32_t m)
     const Entry &s = entries_[m];
     const BankQueue &q = bankQueues_[bankOf(s.addr)];
     if (s.dataReady && !s.commit && s.pendingOlderLoads == 0 &&
-        q.head < q.stores.size() && q.stores[q.head] == m)
+        s.pendingOlderStores == 0 && q.head < q.stores.size() &&
+        q.stores[q.head] == m)
         commitCandidates_.push_back(m);
 }
 
@@ -254,11 +296,13 @@ OptLsq::resumeCommits()
         const uint32_t bank = bankOf(s.addr);
         BankQueue &q = bankQueues_[bank];
         NACHOS_ASSERT(s.dataReady && s.pendingOlderLoads == 0 &&
+                          s.pendingOlderStores == 0 &&
                           q.head < q.stores.size() &&
                           q.stores[q.head] == m,
                       "stale commit candidate ", m);
 
-        uint64_t floor = std::max(*s.dataReady, s.loadFloor);
+        uint64_t floor =
+            std::max({*s.dataReady, s.loadFloor, s.storeFloor});
         if (q.anyCommit)
             floor = std::max(floor, q.lastCommit + 1);
         const uint64_t commit = bankPorts_[bank].admit(floor);
@@ -268,10 +312,31 @@ OptLsq::resumeCommits()
         ++q.head;
         committed.emplace_back(m, commit);
 
+        // Cross-bank overlapping younger stores stop waiting on us.
+        for (uint32_t w : storeWatchers_[m]) {
+            Entry &sw = entries_[w];
+            NACHOS_ASSERT(sw.pendingOlderStores > 0,
+                          "store watcher underflow");
+            sw.storeFloor = std::max(sw.storeFloor, commit + 1);
+            if (--sw.pendingOlderStores == 0) {
+                const BankQueue &qw = bankQueues_[bankOf(sw.addr)];
+                if (sw.dataReady && !sw.commit &&
+                    sw.pendingOlderLoads == 0 &&
+                    qw.head < qw.stores.size() &&
+                    qw.stores[qw.head] == w) {
+                    heap.push_back(w);
+                    std::push_heap(heap.begin(), heap.end(),
+                                   std::greater<>{});
+                }
+            }
+        }
+        storeWatchers_[m].clear();
+
         if (q.head < q.stores.size()) {
             const uint32_t next = q.stores[q.head];
             const Entry &sn = entries_[next];
-            if (sn.dataReady && sn.pendingOlderLoads == 0) {
+            if (sn.dataReady && sn.pendingOlderLoads == 0 &&
+                sn.pendingOlderStores == 0) {
                 heap.push_back(next);
                 std::push_heap(heap.begin(), heap.end(),
                                std::greater<>{});

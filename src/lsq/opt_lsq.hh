@@ -74,6 +74,21 @@ struct LoadSearchResult
 };
 
 /**
+ * Commit progress of the older overlapping stores a WaitCommit load
+ * is ordered behind. The original CAM search latches the full match
+ * vector, so re-evaluating it as stores commit costs no extra search.
+ */
+struct LoadWaitStatus
+{
+    static constexpr uint32_t kNone = UINT32_MAX;
+    /** Youngest older overlapping UNCOMMITTED store, or kNone. */
+    uint32_t blockingStore = kNone;
+    /** 1 + max commit cycle over older overlapping committed stores:
+     *  the earliest cycle a cache read observes all their writes. */
+    uint64_t commitFloor = 0;
+};
+
+/**
  * One invocation's worth of LSQ state over the region's memory ops
  * (memIndex-addressed). reset() between invocations.
  */
@@ -100,6 +115,18 @@ class OptLsq
      * reports forwarding/stall decisions.
      */
     LoadSearchResult loadSearch(uint32_t m, uint64_t cycle);
+
+    /**
+     * For a WaitCommit load: which older overlapping store (if any)
+     * is still uncommitted, and the commit floor over the committed
+     * ones. A load must not read the cache before EVERY older
+     * overlapping store committed — with multiple banks the youngest
+     * conflicting store's commit does not imply the older ones' (a
+     * line-spanning access overlaps a neighboring bank whose queue
+     * drains independently), so the caller iterates: wait on the
+     * blocking store, re-query, until only the floor remains.
+     */
+    LoadWaitStatus loadWaitStatus(uint32_t m) const;
 
     /**
      * Record that store `m` is ready to commit (allocated AND data
@@ -173,6 +200,14 @@ class OptLsq
         uint32_t pendingOlderLoads = 0;
         /** Stores: max(performAt + 1) over older overlapping loads. */
         uint64_t loadFloor = 0;
+        /** Stores: older overlapping uncommitted stores in OTHER
+         * banks. Within a bank the program-order queue serializes
+         * commits, but a line-spanning access overlaps the next line's
+         * bank, whose queue drains independently — ST->ST order must
+         * then be enforced across the banks explicitly. */
+        uint32_t pendingOlderStores = 0;
+        /** Stores: max(commit + 1) over older cross-bank overlaps. */
+        uint64_t storeFloor = 0;
     };
 
     /**
@@ -204,6 +239,9 @@ class OptLsq
     std::vector<BankQueue> bankQueues_;
     /** Per-load list of younger stores watching its perform/elide. */
     std::vector<std::vector<uint32_t>> loadWatchers_;
+    /** Per-store list of younger cross-bank overlapping stores
+     * watching its commit. */
+    std::vector<std::vector<uint32_t>> storeWatchers_;
     /** Stores that may have become committable since the last
      * resumeCommits() (re-verified before committing). */
     std::vector<uint32_t> commitCandidates_;

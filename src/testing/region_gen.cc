@@ -1,0 +1,455 @@
+#include "testing/region_gen.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace nachos {
+namespace testing {
+
+namespace {
+
+/**
+ * Headroom every fresh address keeps below its upper bound: +8 for the
+ * widest access, +8 for a positive reuse perturbation, +8 slack.
+ * Negative perturbations are gated on constOffset >= 8 instead.
+ */
+constexpr int64_t kMargin = 24;
+
+/** One reusable address shape in the conflict pool. */
+struct PoolExpr
+{
+    AddrExpr expr;
+    uint32_t size = 8;
+};
+
+struct Generator
+{
+    Rng rng;
+    RegionBuilder b;
+    const RegionGenOptions &opts;
+
+    std::vector<ObjectId> flatObjs; ///< general-purpose flat objects
+    std::vector<uint64_t> flatSize;
+    bool have2d = false;
+    ObjectId obj2d = 0;
+    int64_t rows2d = 0, cols2d = 0;
+    std::vector<ParamId> params;
+    bool haveOpaqueTerm = false, haveOpaqueBase = false;
+    SymbolId opaqueTerm = 0, opaqueBase = 0;
+    std::vector<OpId> values;
+    std::vector<PoolExpr> pool;
+
+    Generator(uint64_t seed, const RegionGenOptions &o)
+        : rng(seed * 0x9e3779b97f4a7c15ULL + 0x5851f42d4c957f2dULL),
+          b("fuzz" + std::to_string(seed)), opts(o)
+    {}
+
+    ObjectId
+    pickFlat()
+    {
+        return flatObjs[rng.below(flatObjs.size())];
+    }
+
+    /** Data operand for a store; materializes a constant if the value
+     *  pool is still empty (e.g. minimal store-only regions). */
+    OpId
+    pickData()
+    {
+        if (values.empty())
+            values.push_back(b.constant(rng.range(1, 255)));
+        return values[rng.below(values.size())];
+    }
+
+    void
+    buildEnvironment(uint64_t seed)
+    {
+        const int n_objects =
+            std::max<int>(1, static_cast<int>(rng.range(
+                                 opts.minObjects, opts.maxObjects)));
+        for (int i = 0; i < n_objects; ++i) {
+            static const uint64_t kSizes[3] = {4096, 8192, 16384};
+            const uint64_t size = kSizes[rng.below(3)];
+            // Object 0 anchors opaque producers and param targets;
+            // keep it escaping so params may legally point at it.
+            const bool escapes =
+                i == 0 || !rng.chance(opts.nonEscapingFraction);
+            flatObjs.push_back(b.object("o" + std::to_string(i), size,
+                                        ObjectKind::Global,
+                                        DataType::I64, escapes));
+            flatSize.push_back(size);
+        }
+
+        if (opts.weight2d > 0) {
+            rows2d = rng.range(8, 32);
+            cols2d = rng.range(8, 16);
+            obj2d = b.object2d("m2", static_cast<uint64_t>(rows2d),
+                               static_cast<uint64_t>(cols2d),
+                               DataType::F64);
+            have2d = true;
+        }
+
+        // Pointer params target escaping flat objects only, so the
+        // "param cannot reach a non-escaping object" rule stays sound.
+        std::vector<ObjectId> escaping;
+        for (size_t i = 0; i < flatObjs.size(); ++i) {
+            if (b.peek().object(flatObjs[i]).escapes)
+                escaping.push_back(flatObjs[i]);
+        }
+        std::vector<std::pair<ObjectId, int64_t>> actuals;
+        for (int i = 0; i < opts.numParams && !escaping.empty(); ++i) {
+            ObjectId target;
+            int64_t off;
+            if (i > 0 && rng.chance(opts.paramAliasFraction)) {
+                // Aliasing shape: same pointee as the previous param,
+                // exactly or shifted by +-8 (partial overlap).
+                target = actuals[i - 1].first;
+                off = actuals[i - 1].second;
+                if (rng.chance(0.5))
+                    off = std::max<int64_t>(0,
+                                            off + 8 * rng.range(-1, 1));
+            } else {
+                target = escaping[rng.below(escaping.size())];
+                off = 8 * rng.range(0, 16);
+            }
+            ParamId p =
+                b.pointerParam("p" + std::to_string(i), target, off);
+            if (rng.chance(opts.provenanceFraction)) {
+                if (i > 0 && actuals[i - 1].first == target &&
+                    rng.chance(opts.chainedProvenanceFraction)) {
+                    b.paramProvenanceViaParam(
+                        p, params[i - 1], off - actuals[i - 1].second);
+                } else {
+                    b.paramProvenance(p, target, off);
+                }
+            }
+            params.push_back(p);
+            actuals.emplace_back(target, off);
+        }
+
+        // A restrict param gets a dedicated object nothing else ever
+        // touches, so the no-alias assertion is truthful.
+        if (opts.numParams > 0 && rng.chance(opts.restrictFraction)) {
+            ObjectId ro = b.object("ro", 4096);
+            ParamId rp = b.pointerParam("rp", ro, 8 * rng.range(0, 8));
+            b.paramRestrict(rp);
+            params.push_back(rp);
+        }
+
+        const bool want_pool = opts.withCompute ||
+                               opts.storeFraction > 0 ||
+                               opts.weightOpaque > 0;
+        if (want_pool) {
+            values.push_back(b.constant(rng.range(1, 255)));
+            values.push_back(b.liveIn());
+        }
+
+        if (opts.weightOpaque > 0) {
+            // The opaque producer: an index load at the base of o0.
+            OpId idx_load = b.load(b.at(flatObjs[0], 0));
+            values.push_back(idx_load);
+            pool.push_back({b.at(flatObjs[0], 0), 8});
+            opaqueTerm = b.opaqueSym("gidx", idx_load, 64, 8, 0,
+                                     seed + 7);
+            haveOpaqueTerm = true;
+            if (opts.allowOpaqueBase) {
+                // Pointer chase: values land in [256, ~16.6K), far
+                // below the object arena at 0x100000.
+                opaqueBase = b.opaqueSym("chase", idx_load, 2048, 8,
+                                         256, seed + 11);
+                haveOpaqueBase = true;
+            }
+        }
+    }
+
+    AddrExpr
+    constantExpr()
+    {
+        const size_t i = rng.below(flatObjs.size());
+        const int64_t hi = (static_cast<int64_t>(flatSize[i]) -
+                            kMargin) / 8;
+        return b.at(flatObjs[i], 8 * rng.range(0, hi));
+    }
+
+    AddrExpr
+    stridedExpr()
+    {
+        const size_t i = rng.below(flatObjs.size());
+        const int64_t size = static_cast<int64_t>(flatSize[i]);
+        const bool neg =
+            opts.allowNegativeStride && rng.chance(0.5);
+        const int64_t stride = 8 * rng.range(1, 4) * (neg ? -1 : 1);
+        const int64_t span =
+            std::abs(stride) *
+            static_cast<int64_t>(opts.maxInvocations - 1);
+        const int64_t lo = neg ? span + 8 : 8;
+        const int64_t hi = size - kMargin - (neg ? 0 : span);
+        NACHOS_ASSERT(lo <= hi, "strided pattern cannot fit object");
+        const int64_t off = 8 * rng.range(lo / 8, hi / 8);
+        return b.stream(flatObjs[i], stride, off);
+    }
+
+    AddrExpr
+    paramExpr()
+    {
+        const ParamId p = params[rng.below(params.size())];
+        return b.atParam(p, 8 * rng.range(1, 16));
+    }
+
+    AddrExpr
+    expr2d()
+    {
+        const int64_t elems = rows2d * cols2d;
+        const bool oob =
+            opts.allowOutOfRange2d && rng.chance(0.4);
+        int64_t col = oob ? rng.range(cols2d, 2 * cols2d - 1)
+                          : rng.range(0, cols2d - 1);
+        // Keep the linearized element index (plus margin) in-bounds.
+        int64_t max_row = (elems - col - kMargin / 8) / cols2d;
+        if (max_row < 0) {
+            col = 0;
+            max_row = rows2d - 1;
+        }
+        const int64_t row =
+            rng.range(0, std::min<int64_t>(max_row, rows2d - 1));
+        int64_t inv_stride = 0;
+        if (rng.chance(0.3)) {
+            const bool neg =
+                opts.allowNegativeStride && rng.chance(0.5);
+            inv_stride = neg ? -8 : 8;
+            const int64_t linear = (row * cols2d + col) * 8;
+            const int64_t span =
+                8 * static_cast<int64_t>(opts.maxInvocations - 1);
+            const bool fits = neg
+                                  ? linear - span >= 8
+                                  : linear + span + kMargin <= elems * 8;
+            if (!fits)
+                inv_stride = 0;
+        }
+        return b.at2d(obj2d, row, col, inv_stride);
+    }
+
+    AddrExpr
+    opaqueExpr()
+    {
+        if (haveOpaqueBase && rng.chance(0.5))
+            return b.opaque(opaqueBase, 8 * rng.range(1, 16));
+        // Opaque affine term over a flat object: value stream stays in
+        // [0, 64*8), offset adds at most 128 — inside every object.
+        AddrExpr e = b.at(pickFlat(), 8 * rng.range(1, 16));
+        e.terms.push_back({opaqueTerm, 1});
+        e.canonicalize();
+        return e;
+    }
+
+    /** Draw a fresh address expression by weighted pattern class. */
+    AddrExpr
+    freshExpr()
+    {
+        struct Entry
+        {
+            double w;
+            int cls;
+        };
+        Entry entries[5] = {
+            {opts.weightConstant, 0},
+            {opts.weightStrided, 1},
+            {params.empty() ? 0.0 : opts.weightParam, 2},
+            {have2d ? opts.weight2d : 0.0, 3},
+            {haveOpaqueTerm ? opts.weightOpaque : 0.0, 4},
+        };
+        double total = 0;
+        for (const Entry &e : entries)
+            total += e.w;
+        int cls = 0;
+        if (total > 0) {
+            double draw = rng.uniform() * total;
+            for (const Entry &e : entries) {
+                if (draw < e.w) {
+                    cls = e.cls;
+                    break;
+                }
+                draw -= e.w;
+            }
+        }
+        switch (cls) {
+          case 1: return stridedExpr();
+          case 2: return paramExpr();
+          case 3: return expr2d();
+          case 4: return opaqueExpr();
+          default: return constantExpr();
+        }
+    }
+
+    void
+    emitMemOps()
+    {
+        const int n_mem = static_cast<int>(
+            rng.range(opts.minMemOps, opts.maxMemOps));
+        for (int i = 0; i < n_mem; ++i) {
+            AddrExpr e;
+            if (!pool.empty() && rng.chance(opts.conflictDensity)) {
+                e = pool[rng.below(pool.size())].expr;
+                if (rng.chance(opts.perturbFraction)) {
+                    static const int64_t kDeltas[4] = {4, 8, -4, -8};
+                    int64_t d = kDeltas[rng.below(4)];
+                    // Fresh expressions guarantee +8 headroom above
+                    // and gate -8 on an 8-byte floor.
+                    if (d < 0 && e.constOffset < 8)
+                        d = -d;
+                    e.constOffset += d;
+                }
+            } else {
+                e = freshExpr();
+            }
+            const uint32_t size =
+                rng.chance(opts.narrowFraction) ? 4 : 8;
+
+            if (rng.chance(opts.storeFraction)) {
+                b.store(e, pickData(), size);
+            } else {
+                OpId v = b.load(e, size);
+                values.push_back(v);
+                if (opts.withCompute && rng.chance(0.6)) {
+                    static const OpKind kCompute[6] = {
+                        OpKind::IAdd, OpKind::ISub, OpKind::IXor,
+                        OpKind::IAnd, OpKind::IOr,  OpKind::ICmp};
+                    OpId a = values[rng.below(values.size())];
+                    values.push_back(b.binary(
+                        kCompute[rng.below(6)], v, a));
+                }
+            }
+            pool.push_back({e, size});
+        }
+    }
+
+    Region
+    run(uint64_t seed)
+    {
+        buildEnvironment(seed);
+        emitMemOps();
+        if (opts.withLiveOut && !values.empty())
+            b.liveOut(values.back());
+        return b.build();
+    }
+};
+
+} // namespace
+
+Region
+generateRegion(uint64_t seed, const RegionGenOptions &opts)
+{
+    NACHOS_ASSERT(opts.minMemOps >= 1 &&
+                      opts.maxMemOps >= opts.minMemOps,
+                  "region generator: bad mem-op bounds");
+    NACHOS_ASSERT(opts.maxInvocations >= 1,
+                  "region generator: need an invocation horizon");
+    Generator gen(seed, opts);
+    return gen.run(seed);
+}
+
+RegionGenOptions
+storeHeavyProfile()
+{
+    RegionGenOptions o;
+    o.storeFraction = 0.75;
+    o.minMemOps = 6;
+    o.maxMemOps = 20;
+    o.conflictDensity = 0.5;
+    return o;
+}
+
+RegionGenOptions
+zeroStoreProfile()
+{
+    RegionGenOptions o;
+    o.storeFraction = 0;
+    return o;
+}
+
+RegionGenOptions
+singleOpProfile()
+{
+    RegionGenOptions o;
+    o.minMemOps = 1;
+    o.maxMemOps = 1;
+    o.storeFraction = 0;
+    o.withCompute = false;
+    o.withLiveOut = false;
+    o.weightStrided = 0;
+    o.weightParam = 0;
+    o.weight2d = 0;
+    o.weightOpaque = 0;
+    o.numParams = 0;
+    o.conflictDensity = 0;
+    o.restrictFraction = 0;
+    return o;
+}
+
+RegionGenOptions
+negativeStrideProfile()
+{
+    RegionGenOptions o;
+    o.weightStrided = 4;
+    o.weight2d = 2;
+    o.allowNegativeStride = true;
+    o.minMemOps = 8;
+    o.maxMemOps = 18;
+    return o;
+}
+
+RegionGenOptions
+outOfRange2dProfile()
+{
+    RegionGenOptions o;
+    o.weight2d = 5;
+    o.allowOutOfRange2d = true;
+    o.minMemOps = 8;
+    o.maxMemOps = 18;
+    return o;
+}
+
+RegionGenOptions
+opaqueOnlyProfile()
+{
+    RegionGenOptions o;
+    o.weightConstant = 0;
+    o.weightStrided = 0;
+    o.weightParam = 0;
+    o.weight2d = 0;
+    o.weightOpaque = 1;
+    o.numParams = 0;
+    o.restrictFraction = 0;
+    o.minMemOps = 6;
+    o.maxMemOps = 16;
+    return o;
+}
+
+RegionGenOptions
+profileByName(const std::string &name)
+{
+    if (name == "default")
+        return RegionGenOptions{};
+    if (name == "store-heavy")
+        return storeHeavyProfile();
+    if (name == "zero-store")
+        return zeroStoreProfile();
+    if (name == "single-op")
+        return singleOpProfile();
+    if (name == "negative-stride")
+        return negativeStrideProfile();
+    if (name == "oob-2d")
+        return outOfRange2dProfile();
+    if (name == "opaque-only")
+        return opaqueOnlyProfile();
+    NACHOS_FATAL("unknown generator profile '", name,
+                 "' (want default|store-heavy|zero-store|single-op|"
+                 "negative-stride|oob-2d|opaque-only)");
+}
+
+} // namespace testing
+} // namespace nachos

@@ -1,0 +1,184 @@
+#include "testing/shrink.hh"
+
+#include <utility>
+#include <vector>
+
+#include "ir/rewrite.hh"
+#include "support/logging.hh"
+
+namespace nachos {
+namespace testing {
+
+namespace {
+
+/** Probe budget: shrinking is best-effort, never unbounded. */
+constexpr uint32_t kMaxProbes = 4000;
+
+/** True if some OTHER op's address references an opaque symbol whose
+ *  producer is `op` — removing `op` would orphan the symbol. */
+bool
+isOpaqueProducer(const Region &r, OpId op)
+{
+    auto produced_by_op = [&](SymbolId sid) {
+        const Symbol &s = r.symbol(sid);
+        return s.kind == SymKind::Opaque && s.producer == op;
+    };
+    for (const Operation &o : r.ops()) {
+        if (o.id == op || !o.mem)
+            continue;
+        const AddrExpr &a = o.mem->addr;
+        if (a.base.kind == BaseKind::Opaque && produced_by_op(a.base.id))
+            return true;
+        for (const AffineTerm &t : a.terms) {
+            if (produced_by_op(t.sym))
+                return true;
+        }
+    }
+    return false;
+}
+
+struct Shrinker
+{
+    const FailurePredicate &pred;
+    ShrinkStats &stats;
+    Region cur;
+
+    bool
+    probe(const Region &candidate)
+    {
+        if (stats.probes >= kMaxProbes)
+            return false;
+        ++stats.probes;
+        return pred(candidate);
+    }
+
+    /** Remove user-less ops one at a time until a fixpoint. */
+    bool
+    opPass()
+    {
+        bool any = false;
+        bool progress = true;
+        while (progress && stats.probes < kMaxProbes) {
+            progress = false;
+            ++stats.rounds;
+            // Later ops first: removing a store frees the loads that
+            // fed it, unlocking earlier removals within one round.
+            for (size_t i = cur.numOps(); i-- > 0;) {
+                const OpId op = static_cast<OpId>(i);
+                if (!cur.users(op).empty() || isOpaqueProducer(cur, op))
+                    continue;
+                std::vector<bool> keep(cur.numOps(), true);
+                keep[op] = false;
+                Region candidate = extractSubRegion(cur, keep);
+                if (probe(candidate)) {
+                    cur = std::move(candidate);
+                    ++stats.opsRemoved;
+                    any = progress = true;
+                    break; // ids shifted; rescan
+                }
+            }
+        }
+        return any;
+    }
+
+    /** Drop gating operands of memory ops (address-readiness edges:
+     *  opaque producers, explicit addr deps). Data operands of stores
+     *  and compute operands are structural and never dropped. */
+    bool
+    edgePass()
+    {
+        bool any = false;
+        for (OpId op = 0; op < cur.numOps();) {
+            const Operation &o = cur.op(op);
+            const size_t first_droppable =
+                o.kind == OpKind::Store ? 1 : 0;
+            bool dropped = false;
+            if (o.isMem()) {
+                for (size_t slot = first_droppable;
+                     slot < o.operands.size(); ++slot) {
+                    std::vector<Operation> ops(cur.ops());
+                    ops[op].operands.erase(ops[op].operands.begin() +
+                                           static_cast<long>(slot));
+                    Region candidate = rebuildRegion(cur, std::move(ops));
+                    if (probe(candidate)) {
+                        cur = std::move(candidate);
+                        ++stats.edgesRemoved;
+                        any = dropped = true;
+                        break; // operand list changed; revisit op
+                    }
+                }
+            }
+            if (!dropped)
+                ++op;
+        }
+        return any;
+    }
+
+    /** Drop affine terms from memory-op address expressions. */
+    bool
+    termPass()
+    {
+        bool any = false;
+        for (OpId op = 0; op < cur.numOps();) {
+            const Operation &o = cur.op(op);
+            bool dropped = false;
+            if (o.isMem()) {
+                for (size_t t = 0; t < o.mem->addr.terms.size(); ++t) {
+                    std::vector<Operation> ops(cur.ops());
+                    AddrExpr &a = ops[op].mem->addr;
+                    a.terms.erase(a.terms.begin() +
+                                  static_cast<long>(t));
+                    Region candidate = rebuildRegion(cur, std::move(ops));
+                    if (probe(candidate)) {
+                        cur = std::move(candidate);
+                        ++stats.termsRemoved;
+                        any = dropped = true;
+                        break;
+                    }
+                }
+            }
+            if (!dropped)
+                ++op;
+        }
+        return any;
+    }
+};
+
+} // namespace
+
+Region
+shrinkRegion(const Region &region, const FailurePredicate &still_fails,
+             ShrinkStats *stats_out)
+{
+    ShrinkStats stats;
+    stats.opsBefore = region.numOps();
+    NACHOS_ASSERT(still_fails(region),
+                  "shrinkRegion: the input region does not fail the "
+                  "predicate");
+
+    // Normalize through the rewriter so the baseline and every
+    // candidate share the same construction path.
+    Shrinker sh{still_fails, stats,
+                extractSubRegion(region,
+                                 std::vector<bool>(region.numOps(),
+                                                   true))};
+    NACHOS_ASSERT(still_fails(sh.cur),
+                  "shrinkRegion: rewriter round-trip changed the "
+                  "failure");
+
+    bool progress = true;
+    while (progress && stats.probes < kMaxProbes) {
+        progress = false;
+        progress |= sh.opPass();
+        progress |= sh.edgePass();
+        progress |= sh.termPass();
+    }
+
+    stats.opsAfter = sh.cur.numOps();
+    if (stats_out)
+        *stats_out = stats;
+    return std::move(sh.cur);
+}
+
+} // namespace testing
+} // namespace nachos

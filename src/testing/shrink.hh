@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Failure minimization: given a region on which some differential
+ * check fails, greedily remove operations, gating operands, and
+ * address terms while the failure keeps reproducing, then compact the
+ * environment. The result is a small, structurally valid region whose
+ * serialized form drops straight into the regression corpus.
+ *
+ * The algorithm is classic greedy ddmin-style reduction:
+ *
+ *   1. op pass     — for each op with no users (stores, live-outs,
+ *                    dead loads/computes), try the region without it;
+ *                    keep the removal if the predicate still fails.
+ *                    Removals unlock further removals, so iterate to a
+ *                    fixpoint.
+ *   2. edge pass   — for each memory op, try dropping each gating
+ *                    operand (address-readiness edges: opaque
+ *                    producers, explicit addr_deps) one at a time.
+ *   3. term pass   — for each memory op, try dropping each affine
+ *                    term of its address expression.
+ *
+ * Every candidate is rebuilt through ir/rewrite (dense ids, dense
+ * memIndex, no dangling references, object bases preserved), so the
+ * predicate sees a region indistinguishable from a generated one.
+ */
+
+#ifndef NACHOS_TESTING_SHRINK_HH
+#define NACHOS_TESTING_SHRINK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "ir/dfg.hh"
+
+namespace nachos {
+namespace testing {
+
+/** Returns true if the failure still reproduces on `candidate`. */
+using FailurePredicate = std::function<bool(const Region &)>;
+
+/** What a shrink run did. */
+struct ShrinkStats
+{
+    size_t opsBefore = 0;
+    size_t opsAfter = 0;
+    uint32_t rounds = 0;       ///< fixpoint iterations of the op pass
+    uint32_t opsRemoved = 0;
+    uint32_t edgesRemoved = 0; ///< gating operands dropped
+    uint32_t termsRemoved = 0; ///< address affine terms dropped
+    uint32_t probes = 0;       ///< predicate evaluations
+};
+
+/**
+ * Minimize `region` under `still_fails`. The input region must itself
+ * satisfy the predicate (asserted — shrinking a passing region means
+ * the caller mixed up its bookkeeping). Deterministic: candidates are
+ * tried in a fixed order.
+ */
+Region shrinkRegion(const Region &region,
+                    const FailurePredicate &still_fails,
+                    ShrinkStats *stats = nullptr);
+
+} // namespace testing
+} // namespace nachos
+
+#endif // NACHOS_TESTING_SHRINK_HH

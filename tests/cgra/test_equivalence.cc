@@ -10,7 +10,7 @@
 #include "analysis/pipeline.hh"
 #include "cgra/simulator.hh"
 #include "mde/inserter.hh"
-#include "testing/random_region.hh"
+#include "testing/region_gen.hh"
 
 namespace nachos {
 namespace {

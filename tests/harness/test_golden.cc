@@ -10,7 +10,7 @@
 #include "cgra/simulator.hh"
 #include "harness/golden.hh"
 #include "mde/inserter.hh"
-#include "testing/random_region.hh"
+#include "testing/region_gen.hh"
 #include "workloads/suite.hh"
 
 namespace nachos {

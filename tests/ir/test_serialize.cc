@@ -3,7 +3,7 @@
 #include "harness/golden.hh"
 #include "ir/builder.hh"
 #include "ir/serialize.hh"
-#include "testing/random_region.hh"
+#include "testing/region_gen.hh"
 #include "workloads/suite.hh"
 
 namespace nachos {

@@ -1,0 +1,84 @@
+/**
+ * Regression corpus replay: every checked-in reproducer region must
+ * (a) parse and re-serialize byte-identically, and (b) pass the full
+ * differential check battery. The corpus holds the regions that
+ * exposed real bugs (forwarding truncation, cross-bank store ordering,
+ * the stage-3 forwarding-transitivity unsoundness) — once fixed,
+ * forever green.
+ *
+ * NACHOS_CORPUS_DIR is injected by the build (tests/CMakeLists.txt).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ir/serialize.hh"
+#include "testing/diff_fuzzer.hh"
+
+namespace nachos {
+namespace testing {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path>
+corpusFiles()
+{
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(NACHOS_CORPUS_DIR)) {
+        if (entry.path().extension() == ".region")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream is(path);
+    EXPECT_TRUE(is.good()) << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(CorpusReplay, CorpusIsNotEmpty)
+{
+    EXPECT_GE(corpusFiles().size(), 4u)
+        << "regression corpus missing from " << NACHOS_CORPUS_DIR;
+}
+
+TEST(CorpusReplay, EveryReproducerRoundTripsByteIdentically)
+{
+    for (const fs::path &path : corpusFiles()) {
+        const std::string text = slurp(path);
+        const Region region = regionFromString(text);
+        EXPECT_EQ(regionToString(region), text)
+            << path.filename() << " is not in canonical form";
+    }
+}
+
+TEST(CorpusReplay, EveryReproducerPassesTheFullCheckBattery)
+{
+    FuzzOptions opts;
+    for (const fs::path &path : corpusFiles()) {
+        const Region region = regionFromString(slurp(path));
+        const std::vector<FuzzMismatch> mismatches =
+            checkRegion(region, opts);
+        for (const FuzzMismatch &m : mismatches) {
+            ADD_FAILURE() << path.filename() << " [" << m.backend
+                          << "] " << m.check << ": " << m.detail;
+        }
+    }
+}
+
+} // namespace
+} // namespace testing
+} // namespace nachos

@@ -1,0 +1,114 @@
+/**
+ * Failure minimization: the greedy reducer must preserve the failure
+ * predicate, produce structurally valid (serializable, executable)
+ * regions, shrink decisively when most of the region is irrelevant,
+ * and stay deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/serialize.hh"
+#include "testing/reference.hh"
+#include "testing/region_gen.hh"
+#include "testing/shrink.hh"
+
+namespace nachos {
+namespace testing {
+namespace {
+
+/** First seed whose generated region satisfies `pred`. */
+uint64_t
+seedWhere(const FailurePredicate &pred, const RegionGenOptions &opts = {})
+{
+    for (uint64_t seed = 0; seed < 64; ++seed) {
+        if (pred(generateRegion(seed, opts)))
+            return seed;
+    }
+    ADD_FAILURE() << "no seed in [0,64) satisfies the predicate";
+    return 0;
+}
+
+bool
+hasStore(const Region &r)
+{
+    for (OpId id : r.memOps()) {
+        if (r.op(id).isStore())
+            return true;
+    }
+    return false;
+}
+
+TEST(Shrink, PreservesThePredicate)
+{
+    const uint64_t seed = seedWhere(hasStore);
+    const Region region = generateRegion(seed);
+    ShrinkStats stats;
+    const Region shrunk = shrinkRegion(region, hasStore, &stats);
+
+    EXPECT_TRUE(hasStore(shrunk));
+    EXPECT_LE(shrunk.numOps(), region.numOps());
+    EXPECT_EQ(stats.opsBefore, region.numOps());
+    EXPECT_EQ(stats.opsAfter, shrunk.numOps());
+    EXPECT_GT(stats.probes, 0u);
+}
+
+TEST(Shrink, RemovesEverythingIrrelevant)
+{
+    // "Has at least one memory op" is satisfiable by a one-op region,
+    // so a competent reducer must get close to that regardless of how
+    // big the input was.
+    const FailurePredicate pred = [](const Region &r) {
+        return !r.memOps().empty();
+    };
+    RegionGenOptions opts;
+    opts.minMemOps = 10;
+    opts.maxMemOps = 14;
+    const Region region = generateRegion(3, opts);
+    const Region shrunk = shrinkRegion(region, pred);
+    EXPECT_LE(shrunk.memOps().size(), 2u)
+        << "reducer left " << shrunk.memOps().size()
+        << " mem ops where 1 suffices";
+}
+
+TEST(Shrink, OutputIsSerializableAndExecutable)
+{
+    const uint64_t seed = seedWhere(hasStore);
+    const Region shrunk = shrinkRegion(generateRegion(seed), hasStore);
+
+    // Round-trips byte-identically (corpus contract)...
+    const std::string text = regionToString(shrunk);
+    const Region back = regionFromString(text);
+    EXPECT_TRUE(regionsEquivalent(shrunk, back));
+    EXPECT_EQ(regionToString(back), text);
+
+    // ...and still executes under the oracle.
+    const ReferenceResult ref = referenceExecute(shrunk, 2);
+    EXPECT_EQ(ref.committedMemOps, shrunk.memOps().size() * 2);
+}
+
+TEST(Shrink, Deterministic)
+{
+    const uint64_t seed = seedWhere(hasStore);
+    const Region a = shrinkRegion(generateRegion(seed), hasStore);
+    const Region b = shrinkRegion(generateRegion(seed), hasStore);
+    EXPECT_EQ(regionToString(a), regionToString(b));
+}
+
+TEST(Shrink, StatsAccountForTheReduction)
+{
+    const FailurePredicate pred = [](const Region &r) {
+        return !r.memOps().empty();
+    };
+    RegionGenOptions opts;
+    opts.minMemOps = 10;
+    opts.maxMemOps = 14;
+    ShrinkStats stats;
+    shrinkRegion(generateRegion(3, opts), pred, &stats);
+    EXPECT_GT(stats.opsRemoved, 0u);
+    EXPECT_GE(stats.rounds, 1u);
+    EXPECT_LT(stats.opsAfter, stats.opsBefore);
+}
+
+} // namespace
+} // namespace testing
+} // namespace nachos
