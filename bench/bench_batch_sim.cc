@@ -1,0 +1,203 @@
+/**
+ * @file
+ * µB: batched invocation-parallel simulation (cgra/batch_sim) vs
+ * sequential simulate() calls.
+ *
+ * Two sections:
+ *   lane scaling — N identical NACHOS lanes of one region, batched
+ *       vs N sequential runs, N in {1, 2, 4, 8, 16};
+ *   fuzzer throughput — full differential-fuzz cases (reference +
+ *       pipeline + the 6-lane backend sweep) in batched vs
+ *       sequential-sim mode, reported as seeds/s.
+ *
+ * stdout carries only deterministic content (configuration and
+ * batched-vs-sequential identity verdicts), so the determinism
+ * harness can cmp it; wall-clock numbers go to stderr and, with
+ * `--json <path>`, to a timing-record file in the same format as the
+ * suite benches (tools/perf_report.py reads both).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cgra/batch_sim.hh"
+#include "harness/run_json.hh"
+#include "harness/suite_runner.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "testing/diff_fuzzer.hh"
+#include "testing/region_gen.hh"
+
+using namespace nachos;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Short git revision of the working tree, or "unknown". */
+std::string
+gitSha()
+{
+    std::string sha;
+    if (FILE *pipe =
+            popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+        char buf[64];
+        if (fgets(buf, sizeof(buf), pipe))
+            sha = buf;
+        pclose(pipe);
+    }
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    return sha.empty() ? "unknown" : sha;
+}
+
+struct TimingRow
+{
+    std::string stage;
+    double seconds = 0;
+};
+
+bool
+sameResult(const SimResult &a, const SimResult &b)
+{
+    return a.cycles == b.cycles && a.stats.dump() == b.stats.dump() &&
+           a.loadValueDigest == b.loadValueDigest &&
+           a.memImage == b.memImage && a.criticalOp == b.criticalOp;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    uint64_t fuzzSeeds = 96;
+    uint64_t repeats = 24;
+    std::string jsonPath = suiteJsonPath(argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--fuzz-seeds" && i + 1 < argc)
+            fuzzSeeds = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--repeats" && i + 1 < argc)
+            repeats = std::strtoull(argv[++i], nullptr, 10);
+    }
+
+    std::vector<TimingRow> rows;
+    std::cout << "uB: batched simulation vs sequential simulate()\n\n";
+
+    // ---- Section 1: lane scaling on one region -----------------------
+    const Region region = testing::generateRegion(7, {});
+    const testing::FuzzOptions probe; // for default invocation count
+    MdeSet mdes = [&] {
+        AliasAnalysisResult analysis = runAliasPipeline(region);
+        return insertMdes(region, analysis.matrix);
+    }();
+    SimConfig cfg;
+    cfg.invocations = 24;
+
+    std::cout << "lane scaling: region seed 7, " << region.numOps()
+              << " ops, " << cfg.invocations
+              << " invocations, NACHOS backend\n";
+    for (uint32_t n : {1u, 2u, 4u, 8u, 16u}) {
+        const std::vector<BatchLane> lanes(
+            n, BatchLane{BackendKind::Nachos, cfg});
+
+        auto t0 = std::chrono::steady_clock::now();
+        std::vector<SimResult> seq;
+        for (uint64_t r = 0; r < repeats; ++r) {
+            seq.clear();
+            for (const BatchLane &lane : lanes)
+                seq.push_back(
+                    simulate(region, mdes, lane.kind, lane.cfg));
+        }
+        const double seqSec = secondsSince(t0);
+
+        BatchSimEngine engine;
+        t0 = std::chrono::steady_clock::now();
+        std::vector<SimResult> batched;
+        for (uint64_t r = 0; r < repeats; ++r)
+            batched = engine.run(region, mdes, lanes);
+        const double batchSec = secondsSince(t0);
+
+        bool identical = batched.size() == seq.size();
+        for (size_t i = 0; identical && i < seq.size(); ++i)
+            identical = sameResult(batched[i], seq[i]);
+        std::cout << "  lanes=" << n << ": batched identical to "
+                  << "sequential: " << (identical ? "yes" : "NO")
+                  << "\n";
+        std::fprintf(stderr,
+                     "  lanes=%u: sequential %.3f ms/run, batched "
+                     "%.3f ms/run, speedup %.2fx\n",
+                     n, seqSec * 1e3 / static_cast<double>(repeats),
+                     batchSec * 1e3 / static_cast<double>(repeats),
+                     batchSec > 0 ? seqSec / batchSec : 0.0);
+        rows.push_back({"seq-lanes" + std::to_string(n), seqSec});
+        rows.push_back({"batch-lanes" + std::to_string(n), batchSec});
+        if (!identical)
+            return 1;
+    }
+
+    // ---- Section 2: fuzzer throughput --------------------------------
+    std::cout << "\nfuzzer throughput: " << fuzzSeeds
+              << " seeds, full differential checks, "
+              << probe.lsqBankSweep.size() + 2 << " backend lanes\n";
+    testing::FuzzOptions seqOpts;
+    seqOpts.batchedSim = false;
+    seqOpts.shrinkFailures = false;
+    testing::FuzzOptions batchOpts = seqOpts;
+    batchOpts.batchedSim = true;
+
+    auto t0 = std::chrono::steady_clock::now();
+    uint64_t seqFailures = 0;
+    for (uint64_t s = 0; s < fuzzSeeds; ++s)
+        seqFailures += testing::runFuzzCase(s, seqOpts).failed;
+    const double seqSec = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    uint64_t batchFailures = 0;
+    for (uint64_t s = 0; s < fuzzSeeds; ++s)
+        batchFailures += testing::runFuzzCase(s, batchOpts).failed;
+    const double batchSec = secondsSince(t0);
+
+    std::cout << "  verdicts identical: "
+              << (seqFailures == batchFailures ? "yes" : "NO") << " ("
+              << seqFailures << " failure(s) each mode)\n";
+    std::fprintf(stderr,
+                 "  sequential %.1f seeds/s, batched %.1f seeds/s, "
+                 "speedup %.2fx\n",
+                 static_cast<double>(fuzzSeeds) / seqSec,
+                 static_cast<double>(fuzzSeeds) / batchSec,
+                 batchSec > 0 ? seqSec / batchSec : 0.0);
+    rows.push_back({"fuzz-seq", seqSec});
+    rows.push_back({"fuzz-batch", batchSec});
+    if (seqFailures != batchFailures)
+        return 1;
+
+    if (!jsonPath.empty()) {
+        std::ofstream os(jsonPath);
+        if (!os)
+            NACHOS_FATAL("cannot write timing JSON to '", jsonPath,
+                         "'");
+        const std::string sha = gitSha();
+        bool first = true;
+        os << "[";
+        for (const TimingRow &row : rows) {
+            os << (first ? "" : ",") << "\n  "
+               << dumpJson(encodeTimingRecord("batch_sim", row.stage,
+                                              row.seconds, 1, sha));
+            first = false;
+        }
+        os << "\n]\n";
+    }
+    return 0;
+}

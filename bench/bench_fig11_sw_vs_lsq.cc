@@ -26,6 +26,7 @@ main(int argc, char **argv)
 
     RunRequest req;
     req.runNachos = false;
+    req.batchSim = suiteBatch(argc, argv);
     SuiteRun run =
         runSuite(benchmarkSuite(), req, suiteThreads(argc, argv));
 

@@ -30,6 +30,7 @@ main(int argc, char **argv)
     RunRequest req;
     req.runNachos = false;
     req.pipeline = PipelineConfig::baselineCompiler();
+    req.batchSim = suiteBatch(argc, argv);
     SuiteRun run =
         runSuite(benchmarkSuite(), req, suiteThreads(argc, argv));
 

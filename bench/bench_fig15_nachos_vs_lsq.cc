@@ -26,8 +26,10 @@ main(int argc, char **argv)
                 "NACHOS vs OPT-LSQ performance (negative = NACHOS "
                 "faster); marker = NACHOS-SW");
 
-    SuiteRun run = runSuite(benchmarkSuite(), RunRequest{},
-                            suiteThreads(argc, argv));
+    RunRequest req;
+    req.batchSim = suiteBatch(argc, argv);
+    SuiteRun run =
+        runSuite(benchmarkSuite(), req, suiteThreads(argc, argv));
 
     std::vector<BarEntry> series;
     int close = 0, speedup = 0, slowdown = 0;

@@ -29,6 +29,7 @@ main(int argc, char **argv)
     RunRequest req;
     req.runSw = false;
     req.runNachos = false;
+    req.batchSim = suiteBatch(argc, argv);
     SuiteRun run =
         runSuite(benchmarkSuite(), req, suiteThreads(argc, argv));
 

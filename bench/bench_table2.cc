@@ -27,6 +27,7 @@ main(int argc, char **argv)
     req.runSw = false;
     req.runNachos = false;
     req.invocationsOverride = 24;
+    req.batchSim = suiteBatch(argc, argv);
     SuiteRun run =
         runSuite(benchmarkSuite(), req, suiteThreads(argc, argv));
 

@@ -1,0 +1,851 @@
+#include "cgra/batch_sim.hh"
+
+#include <algorithm>
+
+#include "cgra/lsq_backend.hh"
+#include "cgra/nachos_backend.hh"
+#include "cgra/sw_backend.hh"
+#include "support/logging.hh"
+#include "support/value_hash.hh"
+
+namespace nachos {
+
+namespace {
+
+/** Typed batch event (24 bytes); cycle lives in the queue bucket. */
+enum class EvKind : uint8_t
+{
+    OperandArrival, ///< op=consumer, slot, value
+    CompleteOp,     ///< op finished (FU/scratchpad); value
+    MemDone,        ///< timed memory completion; value
+    MemPerform,     ///< deferred performMemAccess
+    LoadForward,    ///< deferred completeLoadForwarded; value
+    SeedAddrReady,  ///< invocation-start noteAddrReady
+    SeedInputs,     ///< invocation-start opInputsComplete
+    OrderToken,     ///< backend.onOrderToken(op)
+    ForwardValue,   ///< backend.onForwardValue(op, value)
+};
+
+struct BatchEvent
+{
+    int64_t value = 0;
+    uint64_t lanes = 0; ///< bitmask: which lanes this event fires in
+    uint32_t op = 0;
+    uint16_t slot = 0;
+    EvKind kind = EvKind::SeedInputs;
+};
+
+class BatchSimCore;
+
+/**
+ * Per-lane BackendCore adapter: the lane's backend talks to the engine
+ * through this object, which routes every call into the lane's slice
+ * of the shared state.
+ */
+class LaneCore final : public BackendCore
+{
+  public:
+    LaneCore(BatchSimCore &core, uint32_t lane)
+        : core_(core), lane_(lane)
+    {}
+
+    StatSet &stats() override;
+    void scheduleOrderToken(uint64_t cycle, OpId to) override;
+    void scheduleForwardValue(uint64_t cycle, OpId to,
+                              int64_t value) override;
+    void performMemAccess(OpId op, uint64_t cycle) override;
+    void completeLoadForwarded(OpId op, uint64_t cycle,
+                               int64_t value) override;
+    uint64_t netLatency(OpId from, OpId to) const override;
+    void countOrderToken(OpId from, OpId to) override;
+    void countForward(OpId from, OpId to) override;
+    int64_t storeData(OpId op) const override;
+
+  private:
+    BatchSimCore &core_;
+    const uint32_t lane_;
+};
+
+/**
+ * One batched run: the lane-mask calendar walk over the shared
+ * structure-of-arrays op state. Handlers mirror SimCore's one-for-one
+ * (same order of state updates, counter bumps, and event schedules) —
+ * that mirroring, plus the per-lane FIFO order the shared queue
+ * preserves, is the byte-identity argument.
+ */
+class BatchSimCore
+{
+  public:
+    BatchSimCore(const Region &region, const MdeSet &mdes,
+                 const std::vector<SimConfig> &cfgs,
+                 const std::vector<OrderingBackend *> &backends,
+                 HierarchyPool &pool);
+
+    std::vector<SimResult> run();
+
+    // ---- per-lane backend services (via LaneCore) --------------------
+    StatSet &stats(uint32_t lane) { return lanes_[lane].stats; }
+    void
+    scheduleOrderToken(uint32_t lane, uint64_t cycle, OpId to)
+    {
+        events_.schedule(cycle, BatchEvent{0, bit(lane), to, 0,
+                                           EvKind::OrderToken});
+    }
+    void
+    scheduleForwardValue(uint32_t lane, uint64_t cycle, OpId to,
+                         int64_t value)
+    {
+        events_.schedule(cycle, BatchEvent{value, bit(lane), to, 0,
+                                           EvKind::ForwardValue});
+    }
+    void performMemAccess(uint32_t lane, OpId op, uint64_t cycle);
+    void completeLoadForwarded(uint32_t lane, OpId op, uint64_t cycle,
+                               int64_t value);
+    uint64_t
+    netLatency(OpId from, OpId to) const
+    {
+        // Lane-independent: all lanes share grid and network config.
+        return network_->latency(from, to);
+    }
+    void countOrderToken(uint32_t lane) { lanes_[lane].mdeMust->inc(); }
+    void countForward(uint32_t lane) { lanes_[lane].mdeForwards->inc(); }
+    int64_t storeData(uint32_t lane, OpId op) const;
+
+  private:
+    /** Per-(op, lane) flag bits (SoA column `flags_`). */
+    static constexpr uint8_t kAddrNotified = 1 << 0;
+    static constexpr uint8_t kCompleted = 1 << 1;
+    static constexpr uint8_t kPerformed = 1 << 2;
+
+    /** Per-lane runtime state (scalars; the op state is in the SoA). */
+    struct Lane
+    {
+        SimConfig cfg;
+        OrderingBackend *backend = nullptr;
+        std::unique_ptr<LaneCore> core;
+        StatSet stats;
+        MemoryHierarchy *hier = nullptr;
+        std::unique_ptr<OperandNetwork> net;
+        Counter *netTransfers = nullptr;
+        Counter *netHops = nullptr;
+        Counter *mdeMust = nullptr;
+        Counter *mdeForwards = nullptr;
+        Counter *intOps = nullptr;
+        Counter *fpOps = nullptr;
+
+        uint64_t start = 0; ///< current invocation's start cycle
+        uint64_t invocationEnd = 0;
+        uint64_t opsRemaining = 0;
+        OpId criticalOp = 0;
+        bool active = false; ///< participates in the current wave
+
+        // MLP accounting (mirrors SimCore).
+        uint64_t outstanding = 0;
+        uint64_t maxOutstanding = 0;
+        uint64_t mlpLastChange = 0;
+        uint64_t mlpArea = 0;
+        uint64_t mlpBusyCycles = 0;
+
+        uint64_t loadValueDigest = 0;
+        std::vector<MemCommit> memCommits;
+    };
+
+    const Region &region_;
+    const uint32_t numLanes_;
+    const uint32_t numOps_;
+    Placement placement_;
+    /** Lane 0's network: route latencies are lane-independent. */
+    const OperandNetwork *network_ = nullptr;
+    SimTables tables_;
+    std::vector<Lane> lanes_;
+
+    CalendarQueue<BatchEvent> events_;
+    uint64_t now_ = 0;
+    uint64_t wave_ = 0; ///< current invocation index (all lanes)
+
+    // Structure-of-arrays per-(op, lane) state, lane-major: index
+    // lane * numOps + op, so a lane's per-wave reset is contiguous.
+    std::vector<uint32_t> pendingAll_;
+    std::vector<uint32_t> pendingAddr_;
+    std::vector<uint64_t> readyCycle_;
+    std::vector<uint64_t> addrReadyCycle_;
+    std::vector<uint64_t> addr_;
+    std::vector<int64_t> value_;
+    std::vector<uint8_t> flags_;
+
+    /** Lane-major operand arena: lane * arenaStride_ + offset + slot. */
+    uint32_t arenaStride_ = 0;
+    std::vector<int64_t> arena_;
+
+    // Wave-shared tables: all active lanes sit in the same invocation,
+    // so addresses and live-in values are functions of (op, wave) only
+    // — computed once per wave, read by every lane ("vectorizable
+    // address generation": one contiguous pass over the mem ops).
+    std::vector<uint64_t> waveAddr_;
+    std::vector<int64_t> waveLiveIn_;
+
+    static uint64_t bit(uint32_t lane) { return uint64_t{1} << lane; }
+    size_t
+    idx(uint32_t lane, OpId op) const
+    {
+        return static_cast<size_t>(lane) * numOps_ + op;
+    }
+    int64_t *
+    laneInputs(uint32_t lane, OpId op)
+    {
+        return arena_.data() +
+               static_cast<size_t>(lane) * arenaStride_ +
+               tables_.inputOffset[op];
+    }
+
+    void
+    scheduleLane(uint32_t lane, uint64_t cycle, EvKind kind, OpId op,
+                 uint16_t slot = 0, int64_t value = 0)
+    {
+        events_.schedule(cycle,
+                         BatchEvent{value, bit(lane), op, slot, kind});
+    }
+
+    void runWave();
+    void seedWave();
+    void dispatch(const BatchEvent &ev);
+    void dispatchLane(uint32_t lane, const BatchEvent &ev);
+    void operandArrived(uint32_t lane, OpId op, uint32_t slot,
+                        uint64_t cycle, int64_t value);
+    void opInputsComplete(uint32_t lane, OpId op, uint64_t cycle);
+    void completeOp(uint32_t lane, OpId op, uint64_t cycle,
+                    int64_t value);
+    void deliverToUsers(uint32_t lane, OpId op, uint64_t cycle);
+    void noteAddrReady(uint32_t lane, OpId op, uint64_t cycle);
+    void mlpChange(uint32_t lane, int delta, uint64_t cycle);
+    SimResult finalizeLane(uint32_t lane);
+};
+
+BatchSimCore::BatchSimCore(const Region &region, const MdeSet &mdes,
+                           const std::vector<SimConfig> &cfgs,
+                           const std::vector<OrderingBackend *> &backends,
+                           HierarchyPool &pool)
+    : region_(region), numLanes_(static_cast<uint32_t>(cfgs.size())),
+      numOps_(static_cast<uint32_t>(region.numOps())),
+      placement_(region, cfgs.empty() ? GridConfig{} : cfgs[0].grid)
+{
+    (void)mdes;
+    NACHOS_ASSERT(region_.finalized(), "simulate a finalized region");
+    NACHOS_ASSERT(numLanes_ >= 1, "batch needs at least one lane");
+    NACHOS_ASSERT(numLanes_ <= BatchSimEngine::kMaxLanes,
+                  "batch of ", numLanes_, " lanes exceeds the ",
+                  BatchSimEngine::kMaxLanes, "-lane mask width");
+    NACHOS_ASSERT(backends.size() == cfgs.size(),
+                  "one backend per lane");
+
+    const SimConfig &base = cfgs[0];
+    lanes_.reserve(numLanes_);
+    for (uint32_t lane = 0; lane < numLanes_; ++lane) {
+        const SimConfig &cfg = cfgs[lane];
+        NACHOS_ASSERT(backends[lane] != nullptr, "null lane backend");
+        NACHOS_ASSERT(
+            &backends[lane]->boundRegion() == &region_,
+            "batch lane ", lane,
+            " mixes regions: its backend is bound to region '",
+            backends[lane]->boundRegion().name(),
+            "' but the batch simulates '", region_.name(),
+            "' — all lanes of a batch share one region");
+        NACHOS_ASSERT(cfg.grid.rows == base.grid.rows &&
+                          cfg.grid.cols == base.grid.cols,
+                      "batch lanes must share the grid config");
+        NACHOS_ASSERT(cfg.net.hopsPerCycle == base.net.hopsPerCycle &&
+                          cfg.net.minLatency == base.net.minLatency,
+                      "batch lanes must share the network config");
+        NACHOS_ASSERT(cfg.traceFile.empty(),
+                      "trace files are not supported in batched runs");
+
+        Lane L;
+        L.cfg = cfg;
+        L.backend = backends[lane];
+        // Counter-creation order matches SimCore construction: network
+        // (net.*), hierarchy (llc.*, l1.*, scratchpad.*), then the
+        // cached engine counters — the backend adds its own lazily on
+        // the first invocation, exactly as in a sequential run.
+        L.net = std::make_unique<OperandNetwork>(placement_, cfg.net,
+                                                 L.stats);
+        L.hier = &pool.acquire(lane, cfg.mem, L.stats);
+        L.netTransfers =
+            &L.stats.counter(energy_events::kNetworkTransfers);
+        L.netHops = &L.stats.counter("net.hops");
+        L.mdeMust = &L.stats.counter(energy_events::kMdeMust);
+        L.mdeForwards = &L.stats.counter(energy_events::kMdeForward);
+        L.intOps = &L.stats.counter(energy_events::kIntOps);
+        L.fpOps = &L.stats.counter(energy_events::kFpOps);
+        L.core = std::make_unique<LaneCore>(*this, lane);
+        L.backend->attach(*L.core);
+        lanes_.push_back(std::move(L));
+    }
+    network_ = lanes_[0].net.get();
+
+    tables_.build(region_, placement_, *network_);
+    arenaStride_ = tables_.arenaSize();
+    arena_.assign(static_cast<size_t>(numLanes_) * arenaStride_, 0);
+
+    const size_t cells = static_cast<size_t>(numLanes_) * numOps_;
+    pendingAll_.assign(cells, 0);
+    pendingAddr_.assign(cells, 0);
+    readyCycle_.assign(cells, 0);
+    addrReadyCycle_.assign(cells, 0);
+    addr_.assign(cells, 0);
+    value_.assign(cells, 0);
+    flags_.assign(cells, 0);
+    waveAddr_.assign(numOps_, 0);
+    waveLiveIn_.assign(numOps_, 0);
+}
+
+void
+BatchSimCore::mlpChange(uint32_t lane, int delta, uint64_t cycle)
+{
+    Lane &L = lanes_[lane];
+    NACHOS_ASSERT(cycle >= L.mlpLastChange, "MLP clock went backwards");
+    const uint64_t span = cycle - L.mlpLastChange;
+    L.mlpArea += L.outstanding * span;
+    if (L.outstanding > 0)
+        L.mlpBusyCycles += span;
+    L.mlpLastChange = cycle;
+    if (delta > 0)
+        L.outstanding += static_cast<uint64_t>(delta);
+    else
+        L.outstanding -= static_cast<uint64_t>(-delta);
+    L.maxOutstanding = std::max(L.maxOutstanding, L.outstanding);
+}
+
+int64_t
+BatchSimCore::storeData(uint32_t lane, OpId op) const
+{
+    const Operation &o = region_.op(op);
+    NACHOS_ASSERT(o.isStore(), "storeData on non-store");
+    NACHOS_ASSERT(pendingAll_[idx(lane, op)] == 0,
+                  "store data not ready");
+    return const_cast<BatchSimCore *>(this)->laneInputs(lane, op)[0];
+}
+
+void
+BatchSimCore::performMemAccess(uint32_t lane, OpId op, uint64_t cycle)
+{
+    // Functional ordering correctness requires the access to happen
+    // while the event clock is at `cycle`; defer if called early.
+    if (cycle > now_) {
+        scheduleLane(lane, cycle, EvKind::MemPerform, op);
+        return;
+    }
+    NACHOS_ASSERT(cycle == now_, "performMemAccess in the past: op ",
+                  op, " cycle ", cycle, " now ", now_);
+    Lane &L = lanes_[lane];
+    const size_t i = idx(lane, op);
+    NACHOS_ASSERT(!(flags_[i] & kPerformed), "op ", op,
+                  " performed twice");
+    flags_[i] |= kPerformed;
+    const Operation &o = region_.op(op);
+    NACHOS_ASSERT(o.isMem(), "performMemAccess on non-memory op");
+
+    int64_t value = 0;
+    const uint32_t size = o.mem->accessSize;
+    if (o.isStore()) {
+        L.hier->data().write(addr_[i], size, storeData(lane, op));
+    } else {
+        value = L.hier->data().read(addr_[i], size);
+        L.loadValueDigest += loadDigestTerm(op, wave_, value);
+    }
+    if (L.cfg.recordMemTrace) {
+        L.memCommits.push_back(
+            {op, static_cast<uint32_t>(wave_), cycle, addr_[i], false});
+    }
+
+    const uint64_t done =
+        L.hier->timedAccess(addr_[i], o.isStore(), cycle);
+    mlpChange(lane, +1, cycle);
+    scheduleLane(lane, done, EvKind::MemDone, op, 0, value);
+}
+
+void
+BatchSimCore::completeLoadForwarded(uint32_t lane, OpId op,
+                                    uint64_t cycle, int64_t value)
+{
+    if (cycle > now_) {
+        scheduleLane(lane, cycle, EvKind::LoadForward, op, 0, value);
+        return;
+    }
+    NACHOS_ASSERT(cycle == now_, "completeLoadForwarded in the past: ",
+                  "op ", op, " cycle ", cycle, " now ", now_);
+    Lane &L = lanes_[lane];
+    const size_t i = idx(lane, op);
+    NACHOS_ASSERT(!(flags_[i] & kPerformed), "op ", op,
+                  " performed twice");
+    flags_[i] |= kPerformed;
+    NACHOS_ASSERT(region_.op(op).isLoad(), "only loads forward");
+    // Exact address+size match: the forwarded value must equal a
+    // store-then-load round trip — low accessSize bytes, zero-extended.
+    const uint32_t size = region_.op(op).mem->accessSize;
+    if (size < 8) {
+        value = static_cast<int64_t>(
+            static_cast<uint64_t>(value) &
+            ((uint64_t{1} << (8 * size)) - 1));
+    }
+    L.loadValueDigest += loadDigestTerm(op, wave_, value);
+    if (L.cfg.recordMemTrace) {
+        L.memCommits.push_back(
+            {op, static_cast<uint32_t>(wave_), cycle, addr_[i], true});
+    }
+    completeOp(lane, op, cycle, value);
+}
+
+void
+BatchSimCore::noteAddrReady(uint32_t lane, OpId op, uint64_t cycle)
+{
+    const size_t i = idx(lane, op);
+    NACHOS_ASSERT(!(flags_[i] & kAddrNotified), "double addr-ready");
+    flags_[i] |= kAddrNotified;
+    // One cycle of address generation in the FU; the address itself is
+    // wave-shared (same invocation in every lane).
+    addrReadyCycle_[i] = cycle + 1;
+    addr_[i] = waveAddr_[op];
+    const Operation &o = region_.op(op);
+    if (o.mem->disambiguated()) {
+        lanes_[lane].backend->memAddrReady(op, addr_[i],
+                                           o.mem->accessSize,
+                                           addrReadyCycle_[i]);
+    }
+}
+
+void
+BatchSimCore::opInputsComplete(uint32_t lane, OpId op, uint64_t cycle)
+{
+    const Operation &o = region_.op(op);
+    Lane &L = lanes_[lane];
+    const size_t i = idx(lane, op);
+
+    if (o.isMem()) {
+        const uint64_t ready = std::max(cycle, addrReadyCycle_[i]);
+        if (o.mem->scratchpad) {
+            // Local accesses bypass disambiguation entirely.
+            int64_t value = 0;
+            if (o.isStore())
+                L.hier->data().write(addr_[i], o.mem->accessSize,
+                                     laneInputs(lane, op)[0]);
+            else
+                value = L.hier->data().read(addr_[i],
+                                            o.mem->accessSize);
+            const uint64_t done =
+                L.hier->scratchpadAccess(addr_[i], o.isStore(), ready);
+            scheduleLane(lane, done, EvKind::CompleteOp, op, 0, value);
+        } else {
+            L.backend->memFullyReady(op, ready);
+        }
+        return;
+    }
+
+    countFuExecution(o.kind, *L.intOps, *L.fpOps);
+    const uint64_t done = cycle + fuLatency(o.kind);
+    const int64_t *in = laneInputs(lane, op);
+    int64_t value = 0;
+    switch (o.kind) {
+      case OpKind::Const:
+        value = o.imm;
+        break;
+      case OpKind::LiveIn:
+        value = waveLiveIn_[op];
+        break;
+      case OpKind::LiveOut:
+        value = in[0];
+        break;
+      case OpKind::Select:
+        value = o.operands.size() == 3 ? (in[0] ? in[1] : in[2])
+                                       : in[0];
+        break;
+      default:
+        value = evalCompute(o.kind, in[0], in[1]);
+        break;
+    }
+    scheduleLane(lane, done, EvKind::CompleteOp, op, 0, value);
+}
+
+void
+BatchSimCore::completeOp(uint32_t lane, OpId op, uint64_t cycle,
+                         int64_t value)
+{
+    Lane &L = lanes_[lane];
+    const size_t i = idx(lane, op);
+    NACHOS_ASSERT(!(flags_[i] & kCompleted), "op ", op,
+                  " completed twice");
+    flags_[i] |= kCompleted;
+    value_[i] = value;
+    if (cycle >= L.invocationEnd)
+        L.criticalOp = op;
+    L.invocationEnd = std::max(L.invocationEnd, cycle);
+    NACHOS_ASSERT(L.opsRemaining > 0, "completion underflow");
+    --L.opsRemaining;
+
+    deliverToUsers(lane, op, cycle);
+
+    const Operation &o = region_.op(op);
+    if (o.isMem() && o.mem->disambiguated())
+        L.backend->memCompleted(op, cycle);
+}
+
+void
+BatchSimCore::deliverToUsers(uint32_t lane, OpId op, uint64_t cycle)
+{
+    const uint32_t begin = tables_.fanoutOffset[op];
+    const uint32_t end = tables_.fanoutOffset[op + 1];
+    if (begin == end)
+        return;
+    Lane &L = lanes_[lane];
+    const int64_t value = value_[idx(lane, op)];
+    for (uint32_t k = begin; k < end; ++k) {
+        const SimTables::FanoutEdge &e = tables_.fanoutEdges[k];
+        L.netTransfers->inc();
+        L.netHops->inc(e.hops);
+        scheduleLane(lane, cycle + e.latency, EvKind::OperandArrival,
+                     e.user, e.slot, value);
+    }
+}
+
+void
+BatchSimCore::operandArrived(uint32_t lane, OpId op, uint32_t slot,
+                             uint64_t cycle, int64_t value)
+{
+    const Operation &o = region_.op(op);
+    const size_t i = idx(lane, op);
+    NACHOS_ASSERT(slot < tables_.numInputs(op), "operand slot range");
+    laneInputs(lane, op)[slot] = value;
+    readyCycle_[i] = std::max(readyCycle_[i], cycle);
+    NACHOS_ASSERT(pendingAll_[i] > 0, "operand arrival underflow op=",
+                  op, " kind=", opKindName(o.kind), " slot=", slot,
+                  " nops=", o.operands.size());
+    --pendingAll_[i];
+
+    if (o.isMem() && slot >= o.firstAddrOperand()) {
+        NACHOS_ASSERT(pendingAddr_[i] > 0, "addr arrival underflow");
+        --pendingAddr_[i];
+        addrReadyCycle_[i] = std::max(addrReadyCycle_[i], cycle);
+        if (pendingAddr_[i] == 0)
+            noteAddrReady(lane, op, addrReadyCycle_[i]);
+    }
+    if (pendingAll_[i] == 0)
+        opInputsComplete(lane, op, readyCycle_[i]);
+}
+
+void
+BatchSimCore::dispatchLane(uint32_t lane, const BatchEvent &ev)
+{
+    switch (ev.kind) {
+      case EvKind::OperandArrival:
+        operandArrived(lane, ev.op, ev.slot, now_, ev.value);
+        break;
+      case EvKind::CompleteOp:
+        completeOp(lane, ev.op, now_, ev.value);
+        break;
+      case EvKind::MemDone:
+        mlpChange(lane, -1, now_);
+        completeOp(lane, ev.op, now_, ev.value);
+        break;
+      case EvKind::MemPerform:
+        performMemAccess(lane, ev.op, now_);
+        break;
+      case EvKind::LoadForward:
+        completeLoadForwarded(lane, ev.op, now_, ev.value);
+        break;
+      case EvKind::SeedAddrReady:
+        noteAddrReady(lane, ev.op, now_);
+        break;
+      case EvKind::SeedInputs:
+        opInputsComplete(lane, ev.op, now_);
+        break;
+      case EvKind::OrderToken:
+        lanes_[lane].backend->onOrderToken(ev.op, now_);
+        break;
+      case EvKind::ForwardValue:
+        lanes_[lane].backend->onForwardValue(ev.op, now_, ev.value);
+        break;
+    }
+}
+
+void
+BatchSimCore::dispatch(const BatchEvent &ev)
+{
+    // Lanes fire in ascending order — the batch's own determinism.
+    uint64_t mask = ev.lanes;
+    while (mask != 0) {
+        const uint32_t lane =
+            static_cast<uint32_t>(__builtin_ctzll(mask));
+        mask &= mask - 1;
+        dispatchLane(lane, ev);
+    }
+}
+
+void
+BatchSimCore::seedWave()
+{
+    // Coalesce lanes with the same start cycle into one seed event
+    // with a lane mask; per-lane dispatch order (lane-ascending per
+    // event, seeds in program order) preserves each lane's sequential
+    // FIFO order.
+    std::vector<std::pair<uint64_t, uint64_t>> groups; // (start, mask)
+    for (uint32_t lane = 0; lane < numLanes_; ++lane) {
+        const Lane &L = lanes_[lane];
+        if (!L.active)
+            continue;
+        bool merged = false;
+        for (auto &[start, mask] : groups) {
+            if (start == L.start) {
+                mask |= bit(lane);
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            groups.emplace_back(L.start, bit(lane));
+    }
+    std::sort(groups.begin(), groups.end());
+    for (const auto &[start, mask] : groups) {
+        for (const SimTables::SeedEvent &s : tables_.seedEvents) {
+            events_.schedule(start,
+                             BatchEvent{0, mask, s.op, 0,
+                                        s.addrSeed ? EvKind::SeedAddrReady
+                                                   : EvKind::SeedInputs});
+        }
+    }
+}
+
+void
+BatchSimCore::runWave()
+{
+    // Wave-shared address generation and live-in values: one
+    // contiguous pass, shared by every lane.
+    for (const Operation &o : region_.ops()) {
+        if (o.isMem())
+            waveAddr_[o.id] = region_.evalAddr(o.id, wave_);
+        else if (o.kind == OpKind::LiveIn)
+            waveLiveIn_[o.id] = liveInValueFor(o.id, wave_);
+    }
+
+    // Per-lane invocation reset (contiguous lane-major slices), then
+    // backend resets, in lane order — mirrors SimCore::runInvocation's
+    // beginInvocation-then-seed sequence per lane.
+    for (uint32_t lane = 0; lane < numLanes_; ++lane) {
+        Lane &L = lanes_[lane];
+        if (!L.active)
+            continue;
+        L.backend->beginInvocation(wave_);
+
+        const size_t base = idx(lane, 0);
+        std::copy(tables_.initialPendingAll.begin(),
+                  tables_.initialPendingAll.end(),
+                  pendingAll_.begin() + base);
+        std::copy(tables_.initialPendingAddr.begin(),
+                  tables_.initialPendingAddr.end(),
+                  pendingAddr_.begin() + base);
+        std::fill_n(readyCycle_.begin() + base, numOps_, L.start);
+        std::fill_n(addrReadyCycle_.begin() + base, numOps_, L.start);
+        std::fill_n(addr_.begin() + base, numOps_, 0);
+        std::fill_n(value_.begin() + base, numOps_, 0);
+        std::fill_n(flags_.begin() + base, numOps_, 0);
+        std::fill_n(arena_.begin() +
+                        static_cast<size_t>(lane) * arenaStride_,
+                    arenaStride_, 0);
+        L.opsRemaining = numOps_;
+        L.invocationEnd = L.start;
+    }
+
+    seedWave();
+
+    BatchEvent ev;
+    while (!events_.empty()) {
+        now_ = events_.pop(ev);
+        dispatch(ev);
+    }
+
+    for (uint32_t lane = 0; lane < numLanes_; ++lane) {
+        Lane &L = lanes_[lane];
+        if (!L.active)
+            continue;
+        NACHOS_ASSERT(L.opsRemaining == 0,
+                      "dataflow deadlock: ", L.opsRemaining,
+                      " ops never completed in region ", region_.name(),
+                      " invocation ", wave_, " lane ", lane);
+        // Back-to-back invocations, per lane (matches SimCore::run).
+        L.start = L.invocationEnd + 1;
+    }
+}
+
+SimResult
+BatchSimCore::finalizeLane(uint32_t lane)
+{
+    Lane &L = lanes_[lane];
+    // After the final wave L.start is invocationEnd + 1; with zero
+    // invocations the sequential engine reports end = 0.
+    const uint64_t end = L.cfg.invocations == 0 ? 0 : L.start - 1;
+
+    // Flush the MLP integrator to the end of time.
+    mlpChange(lane, 0, end);
+
+    SimResult result;
+    result.cycles = end + 1;
+    result.cyclesPerInvocation =
+        L.cfg.invocations == 0
+            ? 0
+            : static_cast<double>(result.cycles) /
+                  static_cast<double>(L.cfg.invocations);
+    result.maxMlp = L.maxOutstanding;
+    result.avgMlp = L.mlpBusyCycles == 0
+                        ? 0
+                        : static_cast<double>(L.mlpArea) /
+                              static_cast<double>(L.mlpBusyCycles);
+    result.stats = L.stats;
+    result.energy = EnergyModel(L.cfg.energy).breakdown(L.stats);
+    result.loadValueDigest = L.loadValueDigest;
+    result.criticalOp = L.criticalOp;
+    result.memImage = L.hier->data().image();
+    result.memCommits = std::move(L.memCommits);
+    return result;
+}
+
+std::vector<SimResult>
+BatchSimCore::run()
+{
+    uint64_t maxInvocations = 0;
+    for (const Lane &L : lanes_)
+        maxInvocations = std::max(maxInvocations, L.cfg.invocations);
+
+    for (wave_ = 0; wave_ < maxInvocations; ++wave_) {
+        uint64_t minStart = UINT64_MAX;
+        bool any = false;
+        for (Lane &L : lanes_) {
+            L.active = wave_ < L.cfg.invocations;
+            if (L.active) {
+                any = true;
+                minStart = std::min(minStart, L.start);
+            }
+        }
+        if (!any)
+            break;
+        // Fast lanes begin their next invocation below the global
+        // clock left by slower lanes; the queue is empty between
+        // waves, so the clock may rewind.
+        if (minStart < events_.now())
+            events_.rewind(minStart);
+        runWave();
+    }
+
+    std::vector<SimResult> results;
+    results.reserve(numLanes_);
+    for (uint32_t lane = 0; lane < numLanes_; ++lane)
+        results.push_back(finalizeLane(lane));
+    return results;
+}
+
+StatSet &
+LaneCore::stats()
+{
+    return core_.stats(lane_);
+}
+
+void
+LaneCore::scheduleOrderToken(uint64_t cycle, OpId to)
+{
+    core_.scheduleOrderToken(lane_, cycle, to);
+}
+
+void
+LaneCore::scheduleForwardValue(uint64_t cycle, OpId to, int64_t value)
+{
+    core_.scheduleForwardValue(lane_, cycle, to, value);
+}
+
+void
+LaneCore::performMemAccess(OpId op, uint64_t cycle)
+{
+    core_.performMemAccess(lane_, op, cycle);
+}
+
+void
+LaneCore::completeLoadForwarded(OpId op, uint64_t cycle, int64_t value)
+{
+    core_.completeLoadForwarded(lane_, op, cycle, value);
+}
+
+uint64_t
+LaneCore::netLatency(OpId from, OpId to) const
+{
+    return core_.netLatency(from, to);
+}
+
+void
+LaneCore::countOrderToken(OpId from, OpId to)
+{
+    (void)from;
+    (void)to;
+    core_.countOrderToken(lane_);
+}
+
+void
+LaneCore::countForward(OpId from, OpId to)
+{
+    (void)from;
+    (void)to;
+    core_.countForward(lane_);
+}
+
+int64_t
+LaneCore::storeData(OpId op) const
+{
+    return core_.storeData(lane_, op);
+}
+
+} // namespace
+
+std::vector<SimResult>
+BatchSimEngine::run(const Region &region, const MdeSet &mdes,
+                    const std::vector<BatchLane> &lanes)
+{
+    std::vector<std::unique_ptr<OrderingBackend>> owned;
+    std::vector<OrderingBackend *> backends;
+    std::vector<SimConfig> cfgs;
+    owned.reserve(lanes.size());
+    backends.reserve(lanes.size());
+    cfgs.reserve(lanes.size());
+    for (const BatchLane &lane : lanes) {
+        switch (lane.kind) {
+          case BackendKind::OptLsq:
+            owned.push_back(
+                std::make_unique<LsqBackend>(region, lane.cfg.lsq));
+            break;
+          case BackendKind::NachosSw:
+            owned.push_back(std::make_unique<SwBackend>(region, mdes));
+            break;
+          case BackendKind::Nachos:
+            owned.push_back(std::make_unique<NachosBackend>(
+                region, mdes, lane.cfg.nachosComparesPerCycle,
+                lane.cfg.nachosRuntimeForwarding));
+            break;
+        }
+        backends.push_back(owned.back().get());
+        cfgs.push_back(lane.cfg);
+    }
+    return run(region, mdes, cfgs, backends);
+}
+
+std::vector<SimResult>
+BatchSimEngine::run(const Region &region, const MdeSet &mdes,
+                    const std::vector<SimConfig> &cfgs,
+                    const std::vector<OrderingBackend *> &backends)
+{
+    BatchSimCore core(region, mdes, cfgs, backends, pool_);
+    return core.run();
+}
+
+std::vector<SimResult>
+simulateBatch(const Region &region, const MdeSet &mdes,
+              const std::vector<BatchLane> &lanes)
+{
+    BatchSimEngine engine;
+    return engine.run(region, mdes, lanes);
+}
+
+} // namespace nachos

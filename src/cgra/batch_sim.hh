@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Batched invocation-parallel simulation (DESIGN.md §12): N independent
+ * runs ("lanes") of the SAME region — typically one per ordering
+ * backend or LSQ bank count, as the differential fuzzer and the suite
+ * runner sweep them — execute under ONE calendar-queue walk.
+ *
+ * Lanes share everything static (region, placement, the SimTables
+ * firing tables, a per-wave address/live-in table) and own everything
+ * dynamic (a lane slice of the structure-of-arrays op state, a StatSet,
+ * an ordering backend, a pooled memory hierarchy). Events carry a
+ * 64-bit lane mask; per-lane event subsequences keep the sequential
+ * engine's (cycle, FIFO) order, so every lane's SimResult is
+ * byte-identical to a sequential simulate() with the same
+ * configuration (tested per backend × bank count × lane count).
+ *
+ * Invocations advance in lock-step waves: the queue drains fully
+ * between waves, mirroring the sequential engine's drain-per-
+ * invocation contract, and the queue clock rewinds to the earliest
+ * lane's next start cycle (lanes finish invocations at different
+ * cycles). Because all active lanes sit in the same invocation, the
+ * address of every memory op and the value of every live-in are
+ * computed once per wave and shared across lanes — the per-lane MAY
+ * comparator stations then check the same wave-shared addresses at
+ * lane-local times.
+ */
+
+#ifndef NACHOS_CGRA_BATCH_SIM_HH
+#define NACHOS_CGRA_BATCH_SIM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cgra/simulator.hh"
+#include "mem/hierarchy_pool.hh"
+
+namespace nachos {
+
+/** One lane of a batch: a backend kind plus its full configuration. */
+struct BatchLane
+{
+    BackendKind kind = BackendKind::Nachos;
+    SimConfig cfg;
+};
+
+/**
+ * Reusable batch driver. Keeping one engine alive across run() calls
+ * pools the per-lane memory hierarchies (mem/hierarchy_pool), which
+ * otherwise dominate small-region simulation cost; the fuzzer keeps
+ * one engine per worker thread.
+ */
+class BatchSimEngine
+{
+  public:
+    /** Lane masks are one 64-bit word. */
+    static constexpr uint32_t kMaxLanes = 64;
+
+    /** Simulate every lane of `lanes` over `region` in one walk. */
+    std::vector<SimResult> run(const Region &region, const MdeSet &mdes,
+                               const std::vector<BatchLane> &lanes);
+
+    /**
+     * Advanced entry: caller-constructed backends, one per lane
+     * (attach() is called here). Every backend must be bound to
+     * `region`; a backend built for a different region is a fatal
+     * error — all lanes of a batch share one set of static tables.
+     */
+    std::vector<SimResult> run(const Region &region, const MdeSet &mdes,
+                               const std::vector<SimConfig> &cfgs,
+                               const std::vector<OrderingBackend *>
+                                   &backends);
+
+  private:
+    HierarchyPool pool_;
+};
+
+/** One-shot convenience wrapper (nothing pooled across calls). */
+std::vector<SimResult> simulateBatch(const Region &region,
+                                     const MdeSet &mdes,
+                                     const std::vector<BatchLane> &lanes);
+
+} // namespace nachos
+
+#endif // NACHOS_CGRA_BATCH_SIM_HH

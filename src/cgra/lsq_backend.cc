@@ -7,7 +7,7 @@
 namespace nachos {
 
 LsqBackend::LsqBackend(const Region &region, const LsqConfig &cfg)
-    : region_(region), cfg_(cfg)
+    : OrderingBackend(region), cfg_(cfg)
 {
     memIndexOf_.assign(region.numOps(), 0);
     const auto &mem_ops = region.memOps();

@@ -45,7 +45,6 @@ class LsqBackend : public OrderingBackend
         bool wantsForward = false; ///< else waits for commit
     };
 
-    const Region &region_;
     LsqConfig cfg_;
     std::unique_ptr<OptLsq> lsq_;
     std::vector<uint32_t> memIndexOf_; ///< OpId -> memIndex

@@ -53,59 +53,9 @@ SimCore::SimCore(const Region &region, const MdeSet &mdes,
 void
 SimCore::buildStaticTables()
 {
-    const size_t n = region_.numOps();
-    states_.resize(n);
-
-    // Operand-value arena: one flat buffer addressed by prefix sums.
-    inputOffset_.assign(n + 1, 0);
-    initialPendingAll_.assign(n, 0);
-    initialPendingAddr_.assign(n, 0);
-    for (const auto &o : region_.ops()) {
-        inputOffset_[o.id + 1] = static_cast<uint32_t>(o.operands.size());
-        initialPendingAll_[o.id] =
-            static_cast<uint32_t>(o.operands.size());
-        initialPendingAddr_[o.id] =
-            o.isMem() ? static_cast<uint32_t>(o.operands.size() -
-                                              o.firstAddrOperand())
-                      : 0;
-    }
-    for (size_t i = 0; i < n; ++i)
-        inputOffset_[i + 1] += inputOffset_[i];
-    inputArena_.assign(inputOffset_[n], 0);
-
-    // Invocation-start events, in program order: a mem op whose address
-    // needs no operands fires noteAddrReady, a source op (no operands)
-    // fires opInputsComplete — the same op can fire both, in that order.
-    for (const auto &o : region_.ops()) {
-        if (o.isMem() && initialPendingAddr_[o.id] == 0)
-            seedEvents_.push_back({o.id, EvKind::SeedAddrReady});
-        if (initialPendingAll_[o.id] == 0)
-            seedEvents_.push_back({o.id, EvKind::SeedInputs});
-    }
-
-    // CSR fan-out: per producer, the (user, slot) edges with the static
-    // route's hop count and latency cached — replaces the per-delivery
-    // users × operand-slots rescan and latency rederivation.
-    fanoutOffset_.assign(n + 1, 0);
-    for (const auto &o : region_.ops()) {
-        if (!producesValue(o.kind))
-            continue;
-        for (OpId user : region_.users(o.id)) {
-            const Operation &u = region_.op(user);
-            for (uint32_t slot = 0; slot < u.operands.size(); ++slot) {
-                if (u.operands[slot] != o.id)
-                    continue;
-                fanoutEdges_.push_back(
-                    {user, static_cast<uint16_t>(slot),
-                     static_cast<uint16_t>(placement_.hops(o.id, user)),
-                     static_cast<uint32_t>(
-                         network_.latency(o.id, user))});
-                ++fanoutOffset_[o.id + 1];
-            }
-        }
-    }
-    for (size_t i = 0; i < n; ++i)
-        fanoutOffset_[i + 1] += fanoutOffset_[i];
+    states_.resize(region_.numOps());
+    tables_.build(region_, placement_, network_);
+    inputArena_.assign(tables_.arenaSize(), 0);
 
     netTransfers_ =
         &stats_.counter(energy_events::kNetworkTransfers);
@@ -389,13 +339,13 @@ SimCore::completeOp(OpId op, uint64_t cycle, int64_t value)
 void
 SimCore::deliverToUsers(OpId op, uint64_t cycle)
 {
-    const uint32_t begin = fanoutOffset_[op];
-    const uint32_t end = fanoutOffset_[op + 1];
+    const uint32_t begin = tables_.fanoutOffset[op];
+    const uint32_t end = tables_.fanoutOffset[op + 1];
     if (begin == end)
         return;
     const int64_t value = states_[op].value;
     for (uint32_t i = begin; i < end; ++i) {
-        const FanoutEdge &e = fanoutEdges_[i];
+        const SimTables::FanoutEdge &e = tables_.fanoutEdges[i];
         netTransfers_->inc();
         netHops_->inc(e.hops);
         events_.schedule(
@@ -436,16 +386,20 @@ SimCore::seedInvocation(uint64_t start_cycle)
     for (size_t i = 0; i < n; ++i) {
         OpState &st = states_[i];
         st = OpState{};
-        st.pendingAllInputs = initialPendingAll_[i];
-        st.pendingAddrInputs = initialPendingAddr_[i];
+        st.pendingAllInputs = tables_.initialPendingAll[i];
+        st.pendingAddrInputs = tables_.initialPendingAddr[i];
         st.readyCycle = start_cycle;
         st.addrReadyCycle = start_cycle;
     }
     opsRemaining_ = n;
     invocationEnd_ = start_cycle;
 
-    for (const SeedEvent &s : seedEvents_)
-        events_.schedule(start_cycle, SimEvent{0, s.op, 0, s.kind});
+    for (const SimTables::SeedEvent &s : tables_.seedEvents) {
+        events_.schedule(start_cycle,
+                         SimEvent{0, s.op, 0,
+                                  s.addrSeed ? EvKind::SeedAddrReady
+                                             : EvKind::SeedInputs});
+    }
 }
 
 void

@@ -39,6 +39,7 @@
 #include "cgra/function_unit.hh"
 #include "cgra/network.hh"
 #include "cgra/placement.hh"
+#include "cgra/sim_tables.hh"
 #include "cgra/trace.hh"
 #include "energy/model.hh"
 #include "ir/dfg.hh"
@@ -112,15 +113,66 @@ struct SimResult
     std::vector<MemCommit> memCommits;
 };
 
-class SimCore;
+/**
+ * The execution-engine services an ordering backend builds on. The
+ * sequential SimCore implements it directly; the batched engine
+ * (cgra/batch_sim) implements it once per lane, routing each call into
+ * the lane's slice of the shared structure-of-arrays state. Backends
+ * never see which engine is driving them.
+ */
+class BackendCore
+{
+  public:
+    virtual ~BackendCore() = default;
+
+    /** Counter registry of the run this backend is serving. */
+    virtual StatSet &stats() = 0;
+
+    /** Deliver a 1-bit ORDER token to backend.onOrderToken at `cycle`. */
+    virtual void scheduleOrderToken(uint64_t cycle, OpId to) = 0;
+
+    /** Deliver a FORWARD value to backend.onForwardValue at `cycle`. */
+    virtual void scheduleForwardValue(uint64_t cycle, OpId to,
+                                      int64_t value) = 0;
+
+    /**
+     * Perform op's memory access at `cycle`: functional data motion
+     * now, timed completion later; backend sees memCompleted().
+     */
+    virtual void performMemAccess(OpId op, uint64_t cycle) = 0;
+
+    /** Complete a load without touching memory (forwarded value). */
+    virtual void completeLoadForwarded(OpId op, uint64_t cycle,
+                                       int64_t value) = 0;
+
+    /** Operand-network latency between two mapped ops. */
+    virtual uint64_t netLatency(OpId from, OpId to) const = 0;
+
+    /** Count a 1-bit ORDER token traversal (energy). */
+    virtual void countOrderToken(OpId from, OpId to) = 0;
+
+    /** Count a FORWARD value traversal (energy). */
+    virtual void countForward(OpId from, OpId to) = 0;
+
+    /** Data value a store will write (valid once fully ready). */
+    virtual int64_t storeData(OpId op) const = 0;
+};
 
 /** Strategy interface: memory-ordering policy of the accelerator. */
 class OrderingBackend
 {
   public:
+    explicit OrderingBackend(const Region &region) : region_(region) {}
     virtual ~OrderingBackend() = default;
 
-    void attach(SimCore &core) { core_ = &core; }
+    void attach(BackendCore &core) { core_ = &core; }
+
+    /**
+     * The region this backend's static tables were built for. The
+     * batch engine refuses lanes bound to a different region than the
+     * batch's (all lanes share one set of static tables).
+     */
+    const Region &boundRegion() const { return region_; }
 
     /** Reset per-invocation state. */
     virtual void beginInvocation(uint64_t inv) = 0;
@@ -137,21 +189,22 @@ class OrderingBackend
 
     /**
      * Typed event deliveries: fire when a token/value scheduled via
-     * SimCore::scheduleOrderToken / scheduleForwardValue arrives.
+     * BackendCore::scheduleOrderToken / scheduleForwardValue arrives.
      * Backends that schedule them must override; the defaults panic.
      */
     virtual void onOrderToken(OpId op, uint64_t cycle);
     virtual void onForwardValue(OpId op, uint64_t cycle, int64_t value);
 
   protected:
-    SimCore *core_ = nullptr;
+    const Region &region_;
+    BackendCore *core_ = nullptr;
 };
 
 /**
- * The dataflow execution engine. Public methods below the "backend
- * services" marker are the API ordering backends build on.
+ * The sequential dataflow execution engine. The BackendCore overrides
+ * are the API ordering backends build on.
  */
-class SimCore
+class SimCore final : public BackendCore
 {
   public:
     SimCore(const Region &region, const MdeSet &mdes,
@@ -160,7 +213,7 @@ class SimCore
     /** Run all invocations; returns the aggregated result. */
     SimResult run();
 
-    // ---- backend services --------------------------------------------
+    // ---- backend services (BackendCore) ------------------------------
 
     /**
      * Schedule a callback at `cycle` (deterministic FIFO per cycle).
@@ -168,39 +221,23 @@ class SimCore
      */
     void schedule(uint64_t cycle, std::function<void()> fn);
 
-    /** Deliver a 1-bit ORDER token to backend.onOrderToken at `cycle`. */
-    void scheduleOrderToken(uint64_t cycle, OpId to);
-
-    /** Deliver a FORWARD value to backend.onForwardValue at `cycle`. */
-    void scheduleForwardValue(uint64_t cycle, OpId to, int64_t value);
-
-    /**
-     * Perform op's memory access at `cycle`: functional data motion
-     * now, timed completion later; backend sees memCompleted().
-     */
-    void performMemAccess(OpId op, uint64_t cycle);
-
-    /** Complete a load without touching memory (forwarded value). */
-    void completeLoadForwarded(OpId op, uint64_t cycle, int64_t value);
-
-    /** Operand-network latency between two mapped ops. */
-    uint64_t netLatency(OpId from, OpId to) const;
-
-    /** Count a 1-bit ORDER token traversal (energy). */
-    void countOrderToken(OpId from, OpId to);
-
-    /** Count a FORWARD value traversal (energy). */
-    void countForward(OpId from, OpId to);
-
-    /** Data value a store will write (valid once fully ready). */
-    int64_t storeData(OpId op) const;
+    void scheduleOrderToken(uint64_t cycle, OpId to) override;
+    void scheduleForwardValue(uint64_t cycle, OpId to,
+                              int64_t value) override;
+    void performMemAccess(OpId op, uint64_t cycle) override;
+    void completeLoadForwarded(OpId op, uint64_t cycle,
+                               int64_t value) override;
+    uint64_t netLatency(OpId from, OpId to) const override;
+    void countOrderToken(OpId from, OpId to) override;
+    void countForward(OpId from, OpId to) override;
+    int64_t storeData(OpId op) const override;
 
     /** Concrete address of a mem op in the current invocation. */
     uint64_t memAddr(OpId op) const;
 
     const Region &region() const { return region_; }
     const MdeSet &mdes() const { return mdes_; }
-    StatSet &stats() { return stats_; }
+    StatSet &stats() override { return stats_; }
     uint64_t invocation() const { return invocation_; }
 
   private:
@@ -242,22 +279,6 @@ class SimCore
         uint64_t addr = 0;
     };
 
-    /** One precomputed operand-delivery edge (CSR fan-out table). */
-    struct FanoutEdge
-    {
-        uint32_t user = 0;
-        uint16_t slot = 0;
-        uint16_t hops = 0;
-        uint32_t latency = 0;
-    };
-
-    /** Invocation-start event (precomputed; fired in program order). */
-    struct SeedEvent
-    {
-        uint32_t op = 0;
-        EvKind kind = EvKind::SeedInputs;
-    };
-
     const Region &region_;
     const MdeSet &mdes_;
     OrderingBackend &backend_;
@@ -276,17 +297,10 @@ class SimCore
     std::vector<uint32_t> freeThunks_;
 
     std::vector<OpState> states_;
-    /** Operand-value arena: op's slots at inputOffset_[op]. */
+    /** Operand-value arena: op's slots at tables_.inputOffset[op]. */
     std::vector<int64_t> inputArena_;
-    std::vector<uint32_t> inputOffset_; ///< numOps + 1 prefix sums
-    /** Static per-op initial pending counts. */
-    std::vector<uint32_t> initialPendingAll_;
-    std::vector<uint32_t> initialPendingAddr_;
-    std::vector<SeedEvent> seedEvents_;
-
-    /** CSR fan-out: producer op's edges with cached route data. */
-    std::vector<FanoutEdge> fanoutEdges_;
-    std::vector<uint32_t> fanoutOffset_; ///< numOps + 1
+    /** Static firing tables (cgra/sim_tables). */
+    SimTables tables_;
     Counter *netTransfers_ = nullptr;
     Counter *netHops_ = nullptr;
     Counter *mdeMust_ = nullptr;
@@ -313,16 +327,13 @@ class SimCore
 
     int64_t *inputs(OpId op)
     {
-        return inputArena_.data() + inputOffset_[op];
+        return inputArena_.data() + tables_.inputOffset[op];
     }
     const int64_t *inputs(OpId op) const
     {
-        return inputArena_.data() + inputOffset_[op];
+        return inputArena_.data() + tables_.inputOffset[op];
     }
-    uint32_t numInputs(OpId op) const
-    {
-        return inputOffset_[op + 1] - inputOffset_[op];
-    }
+    uint32_t numInputs(OpId op) const { return tables_.numInputs(op); }
 
     void buildStaticTables();
     void dispatch(const SimEvent &ev);

@@ -12,7 +12,7 @@ SwBackend::SwBackend(const Region &region, const MdeSet &mdes)
 
 SwBackend::SwBackend(const Region &region, const MdeSet &mdes,
                      bool may_is_order)
-    : region_(region), mdeSet_(mdes), mayIsOrder_(may_is_order)
+    : OrderingBackend(region), mdeSet_(mdes), mayIsOrder_(may_is_order)
 {
     buildInfo();
 }

@@ -69,7 +69,6 @@ class SwBackend : public OrderingBackend
         bool issued = false;
     };
 
-    const Region &region_;
     const MdeSet &mdeSet_;
     std::vector<OpInfo> info_;
     std::vector<OpDyn> dyn_;

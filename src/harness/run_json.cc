@@ -136,8 +136,8 @@ decodeRunRequest(const JsonValue &v, JobSpec &spec, CodecError &err)
                          "run request must be an object");
     if (!checkMembers(v,
                       {"workload", "pathIndex", "seed", "backends",
-                       "pipeline", "invocations", "timeoutMillis",
-                       "sleepMillis"},
+                       "pipeline", "invocations", "batchSim",
+                       "timeoutMillis", "sleepMillis"},
                       err))
         return false;
 
@@ -224,6 +224,13 @@ decodeRunRequest(const JsonValue &v, JobSpec &spec, CodecError &err)
                              " cap");
     spec.request.invocationsOverride = invocations;
 
+    if (const JsonValue *m = v.find("batchSim")) {
+        if (!m->isBool())
+            return failCodec(err, "bad_request",
+                             "'batchSim' must be a bool");
+        spec.request.batchSim = m->boolean();
+    }
+
     if (!getU64Member(v, "timeoutMillis", spec.timeoutMillis, err))
         return false;
     if (!getU64Member(v, "sleepMillis", spec.sleepMillis, err))
@@ -255,6 +262,8 @@ encodeRunRequest(const JobSpec &spec)
     pipeline.set("stage4", spec.request.pipeline.stage4);
     v.set("pipeline", std::move(pipeline));
     v.set("invocations", spec.request.invocationsOverride);
+    if (spec.request.batchSim)
+        v.set("batchSim", true);
     if (spec.timeoutMillis)
         v.set("timeoutMillis", spec.timeoutMillis);
     if (spec.sleepMillis)

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "cgra/batch_sim.hh"
+
 namespace nachos {
 
 RunOutcome
@@ -32,15 +34,34 @@ runWorkload(const BenchmarkInfo &info, const RunRequest &request,
     sim.invocations = request.invocationsOverride
                           ? request.invocationsOverride
                           : info.invocations;
-    if (request.runLsq)
-        out.lsq = simulate(out.region, out.mdes, BackendKind::OptLsq,
-                           sim);
-    if (request.runSw)
-        out.sw = simulate(out.region, out.mdes, BackendKind::NachosSw,
-                          sim);
-    if (request.runNachos)
-        out.nachos = simulate(out.region, out.mdes,
-                              BackendKind::Nachos, sim);
+    if (request.batchSim) {
+        std::vector<BatchLane> lanes;
+        if (request.runLsq)
+            lanes.push_back({BackendKind::OptLsq, sim});
+        if (request.runSw)
+            lanes.push_back({BackendKind::NachosSw, sim});
+        if (request.runNachos)
+            lanes.push_back({BackendKind::Nachos, sim});
+        std::vector<SimResult> results =
+            simulateBatch(out.region, out.mdes, lanes);
+        size_t next = 0;
+        if (request.runLsq)
+            out.lsq = std::move(results[next++]);
+        if (request.runSw)
+            out.sw = std::move(results[next++]);
+        if (request.runNachos)
+            out.nachos = std::move(results[next++]);
+    } else {
+        if (request.runLsq)
+            out.lsq = simulate(out.region, out.mdes,
+                               BackendKind::OptLsq, sim);
+        if (request.runSw)
+            out.sw = simulate(out.region, out.mdes,
+                              BackendKind::NachosSw, sim);
+        if (request.runNachos)
+            out.nachos = simulate(out.region, out.mdes,
+                                  BackendKind::Nachos, sim);
+    }
     times.simSeconds = lap();
     return out;
 }

@@ -28,6 +28,11 @@ struct RunRequest
     uint64_t seed = 1;
     /** Override the descriptor's invocation count (0 = keep). */
     uint64_t invocationsOverride = 0;
+    /** Simulate the requested backends as one batched walk
+     *  (cgra/batch_sim) instead of sequential simulate() calls.
+     *  Results are byte-identical either way; batching shares the
+     *  firing tables and one calendar-queue pass across backends. */
+    bool batchSim = false;
 };
 
 /** Everything produced for one workload run. */

@@ -96,6 +96,20 @@ suiteThreads(int argc, char *const argv[])
     return ThreadPool::defaultThreadCount();
 }
 
+bool
+suiteBatch(int argc, char *const argv[], bool fallback)
+{
+    bool batch = fallback;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--batch")
+            batch = true;
+        else if (arg == "--no-batch")
+            batch = false;
+    }
+    return batch;
+}
+
 std::string
 suiteJsonPath(int argc, char *const argv[])
 {

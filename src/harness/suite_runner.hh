@@ -66,6 +66,14 @@ SuiteRun runSuite(const std::vector<BenchmarkInfo> &suite,
 unsigned suiteThreads(int argc, char *const argv[]);
 
 /**
+ * `--batch` / `--no-batch` from argv if present, else `fallback`.
+ * Benches feed the result into RunRequest::batchSim; stdout stays
+ * byte-identical either way (the batched engine's identity guarantee),
+ * so this only moves the sim-stage timing.
+ */
+bool suiteBatch(int argc, char *const argv[], bool fallback = false);
+
+/**
  * One-line timing summary of a SuiteRun. Benches print this to
  * std::cerr so stdout tables stay byte-identical across thread
  * counts.

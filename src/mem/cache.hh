@@ -60,6 +60,9 @@ struct CacheConfig
     /** Fetch line L+1 on a demand miss to line L (off the critical
      * path; counted as <name>.prefetches). */
     bool nextLinePrefetch = false;
+
+    /** Field-wise equality (names by content) — pooled-reuse check. */
+    bool sameAs(const CacheConfig &o) const;
 };
 
 /** Fixed-latency DRAM with a simple per-request issue bandwidth. */
@@ -189,6 +192,25 @@ class CacheT final : public MemLevel
         std::fill(mshrFreeAt_.begin(), mshrFreeAt_.end(), 0);
         bw_.reset();
         useClock_ = 0;
+    }
+
+    /**
+     * Re-resolve the counter handles into `stats` — same names, same
+     * creation set as construction. Lets a pooled cache serve a fresh
+     * run's StatSet without rebuilding its multi-megabyte way array.
+     */
+    void
+    rebindStats(StatSet &stats)
+    {
+        const std::string prefix = cfg_.name;
+        reads_ = &stats.counter(prefix + ".reads");
+        writes_ = &stats.counter(prefix + ".writes");
+        hits_ = &stats.counter(prefix + ".hits");
+        misses_ = &stats.counter(prefix + ".misses");
+        writebacks_ = &stats.counter(prefix + ".writebacks");
+        mshrMerges_ = &stats.counter(prefix + ".mshrMerges");
+        mshrStalls_ = &stats.counter(prefix + ".mshrStalls");
+        prefetches_ = &stats.counter(prefix + ".prefetches");
     }
 
     const CacheConfig &config() const { return cfg_; }

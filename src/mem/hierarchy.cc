@@ -9,6 +9,15 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &cfg,
       scratchpad_(cfg.scratchpadLatency, 8, stats)
 {}
 
+bool
+HierarchyConfig::sameAs(const HierarchyConfig &o) const
+{
+    return l1.sameAs(o.l1) && llc.sameAs(o.llc) &&
+           dramLatency == o.dramLatency &&
+           dramRequestsPerCycle == o.dramRequestsPerCycle &&
+           scratchpadLatency == o.scratchpadLatency;
+}
+
 void
 MemoryHierarchy::reset()
 {
@@ -17,6 +26,18 @@ MemoryHierarchy::reset()
     dram_.reset();
     scratchpad_.reset();
     data_.reset();
+}
+
+void
+MemoryHierarchy::rebindStats(StatSet &stats)
+{
+    // Same counter-creation order as construction: llc, l1, scratchpad
+    // (the set is what matters for result identity; keep the order
+    // anyway so the two paths stay visibly parallel).
+    llc_.rebindStats(stats);
+    l1_.rebindStats(stats);
+    scratchpad_.rebindStats(stats);
+    reset();
 }
 
 } // namespace nachos

@@ -29,6 +29,9 @@ struct HierarchyConfig
     uint32_t dramLatency = 200;
     uint32_t dramRequestsPerCycle = 4;
     uint32_t scratchpadLatency = 1;
+
+    /** Field-wise equality — pooled-reuse check (mem/hierarchy_pool). */
+    bool sameAs(const HierarchyConfig &o) const;
 };
 
 /**
@@ -64,6 +67,15 @@ class MemoryHierarchy
 
     /** Reset timing state and functional contents. */
     void reset();
+
+    /**
+     * Make this (already-constructed) hierarchy indistinguishable from
+     * a fresh `MemoryHierarchy(config(), stats)`: re-resolve every
+     * counter into `stats` (creating the same name set construction
+     * would) and reset all timing and functional state. The expensive
+     * way arrays are retained — this is the pooled-reuse fast path.
+     */
+    void rebindStats(StatSet &stats);
 
     const HierarchyConfig &config() const { return cfg_; }
 

@@ -1,0 +1,19 @@
+#include "mem/hierarchy_pool.hh"
+
+namespace nachos {
+
+MemoryHierarchy &
+HierarchyPool::acquire(size_t slot, const HierarchyConfig &cfg,
+                       StatSet &stats)
+{
+    if (slot >= slots_.size())
+        slots_.resize(slot + 1);
+    std::unique_ptr<MemoryHierarchy> &h = slots_[slot];
+    if (h && h->config().sameAs(cfg))
+        h->rebindStats(stats);
+    else
+        h = std::make_unique<MemoryHierarchy>(cfg, stats);
+    return *h;
+}
+
+} // namespace nachos

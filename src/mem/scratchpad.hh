@@ -34,6 +34,14 @@ class Scratchpad
 
     void reset() { bw_.reset(); }
 
+    /** Re-resolve counter handles into `stats` (pooled reuse). */
+    void
+    rebindStats(StatSet &stats)
+    {
+        reads_ = &stats.counter("scratchpad.reads");
+        writes_ = &stats.counter("scratchpad.writes");
+    }
+
   private:
     uint32_t latency_;
     Counter *reads_;

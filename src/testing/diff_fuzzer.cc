@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/pipeline.hh"
+#include "cgra/batch_sim.hh"
 #include "cgra/simulator.hh"
 #include "ir/serialize.hh"
 #include "mde/inserter.hh"
@@ -219,21 +220,39 @@ checkRegion(const Region &region, const FuzzOptions &opts)
     cfg.invocations = opts.invocations;
     cfg.recordMemTrace = true;
 
+    // One lane per backend run, in the historical check order: the
+    // OPT-LSQ bank sweep, then NACHOS-SW, then NACHOS.
+    std::vector<BatchLane> lanes;
+    std::vector<std::string> labels;
     for (uint32_t banks : opts.lsqBankSweep) {
         SimConfig lsq_cfg = cfg;
         lsq_cfg.lsq.banks = banks;
-        const SimResult res =
-            simulate(region, mdes, BackendKind::OptLsq, lsq_cfg);
-        checkRun(region, ref, res,
-                 "lsq[banks=" + std::to_string(banks) + "]",
-                 opts.invocations, must, out);
+        lanes.push_back({BackendKind::OptLsq, lsq_cfg});
+        labels.push_back("lsq[banks=" + std::to_string(banks) + "]");
     }
+    lanes.push_back({BackendKind::NachosSw, cfg});
+    labels.push_back("nachos-sw");
+    lanes.push_back({BackendKind::Nachos, cfg});
+    labels.push_back("nachos");
 
-    const SimResult sw = simulate(region, mdes, BackendKind::NachosSw, cfg);
-    checkRun(region, ref, sw, "nachos-sw", opts.invocations, must, out);
+    std::vector<SimResult> results;
+    if (opts.batchedSim) {
+        // Worker-thread-local engine: the hierarchy pool survives
+        // across cases, so steady-state fuzzing reconstructs nothing.
+        thread_local BatchSimEngine engine;
+        results = engine.run(region, mdes, lanes);
+    } else {
+        results.reserve(lanes.size());
+        for (const BatchLane &lane : lanes)
+            results.push_back(
+                simulate(region, mdes, lane.kind, lane.cfg));
+    }
+    for (size_t i = 0; i < lanes.size(); ++i)
+        checkRun(region, ref, results[i], labels[i], opts.invocations,
+                 must, out);
 
-    const SimResult hw = simulate(region, mdes, BackendKind::Nachos, cfg);
-    checkRun(region, ref, hw, "nachos", opts.invocations, must, out);
+    const SimResult &sw = results[results.size() - 2];
+    const SimResult &hw = results[results.size() - 1];
 
     // A comparator station with F MAY parents performs F serialized
     // address checks after its own (possibly data-dependent) address
@@ -297,28 +316,42 @@ runFuzz(uint64_t start_seed, uint64_t num_seeds, const FuzzOptions &opts,
 {
     FuzzSummary summary;
     ThreadPool pool(std::max(1u, threads));
-    const uint64_t chunk = std::max<uint64_t>(32, uint64_t{threads} * 8);
+    // Seeds are handed to workers in groups, not one job per seed:
+    // a group amortizes ThreadPool dispatch and keeps each worker's
+    // thread-local batch engine (and its hierarchy pool) hot across
+    // consecutive cases. Groups preserve seed order within a chunk,
+    // so results are deterministic at any thread count.
+    const uint64_t group = 8;
+    const uint64_t chunk =
+        std::max<uint64_t>(32, uint64_t{threads} * 8) * group;
     uint64_t next = start_seed;
     const uint64_t end = start_seed + num_seeds;
 
     while (next < end && summary.failures < max_failures) {
         const uint64_t n = std::min(chunk, end - next);
-        std::vector<uint64_t> seeds(n);
-        for (uint64_t i = 0; i < n; ++i)
-            seeds[i] = next + i;
+        std::vector<std::pair<uint64_t, uint64_t>> groups;
+        for (uint64_t i = 0; i < n; i += group)
+            groups.emplace_back(next + i, std::min(group, n - i));
         next += n;
 
-        std::vector<FuzzCaseOutcome> outcomes = parallelMap(
-            pool, seeds, [&opts](const uint64_t &seed, size_t) {
-                return runFuzzCase(seed, opts);
+        std::vector<std::vector<FuzzCaseOutcome>> outcomes = parallelMap(
+            pool, groups,
+            [&opts](const std::pair<uint64_t, uint64_t> &g, size_t) {
+                std::vector<FuzzCaseOutcome> out;
+                out.reserve(g.second);
+                for (uint64_t s = g.first; s < g.first + g.second; ++s)
+                    out.push_back(runFuzzCase(s, opts));
+                return out;
             });
-        for (FuzzCaseOutcome &o : outcomes) {
-            ++summary.cases;
-            if (!o.failed)
-                continue;
-            ++summary.failures;
-            if (summary.failed.size() < max_failures)
-                summary.failed.push_back(std::move(o));
+        for (std::vector<FuzzCaseOutcome> &grp : outcomes) {
+            for (FuzzCaseOutcome &o : grp) {
+                ++summary.cases;
+                if (!o.failed)
+                    continue;
+                ++summary.failures;
+                if (summary.failed.size() < max_failures)
+                    summary.failed.push_back(std::move(o));
+            }
         }
         if (progress)
             progress(summary.cases, summary.failures);

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Batched-engine identity tests: every lane of a BatchSimEngine run
+ * must be byte-identical to a sequential simulate() with the same
+ * configuration — same cycles, stats dump, energy, load digest,
+ * memory image, and commit trace. Swept over backend kind, LSQ bank
+ * count, and lane count (including non-power-of-two widths and lanes
+ * with differing invocation counts, which exercise the wave rewind).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hh"
+#include "cgra/batch_sim.hh"
+#include "cgra/lsq_backend.hh"
+#include "mde/inserter.hh"
+#include "testing/region_gen.hh"
+
+namespace nachos {
+namespace {
+
+MdeSet
+mdesFor(const Region &r)
+{
+    AliasAnalysisResult analysis = runAliasPipeline(r, PipelineConfig{});
+    return insertMdes(r, analysis.matrix);
+}
+
+void
+expectSameResult(const SimResult &batched, const SimResult &seq,
+                 const std::string &what)
+{
+    EXPECT_EQ(batched.cycles, seq.cycles) << what;
+    EXPECT_EQ(batched.cyclesPerInvocation, seq.cyclesPerInvocation)
+        << what;
+    EXPECT_EQ(batched.maxMlp, seq.maxMlp) << what;
+    EXPECT_EQ(batched.avgMlp, seq.avgMlp) << what;
+    EXPECT_EQ(batched.stats.dump(), seq.stats.dump()) << what;
+    EXPECT_EQ(batched.energy.compute, seq.energy.compute) << what;
+    EXPECT_EQ(batched.energy.mde, seq.energy.mde) << what;
+    EXPECT_EQ(batched.energy.lsqBloom, seq.energy.lsqBloom) << what;
+    EXPECT_EQ(batched.energy.lsqCam, seq.energy.lsqCam) << what;
+    EXPECT_EQ(batched.energy.l1, seq.energy.l1) << what;
+    EXPECT_EQ(batched.loadValueDigest, seq.loadValueDigest) << what;
+    EXPECT_EQ(batched.criticalOp, seq.criticalOp) << what;
+    EXPECT_EQ(batched.memImage, seq.memImage) << what;
+    ASSERT_EQ(batched.memCommits.size(), seq.memCommits.size()) << what;
+    for (size_t i = 0; i < seq.memCommits.size(); ++i) {
+        EXPECT_EQ(batched.memCommits[i].op, seq.memCommits[i].op)
+            << what << " commit " << i;
+        EXPECT_EQ(batched.memCommits[i].invocation,
+                  seq.memCommits[i].invocation)
+            << what << " commit " << i;
+        EXPECT_EQ(batched.memCommits[i].cycle, seq.memCommits[i].cycle)
+            << what << " commit " << i;
+        EXPECT_EQ(batched.memCommits[i].addr, seq.memCommits[i].addr)
+            << what << " commit " << i;
+        EXPECT_EQ(batched.memCommits[i].forwarded,
+                  seq.memCommits[i].forwarded)
+            << what << " commit " << i;
+    }
+}
+
+void
+expectBatchMatchesSequential(const Region &r, const MdeSet &mdes,
+                             const std::vector<BatchLane> &lanes,
+                             const std::string &what)
+{
+    BatchSimEngine engine;
+    const std::vector<SimResult> batched = engine.run(r, mdes, lanes);
+    ASSERT_EQ(batched.size(), lanes.size());
+    for (size_t i = 0; i < lanes.size(); ++i) {
+        const SimResult seq =
+            simulate(r, mdes, lanes[i].kind, lanes[i].cfg);
+        expectSameResult(batched[i], seq,
+                         what + " lane " + std::to_string(i));
+    }
+}
+
+class BatchLaneSweep : public ::testing::TestWithParam<uint32_t>
+{};
+
+/** N identical lanes of each backend kind match N sequential runs. */
+TEST_P(BatchLaneSweep, HomogeneousLanesMatchSequential)
+{
+    const uint32_t numLanes = GetParam();
+    const Region r = testing::randomRegion(2024);
+    const MdeSet mdes = mdesFor(r);
+    for (BackendKind kind : {BackendKind::OptLsq, BackendKind::NachosSw,
+                             BackendKind::Nachos}) {
+        SimConfig cfg;
+        cfg.invocations = 5;
+        cfg.recordMemTrace = true;
+        std::vector<BatchLane> lanes(numLanes, BatchLane{kind, cfg});
+        expectBatchMatchesSequential(
+            r, mdes, lanes,
+            "kind=" + std::to_string(static_cast<int>(kind)) +
+                " lanes=" + std::to_string(numLanes));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, BatchLaneSweep,
+                         ::testing::Values(1u, 2u, 7u, 8u));
+
+/** The fuzzer's lane shape: OPT-LSQ x {1,2,4,8} banks + SW + NACHOS. */
+TEST(BatchSim, FuzzerShapedMixedLanes)
+{
+    for (uint64_t seed : {7u, 99u, 4242u}) {
+        const Region r = testing::randomRegion(seed);
+        const MdeSet mdes = mdesFor(r);
+        std::vector<BatchLane> lanes;
+        for (uint32_t banks : {1u, 2u, 4u, 8u}) {
+            BatchLane lane;
+            lane.kind = BackendKind::OptLsq;
+            lane.cfg.invocations = 4;
+            lane.cfg.lsq.banks = banks;
+            lanes.push_back(lane);
+        }
+        BatchLane sw;
+        sw.kind = BackendKind::NachosSw;
+        sw.cfg.invocations = 4;
+        lanes.push_back(sw);
+        BatchLane hw;
+        hw.kind = BackendKind::Nachos;
+        hw.cfg.invocations = 4;
+        lanes.push_back(hw);
+        expectBatchMatchesSequential(r, mdes, lanes,
+                                     "seed " + std::to_string(seed));
+    }
+}
+
+/** Lanes with different invocation counts: fast lanes drop out of
+ *  later waves and the queue clock rewinds between waves. */
+TEST(BatchSim, UnevenInvocationCounts)
+{
+    const Region r = testing::randomRegion(31337);
+    const MdeSet mdes = mdesFor(r);
+    std::vector<BatchLane> lanes;
+    const uint64_t invocations[] = {1, 6, 3, 0, 8};
+    for (uint64_t n : invocations) {
+        BatchLane lane;
+        lane.kind = BackendKind::Nachos;
+        lane.cfg.invocations = n;
+        lanes.push_back(lane);
+    }
+    expectBatchMatchesSequential(r, mdes, lanes, "uneven invocations");
+}
+
+/** One engine reused across different regions repools hierarchies. */
+TEST(BatchSim, EngineReuseAcrossRegions)
+{
+    BatchSimEngine engine;
+    for (uint64_t seed : {11u, 12u, 13u}) {
+        const Region r = testing::randomRegion(seed);
+        const MdeSet mdes = mdesFor(r);
+        SimConfig cfg;
+        cfg.invocations = 3;
+        std::vector<BatchLane> lanes(
+            3, BatchLane{BackendKind::NachosSw, cfg});
+        const std::vector<SimResult> batched =
+            engine.run(r, mdes, lanes);
+        ASSERT_EQ(batched.size(), lanes.size());
+        for (size_t i = 0; i < lanes.size(); ++i) {
+            const SimResult seq =
+                simulate(r, mdes, lanes[i].kind, lanes[i].cfg);
+            expectSameResult(batched[i], seq,
+                             "reuse seed " + std::to_string(seed) +
+                                 " lane " + std::to_string(i));
+        }
+    }
+}
+
+using BatchSimDeathTest = ::testing::Test;
+
+/** All lanes of one batch must simulate the same region. */
+TEST(BatchSimDeathTest, MixingRegionsIsFatal)
+{
+    const Region a = testing::randomRegion(1);
+    const Region b = testing::randomRegion(2);
+    const MdeSet mdesA = mdesFor(a);
+    const MdeSet mdesB = mdesFor(b);
+    SimConfig cfg;
+    cfg.invocations = 2;
+    LsqBackend laneA(a, cfg.lsq);
+    LsqBackend laneB(b, cfg.lsq);
+    std::vector<SimConfig> cfgs{cfg, cfg};
+    std::vector<OrderingBackend *> backends{&laneA, &laneB};
+    BatchSimEngine engine;
+    EXPECT_DEATH(engine.run(a, mdesA, cfgs, backends),
+                 "mixes regions");
+}
+
+/** Lane masks are one 64-bit word: more than 64 lanes is fatal. */
+TEST(BatchSimDeathTest, TooManyLanesIsFatal)
+{
+    const Region r = testing::randomRegion(3);
+    const MdeSet mdes = mdesFor(r);
+    SimConfig cfg;
+    cfg.invocations = 1;
+    std::vector<BatchLane> lanes(
+        BatchSimEngine::kMaxLanes + 1,
+        BatchLane{BackendKind::NachosSw, cfg});
+    EXPECT_DEATH(simulateBatch(r, mdes, lanes), "lane");
+}
+
+} // namespace
+} // namespace nachos

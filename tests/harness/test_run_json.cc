@@ -111,6 +111,7 @@ TEST(RunRequest, EncodeDecodeRoundTrip)
     spec.request.runLsq = false;
     spec.request.pipeline.stage4 = false;
     spec.request.invocationsOverride = 17;
+    spec.request.batchSim = true;
     spec.timeoutMillis = 250;
 
     JobSpec decoded;
@@ -124,6 +125,7 @@ TEST(RunRequest, EncodeDecodeRoundTrip)
     EXPECT_TRUE(decoded.request.runSw);
     EXPECT_FALSE(decoded.request.pipeline.stage4);
     EXPECT_EQ(decoded.request.invocationsOverride, 17u);
+    EXPECT_TRUE(decoded.request.batchSim);
     EXPECT_EQ(decoded.timeoutMillis, 250u);
     // Round-trips to identical bytes as well.
     EXPECT_EQ(dumpJson(encodeRunRequest(decoded)),

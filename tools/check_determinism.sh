@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Determinism check over the full bench suite: every suite bench must
+# print byte-identical stdout no matter how many workers carry it, and
+# the batch-capable benches must also print byte-identical stdout when
+# the sim stage runs through the batched engine (--batch) instead of
+# sequential simulate() calls.
+#
+# usage: check_determinism.sh <bench-dir>
+#
+# Timing lines go to stderr by design (printSuiteTiming), so stdout is
+# the deterministic surface. Excluded: bench_micro (google-benchmark,
+# timing-only output), bench_service_throughput (throughput numbers),
+# bench_batch_sim (no --threads; its batched-vs-sequential identity is
+# checked internally and by tests/cgra/test_batch_sim).
+
+set -u
+
+BENCH_DIR=${1:?usage: check_determinism.sh <bench-dir>}
+
+# Every bench that accepts --threads (drives a worker pool).
+THREADED_BENCHES="
+bench_table2
+bench_fig06_stage1
+bench_fig07_stage2
+bench_fig09_stage3
+bench_fig10_memmay
+bench_fig11_sw_vs_lsq
+bench_fig12_baseline_compiler
+bench_fig14_fanin
+bench_fig15_nachos_vs_lsq
+bench_fig16_mde_counts
+bench_fig17_nachos_energy
+bench_fig18_lsq_energy
+bench_scope_growth
+bench_appendix_model
+bench_ablation_comparator
+bench_ablation_lsq
+bench_ablation_stages
+"
+
+# Full-suite benches whose sim stage honors --batch/--no-batch.
+BATCH_BENCHES="
+bench_table2
+bench_fig11_sw_vs_lsq
+bench_fig12_baseline_compiler
+bench_fig15_nachos_vs_lsq
+bench_fig17_nachos_energy
+bench_fig18_lsq_energy
+"
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+failures=0
+
+check() {
+    local name=$1 ref=$2 got=$3 what=$4
+    if ! cmp -s "$ref" "$got"; then
+        echo "FAIL: $name stdout differs ($what)" >&2
+        diff "$ref" "$got" | head -20 >&2
+        failures=$((failures + 1))
+    else
+        echo "ok: $name ($what)"
+    fi
+}
+
+for bench in $THREADED_BENCHES; do
+    bin="$BENCH_DIR/$bench"
+    if [ ! -x "$bin" ]; then
+        echo "FAIL: missing bench binary $bin" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    "$bin" --threads 1 > "$TMP/$bench.t1" 2>/dev/null || {
+        echo "FAIL: $bench --threads 1 exited non-zero" >&2
+        failures=$((failures + 1))
+        continue
+    }
+    "$bin" --threads 2 > "$TMP/$bench.t2" 2>/dev/null || {
+        echo "FAIL: $bench --threads 2 exited non-zero" >&2
+        failures=$((failures + 1))
+        continue
+    }
+    check "$bench" "$TMP/$bench.t1" "$TMP/$bench.t2" "1 vs 2 threads"
+done
+
+for bench in $BATCH_BENCHES; do
+    bin="$BENCH_DIR/$bench"
+    [ -x "$bin" ] || continue # missing binary already reported above
+    [ -f "$TMP/$bench.t1" ] || continue
+    "$bin" --threads 2 --batch > "$TMP/$bench.batch" 2>/dev/null || {
+        echo "FAIL: $bench --batch exited non-zero" >&2
+        failures=$((failures + 1))
+        continue
+    }
+    check "$bench" "$TMP/$bench.t1" "$TMP/$bench.batch" \
+        "sequential vs batched sim"
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures determinism failure(s)" >&2
+    exit 1
+fi
+echo "all benches deterministic across thread counts and sim engines"

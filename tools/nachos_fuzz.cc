@@ -51,6 +51,9 @@ usage()
         "  --expect-failure   exit 0 iff at least one case fails\n"
         "                     (mutation self-test mode)\n"
         "  --no-shrink        keep failing regions unshrunk\n"
+        "  --sequential-sim   one simulate() per backend instead of the\n"
+        "                     batched engine (identical verdicts; for\n"
+        "                     timing comparisons and engine bring-up)\n"
         "  --corpus-out DIR   write reproducers to DIR/seed-N.region\n"
         "  --dump-regions DIR write EVERY case's region to DIR (corpus\n"
         "                     curation; independent of pass/fail)\n");
@@ -110,6 +113,8 @@ main(int argc, char **argv)
             expect_failure = true;
         } else if (arg == "--no-shrink") {
             opts.shrinkFailures = false;
+        } else if (arg == "--sequential-sim") {
+            opts.batchedSim = false;
         } else if (arg == "--corpus-out") {
             if (next == nullptr)
                 NACHOS_FATAL("--corpus-out requires a value");
