@@ -1,24 +1,26 @@
 /**
  * @file
  * nachosd serving throughput: an in-process daemon on a Unix-domain
- * socket, driven by 1/4/16 concurrent client connections pipelining
- * small identical jobs. Reports jobs/sec and the daemon's own
+ * socket, driven by 1/4/16 closed-loop client connections sending
+ * small identical jobs through the shared loadgen harness
+ * (service/loadgen.hh — the same driver behind nachos_loadgen and
+ * bench_service_slo). Reports jobs/sec plus the daemon's own
  * queue/total latency percentiles per client count — the smoke-level
  * answer to "what does the JSON-lines layer cost on top of the
  * Runner?".
+ *
+ * The daemon runs in its legacy single-lane shape (no coalescing, no
+ * region cache) so this stays the A/B baseline the SLO bench compares
+ * against.
  */
 
 #include <unistd.h>
 
-#include <chrono>
 #include <iostream>
-#include <thread>
-#include <vector>
 
 #include "harness/report.hh"
-#include "service/client.hh"
 #include "service/daemon.hh"
-#include "service/protocol.hh"
+#include "service/loadgen.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
@@ -26,45 +28,7 @@ using namespace nachos;
 
 namespace {
 
-constexpr int kJobsPerClient = 8;
-
-JsonValue
-smallJob(uint64_t id)
-{
-    JsonValue run = JsonValue::makeObject();
-    run.set("workload", "164.gzip");
-    run.set("invocations", 1);
-    JsonValue backends = JsonValue::makeArray();
-    backends.push("nachos");
-    run.set("backends", std::move(backends));
-    JsonValue req = requestEnvelope(id, "run");
-    req.set("run", std::move(run));
-    return req;
-}
-
-/** One client: pipeline all jobs, then collect every response. */
-bool
-driveClient(const std::string &socketPath)
-{
-    std::string error;
-    std::unique_ptr<ServiceClient> client =
-        ServiceClient::connectUnix(socketPath, &error);
-    if (!client) {
-        std::cerr << "connect: " << error << "\n";
-        return false;
-    }
-    for (uint64_t id = 1; id <= kJobsPerClient; ++id)
-        if (!client->sendRequest(smallJob(id)))
-            return false;
-    for (uint64_t id = 1; id <= kJobsPerClient; ++id) {
-        std::optional<JsonValue> response = client->waitFor(id);
-        const JsonValue *type =
-            response ? response->find("type") : nullptr;
-        if (!type || !type->isString() || type->str() != "result")
-            return false;
-    }
-    return true;
-}
+constexpr uint64_t kJobsPerClient = 8;
 
 uint64_t
 histogramField(const JsonValue &snapshot, const char *histogram,
@@ -83,22 +47,24 @@ main()
 {
     setQuiet(true);
     printHeader(std::cout, "Service",
-                "nachosd throughput: pipelined small jobs (164.gzip, "
-                "1 invocation, nachos backend)");
+                "nachosd throughput: small jobs (164.gzip, "
+                "1 invocation, nachos backend), legacy single-lane "
+                "baseline");
 
     TextTable table;
     table.header({"clients", "jobs", "wall ms", "jobs/s",
                   "queue p95 us", "total p95 us"});
 
-    for (const int clients : {1, 4, 16}) {
+    for (const unsigned clients : {1u, 4u, 16u}) {
         const std::string socketPath =
             "/tmp/nachos-bench-" + std::to_string(::getpid()) + "-" +
             std::to_string(clients) + ".sock";
         DaemonConfig config;
         config.socketPath = socketPath;
         config.workers = 2;
-        config.queueCapacity =
-            static_cast<size_t>(clients) * kJobsPerClient;
+        config.queueCapacity = clients * kJobsPerClient;
+        config.maxBatchLanes = 1;    // PR3-faithful baseline
+        config.regionCacheEntries = 0;
         Daemon daemon(config);
         std::string error;
         if (!daemon.start(&error)) {
@@ -106,32 +72,30 @@ main()
             return 1;
         }
 
-        const auto begin = std::chrono::steady_clock::now();
-        std::vector<std::thread> threads;
-        std::vector<char> ok(static_cast<size_t>(clients), 0);
-        for (int c = 0; c < clients; ++c) {
-            threads.emplace_back([&, c] {
-                ok[static_cast<size_t>(c)] = driveClient(socketPath);
-            });
+        LoadGenConfig load;
+        load.socketPath = socketPath;
+        load.clients = clients;
+        load.requestsPerClient = kJobsPerClient;
+        load.workload = "164.gzip";
+        load.invocations = 1;
+        load.seed = 1;
+        load.backends = {"nachos"};
+        LoadGenResult result;
+        if (!runLoadGen(load, result, &error)) {
+            std::cerr << "loadgen: " << error << "\n";
+            return 1;
         }
-        for (std::thread &t : threads)
-            t.join();
-        const double wallMs =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - begin)
-                .count();
-        for (const char good : ok) {
-            if (!good) {
-                std::cerr << "a client failed; results are invalid\n";
-                return 1;
-            }
+        if (result.completed != result.sent ||
+            result.errors + result.protocolErrors) {
+            std::cerr << "a client failed; results are invalid\n";
+            return 1;
         }
 
         const JsonValue snapshot = daemon.metricsSnapshot();
-        const int jobs = clients * kJobsPerClient;
-        table.row({std::to_string(clients), std::to_string(jobs),
-                   fmtDouble(wallMs, 1),
-                   fmtDouble(jobs / (wallMs / 1e3), 0),
+        table.row({std::to_string(clients),
+                   std::to_string(result.completed),
+                   fmtDouble(result.wallSeconds * 1e3, 1),
+                   fmtDouble(result.achievedRps(), 0),
                    std::to_string(histogramField(
                        snapshot, "latency.queueMicros", "p95")),
                    std::to_string(histogramField(

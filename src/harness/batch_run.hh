@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cross-request batched execution: a group of run requests that agree
+ * on their region work (same workload, pathIndex, seed, and pipeline
+ * flags — sameRegionWork) share one cached front end and one batched
+ * calendar-queue walk. Each request contributes one lane per requested
+ * backend; per-lane invocation counts may differ (the batch engine
+ * supports uneven lanes), so a group can mix invocation overrides.
+ *
+ * Results are byte-identical to running each request alone through
+ * runWorkload — the daemon's determinism check compares exactly that.
+ */
+
+#ifndef NACHOS_HARNESS_BATCH_RUN_HH
+#define NACHOS_HARNESS_BATCH_RUN_HH
+
+#include <vector>
+
+#include "cgra/batch_sim.hh"
+#include "harness/region_cache.hh"
+
+namespace nachos {
+
+/** True iff two requests can share a front end (and thus a batch). */
+bool sameRegionWork(const BenchmarkInfo &aInfo, const RunRequest &a,
+                    const BenchmarkInfo &bInfo, const RunRequest &b);
+
+/** Lanes this request contributes to a batch (#backends requested). */
+uint32_t backendLanes(const RunRequest &request);
+
+/** One member of a batched group. Pointers must outlive the call. */
+struct BatchRunItem
+{
+    const BenchmarkInfo *info = nullptr;
+    const RunRequest *request = nullptr;
+};
+
+/** Per-request results scattered back out of the group walk. */
+struct BatchRunResult
+{
+    std::shared_ptr<const RegionCacheEntry> entry;
+    std::optional<SimResult> lsq;
+    std::optional<SimResult> sw;
+    std::optional<SimResult> nachos;
+    StageTimes times; ///< front-end time on item 0; sim = group wall
+    bool cacheHit = false;
+};
+
+/**
+ * Run a group of same-region requests as one batched simulate.
+ * Preconditions: items non-empty, pairwise sameRegionWork, and total
+ * backendLanes <= BatchSimEngine::kMaxLanes (the queue's group-claim
+ * enforces both). `cache` may have capacity 0 (build-always).
+ */
+std::vector<BatchRunResult> runBatchedGroup(
+    const std::vector<BatchRunItem> &items, RegionCache &cache,
+    BatchSimEngine &engine);
+
+} // namespace nachos
+
+#endif // NACHOS_HARNESS_BATCH_RUN_HH

@@ -1,0 +1,107 @@
+#include "harness/region_cache.hh"
+
+#include "ir/serialize.hh"
+
+namespace nachos {
+
+RegionCache::Key
+RegionCache::makeKey(const BenchmarkInfo &info, const RunRequest &request)
+{
+    Key key;
+    key.info = &info;
+    key.pathIndex = request.pathIndex;
+    key.seed = request.seed;
+    key.stage2 = request.pipeline.stage2;
+    key.stage3 = request.pipeline.stage3;
+    key.stage4 = request.pipeline.stage4;
+    return key;
+}
+
+std::shared_ptr<const RegionCacheEntry>
+RegionCache::build(const BenchmarkInfo &info, const RunRequest &request)
+{
+    SynthesisOptions synth;
+    synth.pathIndex = request.pathIndex;
+    synth.seed = request.seed;
+
+    auto entry = std::make_shared<RegionCacheEntry>();
+    entry->region = synthesizeRegion(info, synth);
+    entry->analysis = runAliasPipeline(entry->region, request.pipeline);
+    entry->mdes = insertMdes(entry->region, entry->analysis.matrix);
+    entry->digest = regionDigest(entry->region);
+    return entry;
+}
+
+std::shared_ptr<const RegionCacheEntry>
+RegionCache::acquire(const BenchmarkInfo &info, const RunRequest &request,
+                     bool *hit)
+{
+    const Key key = makeKey(info, request);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+            if (it->key == key) {
+                lru_.splice(lru_.begin(), lru_, it);
+                ++hits_;
+                if (hit)
+                    *hit = true;
+                return lru_.front().entry;
+            }
+        }
+        ++misses_;
+    }
+    if (hit)
+        *hit = false;
+
+    std::shared_ptr<const RegionCacheEntry> entry = build(info, request);
+    if (capacity_ == 0)
+        return entry;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A racing builder may have inserted the key meanwhile; keep the
+    // resident entry so repeated acquires hand out one object.
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        if (it->key == key) {
+            lru_.splice(lru_.begin(), lru_, it);
+            return lru_.front().entry;
+        }
+    }
+    lru_.push_front(Node{key, entry});
+    while (lru_.size() > capacity_) {
+        lru_.pop_back();
+        ++evictions_;
+    }
+    return entry;
+}
+
+RegionCache::Counters
+RegionCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Counters c;
+    c.hits = hits_;
+    c.misses = misses_;
+    c.evictions = evictions_;
+    c.size = lru_.size();
+    return c;
+}
+
+uint64_t
+RegionCache::regionDigest(const Region &region)
+{
+    const std::string text = regionToString(region);
+    uint64_t h = 1469598103934665603ull; // FNV-1a 64 offset basis
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+bool
+RegionCache::entryIntact(const RegionCacheEntry &entry)
+{
+    return regionDigest(entry.region) == entry.digest;
+}
+
+} // namespace nachos

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Synthesized-region cache: the front half of a run — synthesize,
+ * alias pipeline (stages 1-4), MDE insertion — depends only on
+ * (workload, pathIndex, seed, pipeline flags), never on the simulation
+ * parameters. The serving plane replays the same few region
+ * descriptors thousands of times, so caching the prepared
+ * (region, analysis, mdes) triple turns the per-request front end
+ * into a hash lookup and leaves only the simulate call.
+ *
+ * Entries are immutable once inserted (handed out as
+ * shared_ptr<const>), LRU-evicted beyond the configured capacity, and
+ * carry a digest of the serialized region taken at insert time so
+ * tests can prove no simulation path mutated a cached region
+ * (entryIntact re-digests and compares).
+ */
+
+#ifndef NACHOS_HARNESS_REGION_CACHE_HH
+#define NACHOS_HARNESS_REGION_CACHE_HH
+
+#include <list>
+#include <memory>
+#include <mutex>
+
+#include "harness/runner.hh"
+
+namespace nachos {
+
+/** One fully prepared front end: region + alias labels + MDEs. */
+struct RegionCacheEntry
+{
+    Region region{"empty"};
+    AliasAnalysisResult analysis;
+    MdeSet mdes;
+    /** FNV-1a over the serialized region, taken at insert time. */
+    uint64_t digest = 0;
+};
+
+class RegionCache
+{
+  public:
+    /** `capacity` = max resident entries; 0 disables caching (every
+     *  acquire synthesizes fresh and stores nothing). */
+    explicit RegionCache(size_t capacity) : capacity_(capacity) {}
+
+    RegionCache(const RegionCache &) = delete;
+    RegionCache &operator=(const RegionCache &) = delete;
+
+    /**
+     * Fetch the entry for (info, pathIndex, seed, pipeline flags),
+     * synthesizing and inserting on miss. Exactly one hit or one miss
+     * is counted per call, so hits + misses equals the number of
+     * front-end lookups the daemon reports. Thread-safe; the build on
+     * a miss runs outside the lock (two threads may race to build the
+     * same key — the first insert wins, both count a miss).
+     */
+    std::shared_ptr<const RegionCacheEntry>
+    acquire(const BenchmarkInfo &info, const RunRequest &request,
+            bool *hit = nullptr);
+
+    struct Counters
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0;
+        uint64_t size = 0; ///< resident entries right now
+    };
+
+    Counters counters() const;
+
+    size_t capacity() const { return capacity_; }
+
+    /** FNV-1a 64 over regionToString(region). */
+    static uint64_t regionDigest(const Region &region);
+
+    /** Re-digest: false iff something mutated the cached region. */
+    static bool entryIntact(const RegionCacheEntry &entry);
+
+    /** Build an entry without any cache involved (the miss path, and
+     *  the direct path benches compare against). */
+    static std::shared_ptr<const RegionCacheEntry>
+    build(const BenchmarkInfo &info, const RunRequest &request);
+
+  private:
+    struct Key
+    {
+        const BenchmarkInfo *info = nullptr;
+        uint32_t pathIndex = 0;
+        uint64_t seed = 0;
+        bool stage2 = true;
+        bool stage3 = true;
+        bool stage4 = true;
+
+        bool operator==(const Key &) const = default;
+    };
+
+    struct Node
+    {
+        Key key;
+        std::shared_ptr<const RegionCacheEntry> entry;
+    };
+
+    static Key makeKey(const BenchmarkInfo &info,
+                       const RunRequest &request);
+
+    mutable std::mutex mutex_;
+    std::list<Node> lru_; ///< front = most recently used
+    size_t capacity_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace nachos
+
+#endif // NACHOS_HARNESS_REGION_CACHE_HH

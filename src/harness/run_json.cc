@@ -137,9 +137,14 @@ decodeRunRequest(const JsonValue &v, JobSpec &spec, CodecError &err)
     if (!checkMembers(v,
                       {"workload", "pathIndex", "seed", "backends",
                        "pipeline", "invocations", "batchSim",
-                       "timeoutMillis", "sleepMillis"},
+                       "timeoutMillis", "sleepMillis", "class"},
                       err))
         return false;
+
+    // Absent optional members mean their defaults, even when the
+    // caller reuses a spec (JobSpec holds no heap state, so this
+    // stays on the decode path's zero-allocation budget).
+    spec = JobSpec{};
 
     const JsonValue *workload = v.find("workload");
     if (!workload || !workload->isString())
@@ -238,6 +243,20 @@ decodeRunRequest(const JsonValue &v, JobSpec &spec, CodecError &err)
     if (spec.sleepMillis > 60'000)
         return failCodec(err, "bad_request",
                          "'sleepMillis' exceeds the 60000 cap");
+
+    if (const JsonValue *m = v.find("class")) {
+        if (!m->isString())
+            return failCodec(err, "bad_request",
+                             "'class' must be a string");
+        if (m->str() == "interactive")
+            spec.klass = AdmitClass::Interactive;
+        else if (m->str() == "bulk")
+            spec.klass = AdmitClass::Bulk;
+        else
+            return failCodec(err, "bad_request",
+                             "unknown class '" + m->str() +
+                                 "' (expected interactive|bulk)");
+    }
     return true;
 }
 
@@ -268,12 +287,27 @@ encodeRunRequest(const JobSpec &spec)
         v.set("timeoutMillis", spec.timeoutMillis);
     if (spec.sleepMillis)
         v.set("sleepMillis", spec.sleepMillis);
+    if (spec.klass == AdmitClass::Bulk)
+        v.set("class", "bulk");
     return v;
 }
 
 OutcomeSummary
 summarizeOutcome(const BenchmarkInfo &info, const RunRequest &request,
                  const RunOutcome &outcome)
+{
+    return summarizeOutcome(info, request, outcome.analysis,
+                            outcome.mdes,
+                            outcome.lsq ? &*outcome.lsq : nullptr,
+                            outcome.sw ? &*outcome.sw : nullptr,
+                            outcome.nachos ? &*outcome.nachos : nullptr);
+}
+
+OutcomeSummary
+summarizeOutcome(const BenchmarkInfo &info, const RunRequest &request,
+                 const AliasAnalysisResult &analysis, const MdeSet &mdes,
+                 const SimResult *lsq, const SimResult *sw,
+                 const SimResult *nachos)
 {
     OutcomeSummary s;
     s.workload = info.name;
@@ -282,21 +316,21 @@ summarizeOutcome(const BenchmarkInfo &info, const RunRequest &request,
     s.invocations = request.invocationsOverride
                         ? request.invocationsOverride
                         : info.invocations;
-    s.labels = outcome.analysis.final().all;
-    s.enforced = outcome.analysis.final().enforced;
-    for (const Mde &edge : outcome.mdes.edges()) {
+    s.labels = analysis.final().all;
+    s.enforced = analysis.final().enforced;
+    for (const Mde &edge : mdes.edges()) {
         switch (edge.kind) {
           case MdeKind::Order: ++s.mdeOrder; break;
           case MdeKind::Forward: ++s.mdeForward; break;
           case MdeKind::May: ++s.mdeMay; break;
         }
     }
-    if (outcome.lsq)
-        s.lsq = summarizeSim(*outcome.lsq);
-    if (outcome.sw)
-        s.sw = summarizeSim(*outcome.sw);
-    if (outcome.nachos)
-        s.nachos = summarizeSim(*outcome.nachos);
+    if (lsq)
+        s.lsq = summarizeSim(*lsq);
+    if (sw)
+        s.sw = summarizeSim(*sw);
+    if (nachos)
+        s.nachos = summarizeSim(*nachos);
     return s;
 }
 
@@ -324,6 +358,87 @@ encodeOutcome(const OutcomeSummary &summary)
         backends.set("nachos", encodeSimSummary(*summary.nachos));
     v.set("backends", std::move(backends));
     return v;
+}
+
+namespace {
+
+void
+encodePairCountsTo(JsonWriter &w, const PairCounts &counts)
+{
+    w.beginObject();
+    w.key("no");
+    w.value(counts.no);
+    w.key("may");
+    w.value(counts.may);
+    w.key("must");
+    w.value(counts.must);
+    w.endObject();
+}
+
+void
+encodeSimSummaryTo(JsonWriter &w, const SimSummary &s)
+{
+    w.beginObject();
+    w.key("cycles");
+    w.value(s.cycles);
+    w.key("cyclesPerInvocation");
+    w.value(s.cyclesPerInvocation);
+    w.key("maxMlp");
+    w.value(s.maxMlp);
+    w.key("avgMlp");
+    w.value(s.avgMlp);
+    w.key("loadValueDigest");
+    w.value(s.loadValueDigest);
+    w.key("energyTotal");
+    w.value(s.energyTotal);
+    w.endObject();
+}
+
+} // namespace
+
+void
+encodeOutcomeTo(JsonWriter &w, const OutcomeSummary &summary)
+{
+    // Member order mirrors encodeOutcome exactly: the daemon's golden
+    // tests compare these bytes against dumpJson(encodeOutcome(...)).
+    w.beginObject();
+    w.key("workload");
+    w.value(summary.workload);
+    w.key("pathIndex");
+    w.value(static_cast<uint64_t>(summary.pathIndex));
+    w.key("seed");
+    w.value(summary.seed);
+    w.key("invocations");
+    w.value(summary.invocations);
+    w.key("labels");
+    encodePairCountsTo(w, summary.labels);
+    w.key("enforced");
+    encodePairCountsTo(w, summary.enforced);
+    w.key("mdes");
+    w.beginObject();
+    w.key("order");
+    w.value(summary.mdeOrder);
+    w.key("forward");
+    w.value(summary.mdeForward);
+    w.key("may");
+    w.value(summary.mdeMay);
+    w.endObject();
+    w.key("backends");
+    w.beginObject();
+    if (summary.lsq) {
+        w.key("lsq");
+        encodeSimSummaryTo(w, *summary.lsq);
+    }
+    if (summary.sw) {
+        w.key("sw");
+        encodeSimSummaryTo(w, *summary.sw);
+    }
+    if (summary.nachos) {
+        w.key("nachos");
+        encodeSimSummaryTo(w, *summary.nachos);
+    }
+    w.endObject();
+    w.endObject();
 }
 
 JsonValue

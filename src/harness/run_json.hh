@@ -36,6 +36,15 @@ constexpr uint32_t kMaxPathIndex = 4;
 /** Largest accepted invocations override (keeps jobs bounded). */
 constexpr uint64_t kMaxInvocationsOverride = 10'000'000;
 
+/**
+ * Admission class of a run request. Interactive jobs (the default)
+ * get their own bounded ring per shard and are never coalesced; bulk
+ * jobs accept higher queueing delay in exchange for throughput — the
+ * daemon may batch same-region bulk requests into one multi-lane
+ * simulate call.
+ */
+enum class AdmitClass : uint8_t { Interactive, Bulk };
+
 /** A validated run request: the workload plus what to run on it. */
 struct JobSpec
 {
@@ -48,6 +57,8 @@ struct JobSpec
      * benches that need a job of a known duration.
      */
     uint64_t sleepMillis = 0;
+    /** Admission class ("class": "interactive" | "bulk"). */
+    AdmitClass klass = AdmitClass::Interactive;
 };
 
 /**
@@ -105,8 +116,29 @@ OutcomeSummary summarizeOutcome(const BenchmarkInfo &info,
                                 const RunRequest &request,
                                 const RunOutcome &outcome);
 
+/**
+ * As above but over the outcome's parts — the daemon's batched path
+ * holds analysis/mdes in a shared cache entry and per-lane SimResults
+ * that never live inside one RunOutcome. Null backend pointers mean
+ * "not run".
+ */
+OutcomeSummary summarizeOutcome(const BenchmarkInfo &info,
+                                const RunRequest &request,
+                                const AliasAnalysisResult &analysis,
+                                const MdeSet &mdes, const SimResult *lsq,
+                                const SimResult *sw,
+                                const SimResult *nachos);
+
 /** Encode a summary; member order is fixed, so encoding is canonical. */
 JsonValue encodeOutcome(const OutcomeSummary &summary);
+
+/**
+ * Append-encode a summary through a JsonWriter: byte-identical to
+ * dumpJson(encodeOutcome(summary)) but with zero heap allocation —
+ * the daemon's steady-state result path. Golden daemon-vs-direct
+ * tests compare this encoding against the tree writer's.
+ */
+void encodeOutcomeTo(JsonWriter &w, const OutcomeSummary &summary);
 
 /** One-call encode of a fresh RunOutcome. */
 JsonValue encodeRunOutcome(const BenchmarkInfo &info,

@@ -48,13 +48,19 @@ Daemon::Connection::~Connection()
 void
 Daemon::Connection::sendLine(const std::string &line)
 {
+    sendBytes(line);
+}
+
+void
+Daemon::Connection::sendBytes(std::string_view bytes)
+{
     std::lock_guard<std::mutex> lock(writeMutex);
     if (fd < 0)
         return;
     size_t off = 0;
-    while (off < line.size()) {
-        const ssize_t n = ::send(fd, line.data() + off,
-                                 line.size() - off, MSG_NOSIGNAL);
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
         if (n <= 0) {
             if (n < 0 && errno == EINTR)
                 continue;
@@ -77,15 +83,32 @@ Daemon::Connection::shutdownSocket()
 // ---------------------------------------------------------------------
 
 Daemon::Daemon(DaemonConfig config)
-    : config_(std::move(config)), queue_(config_.queueCapacity)
+    : config_(std::move(config)), cache_(config_.regionCacheEntries)
 {
     if (config_.workers < 1)
         config_.workers = 1;
+    if (config_.maxBatchLanes < 1)
+        config_.maxBatchLanes = 1;
+    if (config_.maxBatchLanes > BatchSimEngine::kMaxLanes)
+        config_.maxBatchLanes = BatchSimEngine::kMaxLanes;
+    shards_.reserve(config_.workers);
+    for (unsigned i = 0; i < config_.workers; ++i)
+        shards_.push_back(std::make_unique<Shard>(
+            config_.queueCapacity, config_.bulkQueueCapacity));
 }
 
 Daemon::~Daemon()
 {
     drain();
+}
+
+bool
+Daemon::legacyExecution() const
+{
+    // With coalescing and the cache both switched off, run jobs
+    // through the exact pre-shard code path (sequential simulate via
+    // runWorkload) — the A/B baseline the SLO bench compares against.
+    return config_.maxBatchLanes <= 1 && config_.regionCacheEntries == 0;
 }
 
 bool
@@ -153,10 +176,8 @@ Daemon::start(std::string *error)
                         std::strerror(errno));
     }
 
-    pool_ = std::make_unique<ThreadPool>(config_.workers);
-    workerExits_.reserve(config_.workers);
-    for (unsigned i = 0; i < config_.workers; ++i)
-        workerExits_.push_back(pool_->submit([this] { workerLoop(); }));
+    for (uint32_t i = 0; i < shards_.size(); ++i)
+        shards_[i]->worker = std::jthread([this, i] { shardLoop(i); });
     watchdogThread_ =
         std::jthread([this](std::stop_token st) { watchdogLoop(st); });
     acceptThread_ = std::jthread([this] { acceptLoop(); });
@@ -215,12 +236,12 @@ Daemon::drain()
         idleCv_.wait(lock, [this] { return outstanding_.load() == 0; });
     }
 
-    // 3. Retire workers and the watchdog.
-    queue_.close();
-    for (std::future<void> &exit : workerExits_)
-        exit.get();
-    workerExits_.clear();
-    pool_.reset();
+    // 3. Retire shard workers and the watchdog.
+    for (const std::unique_ptr<Shard> &shard : shards_)
+        shard->queue.close();
+    for (const std::unique_ptr<Shard> &shard : shards_)
+        if (shard->worker.joinable())
+            shard->worker.join();
     watchdogThread_.request_stop();
     watchdogCv_.notify_all();
     if (watchdogThread_.joinable())
@@ -279,7 +300,12 @@ Daemon::acceptLoop()
             const int fd = ::accept(fds[i].fd, nullptr, nullptr);
             if (fd < 0)
                 continue;
-            auto conn = std::make_shared<Connection>(fd);
+            // Connections hash to shards round-robin; every job of a
+            // connection lands in its shard's rings (work stealing
+            // rebalances execution, not admission).
+            const uint32_t shard = static_cast<uint32_t>(
+                connCounter_.fetch_add(1) % shards_.size());
+            auto conn = std::make_shared<Connection>(fd, shard);
             bump("conns.accepted");
             std::lock_guard<std::mutex> lock(connsMutex_);
             conns_.push_back(conn);
@@ -293,7 +319,13 @@ void
 Daemon::connectionLoop(std::shared_ptr<Connection> conn)
 {
     ++activeConns_;
+    // All per-line state lives here and is reused across requests:
+    // the rx buffer keeps its capacity through erase(), and the
+    // request tree is reparsed in place (support/json
+    // parseJsonInPlace), so a warmed-up connection reads, parses, and
+    // dispatches without touching the heap.
     std::string buffer;
+    JsonValue reqTree;
     char chunk[4096];
     while (true) {
         const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
@@ -302,15 +334,18 @@ Daemon::connectionLoop(std::shared_ptr<Connection> conn)
         if (n <= 0)
             break;
         buffer.append(chunk, static_cast<size_t>(n));
+        size_t start = 0;
         size_t pos;
-        while ((pos = buffer.find('\n')) != std::string::npos) {
-            std::string line = buffer.substr(0, pos);
-            buffer.erase(0, pos + 1);
+        while ((pos = buffer.find('\n', start)) != std::string::npos) {
+            std::string_view line(buffer.data() + start, pos - start);
+            start = pos + 1;
             if (!line.empty() && line.back() == '\r')
-                line.pop_back();
+                line.remove_suffix(1);
             if (!line.empty())
-                handleLine(conn, line);
+                handleLine(conn, line, reqTree);
         }
+        if (start > 0)
+            buffer.erase(0, start); // keeps capacity
         if (buffer.size() > kMaxRequestLineBytes) {
             // Framing is unrecoverable once a line exceeds the cap:
             // answer and drop the connection.
@@ -331,12 +366,27 @@ Daemon::connectionLoop(std::shared_ptr<Connection> conn)
 
 void
 Daemon::handleLine(const std::shared_ptr<Connection> &conn,
-                   const std::string &line)
+                   std::string_view line, JsonValue &reqTree)
 {
     bump("requests.total");
     Request req;
     CodecError err;
-    if (!parseRequestLine(line, req, err)) {
+    bool ok = false;
+    if (line.size() > kMaxRequestLineBytes) {
+        err.code = "oversized";
+        err.message = "request line exceeds " +
+                      std::to_string(kMaxRequestLineBytes) + " bytes";
+    } else {
+        const JsonParseStatus parsed = parseJsonInPlace(line, reqTree);
+        if (!parsed.ok) {
+            err.code = "bad_json";
+            err.message = std::string(parsed.error) + " at offset " +
+                          std::to_string(parsed.errorOffset);
+        } else {
+            ok = parseRequest(reqTree, req, err);
+        }
+    }
+    if (!ok) {
         bump("requests.errors");
         sendTo(conn, errorResponse(req.id, err.code, err.message));
         return;
@@ -391,6 +441,7 @@ Daemon::handleRun(const std::shared_ptr<Connection> &conn, Request &req)
     auto job = std::make_shared<Job>();
     job->requestId = req.id;
     job->spec = req.job;
+    job->shard = conn->shard;
     job->enqueued = clock_t_::now();
     const uint64_t millis = job->spec.timeoutMillis
                                 ? job->spec.timeoutMillis
@@ -401,23 +452,33 @@ Daemon::handleRun(const std::shared_ptr<Connection> &conn, Request &req)
             job->enqueued + std::chrono::milliseconds(millis);
     }
     job->respond = [this, conn](const JsonValue &v) { sendTo(conn, v); };
+    job->respondBytes = [conn](std::string_view bytes) {
+        conn->sendBytes(bytes);
+    };
 
     {
         std::lock_guard<std::mutex> lock(conn->jobsMutex);
         conn->jobs[req.id] = job;
     }
+    const bool bulk = job->spec.klass == AdmitClass::Bulk;
     ++outstanding_;
-    // jobs.accepted is bumped under the queue lock, before any worker
-    // can pop the job: a fast worker must never bump jobs.completed
+    // jobs.accepted is bumped under the ring lock, before any worker
+    // can claim the job: a fast worker must never bump jobs.completed
     // for a job whose acceptance is not yet visible to metrics.
-    if (!queue_.tryPush(job, [this] { bump("jobs.accepted"); })) {
+    JobQueue &ring = shards_[conn->shard]->queue;
+    if (!ring.tryPush(job, [this, bulk] {
+            bump("jobs.accepted");
+            bump(bulk ? "jobs.acceptedBulk" : "jobs.acceptedInteractive");
+        })) {
         finishJob();
         bump("jobs.rejected");
-        sendTo(conn, errorResponse(req.id, "queue_full",
-                                   "job queue is at capacity (" +
-                                       std::to_string(
-                                           config_.queueCapacity) +
-                                       ")"));
+        const size_t capacity =
+            bulk ? config_.bulkQueueCapacity : config_.queueCapacity;
+        sendTo(conn,
+               errorResponse(req.id, "queue_full",
+                             std::string(bulk ? "bulk" : "interactive") +
+                                 " ring is at capacity (" +
+                                 std::to_string(capacity) + ")"));
         return;
     }
     if (job->hasDeadline)
@@ -435,7 +496,7 @@ Daemon::handleCancel(const std::shared_ptr<Connection> &conn,
         if (it != conn->jobs.end())
             target = it->second.lock();
     }
-    if (target && queue_.cancel(target)) {
+    if (target && shards_[target->shard]->queue.cancel(target)) {
         // We own the job's response now (Queued -> Cancelled).
         target->respond(errorResponse(target->requestId, "cancelled",
                                       "job cancelled by request"));
@@ -451,37 +512,113 @@ Daemon::handleCancel(const std::shared_ptr<Connection> &conn,
 }
 
 // ---------------------------------------------------------------------
-// Execution
+// Execution (one run-to-completion worker per shard)
 // ---------------------------------------------------------------------
 
 void
-Daemon::workerLoop()
+Daemon::shardLoop(uint32_t index)
 {
-    while (std::shared_ptr<Job> job = queue_.pop()) {
-        if (!job->tryTransition(JobState::Queued, JobState::Running))
-            continue; // watchdog claimed it between pop and here
-        executeJob(job);
-        finishJob();
+    Shard &self = *shards_[index];
+    std::vector<std::shared_ptr<Job>> &group = self.claimBuf;
+    while (true) {
+        using std::chrono::milliseconds;
+        size_t n =
+            self.queue.claim(group, config_.maxBatchLanes,
+                             milliseconds(0));
+        if (n == 0 && shards_.size() > 1) {
+            // Idle: steal a group from the deepest sibling ring.
+            uint32_t victim = index;
+            size_t best = 0;
+            for (uint32_t i = 0; i < shards_.size(); ++i) {
+                if (i == index)
+                    continue;
+                const size_t d = shards_[i]->queue.depth();
+                if (d > best) {
+                    best = d;
+                    victim = i;
+                }
+            }
+            if (best > 0) {
+                n = shards_[victim]->queue.claim(
+                    group, config_.maxBatchLanes, milliseconds(0));
+                if (n) {
+                    std::lock_guard<std::mutex> lock(self.statsMutex);
+                    self.stats.counter("shard.steals").inc();
+                }
+            }
+        }
+        if (n == 0) {
+            n = self.queue.claim(group, config_.maxBatchLanes,
+                                 milliseconds(2));
+            if (n == 0) {
+                if (self.queue.closed())
+                    break;
+                continue;
+            }
+        }
+        executeGroup(self, group);
+        for (size_t i = 0; i < group.size(); ++i)
+            finishJob();
+        group.clear(); // drop job references promptly
     }
 }
 
 void
-Daemon::executeJob(const std::shared_ptr<Job> &job)
+Daemon::respondResult(Shard &shard, const std::shared_ptr<Job> &job,
+                      const OutcomeSummary &summary)
+{
+    std::string &buf = shard.encodeBuf;
+    buf.clear(); // keeps capacity: steady state reuses the arena
+    appendResultResponse(buf, job->requestId, summary);
+    buf += '\n';
+    if (job->respondBytes)
+        job->respondBytes(buf);
+    else
+        job->respond(resultResponse(job->requestId,
+                                    encodeOutcome(summary)));
+}
+
+void
+Daemon::executeGroup(Shard &shard,
+                     std::vector<std::shared_ptr<Job>> &group)
 {
     const clock_t_::time_point started = clock_t_::now();
-    sampleLatency("latency.queueMicros",
-                  microsBetween(job->enqueued, started));
-    if (job->spec.sleepMillis) {
+    {
+        std::lock_guard<std::mutex> lock(shard.statsMutex);
+        for (const std::shared_ptr<Job> &job : group)
+            shard.stats.histogram("latency.queueMicros")
+                .sample(microsBetween(job->enqueued, started));
+    }
+    // Test delay: claim() never coalesces sleepers, so a sleeping job
+    // is always a singleton group.
+    if (group.size() == 1 && group[0]->spec.sleepMillis) {
         std::this_thread::sleep_for(
-            std::chrono::milliseconds(job->spec.sleepMillis));
+            std::chrono::milliseconds(group[0]->spec.sleepMillis));
     }
 
-    StageTimes times;
-    RunOutcome outcome;
     bool failed = false;
     std::string failMessage;
+    std::vector<BatchRunResult> results;
+    RunOutcome legacyOutcome;
+    StageTimes legacyTimes;
+    const bool legacy = legacyExecution();
     try {
-        outcome = runWorkload(*job->spec.info, job->spec.request, times);
+        if (legacy) {
+            // Lanes are capped at 1 in legacy mode, so claim() never
+            // builds a multi-job group.
+            NACHOS_ASSERT(group.size() == 1,
+                          "legacy execution got a coalesced group");
+            const Job &job = *group[0];
+            legacyOutcome =
+                runWorkload(*job.spec.info, job.spec.request,
+                            legacyTimes);
+        } else {
+            std::vector<BatchRunItem> &items = shard.itemBuf;
+            items.clear();
+            for (const std::shared_ptr<Job> &job : group)
+                items.push_back({job->spec.info, &job->spec.request});
+            results = runBatchedGroup(items, cache_, shard.engine);
+        }
     } catch (const std::exception &e) {
         failed = true;
         failMessage = e.what();
@@ -490,36 +627,70 @@ Daemon::executeJob(const std::shared_ptr<Job> &job)
         failMessage = "unknown exception";
     }
 
-    if (!job->tryTransition(JobState::Running, JobState::Done)) {
-        // The watchdog answered `timeout` while we were computing;
-        // the result is discarded but still counted.
-        bump("jobs.lateResults");
-        return;
-    }
-    if (failed) {
-        job->respond(errorResponse(job->requestId, "internal",
-                                   "job execution failed: " +
-                                       failMessage));
-        bump("jobs.failed");
-        return;
-    }
-    job->respond(resultResponse(
-        job->requestId,
-        encodeRunOutcome(*job->spec.info, job->spec.request, outcome)));
-    const clock_t_::time_point finished = clock_t_::now();
-    {
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        stats_.counter("jobs.completed").inc();
-        stats_.histogram("latency.synthMicros")
+    for (size_t i = 0; i < group.size(); ++i) {
+        const std::shared_ptr<Job> &job = group[i];
+        if (!job->tryTransition(JobState::Running, JobState::Done)) {
+            // The watchdog answered `timeout` while we were
+            // computing; the result is discarded but still counted.
+            std::lock_guard<std::mutex> lock(shard.statsMutex);
+            shard.stats.counter("jobs.lateResults").inc();
+            continue;
+        }
+        if (failed) {
+            job->respond(errorResponse(job->requestId, "internal",
+                                       "job execution failed: " +
+                                           failMessage));
+            std::lock_guard<std::mutex> lock(shard.statsMutex);
+            shard.stats.counter("jobs.failed").inc();
+            continue;
+        }
+        const StageTimes &times =
+            legacy ? legacyTimes : results[i].times;
+        OutcomeSummary summary;
+        if (legacy) {
+            summary = summarizeOutcome(*job->spec.info,
+                                       job->spec.request, legacyOutcome);
+        } else {
+            const BatchRunResult &r = results[i];
+            summary = summarizeOutcome(
+                *job->spec.info, job->spec.request, r.entry->analysis,
+                r.entry->mdes, r.lsq ? &*r.lsq : nullptr,
+                r.sw ? &*r.sw : nullptr,
+                r.nachos ? &*r.nachos : nullptr);
+        }
+        respondResult(shard, job, summary);
+        const clock_t_::time_point finished = clock_t_::now();
+        const uint64_t totalMicros =
+            microsBetween(job->enqueued, finished);
+        const bool bulk = job->spec.klass == AdmitClass::Bulk;
+        std::lock_guard<std::mutex> lock(shard.statsMutex);
+        shard.stats.counter("jobs.completed").inc();
+        shard.stats.histogram("latency.synthMicros")
             .sample(secondsToMicros(times.synthSeconds));
-        stats_.histogram("latency.analysisMicros")
+        shard.stats.histogram("latency.analysisMicros")
             .sample(secondsToMicros(times.analysisSeconds));
-        stats_.histogram("latency.mdeMicros")
+        shard.stats.histogram("latency.mdeMicros")
             .sample(secondsToMicros(times.mdeSeconds));
-        stats_.histogram("latency.simMicros")
+        shard.stats.histogram("latency.simMicros")
             .sample(secondsToMicros(times.simSeconds));
-        stats_.histogram("latency.totalMicros")
-            .sample(microsBetween(job->enqueued, finished));
+        shard.stats.histogram("latency.totalMicros").sample(totalMicros);
+        shard.stats
+            .histogram(bulk ? "latency.bulk.totalMicros"
+                            : "latency.interactive.totalMicros")
+            .sample(totalMicros);
+    }
+
+    if (!legacy && !failed) {
+        uint32_t lanes = 0;
+        for (const std::shared_ptr<Job> &job : group)
+            lanes += backendLanes(job->spec.request);
+        std::lock_guard<std::mutex> lock(shard.statsMutex);
+        shard.stats.counter("batch.groups").inc();
+        shard.stats.counter("batch.lanes").inc(lanes);
+        shard.stats.histogram("batch.lanesPerGroup").sample(lanes);
+        if (group.size() > 1)
+            shard.stats.counter("batch.coalescedJobs")
+                .inc(group.size() - 1);
     }
 }
 
@@ -584,10 +755,15 @@ Daemon::watchdogLoop(std::stop_token st)
         for (const std::shared_ptr<Job> &job : deadlineJobs_) {
             if (job->deadline > now)
                 continue;
+            // claim() performs Queued -> Running inside the ring
+            // lock, so this CAS can only win while the job truly
+            // still sits in a ring (where it stays as a corpse that
+            // claim() drops) — a claimed-but-unstarted job can no
+            // longer be stolen here.
             if (job->tryTransition(JobState::Queued,
                                    JobState::TimedOut)) {
                 // Never started: we own both the response and the
-                // outstanding count (pop() will skip the corpse).
+                // outstanding count.
                 job->respond(errorResponse(
                     job->requestId, "timeout",
                     "job timed out before starting"));
@@ -624,26 +800,41 @@ Daemon::bump(const char *name, uint64_t n)
     stats_.counter(name).inc(n);
 }
 
-void
-Daemon::sampleLatency(const char *name, uint64_t micros)
-{
-    std::lock_guard<std::mutex> lock(statsMutex_);
-    stats_.histogram(name).sample(micros);
-}
-
 JsonValue
 Daemon::metricsSnapshot() const
 {
     StatSet copy;
+    // Merge shard (completion-side) stats BEFORE the global
+    // (admission-side) set: jobs.accepted must be copied no earlier
+    // than jobs.completed or a metrics reader could observe
+    // completed > accepted.
+    for (const std::unique_ptr<Shard> &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->statsMutex);
+        copy.merge(shard->stats);
+    }
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
-        copy = stats_;
+        copy.merge(stats_);
     }
     // Point-in-time gauges ride along as counters of the snapshot.
-    copy.counter("queue.depth").inc(queue_.depth());
+    size_t interactiveDepth = 0;
+    size_t bulkDepth = 0;
+    for (const std::unique_ptr<Shard> &shard : shards_) {
+        interactiveDepth += shard->queue.depth(AdmitClass::Interactive);
+        bulkDepth += shard->queue.depth(AdmitClass::Bulk);
+    }
+    copy.counter("queue.depth").inc(interactiveDepth + bulkDepth);
+    copy.counter("queue.interactiveDepth").inc(interactiveDepth);
+    copy.counter("queue.bulkDepth").inc(bulkDepth);
     copy.counter("jobs.outstanding").inc(outstanding_.load());
     copy.counter("conns.active").inc(activeConns_.load());
     copy.counter("daemon.draining").inc(draining_.load() ? 1 : 0);
+    copy.counter("daemon.shards").inc(shards_.size());
+    const RegionCache::Counters cc = cache_.counters();
+    copy.counter("cache.hits").inc(cc.hits);
+    copy.counter("cache.misses").inc(cc.misses);
+    copy.counter("cache.evictions").inc(cc.evictions);
+    copy.counter("cache.size").inc(cc.size);
     return copy.jsonSnapshot();
 }
 

@@ -3,21 +3,34 @@
  * nachosd: a long-running experiment server around the harness. It
  * listens on a Unix-domain socket (plus an optional loopback TCP
  * port), speaks the JSON-lines protocol of service/protocol.hh, and
- * executes admitted run requests on the existing ThreadPool via
- * runWorkload — amortizing process setup across many requests instead
- * of paying it per bench invocation.
+ * executes admitted run requests on a sharded, run-to-completion
+ * serving plane — amortizing process setup across many requests
+ * instead of paying it per bench invocation.
  *
  * Architecture (one box per thread kind):
  *
- *   accept loop ──> connection readers (1/conn) ──> bounded JobQueue
- *                                                        │
- *   timeout watchdog <── deadline registry          worker loops
- *        │                                          (ThreadPool)
+ *   accept loop ──> connection readers (1/conn) ──┬─> shard 0 ring
+ *                        (conn hashed to a shard) ├─> shard 1 ring
+ *                                                 └─> ...
+ *   timeout watchdog <── deadline registry         one worker/shard
+ *        │                                         (steals from the
+ *        │                                          deepest sibling
+ *        │                                          when idle)
  *        └── answers `timeout`, workers answer `result`/`error`;
  *            an atomic per-job state machine guarantees exactly one
  *            response per request no matter who wins the race.
  *
- * Backpressure: JobQueue capacity bounds admission; a full queue
+ * Each shard owns a dual-class JobQueue (interactive and bulk rings
+ * with separate bounds), a BatchSimEngine whose HierarchyPool
+ * persists across jobs, and a reusable encode buffer. Bulk jobs that
+ * agree on region work are claimed as one group and executed as a
+ * single multi-lane batched simulate; the front end (synthesis +
+ * alias pipeline + MDEs) is served from a daemon-wide LRU
+ * RegionCache. Results are encoded straight into the shard's buffer
+ * (protocol appendResultResponse), so the steady-state request path
+ * performs no per-request heap allocation.
+ *
+ * Backpressure: per-class ring capacity bounds admission; a full ring
  * answers `queue_full` immediately. Shutdown: drain() stops the
  * accept loop, lets every admitted job finish and flush its response,
  * then closes connections — SIGTERM/SIGINT in the nachosd binary and
@@ -30,7 +43,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -38,10 +50,11 @@
 #include <thread>
 #include <vector>
 
+#include "cgra/batch_sim.hh"
+#include "harness/batch_run.hh"
 #include "service/job_queue.hh"
 #include "service/protocol.hh"
 #include "support/stats.hh"
-#include "support/thread_pool.hh"
 
 namespace nachos {
 
@@ -51,10 +64,17 @@ struct DaemonConfig
     std::string socketPath;
     /** Also listen on loopback TCP when nonzero. */
     uint16_t tcpPort = 0;
-    /** Worker threads executing jobs. */
+    /** Worker threads = shards (one run-to-completion worker each). */
     unsigned workers = 2;
-    /** JobQueue capacity (admission control). */
+    /** Per-shard interactive ring capacity (admission control). */
     size_t queueCapacity = 64;
+    /** Per-shard bulk ring capacity. */
+    size_t bulkQueueCapacity = 256;
+    /** Resident (region, analysis, mdes) cache entries; 0 disables. */
+    size_t regionCacheEntries = 64;
+    /** Max total backend lanes per coalesced bulk group (1 disables
+     *  coalescing). Hard cap: BatchSimEngine::kMaxLanes. */
+    uint32_t maxBatchLanes = BatchSimEngine::kMaxLanes;
     /** Deadline applied to jobs that do not set one; 0 = none. */
     uint64_t defaultTimeoutMillis = 0;
 };
@@ -71,8 +91,8 @@ class Daemon
     Daemon &operator=(const Daemon &) = delete;
 
     /**
-     * Bind sockets and spawn the accept loop, workers, and watchdog.
-     * False (with *error filled) on socket setup failure.
+     * Bind sockets and spawn the accept loop, shard workers, and
+     * watchdog. False (with *error filled) on socket setup failure.
      */
     bool start(std::string *error = nullptr);
 
@@ -103,45 +123,72 @@ class Daemon
     /** Per-connection shared state; the last owner closes the fd. */
     struct Connection
     {
-        explicit Connection(int connFd) : fd(connFd) {}
+        explicit Connection(int connFd, uint32_t shardIndex)
+            : fd(connFd), shard(shardIndex)
+        {}
         ~Connection();
 
         /** Serialized, best-effort line write (MSG_NOSIGNAL). */
         void sendLine(const std::string &line);
 
+        /** As above for a prebuilt buffer that already ends in \n. */
+        void sendBytes(std::string_view bytes);
+
         /** Wake a reader blocked in recv (drain path). */
         void shutdownSocket();
 
         int fd;
+        uint32_t shard; ///< ring this connection's jobs land in
         std::mutex writeMutex;
         std::mutex jobsMutex;
         /** Live jobs by client request id (for cancel/duplicate). */
         std::map<uint64_t, std::weak_ptr<Job>> jobs;
     };
 
+    /** One slice of the serving plane: ring + worker + engine. */
+    struct Shard
+    {
+        Shard(size_t interactiveCapacity, size_t bulkCapacity)
+            : queue(interactiveCapacity, bulkCapacity)
+        {}
+
+        JobQueue queue;
+        BatchSimEngine engine; ///< pools hierarchies across jobs
+        std::string encodeBuf; ///< reused response-line buffer
+        std::vector<std::shared_ptr<Job>> claimBuf; ///< reused group
+        std::vector<BatchRunItem> itemBuf;          ///< reused group
+        std::jthread worker;
+        mutable std::mutex statsMutex;
+        StatSet stats; ///< completed/latency/batch counters
+    };
+
     void acceptLoop();
     void connectionLoop(std::shared_ptr<Connection> conn);
     void handleLine(const std::shared_ptr<Connection> &conn,
-                    const std::string &line);
+                    std::string_view line, JsonValue &reqTree);
     void handleRun(const std::shared_ptr<Connection> &conn,
                    Request &req);
     void handleCancel(const std::shared_ptr<Connection> &conn,
                       const Request &req);
-    void workerLoop();
-    void executeJob(const std::shared_ptr<Job> &job);
+    void shardLoop(uint32_t index);
+    void executeGroup(Shard &shard,
+                      std::vector<std::shared_ptr<Job>> &group);
+    void respondResult(Shard &shard, const std::shared_ptr<Job> &job,
+                       const OutcomeSummary &summary);
     void watchdogLoop(std::stop_token st);
     void registerDeadline(std::shared_ptr<Job> job);
     void finishJob(); ///< outstanding-- and wake drain()
 
+    /** Legacy single-lane execution (PR3-faithful A/B baseline)? */
+    bool legacyExecution() const;
+
     void sendTo(const std::shared_ptr<Connection> &conn,
                 const JsonValue &v);
     void bump(const char *name, uint64_t n = 1);
-    void sampleLatency(const char *name, uint64_t micros);
 
     DaemonConfig config_;
-    JobQueue queue_;
-    std::unique_ptr<ThreadPool> pool_;
-    std::vector<std::future<void>> workerExits_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    RegionCache cache_;
 
     int listenUnixFd_ = -1;
     int listenTcpFd_ = -1;
@@ -157,6 +204,7 @@ class Daemon
     std::atomic<bool> draining_{false};
     std::atomic<bool> drained_{false};
     std::atomic<uint64_t> activeConns_{0};
+    std::atomic<uint64_t> connCounter_{0}; ///< shard assignment
     /** Jobs admitted but not yet finally disposed of. */
     std::atomic<uint64_t> outstanding_{0};
 
@@ -172,7 +220,7 @@ class Daemon
     std::vector<std::shared_ptr<Job>> deadlineJobs_;
 
     mutable std::mutex statsMutex_;
-    StatSet stats_;
+    StatSet stats_; ///< admission-side counters (accepted, conns, ...)
 };
 
 } // namespace nachos

@@ -1,12 +1,27 @@
 /**
  * @file
- * Bounded admission queue between the daemon's connection threads and
- * its worker pool. Capacity is the backpressure mechanism: when the
- * queue is full, tryPush fails and the daemon answers `queue_full`
+ * Bounded dual-class admission ring between a shard's connections and
+ * its worker. Capacity is the backpressure mechanism: when a class's
+ * ring is full, tryPush fails and the daemon answers `queue_full`
  * instead of buffering unboundedly (the JSON-lines equivalent of an
- * HTTP 503). Jobs carry an atomic state machine so three parties —
- * the popping worker, the timeout watchdog, and a cancel request —
- * can race for a job and exactly one wins the right to answer it.
+ * HTTP 503). Interactive jobs and bulk jobs have separate bounds so a
+ * bulk sweep can never starve interactive admission.
+ *
+ * Jobs carry an atomic state machine so three parties — the claiming
+ * worker, the timeout watchdog, and a cancel request — can race for a
+ * job and exactly one wins the right to answer it. Unlike the earlier
+ * single-FIFO queue, the Queued -> Running transition happens INSIDE
+ * the ring lock at claim time: there is no window where a job has
+ * left the ring but is still Queued, which is the window the watchdog
+ * used to be able to steal a popped job in (it would answer `timeout`
+ * for a job a worker was about to run, and the worker's real result
+ * became a late discard even though it started well before the
+ * deadline).
+ *
+ * claim() also performs bulk coalescing: consecutive-enough bulk jobs
+ * that agree on their region work (harness sameRegionWork) are claimed
+ * as one group, which the shard then executes as a single multi-lane
+ * batched simulate.
  */
 
 #ifndef NACHOS_SERVICE_JOB_QUEUE_HH
@@ -19,6 +34,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string_view>
+#include <vector>
 
 #include "harness/run_json.hh"
 #include "support/json.hh"
@@ -27,7 +44,7 @@ namespace nachos {
 
 /**
  * Lifecycle of a job. Legal transitions (all CAS-guarded):
- * Queued -> Running (worker), Queued -> Cancelled (cancel request),
+ * Queued -> Running (claim), Queued -> Cancelled (cancel request),
  * Queued/Running -> TimedOut (watchdog), Running -> Done (worker).
  * Whoever performs the transition out of Queued/Running owns the
  * response; a worker that finishes a job the watchdog already timed
@@ -40,12 +57,20 @@ struct Job
 {
     uint64_t requestId = 0; ///< client-visible id (per connection)
     JobSpec spec;
+    uint32_t shard = 0; ///< shard the job was admitted to
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;
     bool hasDeadline = false;
 
     /** Sends one response line to the job's connection (thread-safe). */
     std::function<void(const JsonValue &)> respond;
+
+    /**
+     * Raw-bytes variant for the steady-state result path: `bytes` is
+     * one complete response line WITHOUT the trailing newline. May be
+     * empty (tests); fall back to respond then.
+     */
+    std::function<void(std::string_view)> respondBytes;
 
     std::atomic<JobState> state{JobState::Queued};
 
@@ -54,31 +79,50 @@ struct Job
     {
         return state.compare_exchange_strong(from, to);
     }
+
+    /** Eligible for cross-request batching? (Bulk, no test delay.) */
+    bool
+    coalescible() const
+    {
+        return spec.klass == AdmitClass::Bulk && spec.sleepMillis == 0;
+    }
 };
 
-/** Bounded FIFO of shared Jobs. */
+/** Bounded dual-class ring of shared Jobs (one per shard). */
 class JobQueue
 {
   public:
-    explicit JobQueue(size_t capacity);
+    JobQueue(size_t interactiveCapacity, size_t bulkCapacity);
 
     /**
-     * Admit a job; false when the queue is full or closed. When
-     * admission succeeds, `onAdmit` runs under the queue lock before
-     * any worker can pop the job — use it for accounting that must be
-     * ordered before the job's completion (e.g. an accepted counter
-     * that a metrics reader compares against completed).
+     * Admit a job to its class's ring; false when that ring is full
+     * or the queue is closed. When admission succeeds, `onAdmit` runs
+     * under the queue lock before any worker can claim the job — use
+     * it for accounting that must be ordered before the job's
+     * completion (e.g. an accepted counter that a metrics reader
+     * compares against completed).
      */
     bool tryPush(std::shared_ptr<Job> job,
                  const std::function<void()> &onAdmit = {});
 
     /**
-     * Take the next job, blocking while the queue is open and empty.
-     * Returns nullptr once the queue is closed and drained. Jobs
-     * whose state already left Queued (cancelled/timed out while
-     * waiting) are skipped here, not returned.
+     * Claim the next unit of work into `out` (cleared first). Every
+     * returned job has already made the Queued -> Running transition
+     * under the ring lock — the caller owns its execution and its
+     * response unless the watchdog later times it out.
+     *
+     * Interactive jobs have priority and are claimed one at a time.
+     * Otherwise the oldest bulk job leads a group: while the group's
+     * total backend-lane count stays <= `maxLanes`, younger
+     * coalescible bulk jobs with the same region work join it (jobs
+     * that don't match are skipped in place and keep their turn).
+     *
+     * Blocks up to `wait` for work (0 = try only). Returns the number
+     * of jobs claimed; 0 on timeout or once the queue is closed and
+     * drained. Cancelled/timed-out corpses are dropped here.
      */
-    std::shared_ptr<Job> pop();
+    size_t claim(std::vector<std::shared_ptr<Job>> &out,
+                 uint32_t maxLanes, std::chrono::milliseconds wait);
 
     /**
      * Cancel a still-queued job (matched by pointer identity).
@@ -87,17 +131,20 @@ class JobQueue
      */
     bool cancel(const std::shared_ptr<Job> &job);
 
-    /** Close the queue: pushes fail, poppers drain then get nullptr. */
+    /** Close the queue: pushes fail, claimers drain then get 0. */
     void close();
 
-    size_t depth() const;
+    size_t depth() const; ///< both classes
+    size_t depth(AdmitClass klass) const;
     bool closed() const;
 
   private:
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<std::shared_ptr<Job>> queue_;
-    size_t capacity_;
+    std::deque<std::shared_ptr<Job>> interactive_;
+    std::deque<std::shared_ptr<Job>> bulk_;
+    size_t interactiveCapacity_;
+    size_t bulkCapacity_;
     bool closed_ = false;
 };
 

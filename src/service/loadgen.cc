@@ -1,0 +1,247 @@
+#include "service/loadgen.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "service/client.hh"
+#include "service/protocol.hh"
+
+namespace nachos {
+
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+uint64_t
+microsSince(clock_t_::time_point t0, clock_t_::time_point t1)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+}
+
+/** Per-client tally, merged after the threads join. */
+struct ClientTally
+{
+    uint64_t sent = 0;
+    uint64_t completed = 0;
+    uint64_t errors = 0;
+    uint64_t protocolErrors = 0;
+    LatencyHistogram latency;
+};
+
+JsonValue
+buildRequest(const LoadGenConfig &config)
+{
+    JsonValue run = JsonValue::makeObject();
+    run.set("workload", config.workload);
+    if (config.pathIndex)
+        run.set("pathIndex", static_cast<uint64_t>(config.pathIndex));
+    if (config.seed)
+        run.set("seed", config.seed);
+    JsonValue backends = JsonValue::makeArray();
+    for (const std::string &b : config.backends)
+        backends.push(b);
+    run.set("backends", std::move(backends));
+    if (config.invocations)
+        run.set("invocations", config.invocations);
+    if (config.timeoutMillis)
+        run.set("timeoutMillis", config.timeoutMillis);
+    if (config.klass == AdmitClass::Bulk)
+        run.set("class", "bulk");
+    JsonValue req = requestEnvelope(1, "run");
+    req.set("run", std::move(run));
+    return req;
+}
+
+std::unique_ptr<ServiceClient>
+connect(const LoadGenConfig &config, std::string *error)
+{
+    return config.tcpPort
+               ? ServiceClient::connectTcp(config.tcpHost,
+                                           config.tcpPort, error)
+               : ServiceClient::connectUnix(config.socketPath, error);
+}
+
+void
+classify(const std::optional<JsonValue> &response, ClientTally &tally)
+{
+    const JsonValue *type =
+        response ? response->find("type") : nullptr;
+    if (!type || !type->isString())
+        ++tally.protocolErrors;
+    else if (type->str() == "result")
+        ++tally.completed;
+    else if (type->str() == "error")
+        ++tally.errors;
+    else
+        ++tally.protocolErrors;
+}
+
+/** Closed loop: one request in flight, send -> wait -> repeat. */
+void
+closedLoopClient(const LoadGenConfig &config, ClientTally &tally)
+{
+    std::unique_ptr<ServiceClient> client = connect(config, nullptr);
+    if (!client) {
+        ++tally.protocolErrors;
+        return;
+    }
+    JsonValue request = buildRequest(config);
+    for (uint64_t i = 0; i < config.requestsPerClient; ++i) {
+        request.set("id", i + 1);
+        const clock_t_::time_point t0 = clock_t_::now();
+        if (!client->sendRequest(request)) {
+            ++tally.protocolErrors;
+            return;
+        }
+        ++tally.sent;
+        std::optional<JsonValue> response = client->waitFor(i + 1);
+        tally.latency.sample(microsSince(t0, clock_t_::now()));
+        classify(response, tally);
+        if (!response)
+            return; // EOF; counted above
+    }
+}
+
+/**
+ * Open loop: a sender thread launches requests on a fixed schedule
+ * while this thread reads responses and matches them to send times.
+ * ServiceClient is not generally thread-safe, but sendRequest touches
+ * only the fd while readLine/readResponse touch only the rx buffer,
+ * so the one-sender/one-reader split is sound.
+ */
+void
+openLoopClient(const LoadGenConfig &config, double perClientRps,
+               ClientTally &tally)
+{
+    std::unique_ptr<ServiceClient> client = connect(config, nullptr);
+    if (!client) {
+        ++tally.protocolErrors;
+        return;
+    }
+    const uint64_t total = static_cast<uint64_t>(
+        perClientRps * config.durationSeconds);
+    if (total == 0)
+        return;
+    const auto interval = std::chrono::duration_cast<
+        clock_t_::duration>(std::chrono::duration<double>(
+        1.0 / perClientRps));
+
+    std::mutex sendMutex;
+    std::vector<clock_t_::time_point> sendTimes(total);
+    // Requests the reader should expect; the sender lowers it if a
+    // send fails (the connection is broken then, so the reader's
+    // blocking read resolves as EOF rather than hanging).
+    std::atomic<uint64_t> expected{total};
+
+    std::thread sender([&] {
+        const clock_t_::time_point start = clock_t_::now();
+        JsonValue request = buildRequest(config);
+        for (uint64_t i = 0; i < total; ++i) {
+            std::this_thread::sleep_until(start + interval * i);
+            request.set("id", i + 1);
+            {
+                std::lock_guard<std::mutex> lock(sendMutex);
+                sendTimes[i] = clock_t_::now();
+            }
+            if (!client->sendRequest(request)) {
+                expected.store(i);
+                return;
+            }
+        }
+    });
+
+    uint64_t received = 0;
+    while (received < expected.load()) {
+        std::optional<JsonValue> response = client->readResponse();
+        if (!response) {
+            // EOF: whatever is still unanswered is a protocol error.
+            break;
+        }
+        const clock_t_::time_point now = clock_t_::now();
+        ++received;
+        classify(response, tally);
+        const JsonValue *id = response->find("id");
+        if (id && id->isU64() && id->asU64() >= 1 &&
+            id->asU64() <= total) {
+            std::lock_guard<std::mutex> lock(sendMutex);
+            tally.latency.sample(
+                microsSince(sendTimes[id->asU64() - 1], now));
+        }
+    }
+    sender.join();
+    tally.sent = expected.load();
+    if (received < tally.sent)
+        tally.protocolErrors += tally.sent - received;
+}
+
+} // namespace
+
+bool
+runLoadGen(const LoadGenConfig &config, LoadGenResult &result,
+           std::string *error)
+{
+    // Fail fast (before spawning clients) if the daemon is absent.
+    {
+        std::unique_ptr<ServiceClient> probe = connect(config, error);
+        if (!probe)
+            return false;
+    }
+
+    const unsigned clients = config.clients ? config.clients : 1;
+    std::vector<ClientTally> tallies(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    const clock_t_::time_point begin = clock_t_::now();
+    for (unsigned c = 0; c < clients; ++c) {
+        ClientTally &tally = tallies[c];
+        if (config.openRps > 0) {
+            const double perClient = config.openRps / clients;
+            threads.emplace_back([&config, perClient, &tally] {
+                openLoopClient(config, perClient, tally);
+            });
+        } else {
+            threads.emplace_back([&config, &tally] {
+                closedLoopClient(config, tally);
+            });
+        }
+    }
+    for (std::thread &t : threads)
+        t.join();
+    result.wallSeconds = std::chrono::duration<double>(
+                             clock_t_::now() - begin)
+                             .count();
+    for (const ClientTally &tally : tallies) {
+        result.sent += tally.sent;
+        result.completed += tally.completed;
+        result.errors += tally.errors;
+        result.protocolErrors += tally.protocolErrors;
+        result.latencyMicros.merge(tally.latency);
+    }
+    return true;
+}
+
+JsonValue
+loadGenResultJson(const LoadGenConfig &config,
+                  const LoadGenResult &result)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("workload", config.workload);
+    v.set("clients", static_cast<uint64_t>(config.clients));
+    v.set("mode", config.openRps > 0 ? "open" : "closed");
+    v.set("class", config.klass == AdmitClass::Bulk ? "bulk"
+                                                    : "interactive");
+    v.set("sent", result.sent);
+    v.set("completed", result.completed);
+    v.set("errors", result.errors);
+    v.set("protocolErrors", result.protocolErrors);
+    v.set("wallSeconds", result.wallSeconds);
+    v.set("reqps", result.achievedRps());
+    v.set("latencyMicros", result.latencyMicros.jsonSnapshot());
+    return v;
+}
+
+} // namespace nachos

@@ -7,8 +7,14 @@
  *
  *   run --workload NAME [--path N] [--seed N] [--backend lsq|sw|nachos]...
  *       [--invocations N] [--timeout-ms N] [--sleep-ms N]
+ *       [--class interactive|bulk]
  *   suite [--path N] [--seed N] [--backend ...]... [--invocations N]
  *   metrics | ping | shutdown
+ *
+ * --direct (run only) executes the request in-process through the
+ * same decode/run/encode path the daemon uses and prints the exact
+ * response line a daemon would send — the reference side of the
+ * daemon-vs-direct byte-equivalence check in tools/check_determinism.sh.
  *
  * Field values are passed to the daemon verbatim — validation happens
  * server-side, so a typoed workload demonstrates the daemon's typed
@@ -23,6 +29,7 @@
 #include <iostream>
 #include <vector>
 
+#include "harness/runner.hh"
 #include "service/client.hh"
 #include "service/protocol.hh"
 #include "support/table.hh"
@@ -48,6 +55,8 @@ struct Options
     uint64_t invocations = 0;
     uint64_t timeoutMillis = 0;
     uint64_t sleepMillis = 0;
+    std::string klass;
+    bool direct = false;
 };
 
 [[noreturn]] void
@@ -59,7 +68,8 @@ usageError(const std::string &message)
                  "         run --workload NAME [--path N] [--seed N] "
                  "[--backend B]... \\\n"
                  "             [--invocations N] [--timeout-ms N] "
-                 "[--sleep-ms N]\n"
+                 "[--sleep-ms N] \\\n"
+                 "             [--class interactive|bulk] [--direct]\n"
                  "       | suite [--path N] [--seed N] [--backend "
                  "B]... [--invocations N]\n"
                  "       | metrics | ping | shutdown\n";
@@ -115,6 +125,10 @@ parseArgs(int argc, char *argv[])
             opt.timeoutMillis = parseU64(arg, next(arg));
         } else if (arg == "--sleep-ms") {
             opt.sleepMillis = parseU64(arg, next(arg));
+        } else if (arg == "--class") {
+            opt.klass = next(arg);
+        } else if (arg == "--direct") {
+            opt.direct = true;
         } else if (arg == "--help" || arg == "-h") {
             usageError("help");
         } else if (!arg.empty() && arg[0] == '-') {
@@ -151,6 +165,8 @@ buildRunPayload(const Options &opt, const std::string &workload)
         run.set("timeoutMillis", opt.timeoutMillis);
     if (opt.sleepMillis)
         run.set("sleepMillis", opt.sleepMillis);
+    if (!opt.klass.empty())
+        run.set("class", opt.klass);
     JsonValue req = requestEnvelope(0, "run");
     req.set("run", std::move(run));
     return req;
@@ -252,6 +268,31 @@ int
 main(int argc, char *argv[])
 {
     const Options opt = parseArgs(argc, argv);
+
+    if (opt.direct) {
+        // In-process reference execution: same decode, run, and
+        // encode code the daemon uses, no daemon required. The id is
+        // 1, matching the first id a connected run would get, so the
+        // raw output is byte-comparable with a daemon round trip.
+        if (opt.command != "run")
+            usageError("--direct supports only the run command");
+        if (opt.workload.empty())
+            usageError("run requires --workload");
+        JsonValue request = buildRunPayload(opt, opt.workload);
+        const JsonValue *run = request.find("run");
+        JobSpec spec;
+        CodecError err;
+        if (!run || !decodeRunRequest(*run, spec, err))
+            return printResponse(opt,
+                                 errorResponse(1, err.code,
+                                               err.message));
+        const RunOutcome outcome =
+            runWorkload(*spec.info, spec.request);
+        return printResponse(
+            opt, resultResponse(1, encodeRunOutcome(
+                                       *spec.info, spec.request,
+                                       outcome)));
+    }
 
     std::string error;
     std::unique_ptr<ServiceClient> client =

@@ -6,7 +6,12 @@
  *
  *   nachosd --socket /tmp/nachos.sock [--tcp-port 9377]
  *           [--workers N] [--queue-capacity N]
- *           [--default-timeout-ms N] [--quiet]
+ *           [--bulk-queue-capacity N] [--region-cache N]
+ *           [--max-batch-lanes N] [--default-timeout-ms N] [--quiet]
+ *
+ * --workers is the shard count: each worker owns its own job rings
+ * and batch engine. --region-cache 0 --max-batch-lanes 1 reverts to
+ * the pre-shard single-lane execution path (the A/B baseline).
  */
 
 #include <csignal>
@@ -24,8 +29,9 @@ void
 usage(std::ostream &os)
 {
     os << "usage: nachosd --socket PATH [--tcp-port N] [--workers N]\n"
-          "               [--queue-capacity N] [--default-timeout-ms N]\n"
-          "               [--quiet]\n";
+          "               [--queue-capacity N] [--bulk-queue-capacity N]\n"
+          "               [--region-cache N] [--max-batch-lanes N]\n"
+          "               [--default-timeout-ms N] [--quiet]\n";
 }
 
 uint64_t
@@ -66,6 +72,17 @@ main(int argc, char *argv[])
             config.queueCapacity = parseCount(
                 "--queue-capacity", value("--queue-capacity"), 1,
                 1 << 20);
+        } else if (arg == "--bulk-queue-capacity") {
+            config.bulkQueueCapacity = parseCount(
+                "--bulk-queue-capacity",
+                value("--bulk-queue-capacity"), 1, 1 << 20);
+        } else if (arg == "--region-cache") {
+            config.regionCacheEntries = parseCount(
+                "--region-cache", value("--region-cache"), 0, 1 << 20);
+        } else if (arg == "--max-batch-lanes") {
+            config.maxBatchLanes = static_cast<uint32_t>(parseCount(
+                "--max-batch-lanes", value("--max-batch-lanes"), 1,
+                nachos::BatchSimEngine::kMaxLanes));
         } else if (arg == "--default-timeout-ms") {
             config.defaultTimeoutMillis =
                 parseCount("--default-timeout-ms",
@@ -100,8 +117,10 @@ main(int argc, char *argv[])
                    config.tcpPort ? " and tcp port " : "",
                    config.tcpPort ? std::to_string(config.tcpPort)
                                   : std::string(),
-                   " (", config.workers, " workers, queue ",
-                   config.queueCapacity, ")");
+                   " (", config.workers, " shards, rings ",
+                   config.queueCapacity, "/", config.bulkQueueCapacity,
+                   ", cache ", config.regionCacheEntries, ", lanes ",
+                   config.maxBatchLanes, ")");
 
     // Detached on purpose: sigwait has no cancellation point, and the
     // process is exiting when this thread still blocks.

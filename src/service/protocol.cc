@@ -27,7 +27,12 @@ parseRequestLine(const std::string &line, Request &req, CodecError &err)
         return failProto(err, "bad_json",
                          parsed.error + " at offset " +
                              std::to_string(parsed.errorOffset));
-    const JsonValue &v = parsed.value;
+    return parseRequest(parsed.value, req, err);
+}
+
+bool
+parseRequest(const JsonValue &v, Request &req, CodecError &err)
+{
     if (!v.isObject())
         return failProto(err, "bad_request",
                          "request must be a JSON object");
@@ -140,6 +145,23 @@ resultResponse(uint64_t id, JsonValue outcome)
     JsonValue v = envelope(id, "result");
     v.set("outcome", std::move(outcome));
     return v;
+}
+
+void
+appendResultResponse(std::string &out, uint64_t id,
+                     const OutcomeSummary &summary)
+{
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("v");
+    w.value(kProtocolVersion);
+    w.key("id");
+    w.value(id);
+    w.key("type");
+    w.value("result");
+    w.key("outcome");
+    encodeOutcomeTo(w, summary);
+    w.endObject();
 }
 
 JsonValue

@@ -65,11 +65,28 @@ struct Request
 bool parseRequestLine(const std::string &line, Request &req,
                       CodecError &err);
 
+/**
+ * Validate an already-parsed request tree. parseRequestLine is this
+ * plus a parseJson; the daemon's steady-state path parses into a
+ * reusable per-connection tree (parseJsonInPlace) and calls this, so
+ * request handling allocates nothing once the tree has warmed up.
+ */
+bool parseRequest(const JsonValue &v, Request &req, CodecError &err);
+
 // ---- response builders (all include the envelope) -------------------
 
 JsonValue errorResponse(uint64_t id, const std::string &code,
                         const std::string &message);
 JsonValue resultResponse(uint64_t id, JsonValue outcome);
+
+/**
+ * Append one complete result line (newline excluded) to `out`:
+ * byte-identical to dumpJson(resultResponse(id, encodeOutcome(s)))
+ * but with zero heap allocation into a reused buffer — the serving
+ * plane's hot response path.
+ */
+void appendResultResponse(std::string &out, uint64_t id,
+                          const OutcomeSummary &summary);
 JsonValue metricsResponse(uint64_t id, JsonValue stats);
 JsonValue pongResponse(uint64_t id);
 JsonValue okResponse(uint64_t id);

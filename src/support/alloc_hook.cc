@@ -1,0 +1,187 @@
+#include "support/alloc_hook.hh"
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+thread_local uint64_t allocCount = 0;
+thread_local uint64_t allocBytes = 0;
+
+void *
+countedAlloc(std::size_t size)
+{
+    ++allocCount;
+    allocBytes += size;
+    // malloc(0) may return nullptr legally; operator new must not.
+    return std::malloc(size ? size : 1);
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    ++allocCount;
+    allocBytes += size;
+    void *p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void *) ? sizeof(void *) : align,
+                       size ? size : 1) != 0)
+        return nullptr;
+    return p;
+}
+
+} // namespace
+
+namespace nachos {
+
+uint64_t
+threadAllocCount()
+{
+    return allocCount;
+}
+
+uint64_t
+threadAllocBytes()
+{
+    return allocBytes;
+}
+
+} // namespace nachos
+
+// ---------------------------------------------------------------------
+// Replacement global allocation functions (C++17 set). These live in
+// the same translation unit as threadAllocCount() on purpose: only
+// binaries that reference the counters link the replacements.
+// ---------------------------------------------------------------------
+
+void *
+operator new(std::size_t size)
+{
+    if (void *p = countedAlloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    if (void *p = countedAlloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    if (void *p = countedAlignedAlloc(size,
+                                      static_cast<std::size_t>(align)))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    if (void *p = countedAlignedAlloc(size,
+                                      static_cast<std::size_t>(align)))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t,
+                  const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Per-thread allocation counting for zero-allocation assertions.
+ *
+ * Linking a binary against any symbol in alloc_hook.cc pulls in
+ * replacement global `operator new`/`operator delete` definitions that
+ * bump a thread-local counter on every allocation (and forward to
+ * malloc/free, so sanitizers keep working underneath). Tests wrap a
+ * steady-state code path in threadAllocCount() reads and assert the
+ * delta is zero — the measurement behind the serving plane's
+ * "no per-request heap churn" claim.
+ *
+ * Binaries that never reference these functions never link the
+ * replacement operators: the hook costs nothing outside the tests
+ * that ask for it.
+ */
+
+#ifndef NACHOS_SUPPORT_ALLOC_HOOK_HH
+#define NACHOS_SUPPORT_ALLOC_HOOK_HH
+
+#include <cstdint>
+
+namespace nachos {
+
+/** Number of operator-new allocations this thread has performed. */
+uint64_t threadAllocCount();
+
+/** Bytes those allocations requested (not rounded-up usable size). */
+uint64_t threadAllocBytes();
+
+} // namespace nachos
+
+#endif // NACHOS_SUPPORT_ALLOC_HOOK_HH

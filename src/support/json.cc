@@ -146,7 +146,145 @@ JsonValue::find(std::string_view key) const
 // Parser
 // ---------------------------------------------------------------------
 
+/**
+ * In-place node mutation for the parser: assign a parsed value into an
+ * existing JsonValue without releasing the buffers it already owns.
+ * Containers keep their element slots (reassigned positionally) and
+ * strings keep their capacity, so re-parsing a same-shaped document
+ * into the same tree allocates nothing. Containers a node no longer
+ * uses after a kind change are cleared so stale members/items can't
+ * leak through size()/members().
+ */
+struct JsonParseAccess
+{
+    using Kind = JsonValue::Kind;
+    using NumRep = JsonValue::NumRep;
+
+    static void
+    scalarize(JsonValue &v)
+    {
+        v.items_.clear();
+        v.members_.clear();
+        v.str_.clear();
+    }
+
+    static void
+    setNull(JsonValue &v)
+    {
+        scalarize(v);
+        v.kind_ = Kind::Null;
+    }
+
+    static void
+    setBool(JsonValue &v, bool b)
+    {
+        scalarize(v);
+        v.kind_ = Kind::Bool;
+        v.bool_ = b;
+    }
+
+    static void
+    setU64(JsonValue &v, uint64_t u)
+    {
+        scalarize(v);
+        v.kind_ = Kind::Number;
+        v.rep_ = NumRep::U64;
+        v.u64_ = u;
+    }
+
+    static void
+    setI64(JsonValue &v, int64_t i)
+    {
+        scalarize(v);
+        v.kind_ = Kind::Number;
+        v.rep_ = NumRep::I64;
+        v.i64_ = i;
+    }
+
+    static void
+    setDbl(JsonValue &v, double d)
+    {
+        scalarize(v);
+        v.kind_ = Kind::Number;
+        v.rep_ = NumRep::Dbl;
+        v.dbl_ = d;
+    }
+
+    /** Turn the node into an (empty) string; returns its buffer. */
+    static std::string &
+    stringSlot(JsonValue &v)
+    {
+        v.items_.clear();
+        v.members_.clear();
+        v.kind_ = Kind::String;
+        v.str_.clear();
+        return v.str_;
+    }
+
+    static void
+    toArray(JsonValue &v)
+    {
+        v.members_.clear();
+        v.str_.clear();
+        v.kind_ = Kind::Array;
+    }
+
+    /** Item i, reusing the existing slot when there is one. */
+    static JsonValue &
+    arrayItem(JsonValue &v, size_t i)
+    {
+        if (i < v.items_.size())
+            return v.items_[i];
+        return v.items_.emplace_back();
+    }
+
+    static void
+    arrayTrim(JsonValue &v, size_t n)
+    {
+        if (v.items_.size() > n)
+            v.items_.erase(v.items_.begin() + static_cast<ptrdiff_t>(n),
+                           v.items_.end());
+    }
+
+    static void
+    toObject(JsonValue &v)
+    {
+        v.items_.clear();
+        v.str_.clear();
+        v.kind_ = Kind::Object;
+    }
+
+    /** Index of `key` among the first `fill` members; SIZE_MAX if new. */
+    static size_t
+    findMember(const JsonValue &v, size_t fill, const std::string &key)
+    {
+        for (size_t i = 0; i < fill; ++i)
+            if (v.members_[i].first == key)
+                return i;
+        return SIZE_MAX;
+    }
+
+    static std::pair<std::string, JsonValue> &
+    memberSlot(JsonValue &v, size_t i)
+    {
+        if (i < v.members_.size())
+            return v.members_[i];
+        return v.members_.emplace_back();
+    }
+
+    static void
+    memberTrim(JsonValue &v, size_t n)
+    {
+        if (v.members_.size() > n)
+            v.members_.erase(
+                v.members_.begin() + static_cast<ptrdiff_t>(n),
+                v.members_.end());
+    }
+};
+
 namespace {
+
+using Access = JsonParseAccess;
 
 class Parser
 {
@@ -156,31 +294,31 @@ class Parser
     {
     }
 
-    JsonParseResult
-    run()
+    JsonParseStatus
+    run(JsonValue &out)
     {
-        JsonParseResult result;
+        JsonParseStatus status;
         skipWs();
-        if (!parseValue(result.value, 0)) {
-            result.error = error_;
-            result.errorOffset = pos_;
-            return result;
+        if (!parseValue(out, 0)) {
+            status.error = error_;
+            status.errorOffset = pos_;
+            return status;
         }
         skipWs();
         if (pos_ != text_.size()) {
-            result.error = "trailing characters after JSON value";
-            result.errorOffset = pos_;
-            return result;
+            status.error = "trailing characters after JSON value";
+            status.errorOffset = pos_;
+            return status;
         }
-        result.ok = true;
-        return result;
+        status.ok = true;
+        return status;
     }
 
   private:
     bool
     fail(const char *msg)
     {
-        if (error_.empty())
+        if (!error_)
             error_ = msg;
         return false;
     }
@@ -215,16 +353,16 @@ class Parser
             return fail("unexpected end of input");
         switch (text_[pos_]) {
           case 'n':
-            out = JsonValue();
+            Access::setNull(out);
             return literal("null");
           case 't':
-            out = JsonValue(true);
+            Access::setBool(out, true);
             return literal("true");
           case 'f':
-            out = JsonValue(false);
+            Access::setBool(out, false);
             return literal("false");
           case '"':
-            return parseString(out);
+            return parseRawString(Access::stringSlot(out));
           case '[':
             return parseArray(out, depth);
           case '{':
@@ -232,16 +370,6 @@ class Parser
           default:
             return parseNumber(out);
         }
-    }
-
-    bool
-    parseString(JsonValue &out)
-    {
-        std::string s;
-        if (!parseRawString(s))
-            return false;
-        out = JsonValue(std::move(s));
-        return true;
     }
 
     bool
@@ -398,7 +526,7 @@ class Parser
             auto [p, ec] = std::from_chars(token.data(),
                                            token.data() + token.size(), u);
             if (ec == std::errc() && p == token.data() + token.size()) {
-                out = JsonValue(u);
+                Access::setU64(out, u);
                 return true;
             }
         } else if (integral) {
@@ -406,7 +534,7 @@ class Parser
             auto [p, ec] = std::from_chars(token.data(),
                                            token.data() + token.size(), i);
             if (ec == std::errc() && p == token.data() + token.size()) {
-                out = JsonValue(i);
+                Access::setI64(out, i);
                 return true;
             }
         }
@@ -415,7 +543,7 @@ class Parser
             std::from_chars(token.data(), token.data() + token.size(), d);
         if (ec != std::errc() || p != token.data() + token.size())
             return fail("number out of range");
-        out = JsonValue(d);
+        Access::setDbl(out, d);
         return true;
     }
 
@@ -423,24 +551,27 @@ class Parser
     parseArray(JsonValue &out, size_t depth)
     {
         ++pos_; // '['
-        out = JsonValue::makeArray();
+        Access::toArray(out);
+        size_t fill = 0;
         skipWs();
         if (pos_ < text_.size() && text_[pos_] == ']') {
             ++pos_;
+            Access::arrayTrim(out, 0);
             return true;
         }
         while (true) {
-            JsonValue item;
             skipWs();
-            if (!parseValue(item, depth + 1))
+            if (!parseValue(Access::arrayItem(out, fill), depth + 1))
                 return false;
-            out.push(std::move(item));
+            ++fill;
             skipWs();
             if (pos_ >= text_.size())
                 return fail("unterminated array");
             const char c = text_[pos_++];
-            if (c == ']')
+            if (c == ']') {
+                Access::arrayTrim(out, fill);
                 return true;
+            }
             if (c != ',')
                 return fail("',' or ']' expected in array");
         }
@@ -450,33 +581,51 @@ class Parser
     parseObject(JsonValue &out, size_t depth)
     {
         ++pos_; // '{'
-        out = JsonValue::makeObject();
+        Access::toObject(out);
+        size_t fill = 0;
         skipWs();
         if (pos_ < text_.size() && text_[pos_] == '}') {
             ++pos_;
+            Access::memberTrim(out, 0);
             return true;
         }
         while (true) {
             skipWs();
             if (pos_ >= text_.size() || text_[pos_] != '"')
                 return fail("object key expected");
-            std::string key;
-            if (!parseRawString(key))
+            keyScratch_.clear();
+            if (!parseRawString(keyScratch_))
                 return false;
             skipWs();
             if (pos_ >= text_.size() || text_[pos_++] != ':')
                 return fail("':' expected after object key");
             skipWs();
-            JsonValue item;
-            if (!parseValue(item, depth + 1))
+            // Duplicate keys replace the earlier member, matching
+            // JsonValue::set; otherwise reuse the next slot in place
+            // (skipping the key assignment when it already matches —
+            // the steady-state case).
+            const size_t existing =
+                Access::findMember(out, fill, keyScratch_);
+            JsonValue *slot;
+            if (existing != SIZE_MAX) {
+                slot = &Access::memberSlot(out, existing).second;
+            } else {
+                auto &member = Access::memberSlot(out, fill);
+                if (member.first != keyScratch_)
+                    member.first.assign(keyScratch_);
+                slot = &member.second;
+                ++fill;
+            }
+            if (!parseValue(*slot, depth + 1))
                 return false;
-            out.set(std::move(key), std::move(item));
             skipWs();
             if (pos_ >= text_.size())
                 return fail("unterminated object");
             const char c = text_[pos_++];
-            if (c == '}')
+            if (c == '}') {
+                Access::memberTrim(out, fill);
                 return true;
+            }
             if (c != ',')
                 return fail("',' or '}' expected in object");
         }
@@ -485,7 +634,9 @@ class Parser
     std::string_view text_;
     size_t pos_ = 0;
     size_t maxDepth_;
-    std::string error_;
+    const char *error_ = nullptr;
+    /** Reused key buffer; protocol keys fit in-place (SSO). */
+    std::string keyScratch_;
 };
 
 } // namespace
@@ -493,7 +644,21 @@ class Parser
 JsonParseResult
 parseJson(std::string_view text, size_t maxDepth)
 {
-    return Parser(text, maxDepth).run();
+    JsonParseResult result;
+    const JsonParseStatus status =
+        Parser(text, maxDepth).run(result.value);
+    result.ok = status.ok;
+    if (!status.ok) {
+        result.error = status.error;
+        result.errorOffset = status.errorOffset;
+    }
+    return result;
+}
+
+JsonParseStatus
+parseJsonInPlace(std::string_view text, JsonValue &reuse, size_t maxDepth)
+{
+    return Parser(text, maxDepth).run(reuse);
 }
 
 // ---------------------------------------------------------------------
@@ -503,7 +668,7 @@ parseJson(std::string_view text, size_t maxDepth)
 namespace {
 
 void
-writeEscaped(std::string &out, const std::string &s)
+writeEscaped(std::string &out, std::string_view s)
 {
     out.push_back('"');
     for (const char c : s) {
@@ -531,27 +696,61 @@ writeEscaped(std::string &out, const std::string &s)
 }
 
 void
-writeNumber(std::string &out, const JsonValue &v)
+appendU64(std::string &out, uint64_t u)
 {
-    char buf[40];
-    if (v.isU64()) {
-        auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v.asU64());
-        out.append(buf, p);
+    char buf[24];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), u);
+    out.append(buf, p);
+}
+
+void
+appendI64(std::string &out, int64_t i)
+{
+    char buf[24];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), i);
+    out.append(buf, p);
+}
+
+/**
+ * Shared by dumpJson and JsonWriter so a double prints identically
+ * on both paths: integral values that fit a 64-bit integer print as
+ * integers (matching the isU64/isI64-first logic the tree writer has
+ * always used), everything else through to_chars.
+ */
+void
+appendDbl(std::string &out, double d)
+{
+    if (d >= 0 && d < 18446744073709551616.0 && d == std::floor(d)) {
+        appendU64(out, static_cast<uint64_t>(d));
         return;
     }
-    if (v.isI64()) {
-        auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v.asI64());
-        out.append(buf, p);
+    if (d >= -9223372036854775808.0 && d < 9223372036854775808.0 &&
+        d == std::floor(d)) {
+        appendI64(out, static_cast<int64_t>(d));
         return;
     }
-    const double d = v.asDouble();
     if (!std::isfinite(d)) {
         // JSON has no Inf/NaN; emit null like most encoders.
         out += "null";
         return;
     }
+    char buf[40];
     auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), d);
     out.append(buf, p);
+}
+
+void
+writeNumber(std::string &out, const JsonValue &v)
+{
+    if (v.isU64()) {
+        appendU64(out, v.asU64());
+        return;
+    }
+    if (v.isI64()) {
+        appendI64(out, v.asI64());
+        return;
+    }
+    appendDbl(out, v.asDouble());
 }
 
 void
@@ -620,6 +819,128 @@ dumpJson(const JsonValue &v, int indent)
     std::string out;
     writeValue(out, v, indent, 0);
     return out;
+}
+
+void
+dumpJsonTo(const JsonValue &v, std::string &out, int indent)
+{
+    writeValue(out, v, indent, 0);
+}
+
+// ---------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------
+
+void
+JsonWriter::elementPrefix()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (depth_ == 0)
+        return;
+    const uint64_t bit = 1ull << (depth_ - 1);
+    if (firstMask_ & bit)
+        firstMask_ &= ~bit;
+    else
+        out_.push_back(',');
+}
+
+void
+JsonWriter::beginObject()
+{
+    elementPrefix();
+    out_.push_back('{');
+    NACHOS_ASSERT(depth_ < 64, "json writer nesting too deep");
+    ++depth_;
+    firstMask_ |= 1ull << (depth_ - 1);
+}
+
+void
+JsonWriter::endObject()
+{
+    NACHOS_ASSERT(depth_ > 0, "endObject without beginObject");
+    firstMask_ &= ~(1ull << (depth_ - 1));
+    --depth_;
+    out_.push_back('}');
+}
+
+void
+JsonWriter::beginArray()
+{
+    elementPrefix();
+    out_.push_back('[');
+    NACHOS_ASSERT(depth_ < 64, "json writer nesting too deep");
+    ++depth_;
+    firstMask_ |= 1ull << (depth_ - 1);
+}
+
+void
+JsonWriter::endArray()
+{
+    NACHOS_ASSERT(depth_ > 0, "endArray without beginArray");
+    firstMask_ &= ~(1ull << (depth_ - 1));
+    --depth_;
+    out_.push_back(']');
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    elementPrefix();
+    writeEscaped(out_, k);
+    out_.push_back(':');
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::value(std::string_view s)
+{
+    elementPrefix();
+    writeEscaped(out_, s);
+}
+
+void
+JsonWriter::value(uint64_t u)
+{
+    elementPrefix();
+    appendU64(out_, u);
+}
+
+void
+JsonWriter::value(int64_t i)
+{
+    elementPrefix();
+    appendI64(out_, i);
+}
+
+void
+JsonWriter::value(double d)
+{
+    elementPrefix();
+    appendDbl(out_, d);
+}
+
+void
+JsonWriter::value(bool b)
+{
+    elementPrefix();
+    out_ += b ? "true" : "false";
+}
+
+void
+JsonWriter::null()
+{
+    elementPrefix();
+    out_ += "null";
+}
+
+void
+JsonWriter::value(const JsonValue &v)
+{
+    elementPrefix();
+    writeValue(out_, v, -1, 0);
 }
 
 } // namespace nachos

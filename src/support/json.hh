@@ -81,6 +81,8 @@ class JsonValue
     }
 
   private:
+    friend struct JsonParseAccess; ///< in-place parser (json.cc)
+
     Kind kind_ = Kind::Null;
     NumRep rep_ = NumRep::U64;
     bool bool_ = false;
@@ -115,6 +117,85 @@ JsonParseResult parseJson(std::string_view text, size_t maxDepth = 64);
  * indent >= 0 pretty-prints with that many spaces per level.
  */
 std::string dumpJson(const JsonValue &v, int indent = -1);
+
+/**
+ * As dumpJson, but appending to a caller-owned buffer instead of
+ * returning a fresh string — the serving hot path reuses one buffer
+ * per connection so steady-state encoding allocates nothing once the
+ * buffer has reached its high-water mark.
+ */
+void dumpJsonTo(const JsonValue &v, std::string &out, int indent = -1);
+
+/**
+ * Result of parseJsonInPlace. The error message is a static string
+ * (never owned), so reporting a parse failure allocates nothing.
+ */
+struct JsonParseStatus
+{
+    bool ok = false;
+    const char *error = "";
+    size_t errorOffset = 0;
+};
+
+/**
+ * Parse one JSON document *into* an existing value, reusing its
+ * allocations: object member slots, array item slots, and string
+ * buffers are assigned in place rather than rebuilt, so re-parsing a
+ * same-shaped document (the daemon's steady state: a stream of
+ * near-identical request lines into one per-connection tree) performs
+ * zero heap allocations. Semantics are identical to parseJson —
+ * including strictness and duplicate-key replacement — and `reuse`
+ * holds an equivalent tree on success. On failure `reuse` is left in
+ * an unspecified (but valid) state; the next successful parse
+ * overwrites it.
+ */
+JsonParseStatus parseJsonInPlace(std::string_view text, JsonValue &reuse,
+                                 size_t maxDepth = 64);
+
+/**
+ * Append-style compact JSON encoder over a caller-owned buffer: the
+ * zero-allocation dual of building a JsonValue tree and calling
+ * dumpJson. Emitting the same logical document through a JsonWriter
+ * and through dumpJson yields byte-identical output (same escaping,
+ * same lossless number formatting) — golden byte-equivalence tests
+ * rely on this.
+ *
+ * Usage: beginObject/endObject, beginArray/endArray, key() before
+ * each object member, value() for leaves. Comma placement is
+ * automatic. Nesting beyond 64 levels is a programming error.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::string &out) : out_(out) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+    void key(std::string_view k);
+
+    void value(std::string_view s);
+    void value(const char *s) { value(std::string_view(s)); }
+    void value(const std::string &s) { value(std::string_view(s)); }
+    void value(uint64_t u);
+    void value(int64_t i);
+    void value(int i) { value(static_cast<int64_t>(i)); }
+    void value(unsigned u) { value(static_cast<uint64_t>(u)); }
+    void value(double d);
+    void value(bool b);
+    void null();
+    /** Embed a prebuilt subtree (compact form). */
+    void value(const JsonValue &v);
+
+  private:
+    void elementPrefix();
+
+    std::string &out_;
+    uint64_t firstMask_ = 0; ///< bit d: next element at depth d is first
+    uint32_t depth_ = 0;
+    bool pendingKey_ = false;
+};
 
 } // namespace nachos
 

@@ -63,6 +63,19 @@ LatencyHistogram::bucket(size_t idx) const
 }
 
 void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (size_t b = 0; b < kBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ && other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+}
+
+void
 LatencyHistogram::reset()
 {
     *this = LatencyHistogram();
@@ -100,6 +113,15 @@ LatencyHistogram &
 StatSet::histogram(const std::string &name)
 {
     return histograms_[name];
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &entry : other.counters_)
+        counters_[entry.first].inc(entry.second.value());
+    for (const auto &entry : other.histograms_)
+        histograms_[entry.first].merge(entry.second);
 }
 
 void

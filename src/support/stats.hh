@@ -67,6 +67,14 @@ class LatencyHistogram
 
     uint64_t bucket(size_t idx) const;
 
+    /**
+     * Fold another histogram's samples into this one (buckets add,
+     * min/max widen) — how the daemon combines per-shard latency
+     * distributions into one metrics snapshot without sharing a lock
+     * on the sampling path.
+     */
+    void merge(const LatencyHistogram &other);
+
     void reset();
 
     /** {"count":..,"sum":..,"min":..,"max":..,"mean":..,
@@ -97,6 +105,12 @@ class StatSet
 
     /** Get (creating if needed) the histogram with the given name. */
     LatencyHistogram &histogram(const std::string &name);
+
+    /**
+     * Fold another set into this one: counters add, histograms merge,
+     * names absent here are created. Used to combine per-shard stats.
+     */
+    void merge(const StatSet &other);
 
     /** Reset every counter and histogram to zero. */
     void resetAll();

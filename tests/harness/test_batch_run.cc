@@ -1,0 +1,141 @@
+/**
+ * Cross-request batched execution: a coalesced group's per-request
+ * results must be byte-identical (digests, cycles, energy — the full
+ * encoded outcome) to running each request alone through runWorkload,
+ * including groups with mixed backends and uneven invocation counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/batch_run.hh"
+#include "harness/run_json.hh"
+#include "harness/runner.hh"
+#include "support/json.hh"
+#include "workloads/benchmark_info.hh"
+
+namespace nachos {
+namespace {
+
+RunRequest
+request(uint64_t seed, bool lsq, bool sw, bool nachos,
+        uint64_t invocations = 0)
+{
+    RunRequest req;
+    req.seed = seed;
+    req.runLsq = lsq;
+    req.runSw = sw;
+    req.runNachos = nachos;
+    req.invocationsOverride = invocations;
+    return req;
+}
+
+/** The daemon-visible bytes for a batched result. */
+std::string
+batchedOutcomeJson(const BenchmarkInfo &info, const RunRequest &req,
+                   const BatchRunResult &r)
+{
+    const OutcomeSummary summary = summarizeOutcome(
+        info, req, r.entry->analysis, r.entry->mdes,
+        r.lsq ? &*r.lsq : nullptr, r.sw ? &*r.sw : nullptr,
+        r.nachos ? &*r.nachos : nullptr);
+    std::string out;
+    JsonWriter w(out);
+    encodeOutcomeTo(w, summary);
+    return out;
+}
+
+/** The same bytes through the direct, unbatched, uncached path. */
+std::string
+directOutcomeJson(const BenchmarkInfo &info, const RunRequest &req)
+{
+    const RunOutcome outcome = runWorkload(info, req);
+    return dumpJson(encodeRunOutcome(info, req, outcome));
+}
+
+TEST(SameRegionWork, KeyFields)
+{
+    const BenchmarkInfo &gzip = *findBenchmark("164.gzip");
+    const BenchmarkInfo &art = *findBenchmark("179.art");
+    const RunRequest a = request(1, true, true, true);
+    EXPECT_TRUE(sameRegionWork(gzip, a, gzip, a));
+    // Backends and invocations may differ within a group...
+    EXPECT_TRUE(sameRegionWork(gzip, a, gzip,
+                               request(1, false, false, true, 5)));
+    // ...but workload, seed, pathIndex, and pipeline flags may not.
+    EXPECT_FALSE(sameRegionWork(gzip, a, art, a));
+    EXPECT_FALSE(
+        sameRegionWork(gzip, a, gzip, request(2, true, true, true)));
+    RunRequest otherPath = a;
+    otherPath.pathIndex = 1;
+    EXPECT_FALSE(sameRegionWork(gzip, a, gzip, otherPath));
+    RunRequest stage3Off = a;
+    stage3Off.pipeline.stage3 = false;
+    EXPECT_FALSE(sameRegionWork(gzip, a, gzip, stage3Off));
+}
+
+TEST(BackendLanes, CountsRequestedBackends)
+{
+    EXPECT_EQ(backendLanes(request(1, true, true, true)), 3u);
+    EXPECT_EQ(backendLanes(request(1, false, true, false)), 1u);
+    EXPECT_EQ(backendLanes(request(1, false, false, false)), 0u);
+}
+
+TEST(BatchRun, SingletonMatchesDirectRunner)
+{
+    const BenchmarkInfo &info = *findBenchmark("179.art");
+    RegionCache cache(4);
+    BatchSimEngine engine;
+    const RunRequest req = request(3, true, true, true, 2);
+    const std::vector<BatchRunItem> items{{&info, &req}};
+    const auto results = runBatchedGroup(items, cache, engine);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(batchedOutcomeJson(info, req, results[0]),
+              directOutcomeJson(info, req));
+}
+
+TEST(BatchRun, CoalescedGroupMatchesDirectRunnerPerRequest)
+{
+    const BenchmarkInfo &info = *findBenchmark("164.gzip");
+    RegionCache cache(4);
+    BatchSimEngine engine;
+    // Mixed backends and uneven invocation counts in one group.
+    const std::vector<RunRequest> reqs = {
+        request(1, true, true, true, 1),
+        request(1, false, false, true, 3),
+        request(1, true, false, false, 2),
+        request(1, false, true, true, 1),
+    };
+    std::vector<BatchRunItem> items;
+    for (const RunRequest &req : reqs)
+        items.push_back({&info, &req});
+    const auto results = runBatchedGroup(items, cache, engine);
+    ASSERT_EQ(results.size(), reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(batchedOutcomeJson(info, reqs[i], results[i]),
+                  directOutcomeJson(info, reqs[i]))
+            << "request " << i;
+    }
+}
+
+TEST(BatchRun, CacheHitRunMatchesCacheMissRun)
+{
+    const BenchmarkInfo &info = *findBenchmark("179.art");
+    RegionCache cache(4);
+    BatchSimEngine engine;
+    const RunRequest req = request(5, false, true, true, 2);
+    const std::vector<BatchRunItem> items{{&info, &req}};
+    const auto miss = runBatchedGroup(items, cache, engine);
+    const auto hit = runBatchedGroup(items, cache, engine);
+    ASSERT_EQ(miss.size(), 1u);
+    ASSERT_EQ(hit.size(), 1u);
+    EXPECT_FALSE(miss[0].cacheHit);
+    EXPECT_TRUE(hit[0].cacheHit);
+    EXPECT_EQ(batchedOutcomeJson(info, req, hit[0]),
+              batchedOutcomeJson(info, req, miss[0]));
+}
+
+} // namespace
+} // namespace nachos

@@ -1,0 +1,186 @@
+/**
+ * Synthesized-region cache: hit/miss behaviour, LRU eviction, the
+ * hits + misses == lookups invariant, and — the property the serving
+ * plane leans on — that a cache hit hands back a byte-identical,
+ * unmutated front end no matter how many simulations ran against it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "harness/batch_run.hh"
+#include "harness/region_cache.hh"
+#include "harness/runner.hh"
+#include "ir/serialize.hh"
+#include "workloads/benchmark_info.hh"
+
+namespace nachos {
+namespace {
+
+RunRequest
+request(uint64_t seed = 1, uint32_t pathIndex = 0)
+{
+    RunRequest req;
+    req.seed = seed;
+    req.pathIndex = pathIndex;
+    return req;
+}
+
+TEST(RegionCache, MissThenHitSameEntry)
+{
+    RegionCache cache(4);
+    const BenchmarkInfo &info = *findBenchmark("164.gzip");
+    bool hit = true;
+    auto first = cache.acquire(info, request(), &hit);
+    ASSERT_NE(first, nullptr);
+    EXPECT_FALSE(hit);
+    auto second = cache.acquire(info, request(), &hit);
+    EXPECT_TRUE(hit);
+    // A hit is the same immutable entry, not an equal copy.
+    EXPECT_EQ(first.get(), second.get());
+
+    const RegionCache::Counters c = cache.counters();
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.size, 1u);
+}
+
+TEST(RegionCache, HitMatchesFreshBuildByteForByte)
+{
+    RegionCache cache(4);
+    const BenchmarkInfo &info = *findBenchmark("179.art");
+    cache.acquire(info, request(7));
+    auto cached = cache.acquire(info, request(7));
+    auto fresh = RegionCache::build(info, request(7));
+    EXPECT_EQ(regionToString(cached->region),
+              regionToString(fresh->region));
+    EXPECT_EQ(cached->digest, fresh->digest);
+    EXPECT_EQ(cached->mdes.size(), fresh->mdes.size());
+}
+
+TEST(RegionCache, KeyCoversSeedPathAndPipeline)
+{
+    RegionCache cache(16);
+    const BenchmarkInfo &info = *findBenchmark("164.gzip");
+    cache.acquire(info, request(1));
+    bool hit = true;
+    cache.acquire(info, request(2), &hit); // different seed
+    EXPECT_FALSE(hit);
+    RunRequest stage2Off = request(1);
+    stage2Off.pipeline.stage2 = false; // different pipeline flags
+    cache.acquire(info, stage2Off, &hit);
+    EXPECT_FALSE(hit);
+    // The original key is still resident.
+    cache.acquire(info, request(1), &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(cache.counters().size, 3u);
+}
+
+TEST(RegionCache, LruEvictionBeyondCapacity)
+{
+    RegionCache cache(2);
+    const BenchmarkInfo &info = *findBenchmark("164.gzip");
+    cache.acquire(info, request(1));
+    cache.acquire(info, request(2));
+    // Touch seed 1 so seed 2 is the LRU victim.
+    bool hit = false;
+    cache.acquire(info, request(1), &hit);
+    EXPECT_TRUE(hit);
+    cache.acquire(info, request(3)); // evicts seed 2
+    EXPECT_EQ(cache.counters().evictions, 1u);
+    EXPECT_EQ(cache.counters().size, 2u);
+    cache.acquire(info, request(1), &hit);
+    EXPECT_TRUE(hit); // survived
+    cache.acquire(info, request(2), &hit);
+    EXPECT_FALSE(hit); // evicted: misses again
+}
+
+TEST(RegionCache, ZeroCapacityDisablesResidency)
+{
+    RegionCache cache(0);
+    const BenchmarkInfo &info = *findBenchmark("164.gzip");
+    bool hit = true;
+    auto a = cache.acquire(info, request(), &hit);
+    EXPECT_FALSE(hit);
+    ASSERT_NE(a, nullptr);
+    auto b = cache.acquire(info, request(), &hit);
+    EXPECT_FALSE(hit); // nothing was stored
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(cache.counters().size, 0u);
+    EXPECT_EQ(cache.counters().misses, 2u);
+}
+
+// Satellite 3: simulating against a cached entry must not mutate it —
+// a later hit serves the same bytes the first request saw.
+TEST(RegionCache, SimulationDoesNotMutateCachedEntries)
+{
+    RegionCache cache(4);
+    const BenchmarkInfo &info = *findBenchmark("179.art");
+    auto entry = cache.acquire(info, request(3));
+    const std::string before = regionToString(entry->region);
+    ASSERT_TRUE(RegionCache::entryIntact(*entry));
+
+    // Simulate every backend against the cached front end, twice,
+    // through the same batched path the daemon uses.
+    BatchSimEngine engine;
+    for (int round = 0; round < 2; ++round) {
+        RunRequest req = request(3);
+        req.invocationsOverride = 2;
+        const std::vector<BatchRunItem> items{{&info, &req}};
+        const auto results = runBatchedGroup(items, cache, engine);
+        ASSERT_EQ(results.size(), 1u);
+        EXPECT_TRUE(results[0].cacheHit);
+        EXPECT_TRUE(RegionCache::entryIntact(*entry)) << round;
+    }
+    EXPECT_EQ(regionToString(entry->region), before);
+    bool hit = false;
+    auto again = cache.acquire(info, request(3), &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(regionToString(again->region), before);
+}
+
+TEST(RegionCache, HitsPlusMissesEqualsLookups)
+{
+    RegionCache cache(2);
+    const BenchmarkInfo &info = *findBenchmark("164.gzip");
+    uint64_t lookups = 0;
+    for (const uint64_t seed : {1u, 2u, 3u, 1u, 3u, 2u, 2u, 1u}) {
+        cache.acquire(info, request(seed));
+        ++lookups;
+    }
+    const RegionCache::Counters c = cache.counters();
+    EXPECT_EQ(c.hits + c.misses, lookups);
+    EXPECT_LE(c.size, 2u);
+}
+
+TEST(RegionCache, ConcurrentAcquiresAgree)
+{
+    RegionCache cache(8);
+    const BenchmarkInfo &info = *findBenchmark("164.gzip");
+    constexpr int kThreads = 4;
+    std::vector<std::string> serialized(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            // Everyone wants the same two keys; racing builders must
+            // converge on consistent bytes.
+            auto a = cache.acquire(info, request(1));
+            auto b = cache.acquire(info, request(2));
+            serialized[static_cast<size_t>(t)] =
+                regionToString(a->region) + regionToString(b->region);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(serialized[static_cast<size_t>(t)], serialized[0]);
+    const RegionCache::Counters c = cache.counters();
+    EXPECT_EQ(c.hits + c.misses,
+              static_cast<uint64_t>(2 * kThreads));
+    EXPECT_EQ(c.size, 2u);
+}
+
+} // namespace
+} // namespace nachos

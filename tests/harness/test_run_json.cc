@@ -189,5 +189,62 @@ TEST(TimingRecord, StableEncoding)
               "\"git_sha\":\"abc123\"}");
 }
 
+TEST(RunRequest, AdmissionClassRoundTrips)
+{
+    JobSpec spec;
+    spec.info = findBenchmark("164.gzip");
+    ASSERT_NE(spec.info, nullptr);
+    spec.klass = AdmitClass::Bulk;
+    JobSpec decoded;
+    CodecError err;
+    ASSERT_TRUE(decodeRunRequest(encodeRunRequest(spec), decoded, err))
+        << err.code << ": " << err.message;
+    EXPECT_EQ(decoded.klass, AdmitClass::Bulk);
+    // Interactive is the default and is omitted from the encoding.
+    spec.klass = AdmitClass::Interactive;
+    const JsonValue encoded = encodeRunRequest(spec);
+    EXPECT_EQ(encoded.find("class"), nullptr);
+    ASSERT_TRUE(decodeRunRequest(encoded, decoded, err));
+    EXPECT_EQ(decoded.klass, AdmitClass::Interactive);
+}
+
+TEST(Outcome, PartsSummaryMatchesWholeOutcome)
+{
+    // The daemon's batched path summarizes from cache-entry parts and
+    // per-lane SimResults; it must agree with the whole-outcome
+    // overload byte for byte.
+    const BenchmarkInfo *info = findBenchmark("179.art");
+    ASSERT_NE(info, nullptr);
+    RunRequest request;
+    request.seed = 2;
+    request.invocationsOverride = 2;
+    const RunOutcome outcome = runWorkload(*info, request);
+    const OutcomeSummary whole =
+        summarizeOutcome(*info, request, outcome);
+    const OutcomeSummary parts = summarizeOutcome(
+        *info, request, outcome.analysis, outcome.mdes,
+        outcome.lsq ? &*outcome.lsq : nullptr,
+        outcome.sw ? &*outcome.sw : nullptr,
+        outcome.nachos ? &*outcome.nachos : nullptr);
+    EXPECT_EQ(dumpJson(encodeOutcome(parts)),
+              dumpJson(encodeOutcome(whole)));
+}
+
+TEST(Outcome, WriterEncodingMatchesTreeEncoding)
+{
+    const BenchmarkInfo *info = findBenchmark("183.equake");
+    ASSERT_NE(info, nullptr);
+    RunRequest request;
+    request.seed = 6;
+    request.invocationsOverride = 1;
+    const RunOutcome outcome = runWorkload(*info, request);
+    const OutcomeSummary summary =
+        summarizeOutcome(*info, request, outcome);
+    std::string streamed;
+    JsonWriter w(streamed);
+    encodeOutcomeTo(w, summary);
+    EXPECT_EQ(streamed, dumpJson(encodeOutcome(summary)));
+}
+
 } // namespace
 } // namespace nachos

@@ -33,6 +33,7 @@ struct RunOpts
     std::vector<std::string> backends;
     uint64_t timeoutMillis = 0;
     uint64_t sleepMillis = 0;
+    const char *klass = nullptr; // "interactive" | "bulk"
 };
 
 JsonValue
@@ -54,6 +55,8 @@ runPayload(const std::string &workload, const RunOpts &opts)
         run.set("timeoutMillis", opts.timeoutMillis);
     if (opts.sleepMillis)
         run.set("sleepMillis", opts.sleepMillis);
+    if (opts.klass)
+        run.set("class", opts.klass);
     return run;
 }
 
@@ -99,20 +102,26 @@ class DaemonTest : public ::testing::Test
 {
   protected:
     void
-    start(unsigned workers = 2, size_t queueCapacity = 64,
-          uint64_t defaultTimeoutMillis = 0)
+    startWith(DaemonConfig config)
     {
         static std::atomic<int> counter{0};
         path_ = "/tmp/nachosd-test-" + std::to_string(::getpid()) +
                 "-" + std::to_string(counter++) + ".sock";
-        DaemonConfig config;
         config.socketPath = path_;
-        config.workers = workers;
-        config.queueCapacity = queueCapacity;
-        config.defaultTimeoutMillis = defaultTimeoutMillis;
         daemon_ = std::make_unique<Daemon>(config);
         std::string error;
         ASSERT_TRUE(daemon_->start(&error)) << error;
+    }
+
+    void
+    start(unsigned workers = 2, size_t queueCapacity = 64,
+          uint64_t defaultTimeoutMillis = 0)
+    {
+        DaemonConfig config;
+        config.workers = workers;
+        config.queueCapacity = queueCapacity;
+        config.defaultTimeoutMillis = defaultTimeoutMillis;
+        startWith(config);
     }
 
     void
@@ -596,6 +605,189 @@ TEST_F(DaemonTest, DefaultTimeoutAppliesWhenJobSetsNone)
     std::optional<JsonValue> response = client->waitFor(1);
     ASSERT_TRUE(response.has_value());
     EXPECT_EQ(errorCode(*response), "timeout");
+}
+
+// ---- serving-plane rework: batching, cache, classes, legacy mode ----
+
+// A coalesced bulk burst returns per-request-correct, byte-identical
+// results, and the cache/batch metrics add up:
+// cache.hits + cache.misses == batch.groups (one front-end lookup per
+// executed group).
+TEST_F(DaemonTest, BulkBurstCoalescesAndStaysByteIdentical)
+{
+    DaemonConfig config;
+    config.workers = 1; // one shard: the burst must coalesce
+    startWith(config);
+    auto client = connect();
+    ASSERT_NE(client, nullptr);
+
+    constexpr uint64_t kJobs = 12;
+    RunOpts opts{.seed = 5, .invocations = 2, .backends = {"nachos"}};
+    opts.klass = "bulk";
+    for (uint64_t id = 1; id <= kJobs; ++id)
+        ASSERT_TRUE(
+            client->sendRequest(runRequest(id, "164.gzip", opts)));
+    const std::string want = directOutcomeJson("164.gzip", opts);
+    for (uint64_t id = 1; id <= kJobs; ++id) {
+        std::optional<JsonValue> response = client->waitFor(id);
+        ASSERT_TRUE(response.has_value()) << id;
+        ASSERT_STREQ(responseType(*response), "result") << id;
+        EXPECT_EQ(dumpJson(*response->find("outcome")), want) << id;
+    }
+
+    waitUntil([&] { return counterValue("jobs.completed") == kJobs; },
+              "the accounting to settle");
+    EXPECT_EQ(counterValue("jobs.accepted"), kJobs);
+    EXPECT_EQ(counterValue("jobs.acceptedBulk"), kJobs);
+    const uint64_t groups = counterValue("batch.groups");
+    EXPECT_GE(groups, 1u);
+    EXPECT_LE(groups, kJobs);
+    EXPECT_EQ(counterValue("batch.lanes"), kJobs); // 1 backend each
+    EXPECT_EQ(counterValue("cache.hits") + counterValue("cache.misses"),
+              groups);
+    EXPECT_GE(counterValue("cache.hits"), groups - 1); // one key
+    EXPECT_EQ(counterValue("cache.size"), 1u);
+}
+
+// Interactive and bulk rings are bounded independently; filling the
+// bulk ring must not reject interactive work.
+TEST_F(DaemonTest, PerClassQueueBounds)
+{
+    DaemonConfig config;
+    config.workers = 1;
+    config.queueCapacity = 8;    // interactive: roomy
+    config.bulkQueueCapacity = 1; // bulk: one slot
+    startWith(config);
+    auto client = connect();
+    ASSERT_NE(client, nullptr);
+
+    // A sleeper occupies the worker (interactive, runs immediately).
+    RunOpts slow{.invocations = 1, .backends = {"nachos"}};
+    slow.sleepMillis = 300;
+    ASSERT_TRUE(client->sendRequest(runRequest(1, "164.gzip", slow)));
+    waitUntil(
+        [&] {
+            return counterValue("jobs.accepted") == 1 &&
+                   counterValue("queue.depth") == 0;
+        },
+        "the sleeper to start running");
+
+    // Bulk job 2 takes the single bulk slot; bulk job 3 bounces.
+    RunOpts fast{.invocations = 1, .backends = {"nachos"}};
+    RunOpts bulk = fast;
+    bulk.klass = "bulk";
+    for (const uint64_t id : {2u, 3u})
+        ASSERT_TRUE(
+            client->sendRequest(runRequest(id, "164.gzip", bulk)));
+    std::optional<JsonValue> rejected = client->waitFor(3);
+    ASSERT_TRUE(rejected.has_value());
+    EXPECT_EQ(errorCode(*rejected), "queue_full");
+
+    // Interactive admission is unaffected by the full bulk ring.
+    ASSERT_TRUE(client->sendRequest(runRequest(4, "164.gzip", fast)));
+    std::optional<JsonValue> interactive = client->waitFor(4);
+    ASSERT_TRUE(interactive.has_value());
+    EXPECT_STREQ(responseType(*interactive), "result");
+
+    for (const uint64_t id : {1u, 2u}) {
+        std::optional<JsonValue> response = client->waitFor(id);
+        ASSERT_TRUE(response.has_value()) << id;
+        EXPECT_STREQ(responseType(*response), "result") << id;
+    }
+    EXPECT_EQ(counterValue("jobs.rejected"), 1u);
+}
+
+// Legacy mode (--max-batch-lanes 1 --region-cache 0) serves the same
+// bytes through the PR3-faithful runWorkload path.
+TEST_F(DaemonTest, LegacyModeMatchesDirectRunner)
+{
+    DaemonConfig config;
+    config.workers = 1;
+    config.maxBatchLanes = 1;
+    config.regionCacheEntries = 0;
+    startWith(config);
+    auto client = connect();
+    ASSERT_NE(client, nullptr);
+
+    RunOpts opts{.seed = 9, .invocations = 2, .backends = {"nachos"}};
+    opts.klass = "bulk";
+    for (uint64_t id = 1; id <= 4; ++id)
+        ASSERT_TRUE(
+            client->sendRequest(runRequest(id, "179.art", opts)));
+    const std::string want = directOutcomeJson("179.art", opts);
+    for (uint64_t id = 1; id <= 4; ++id) {
+        std::optional<JsonValue> response = client->waitFor(id);
+        ASSERT_TRUE(response.has_value()) << id;
+        ASSERT_STREQ(responseType(*response), "result") << id;
+        EXPECT_EQ(dumpJson(*response->find("outcome")), want) << id;
+    }
+    waitUntil([&] { return counterValue("jobs.completed") == 4; },
+              "the accounting to settle");
+    // No batching, no cache in legacy mode.
+    EXPECT_EQ(counterValue("batch.groups"), 0u);
+    EXPECT_EQ(counterValue("cache.hits") + counterValue("cache.misses"),
+              0u);
+}
+
+// The global admission invariant the metrics endpoint promises:
+// accepted >= completed + cancelled + expired at every instant, and
+// equality once quiescent.
+TEST_F(DaemonTest, AdmissionAccountingBalances)
+{
+    DaemonConfig config;
+    config.workers = 2;
+    startWith(config);
+
+    constexpr int kClients = 4;
+    constexpr uint64_t kPerClient = 6;
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            std::string error;
+            auto client = ServiceClient::connectUnix(path_, &error);
+            if (!client) {
+                ++failures;
+                return;
+            }
+            RunOpts opts{.seed = static_cast<uint64_t>(c + 1),
+                         .invocations = 1,
+                         .backends = {"nachos"}};
+            if (c % 2)
+                opts.klass = "bulk";
+            for (uint64_t id = 1; id <= kPerClient; ++id) {
+                if (!client->sendRequest(
+                        runRequest(id, "164.gzip", opts))) {
+                    ++failures;
+                    return;
+                }
+            }
+            for (uint64_t id = 1; id <= kPerClient; ++id) {
+                std::optional<JsonValue> response = client->waitFor(id);
+                if (!response ||
+                    std::string(responseType(*response)) != "result")
+                    ++failures;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    constexpr uint64_t kTotal = kClients * kPerClient;
+    waitUntil([&] { return counterValue("jobs.completed") == kTotal; },
+              "the accounting to settle");
+    EXPECT_EQ(counterValue("jobs.accepted"), kTotal);
+    EXPECT_EQ(counterValue("jobs.accepted"),
+              counterValue("jobs.completed") +
+                  counterValue("jobs.cancelled") +
+                  counterValue("jobs.expired"));
+    EXPECT_EQ(counterValue("jobs.acceptedBulk") +
+                  counterValue("jobs.acceptedInteractive"),
+              kTotal);
+    // Every executed group did exactly one front-end lookup.
+    EXPECT_EQ(counterValue("cache.hits") + counterValue("cache.misses"),
+              counterValue("batch.groups"));
 }
 
 } // namespace

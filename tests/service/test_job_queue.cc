@@ -1,76 +1,199 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "service/job_queue.hh"
+#include "workloads/benchmark_info.hh"
 
 namespace nachos {
 namespace {
 
+using namespace std::chrono_literals;
+
 std::shared_ptr<Job>
-makeJob(uint64_t id)
+makeJob(uint64_t id, AdmitClass klass = AdmitClass::Interactive,
+        const char *workload = "164.gzip", uint64_t seed = 1)
 {
     auto job = std::make_shared<Job>();
     job->requestId = id;
+    job->spec.info = findBenchmark(workload);
+    job->spec.request.seed = seed;
+    job->spec.klass = klass;
     return job;
 }
 
-TEST(JobQueue, FifoOrder)
+/** claim() with try-only semantics; returns the single claimed job. */
+std::shared_ptr<Job>
+claimOne(JobQueue &q, uint32_t maxLanes = 1)
 {
-    JobQueue q(4);
+    std::vector<std::shared_ptr<Job>> out;
+    return q.claim(out, maxLanes, 0ms) ? out.front() : nullptr;
+}
+
+TEST(JobQueue, FifoOrderWithinAClass)
+{
+    JobQueue q(4, 4);
     EXPECT_TRUE(q.tryPush(makeJob(1)));
     EXPECT_TRUE(q.tryPush(makeJob(2)));
     EXPECT_TRUE(q.tryPush(makeJob(3)));
     EXPECT_EQ(q.depth(), 3u);
-    EXPECT_EQ(q.pop()->requestId, 1u);
-    EXPECT_EQ(q.pop()->requestId, 2u);
-    EXPECT_EQ(q.pop()->requestId, 3u);
+    EXPECT_EQ(claimOne(q)->requestId, 1u);
+    EXPECT_EQ(claimOne(q)->requestId, 2u);
+    EXPECT_EQ(claimOne(q)->requestId, 3u);
     EXPECT_EQ(q.depth(), 0u);
 }
 
-TEST(JobQueue, CapacityBoundsAdmission)
+TEST(JobQueue, ClaimMakesTheJobRunning)
 {
-    JobQueue q(2);
-    EXPECT_TRUE(q.tryPush(makeJob(1)));
-    EXPECT_TRUE(q.tryPush(makeJob(2)));
-    EXPECT_FALSE(q.tryPush(makeJob(3))); // full -> queue_full upstream
-    q.pop();
-    EXPECT_TRUE(q.tryPush(makeJob(4))); // slot freed
+    JobQueue q(4, 4);
+    auto job = makeJob(1);
+    ASSERT_TRUE(q.tryPush(job));
+    EXPECT_EQ(job->state.load(), JobState::Queued);
+    ASSERT_EQ(claimOne(q), job);
+    // The Queued -> Running transition happened inside the ring lock;
+    // there is no popped-but-still-Queued window for the watchdog.
+    EXPECT_EQ(job->state.load(), JobState::Running);
 }
 
-TEST(JobQueue, CloseRejectsPushesAndDrainsPoppers)
+TEST(JobQueue, InteractiveHasPriorityOverBulk)
 {
-    JobQueue q(4);
+    JobQueue q(4, 4);
+    ASSERT_TRUE(q.tryPush(makeJob(1, AdmitClass::Bulk)));
+    ASSERT_TRUE(q.tryPush(makeJob(2, AdmitClass::Interactive)));
+    EXPECT_EQ(q.depth(AdmitClass::Interactive), 1u);
+    EXPECT_EQ(q.depth(AdmitClass::Bulk), 1u);
+    EXPECT_EQ(claimOne(q)->requestId, 2u); // interactive first
+    EXPECT_EQ(claimOne(q)->requestId, 1u);
+}
+
+TEST(JobQueue, PerClassCapacityBoundsAdmission)
+{
+    JobQueue q(1, 2);
+    EXPECT_TRUE(q.tryPush(makeJob(1)));
+    EXPECT_FALSE(q.tryPush(makeJob(2))); // interactive ring full
+    // The bulk ring is bounded independently.
+    EXPECT_TRUE(q.tryPush(makeJob(3, AdmitClass::Bulk)));
+    EXPECT_TRUE(q.tryPush(makeJob(4, AdmitClass::Bulk)));
+    EXPECT_FALSE(q.tryPush(makeJob(5, AdmitClass::Bulk)));
+    claimOne(q);
+    EXPECT_TRUE(q.tryPush(makeJob(6))); // slot freed
+}
+
+TEST(JobQueue, OnAdmitRunsOnlyOnAdmission)
+{
+    JobQueue q(1, 1);
+    int admitted = 0;
+    auto bump = [&] { ++admitted; };
+    EXPECT_TRUE(q.tryPush(makeJob(1), bump));
+    EXPECT_FALSE(q.tryPush(makeJob(2), bump)); // full: no callback
+    EXPECT_EQ(admitted, 1);
+}
+
+TEST(JobQueue, InteractiveJobsNeverCoalesce)
+{
+    JobQueue q(8, 8);
+    ASSERT_TRUE(q.tryPush(makeJob(1, AdmitClass::Interactive)));
+    ASSERT_TRUE(q.tryPush(makeJob(2, AdmitClass::Interactive)));
+    std::vector<std::shared_ptr<Job>> out;
+    EXPECT_EQ(q.claim(out, 64, 0ms), 1u);
+    EXPECT_EQ(out.front()->requestId, 1u);
+}
+
+TEST(JobQueue, BulkJobsWithSameRegionWorkCoalesce)
+{
+    JobQueue q(8, 8);
+    for (uint64_t id = 1; id <= 3; ++id)
+        ASSERT_TRUE(q.tryPush(makeJob(id, AdmitClass::Bulk)));
+    std::vector<std::shared_ptr<Job>> out;
+    ASSERT_EQ(q.claim(out, 64, 0ms), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(out[i]->requestId, i + 1);
+        EXPECT_EQ(out[i]->state.load(), JobState::Running);
+    }
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(JobQueue, MismatchedBulkJobsKeepTheirTurn)
+{
+    JobQueue q(8, 8);
+    // Jobs 1 and 3 agree on region work; job 2 (different seed) does
+    // not, and must neither join the group nor lose its place.
+    ASSERT_TRUE(q.tryPush(makeJob(1, AdmitClass::Bulk, "164.gzip", 1)));
+    ASSERT_TRUE(q.tryPush(makeJob(2, AdmitClass::Bulk, "164.gzip", 9)));
+    ASSERT_TRUE(q.tryPush(makeJob(3, AdmitClass::Bulk, "164.gzip", 1)));
+    std::vector<std::shared_ptr<Job>> out;
+    ASSERT_EQ(q.claim(out, 64, 0ms), 2u);
+    EXPECT_EQ(out[0]->requestId, 1u);
+    EXPECT_EQ(out[1]->requestId, 3u);
+    ASSERT_EQ(q.claim(out, 64, 0ms), 1u);
+    EXPECT_EQ(out[0]->requestId, 2u);
+}
+
+TEST(JobQueue, LaneBudgetBoundsTheGroup)
+{
+    JobQueue q(8, 8);
+    // One backend lane per job (the default request costs three).
+    for (uint64_t id = 1; id <= 4; ++id) {
+        auto job = makeJob(id, AdmitClass::Bulk);
+        job->spec.request.runLsq = false;
+        job->spec.request.runSw = false;
+        job->spec.request.runNachos = true;
+        ASSERT_TRUE(q.tryPush(job));
+    }
+    std::vector<std::shared_ptr<Job>> out;
+    ASSERT_EQ(q.claim(out, 2, 0ms), 2u); // budget 2 lanes -> 2 jobs
+    ASSERT_EQ(q.claim(out, 2, 0ms), 2u);
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(JobQueue, SleepingBulkJobsDoNotCoalesce)
+{
+    JobQueue q(8, 8);
+    auto sleeper = makeJob(1, AdmitClass::Bulk);
+    sleeper->spec.sleepMillis = 5;
+    ASSERT_TRUE(q.tryPush(sleeper));
+    ASSERT_TRUE(q.tryPush(makeJob(2, AdmitClass::Bulk)));
+    std::vector<std::shared_ptr<Job>> out;
+    // The sleeper leads but is not coalescible -> singleton group.
+    ASSERT_EQ(q.claim(out, 64, 0ms), 1u);
+    EXPECT_EQ(out.front()->requestId, 1u);
+}
+
+TEST(JobQueue, CloseRejectsPushesAndDrainsClaimers)
+{
+    JobQueue q(4, 4);
     ASSERT_TRUE(q.tryPush(makeJob(1)));
     q.close();
     EXPECT_TRUE(q.closed());
     EXPECT_FALSE(q.tryPush(makeJob(2)));
     // Already-admitted work still drains...
-    ASSERT_NE(q.pop(), nullptr);
-    // ...then poppers get the end-of-stream marker instead of blocking.
-    EXPECT_EQ(q.pop(), nullptr);
-    EXPECT_EQ(q.pop(), nullptr);
+    EXPECT_NE(claimOne(q), nullptr);
+    // ...then claimers get 0 instead of blocking.
+    std::vector<std::shared_ptr<Job>> out;
+    EXPECT_EQ(q.claim(out, 1, 1000ms), 0u);
 }
 
-TEST(JobQueue, CloseWakesBlockedPopper)
+TEST(JobQueue, CloseWakesBlockedClaimer)
 {
-    JobQueue q(4);
-    std::atomic<bool> gotNull{false};
-    std::thread popper([&] {
-        gotNull = q.pop() == nullptr;
+    JobQueue q(4, 4);
+    std::atomic<bool> gotZero{false};
+    std::thread claimer([&] {
+        std::vector<std::shared_ptr<Job>> out;
+        gotZero = q.claim(out, 1, 30000ms) == 0;
     });
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(20ms);
     q.close();
-    popper.join();
-    EXPECT_TRUE(gotNull);
+    claimer.join();
+    EXPECT_TRUE(gotZero);
 }
 
 TEST(JobQueue, CancelOnlyWhileQueued)
 {
-    JobQueue q(4);
+    JobQueue q(4, 4);
     auto job = makeJob(1);
     ASSERT_TRUE(q.tryPush(job));
     EXPECT_TRUE(q.cancel(job));
@@ -78,26 +201,26 @@ TEST(JobQueue, CancelOnlyWhileQueued)
     // Cancelling twice (or after the job left the queue) fails.
     EXPECT_FALSE(q.cancel(job));
 
-    auto popped = makeJob(2);
-    ASSERT_TRUE(q.tryPush(popped));
-    // The cancelled corpse is skipped; pop returns the live job.
-    std::shared_ptr<Job> next = q.pop();
+    auto claimed = makeJob(2);
+    ASSERT_TRUE(q.tryPush(claimed));
+    // The cancelled corpse is skipped; claim returns the live job.
+    std::shared_ptr<Job> next = claimOne(q);
     ASSERT_NE(next, nullptr);
     EXPECT_EQ(next->requestId, 2u);
-    EXPECT_FALSE(q.cancel(popped));
+    EXPECT_FALSE(q.cancel(claimed));
 }
 
-TEST(JobQueue, PopSkipsTimedOutCorpses)
+TEST(JobQueue, ClaimSkipsTimedOutCorpses)
 {
-    JobQueue q(4);
+    JobQueue q(4, 4);
     auto dead = makeJob(1);
     auto live = makeJob(2);
     ASSERT_TRUE(q.tryPush(dead));
     ASSERT_TRUE(q.tryPush(live));
-    // Watchdog expired the queued job before any worker popped it.
+    // Watchdog expired the queued job before any worker claimed it.
     ASSERT_TRUE(dead->tryTransition(JobState::Queued,
                                     JobState::TimedOut));
-    EXPECT_EQ(q.pop()->requestId, 2u);
+    EXPECT_EQ(claimOne(q)->requestId, 2u);
 }
 
 TEST(Job, TransitionIsExactlyOnce)
@@ -118,20 +241,94 @@ TEST(Job, TransitionIsExactlyOnce)
     EXPECT_EQ(winners.load(), 1);
 }
 
+/**
+ * Satellite 1 regression: cancel, the watchdog's timeout, and worker
+ * claims race on the same queue; every job must end with exactly one
+ * owner (claimed, cancelled, or timed out — never two of them, never
+ * zero). Under the old pop-then-transition scheme, the watchdog could
+ * time out a job a worker had already popped, producing two owners.
+ */
+TEST(JobQueue, ClaimCancelTimeoutStress)
+{
+    constexpr int kJobs = 400;
+    JobQueue q(kJobs, kJobs);
+    std::vector<std::shared_ptr<Job>> jobs;
+    jobs.reserve(kJobs);
+    for (uint64_t id = 1; id <= kJobs; ++id) {
+        // Half interactive, half coalescible bulk, so both claim
+        // paths (singleton and group) participate in the race.
+        auto job = makeJob(id, id % 2 ? AdmitClass::Interactive
+                                      : AdmitClass::Bulk);
+        jobs.push_back(job);
+        ASSERT_TRUE(q.tryPush(job));
+    }
+
+    std::atomic<int> claimed{0};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 2; ++w) { // claiming workers
+        threads.emplace_back([&] {
+            std::vector<std::shared_ptr<Job>> out;
+            while (q.claim(out, 8, 20ms))
+                claimed += static_cast<int>(out.size());
+        });
+    }
+    std::atomic<int> cancelled{0};
+    threads.emplace_back([&] { // cancel requests, front to back
+        for (const auto &job : jobs)
+            if (q.cancel(job))
+                ++cancelled;
+    });
+    std::atomic<int> timedOut{0};
+    threads.emplace_back([&] { // watchdog expiring queued jobs
+        for (size_t i = jobs.size(); i-- > 0;)
+            if (jobs[i]->tryTransition(JobState::Queued,
+                                       JobState::TimedOut))
+                ++timedOut;
+    });
+    std::this_thread::sleep_for(50ms);
+    q.close();
+    for (std::thread &t : threads)
+        t.join();
+
+    // Exactly one owner per job, and the tallies add up.
+    EXPECT_EQ(claimed + cancelled + timedOut, kJobs);
+    int running = 0, dead = 0;
+    for (const auto &job : jobs) {
+        switch (job->state.load()) {
+        case JobState::Running:
+            ++running;
+            break;
+        case JobState::Cancelled:
+        case JobState::TimedOut:
+            ++dead;
+            break;
+        default:
+            ADD_FAILURE() << "job " << job->requestId
+                          << " ended Queued/Done";
+        }
+    }
+    EXPECT_EQ(running, claimed.load());
+    EXPECT_EQ(dead, cancelled.load() + timedOut.load());
+    EXPECT_EQ(q.depth(), 0u);
+}
+
 TEST(JobQueue, ConcurrentProducersConsumers)
 {
-    JobQueue q(1024);
+    JobQueue q(1024, 1024);
     constexpr int kProducers = 4;
     constexpr int kPerProducer = 200;
-    std::atomic<int> popped{0};
+    std::atomic<int> consumed{0};
     std::atomic<uint64_t> idSum{0};
 
     std::vector<std::thread> consumers;
     for (int c = 0; c < 2; ++c) {
         consumers.emplace_back([&] {
-            while (std::shared_ptr<Job> job = q.pop()) {
-                idSum += job->requestId;
-                ++popped;
+            std::vector<std::shared_ptr<Job>> out;
+            while (q.claim(out, 4, 50ms)) {
+                for (const auto &job : out) {
+                    idSum += job->requestId;
+                    ++consumed;
+                }
             }
         });
     }
@@ -141,7 +338,11 @@ TEST(JobQueue, ConcurrentProducersConsumers)
             for (int i = 0; i < kPerProducer; ++i) {
                 const uint64_t id =
                     static_cast<uint64_t>(p) * kPerProducer + i + 1;
-                while (!q.tryPush(makeJob(id)))
+                // Mixed classes exercise both rings.
+                while (!q.tryPush(makeJob(id, id % 3
+                                                  ? AdmitClass::Bulk
+                                                  : AdmitClass::
+                                                        Interactive)))
                     std::this_thread::yield();
             }
         });
@@ -154,7 +355,7 @@ TEST(JobQueue, ConcurrentProducersConsumers)
         t.join();
 
     constexpr uint64_t kTotal = kProducers * kPerProducer;
-    EXPECT_EQ(popped.load(), static_cast<int>(kTotal));
+    EXPECT_EQ(consumed.load(), static_cast<int>(kTotal));
     EXPECT_EQ(idSum.load(), kTotal * (kTotal + 1) / 2);
 }
 

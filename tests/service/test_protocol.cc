@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "harness/run_json.hh"
+#include "harness/runner.hh"
+#include "support/alloc_hook.hh"
+#include "workloads/benchmark_info.hh"
+
 #include "service/protocol.hh"
 #include "support/json.hh"
 
@@ -152,6 +157,104 @@ TEST(Responses, RunEnvelopeRoundTrips)
     EXPECT_EQ(req2.job.info, req.job.info);
     EXPECT_FALSE(req2.job.request.runLsq);
     EXPECT_TRUE(req2.job.request.runNachos);
+}
+
+TEST(ParseRequestLine, AdmissionClass)
+{
+    Request req;
+    CodecError err;
+    ASSERT_TRUE(parseRequestLine(
+        "{\"v\":1,\"id\":1,\"type\":\"run\",\"run\":"
+        "{\"workload\":\"art\"}}",
+        req, err));
+    EXPECT_EQ(req.job.klass, AdmitClass::Interactive); // default
+    ASSERT_TRUE(parseRequestLine(
+        "{\"v\":1,\"id\":2,\"type\":\"run\",\"run\":"
+        "{\"workload\":\"art\",\"class\":\"bulk\"}}",
+        req, err));
+    EXPECT_EQ(req.job.klass, AdmitClass::Bulk);
+    ASSERT_TRUE(parseRequestLine(
+        "{\"v\":1,\"id\":3,\"type\":\"run\",\"run\":"
+        "{\"workload\":\"art\",\"class\":\"interactive\"}}",
+        req, err));
+    EXPECT_EQ(req.job.klass, AdmitClass::Interactive);
+    EXPECT_FALSE(parseRequestLine(
+        "{\"v\":1,\"id\":4,\"type\":\"run\",\"run\":"
+        "{\"workload\":\"art\",\"class\":\"batch\"}}",
+        req, err));
+    EXPECT_EQ(err.code, "bad_request");
+}
+
+TEST(ParseRequest, PreparsedTreeMatchesLineParser)
+{
+    // The daemon's zero-allocation path parses the line into a reused
+    // tree and hands the tree to parseRequest; both routes must agree.
+    const char *line =
+        "{\"v\":1,\"id\":11,\"type\":\"run\",\"run\":"
+        "{\"workload\":\"164.gzip\",\"seed\":5,"
+        "\"backends\":[\"sw\"],\"class\":\"bulk\"}}";
+    Request viaLine;
+    CodecError err;
+    ASSERT_TRUE(parseRequestLine(line, viaLine, err));
+
+    JsonValue tree;
+    ASSERT_TRUE(parseJsonInPlace(line, tree).ok);
+    Request viaTree;
+    ASSERT_TRUE(parseRequest(tree, viaTree, err));
+    EXPECT_EQ(viaTree.type, viaLine.type);
+    EXPECT_EQ(viaTree.id, viaLine.id);
+    EXPECT_EQ(viaTree.job.info, viaLine.job.info);
+    EXPECT_EQ(viaTree.job.request.seed, 5u);
+    EXPECT_EQ(viaTree.job.klass, AdmitClass::Bulk);
+
+    // Errors agree too.
+    ASSERT_TRUE(
+        parseJsonInPlace("{\"v\":9,\"id\":1,\"type\":\"ping\"}", tree)
+            .ok);
+    EXPECT_FALSE(parseRequest(tree, viaTree, err));
+    EXPECT_EQ(err.code, "unsupported_version");
+}
+
+TEST(Responses, AppendResultResponseMatchesTreeEncoder)
+{
+    // The steady-state byte path must emit exactly what the tree
+    // encoder emits, for every backend combination.
+    const BenchmarkInfo &info = *findBenchmark("179.art");
+    for (const char *backend : {"lsq", "sw", "nachos"}) {
+        RunRequest req;
+        req.seed = 4;
+        req.runLsq = backend == std::string("lsq");
+        req.runSw = backend == std::string("sw");
+        req.runNachos = backend == std::string("nachos");
+        req.invocationsOverride = 2;
+        const RunOutcome outcome = runWorkload(info, req);
+        const OutcomeSummary summary =
+            summarizeOutcome(info, req, outcome);
+        std::string appended;
+        appendResultResponse(appended, 77, summary);
+        EXPECT_EQ(appended,
+                  dumpJson(resultResponse(77, encodeOutcome(summary))))
+            << backend;
+    }
+}
+
+TEST(Responses, AppendResultResponseIsZeroAllocWhenWarm)
+{
+    const BenchmarkInfo &info = *findBenchmark("164.gzip");
+    RunRequest req;
+    req.seed = 1;
+    req.invocationsOverride = 1;
+    const RunOutcome outcome = runWorkload(info, req);
+    const OutcomeSummary summary = summarizeOutcome(info, req, outcome);
+    std::string buf;
+    appendResultResponse(buf, 1, summary); // warm to high-water mark
+    const uint64_t before = threadAllocCount();
+    for (uint64_t id = 2; id < 102; ++id) {
+        buf.clear();
+        appendResultResponse(buf, id, summary);
+    }
+    EXPECT_EQ(threadAllocCount() - before, 0u)
+        << "warm result encoding touched the heap";
 }
 
 } // namespace

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "support/alloc_hook.hh"
 #include "support/json.hh"
 
 namespace nachos {
@@ -131,6 +132,165 @@ TEST(Json, NonFiniteDoublesBecomeNull)
     EXPECT_EQ(dumpJson(JsonValue(
                   std::numeric_limits<double>::infinity())),
               "null");
+}
+
+TEST(JsonWriter, ByteIdenticalToTreeDump)
+{
+    // The same logical document through both encoders.
+    JsonValue v = JsonValue::makeObject();
+    v.set("v", 1);
+    v.set("name", "he said \"hi\"\n");
+    v.set("digest", UINT64_MAX);
+    v.set("delta", int64_t{-42});
+    v.set("ratio", 1.5);
+    v.set("whole", 3.0); // double holding an integral value
+    v.set("flag", true);
+    v.set("nothing", JsonValue());
+    JsonValue arr = JsonValue::makeArray();
+    arr.push(uint64_t{7});
+    JsonValue inner = JsonValue::makeObject();
+    inner.set("empty", JsonValue::makeObject());
+    arr.push(std::move(inner));
+    v.set("items", std::move(arr));
+
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("v");
+    w.value(1);
+    w.key("name");
+    w.value("he said \"hi\"\n");
+    w.key("digest");
+    w.value(UINT64_MAX);
+    w.key("delta");
+    w.value(int64_t{-42});
+    w.key("ratio");
+    w.value(1.5);
+    w.key("whole");
+    w.value(3.0);
+    w.key("flag");
+    w.value(true);
+    w.key("nothing");
+    w.null();
+    w.key("items");
+    w.beginArray();
+    w.value(uint64_t{7});
+    w.beginObject();
+    w.key("empty");
+    w.beginObject();
+    w.endObject();
+    w.endObject();
+    w.endArray();
+    w.endObject();
+
+    EXPECT_EQ(out, dumpJson(v));
+}
+
+TEST(JsonWriter, EmbeddedSubtreeMatchesDump)
+{
+    JsonValue subtree = JsonValue::makeObject();
+    subtree.set("p99", uint64_t{1023});
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("latency");
+    w.value(subtree);
+    w.endObject();
+    JsonValue v = JsonValue::makeObject();
+    v.set("latency", std::move(subtree));
+    EXPECT_EQ(out, dumpJson(v));
+}
+
+TEST(JsonDumpTo, AppendsWithoutClearing)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("a", 1);
+    std::string out = "prefix:";
+    dumpJsonTo(v, out);
+    EXPECT_EQ(out, "prefix:{\"a\":1}");
+}
+
+TEST(JsonInPlace, MatchesFreshParse)
+{
+    const char *docs[] = {
+        "{\"v\":1,\"id\":7,\"type\":\"run\",\"run\":{\"workload\":"
+        "\"164.gzip\",\"backends\":[\"nachos\",\"sw\"]}}",
+        "{\"v\":1,\"id\":8,\"type\":\"ping\"}",
+        "[1,-2,3.5,18446744073709551615,\"x\",null,true]",
+        "{\"dup\":1,\"dup\":2}", // duplicate key: last wins
+        "\"scalar\"",
+    };
+    JsonValue reuse;
+    for (const char *doc : docs) {
+        const JsonParseStatus st = parseJsonInPlace(doc, reuse);
+        ASSERT_TRUE(st.ok) << doc << ": " << st.error;
+        const JsonParseResult fresh = parseJson(doc);
+        ASSERT_TRUE(fresh.ok) << doc;
+        EXPECT_EQ(dumpJson(reuse), dumpJson(fresh.value)) << doc;
+    }
+}
+
+TEST(JsonInPlace, ShrinkingDocumentsDropStaleMembers)
+{
+    JsonValue reuse;
+    ASSERT_TRUE(parseJsonInPlace(
+                    "{\"a\":{\"deep\":[1,2,3]},\"b\":2,\"c\":3}",
+                    reuse)
+                    .ok);
+    // Re-parse a smaller object into the same tree: members and array
+    // items beyond the new document must disappear.
+    ASSERT_TRUE(parseJsonInPlace("{\"a\":[9]}", reuse).ok);
+    EXPECT_EQ(dumpJson(reuse), "{\"a\":[9]}");
+}
+
+TEST(JsonInPlace, ErrorsMatchStrictParser)
+{
+    JsonValue reuse;
+    for (const char *bad :
+         {"{", "[1,]", "{\"a\":01}", "garbage", "\"unterminated",
+          "{\"a\":1}x"}) {
+        EXPECT_FALSE(parseJsonInPlace(bad, reuse).ok) << bad;
+        EXPECT_FALSE(parseJson(bad).ok) << bad;
+    }
+    // A failed parse leaves the value reusable.
+    ASSERT_TRUE(parseJsonInPlace("{\"ok\":true}", reuse).ok);
+    EXPECT_EQ(dumpJson(reuse), "{\"ok\":true}");
+}
+
+TEST(JsonZeroAlloc, SteadyStateParseAndEncodeAllocateNothing)
+{
+    // The serving plane's steady state: parse a same-shaped request
+    // line into a reused tree, then encode a response into a reused
+    // buffer. After one warm-up iteration, neither side may touch the
+    // heap.
+    const std::string line =
+        "{\"v\":1,\"id\":42,\"type\":\"run\",\"run\":{\"workload\":"
+        "\"164.gzip\",\"seed\":7,\"backends\":[\"nachos\"]}}";
+    JsonValue reuse;
+    std::string out;
+    out.reserve(256);
+    auto iteration = [&] {
+        ASSERT_TRUE(parseJsonInPlace(line, reuse).ok);
+        out.clear();
+        JsonWriter w(out);
+        w.beginObject();
+        w.key("v");
+        w.value(1);
+        w.key("id");
+        w.value(reuse.find("id")->asU64());
+        w.key("type");
+        w.value("result");
+        w.key("cycles");
+        w.value(uint64_t{123456789});
+        w.endObject();
+    };
+    iteration(); // warm up buffers to their high-water mark
+
+    const uint64_t before = threadAllocCount();
+    for (int i = 0; i < 100; ++i)
+        iteration();
+    EXPECT_EQ(threadAllocCount() - before, 0u)
+        << "steady-state parse/encode touched the heap";
 }
 
 } // namespace

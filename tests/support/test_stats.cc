@@ -176,5 +176,61 @@ TEST(Histogram, CumulativeFraction)
     EXPECT_DOUBLE_EQ(h.cumulativeAt(100), 1.0);
 }
 
+TEST(LatencyHistogram, MergeAddsBucketsAndBounds)
+{
+    LatencyHistogram a, b;
+    a.sample(10);
+    a.sample(1000);
+    b.sample(3);
+    b.sample(50000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.sum(), 10u + 1000u + 3u + 50000u);
+    EXPECT_EQ(a.min(), 3u);
+    EXPECT_EQ(a.max(), 50000u);
+    // Merging an empty histogram changes nothing.
+    const uint64_t p99 = a.p99();
+    a.merge(LatencyHistogram());
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.p99(), p99);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedSampling)
+{
+    // Percentiles after a merge equal those of one histogram that saw
+    // every sample directly — the property the per-shard metrics rely
+    // on when the daemon folds shard stats into one snapshot.
+    LatencyHistogram combined, left, right;
+    for (uint64_t v = 1; v <= 200; ++v) {
+        combined.sample(v * 7);
+        (v % 2 ? left : right).sample(v * 7);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), combined.count());
+    EXPECT_EQ(left.sum(), combined.sum());
+    EXPECT_EQ(left.p50(), combined.p50());
+    EXPECT_EQ(left.p95(), combined.p95());
+    EXPECT_EQ(left.p99(), combined.p99());
+}
+
+TEST(StatSet, MergeFoldsCountersAndHistograms)
+{
+    StatSet a, b;
+    a.counter("jobs.completed").inc(3);
+    a.histogram("latency.totalMicros").sample(100);
+    b.counter("jobs.completed").inc(2);
+    b.counter("shard.steals").inc(); // only in b
+    b.histogram("latency.totalMicros").sample(900);
+    b.histogram("batch.lanesPerGroup").sample(4); // only in b
+    a.merge(b);
+    EXPECT_EQ(a.get("jobs.completed"), 5u);
+    EXPECT_EQ(a.get("shard.steals"), 1u);
+    EXPECT_EQ(a.histogram("latency.totalMicros").count(), 2u);
+    EXPECT_EQ(a.histogram("latency.totalMicros").sum(), 1000u);
+    EXPECT_EQ(a.histogram("batch.lanesPerGroup").count(), 1u);
+    // b is untouched.
+    EXPECT_EQ(b.get("jobs.completed"), 2u);
+}
+
 } // namespace
 } // namespace nachos

@@ -9,9 +9,16 @@
 #
 # Timing lines go to stderr by design (printSuiteTiming), so stdout is
 # the deterministic surface. Excluded: bench_micro (google-benchmark,
-# timing-only output), bench_service_throughput (throughput numbers),
-# bench_batch_sim (no --threads; its batched-vs-sequential identity is
-# checked internally and by tests/cgra/test_batch_sim).
+# timing-only output), bench_service_throughput / bench_service_slo
+# (throughput numbers), bench_batch_sim (no --threads; its
+# batched-vs-sequential identity is checked internally and by
+# tests/cgra/test_batch_sim).
+#
+# The final pass checks the serving plane: result lines served by a
+# sharded nachosd (region cache + batched sim enabled) must be
+# byte-identical to nachos_client --direct, which runs the same
+# decode/run/encode path in-process — across the cache-miss, the
+# cache-hit, and the coalesced-batch serving paths.
 
 set -u
 
@@ -97,8 +104,99 @@ for bench in $BATCH_BENCHES; do
         "sequential vs batched sim"
 done
 
+# Daemon vs direct: every result line a sharded daemon serves must be
+# byte-identical to the in-process reference. Each client connection
+# numbers requests from 1, matching --direct's fixed id, so whole raw
+# lines compare with cmp. The first daemon run per workload misses the
+# region cache, the second hits it, and the parallel burst at the end
+# exercises the coalesced multi-request batch path.
+BIN_DIR="$BENCH_DIR/../bin"
+NACHOSD_PID=
+stop_daemon() {
+    if [ -n "$NACHOSD_PID" ]; then
+        kill -TERM "$NACHOSD_PID" 2>/dev/null
+        wait "$NACHOSD_PID" 2>/dev/null
+        NACHOSD_PID=
+    fi
+}
+trap 'stop_daemon; rm -rf "$TMP"' EXIT
+
+if [ ! -x "$BIN_DIR/nachosd" ] || [ ! -x "$BIN_DIR/nachos_client" ]; then
+    echo "FAIL: missing serving binaries in $BIN_DIR" >&2
+    failures=$((failures + 1))
+else
+    SOCK="$TMP/nachosd.sock"
+    "$BIN_DIR/nachosd" --socket "$SOCK" --workers 2 \
+        --max-batch-lanes 8 --region-cache 16 --quiet &
+    NACHOSD_PID=$!
+    for _ in $(seq 1 100); do
+        [ -S "$SOCK" ] && break
+        sleep 0.1
+    done
+    if [ ! -S "$SOCK" ]; then
+        echo "FAIL: nachosd did not open $SOCK" >&2
+        failures=$((failures + 1))
+    else
+        for spec in "179.art nachos 2" "164.gzip lsq 1" \
+                    "183.equake sw 1"; do
+            set -- $spec
+            wl=$1 backend=$2 inv=$3
+            ref="$TMP/direct.$wl.$backend"
+            if ! "$BIN_DIR/nachos_client" --direct --raw run \
+                --workload "$wl" --seed 3 --backend "$backend" \
+                --invocations "$inv" --class bulk > "$ref"; then
+                echo "FAIL: nachos_client --direct $wl/$backend" \
+                     "exited non-zero" >&2
+                failures=$((failures + 1))
+                continue
+            fi
+            for pass in cache-miss cache-hit; do
+                got="$TMP/daemon.$wl.$backend.$pass"
+                if ! "$BIN_DIR/nachos_client" --socket "$SOCK" --raw \
+                    run --workload "$wl" --seed 3 \
+                    --backend "$backend" --invocations "$inv" \
+                    --class bulk > "$got"; then
+                    echo "FAIL: daemon run $wl/$backend ($pass)" \
+                         "exited non-zero" >&2
+                    failures=$((failures + 1))
+                    continue
+                fi
+                check "$wl/$backend" "$ref" "$got" \
+                    "daemon vs direct, $pass"
+            done
+        done
+
+        # Coalesced path: identical bulk requests arriving together get
+        # batched into one group; every response must still match.
+        ref="$TMP/direct.179.art.nachos"
+        pids=""
+        for i in 1 2 3 4; do
+            "$BIN_DIR/nachos_client" --socket "$SOCK" --raw run \
+                --workload 179.art --seed 3 --backend nachos \
+                --invocations 2 --class bulk \
+                > "$TMP/coalesce.$i" &
+            pids="$pids $!"
+        done
+        burst_ok=1
+        for pid in $pids; do
+            wait "$pid" || burst_ok=0
+        done
+        if [ "$burst_ok" -ne 1 ]; then
+            echo "FAIL: coalesced burst client exited non-zero" >&2
+            failures=$((failures + 1))
+        else
+            for i in 1 2 3 4; do
+                check "179.art/nachos" "$ref" "$TMP/coalesce.$i" \
+                    "daemon vs direct, coalesced burst $i/4"
+            done
+        fi
+    fi
+    stop_daemon
+fi
+
 if [ "$failures" -ne 0 ]; then
     echo "$failures determinism failure(s)" >&2
     exit 1
 fi
-echo "all benches deterministic across thread counts and sim engines"
+echo "all benches deterministic across thread counts and sim engines," \
+     "and the daemon serves byte-identical results to --direct"

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * nachos_loadgen: drive a running nachosd with closed- or open-loop
+ * load and report achieved req/s plus client-side latency
+ * percentiles. The CLI face of service/loadgen.hh.
+ *
+ *   nachos_loadgen [--socket PATH | --tcp HOST:PORT]
+ *                  [--clients N] [--requests N]
+ *                  [--open-rps R --duration SEC]
+ *                  [--workload NAME] [--path N] [--seed N]
+ *                  [--backend lsq|sw|nachos]... [--invocations N]
+ *                  [--timeout-ms N] [--class interactive|bulk]
+ *                  [--json]
+ *
+ * Closed loop (default): each of --clients connections completes
+ * --requests requests back-to-back. Open loop (--open-rps): requests
+ * launch on a fixed schedule for --duration seconds regardless of
+ * completions — the honest way to measure tail latency under load.
+ *
+ * Exit codes: 0 all requests completed, 1 setup failure, 2 some
+ * requests failed (error or protocol error).
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "service/loadgen.hh"
+#include "support/json.hh"
+#include "support/table.hh"
+
+using namespace nachos;
+
+namespace {
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::cerr << "nachos_loadgen: " << message << "\n"
+              << "usage: nachos_loadgen [--socket PATH | --tcp "
+                 "HOST:PORT] [--clients N] \\\n"
+                 "         [--requests N] [--open-rps R --duration "
+                 "SEC] [--workload NAME] \\\n"
+                 "         [--path N] [--seed N] [--backend B]... "
+                 "[--invocations N] \\\n"
+                 "         [--timeout-ms N] [--class "
+                 "interactive|bulk] [--json]\n";
+    std::exit(1);
+}
+
+uint64_t
+parseU64(const std::string &flag, const char *value)
+{
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0')
+        usageError("invalid " + flag + " value '" + value + "'");
+    return n;
+}
+
+double
+parseDouble(const std::string &flag, const char *value)
+{
+    char *end = nullptr;
+    const double d = std::strtod(value, &end);
+    if (end == value || *end != '\0' || d < 0)
+        usageError("invalid " + flag + " value '" + value + "'");
+    return d;
+}
+
+} // namespace
+
+int
+main(int argc, char *argv[])
+{
+    LoadGenConfig config;
+    config.socketPath = "/tmp/nachos.sock";
+    config.backends.clear();
+    bool json = false;
+
+    int i = 1;
+    auto next = [&](const std::string &flag) -> const char * {
+        if (i + 1 >= argc)
+            usageError(flag + " requires a value");
+        return argv[++i];
+    };
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            config.socketPath = next(arg);
+            config.tcpPort = 0;
+        } else if (arg == "--tcp") {
+            const std::string spec = next(arg);
+            const size_t colon = spec.rfind(':');
+            if (colon == std::string::npos)
+                usageError("--tcp wants HOST:PORT");
+            config.tcpHost = spec.substr(0, colon);
+            config.tcpPort = static_cast<uint16_t>(parseU64(
+                "--tcp port", spec.substr(colon + 1).c_str()));
+        } else if (arg == "--clients") {
+            config.clients =
+                static_cast<unsigned>(parseU64(arg, next(arg)));
+        } else if (arg == "--requests") {
+            config.requestsPerClient = parseU64(arg, next(arg));
+        } else if (arg == "--open-rps") {
+            config.openRps = parseDouble(arg, next(arg));
+        } else if (arg == "--duration") {
+            config.durationSeconds = parseDouble(arg, next(arg));
+        } else if (arg == "--workload") {
+            config.workload = next(arg);
+        } else if (arg == "--path") {
+            config.pathIndex =
+                static_cast<uint32_t>(parseU64(arg, next(arg)));
+        } else if (arg == "--seed") {
+            config.seed = parseU64(arg, next(arg));
+        } else if (arg == "--backend") {
+            config.backends.push_back(next(arg));
+        } else if (arg == "--invocations") {
+            config.invocations = parseU64(arg, next(arg));
+        } else if (arg == "--timeout-ms") {
+            config.timeoutMillis = parseU64(arg, next(arg));
+        } else if (arg == "--class") {
+            const std::string k = next(arg);
+            if (k == "interactive")
+                config.klass = AdmitClass::Interactive;
+            else if (k == "bulk")
+                config.klass = AdmitClass::Bulk;
+            else
+                usageError("--class wants interactive|bulk");
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usageError("help");
+        } else {
+            usageError("unknown argument '" + arg + "'");
+        }
+    }
+    if (config.clients < 1)
+        usageError("--clients must be >= 1");
+    if (config.backends.empty())
+        config.backends.push_back("nachos");
+
+    LoadGenResult result;
+    std::string error;
+    if (!runLoadGen(config, result, &error)) {
+        std::cerr << "nachos_loadgen: " << error << "\n";
+        return 1;
+    }
+
+    if (json) {
+        std::cout << dumpJson(loadGenResultJson(config, result))
+                  << "\n";
+    } else {
+        std::cout << (config.openRps > 0 ? "open" : "closed")
+                  << " loop, " << config.clients << " client(s): "
+                  << result.completed << "/" << result.sent
+                  << " completed in "
+                  << fmtDouble(result.wallSeconds, 2) << "s ("
+                  << fmtDouble(result.achievedRps(), 1)
+                  << " req/s)\n"
+                  << "  errors " << result.errors
+                  << ", protocol errors " << result.protocolErrors
+                  << "\n"
+                  << "  latency p50/p95/p99: "
+                  << result.latencyMicros.p50() << "/"
+                  << result.latencyMicros.p95() << "/"
+                  << result.latencyMicros.p99() << " us\n";
+    }
+    return result.completed == result.sent ? 0 : 2;
+}

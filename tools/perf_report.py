@@ -19,16 +19,26 @@ STAGES = ("synth", "analysis", "mde", "sim")
 
 
 def load(path):
-    """-> {workload: {stage: seconds}}, plus the file's git_sha set."""
+    """-> ({workload: {stage: seconds}}, {slo stage: row}, git_sha set).
+
+    Service SLO rows (workload == "service", emitted by
+    bench_service_slo and the loadgen) carry req/s-at-p99 fields
+    instead of pipeline-stage seconds, so they get their own table and
+    stay out of the per-workload stage math.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         rows = json.load(fh)
     table = defaultdict(dict)
+    service = {}
     shas = set()
     for row in rows:
-        table[row["workload"]][row["stage"]] = row["seconds"]
+        if row["workload"] == "service":
+            service[row["stage"]] = row
+        else:
+            table[row["workload"]][row["stage"]] = row["seconds"]
         if "git_sha" in row:
             shas.add(row["git_sha"])
-    return table, shas
+    return table, service, shas
 
 
 def fmt_ratio(base, cur):
@@ -42,8 +52,8 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
     try:
-        base, base_shas = load(argv[1])
-        cur, cur_shas = load(argv[2])
+        base, base_svc, base_shas = load(argv[1])
+        cur, cur_svc, cur_shas = load(argv[2])
     except (OSError, ValueError, KeyError) as err:
         print(f"perf_report: cannot read inputs: {err}", file=sys.stderr)
         return 2
@@ -74,9 +84,44 @@ def main(argv):
         b_total, c_total = totals[stage]
         print(f"{'TOTAL ' + stage:<22} {b_total:>9.4f}s {c_total:>9.4f}s "
               f"{fmt_ratio(b_total, c_total):>8}")
+    print_service_slo(base_svc, cur_svc)
+
     print()
     print("report-only: timing never fails CI; byte-identical output does.")
     return 0
+
+
+def print_service_slo(base_svc, cur_svc):
+    """Render req/s-at-p99 serving rows, if either input carries any."""
+    if not base_svc and not cur_svc:
+        return
+    print()
+    print("Service SLO (req/s at p99 tail latency)")
+    print(f"{'config':<26} {'base req/s':>11} {'cur req/s':>11} "
+          f"{'ratio':>7} {'base p99':>10} {'cur p99':>10}")
+    print("-" * 80)
+
+    def cell(row, field, suffix=""):
+        if row is None or field not in row:
+            return "-"
+        value = row[field]
+        if field == "p99Micros":
+            return f"{value / 1000.0:.2f}ms"
+        return f"{value:.0f}{suffix}"
+
+    for stage in sorted(set(base_svc) | set(cur_svc)):
+        b = base_svc.get(stage)
+        c = cur_svc.get(stage)
+        if b and c and b.get("reqps", 0) > 0 and "reqps" in c:
+            ratio = f"{c['reqps'] / b['reqps']:5.2f}x"
+        else:
+            ratio = "n/a"
+        print(f"{stage:<26} {cell(b, 'reqps'):>11} {cell(c, 'reqps'):>11} "
+              f"{ratio:>7} {cell(b, 'p99Micros'):>10} "
+              f"{cell(c, 'p99Micros'):>10}")
+    print("-" * 80)
+    print("ratio is current/base req/s (higher is better); "
+          "p99 from the same run.")
 
 
 if __name__ == "__main__":

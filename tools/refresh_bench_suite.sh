@@ -5,26 +5,44 @@
 #
 #   tools/refresh_bench_suite.sh
 #
-# Builds the Release benchmark binary and rewrites BENCH_suite.json
-# with --threads 1 timings stamped with the current git SHA. Commit the
-# refreshed file together with the change that moved the numbers.
+# Builds the Release benchmark binaries and rewrites BENCH_suite.json
+# with --threads 1 stage timings plus the serving plane's SLO curve
+# (bench_service_slo req/s-at-p99 rows), stamped with the current git
+# SHA. Commit the refreshed file together with the change that moved
+# the numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j"$(nproc)" --target bench_fig15_nachos_vs_lsq
+cmake --build build -j"$(nproc)" --target bench_fig15_nachos_vs_lsq \
+    bench_service_slo
 
 ./build/bench/bench_fig15_nachos_vs_lsq --threads 1 \
     --json BENCH_suite.json > /dev/null
 
+./build/bench/bench_service_slo --json build/service_slo.json \
+    > /dev/null
+
 echo "refreshed BENCH_suite.json:"
 python3 - <<'EOF'
 import json
+
+# Merge the SLO rows into the baseline, keeping the one-compact-row-
+# per-line layout both writers emit so diffs stay line-per-row.
 rows = json.load(open("BENCH_suite.json"))
+rows += json.load(open("build/service_slo.json"))
+with open("BENCH_suite.json", "w") as fh:
+    fh.write("[\n")
+    fh.write(",\n".join(
+        "  " + json.dumps(r, separators=(",", ":")) for r in rows))
+    fh.write("\n]\n")
+
 sim = sum(r["seconds"] for r in rows if r["stage"] == "sim")
+slo = [r for r in rows if r["workload"] == "service"]
 shas = {r.get("git_sha", "?") for r in rows}
 print(f"  git_sha {','.join(sorted(shas))}, "
-      f"{len({r['workload'] for r in rows})} workloads, "
-      f"sim total {sim:.3f}s at --threads 1")
+      f"{len({r['workload'] for r in rows}) - 1} workloads, "
+      f"sim total {sim:.3f}s at --threads 1, "
+      f"{len(slo)} service SLO rows")
 EOF
