@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Sweep throughput: points/s for one fixed 12-point design-space
+ * sweep (183.equake, three backends, lsqBanks x l1SizeBytes), run
+ * twice — fully in-process, then through a live nachosd over its Unix
+ * socket — so the serving plane's overhead on sweep traffic stays
+ * visible per commit.
+ *
+ * With `--json <path>` both measurements land in the suite timing-
+ * record format (workload "sweep", extra `points`/`pointsPerSec`
+ * members; tools/perf_report.py renders them as the sweep-throughput
+ * section). Timing never gates: the exit code only reflects whether
+ * every point completed.
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+#include "harness/report.hh"
+#include "harness/suite_runner.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "sweep/orchestrator.hh"
+
+using namespace nachos;
+
+namespace {
+
+constexpr char kSpecJson[] =
+    R"({"name": "bench",
+        "workloads": ["183.equake"],
+        "invocations": 50,
+        "axes": {"lsqBanks": [1, 4],
+                 "l1SizeBytes": [16384, 65536]}})";
+
+std::string
+gitSha()
+{
+    std::string sha;
+    if (FILE *pipe =
+            popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+        char buf[64];
+        if (fgets(buf, sizeof(buf), pipe))
+            sha = buf;
+        pclose(pipe);
+    }
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    return sha.empty() ? "unknown" : sha;
+}
+
+struct Measurement
+{
+    double seconds = 0;
+    size_t points = 0;
+    bool clean = false;
+};
+
+Measurement
+timeSweep(const std::vector<SweepPoint> &points, bool overDaemon)
+{
+    const std::string tag = overDaemon ? "daemon" : "inproc";
+    const std::string storePath = "/tmp/nachos-sweep-bench-" +
+                                  std::to_string(::getpid()) + "-" +
+                                  tag + ".jsonl";
+    ::unlink(storePath.c_str());
+    SweepStore store(storePath);
+    SweepRunOptions options;
+    SweepRunStats stats;
+    std::string error;
+    Measurement m;
+
+    using clock = std::chrono::steady_clock;
+    bool ok = false;
+    if (overDaemon) {
+        const std::string socketPath =
+            "/tmp/nachos-sweep-bench-" + std::to_string(::getpid()) +
+            ".sock";
+        DaemonConfig config;
+        config.socketPath = socketPath;
+        config.workers = 2;
+        config.regionCacheEntries = 16;
+        Daemon daemon(std::move(config));
+        if (!daemon.start(&error)) {
+            std::cerr << "nachosd start: " << error << "\n";
+            return m;
+        }
+        std::unique_ptr<ServiceClient> client =
+            ServiceClient::connectUnix(socketPath, &error);
+        if (!client) {
+            std::cerr << "connect: " << error << "\n";
+            daemon.drain();
+            return m;
+        }
+        const clock::time_point start = clock::now();
+        ok = runSweepOverDaemon(points, store, *client, options,
+                                stats, &error);
+        m.seconds =
+            std::chrono::duration<double>(clock::now() - start)
+                .count();
+        client.reset();
+        daemon.drain();
+        ::unlink(socketPath.c_str());
+    } else {
+        const clock::time_point start = clock::now();
+        ok = runSweepInProcess(points, store, options, stats, &error);
+        m.seconds =
+            std::chrono::duration<double>(clock::now() - start)
+                .count();
+    }
+    if (!ok)
+        std::cerr << "sweep (" << tag << "): " << error << "\n";
+    m.points = stats.ran;
+    m.clean = ok && stats.failed == 0 && stats.ran == points.size();
+    store.close();
+    ::unlink(storePath.c_str());
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::string jsonPath = suiteJsonPath(argc, argv);
+    printHeader(std::cout, "Sweep",
+                "design-space sweep throughput: in-process vs over "
+                "nachosd");
+
+    JsonParseResult parsed = parseJson(kSpecJson);
+    NACHOS_ASSERT(parsed.ok, "bench spec must parse");
+    SweepSpec spec;
+    CodecError err;
+    if (!decodeSweepSpec(parsed.value, spec, err))
+        NACHOS_FATAL("bench spec rejected: ", err.message);
+    const std::vector<SweepPoint> points = expandSweep(spec);
+
+    const Measurement inproc = timeSweep(points, false);
+    const Measurement daemon = timeSweep(points, true);
+
+    TextTable table;
+    table.header({"mode", "points", "seconds", "points/s"});
+    bool clean = true;
+    std::vector<JsonValue> rows;
+    const std::string sha = gitSha();
+    auto report = [&](const char *stage, const Measurement &m) {
+        const double rate = m.seconds > 0 ? m.points / m.seconds : 0;
+        table.row({stage, std::to_string(m.points),
+                   fmtDouble(m.seconds, 3), fmtDouble(rate, 1)});
+        clean = clean && m.clean;
+        JsonValue row = JsonValue::makeObject();
+        row.set("workload", "sweep");
+        row.set("stage", stage);
+        row.set("seconds", std::round(m.seconds * 1e6) / 1e6);
+        row.set("threads", uint64_t{1});
+        row.set("git_sha", sha);
+        row.set("points", uint64_t{m.points});
+        row.set("pointsPerSec", std::round(rate * 10) / 10);
+        rows.push_back(std::move(row));
+    };
+    report("sweep-inprocess", inproc);
+    report("sweep-daemon", daemon);
+    table.print(std::cout);
+
+    if (!jsonPath.empty()) {
+        std::ofstream os(jsonPath);
+        if (!os)
+            NACHOS_FATAL("cannot write timing JSON to '", jsonPath,
+                         "'");
+        bool first = true;
+        os << "[";
+        for (const JsonValue &row : rows) {
+            os << (first ? "" : ",") << "\n  " << dumpJson(row);
+            first = false;
+        }
+        os << "\n]\n";
+    }
+
+    std::cout << "\nreport-only timing; exit reflects sweep "
+                 "completeness only\n";
+    return clean ? 0 : 1;
+}

@@ -253,8 +253,7 @@ BatchSimCore::BatchSimCore(const Region &region, const MdeSet &mdes,
         NACHOS_ASSERT(cfg.grid.rows == base.grid.rows &&
                           cfg.grid.cols == base.grid.cols,
                       "batch lanes must share the grid config");
-        NACHOS_ASSERT(cfg.net.hopsPerCycle == base.net.hopsPerCycle &&
-                          cfg.net.minLatency == base.net.minLatency,
+        NACHOS_ASSERT(cfg.net.sameAs(base.net),
                       "batch lanes must share the network config");
         NACHOS_ASSERT(cfg.traceFile.empty(),
                       "trace files are not supported in batched runs");

@@ -29,10 +29,18 @@ runBatchedGroup(const std::vector<BatchRunItem> &items, RegionCache &cache,
                 BatchSimEngine &engine)
 {
     NACHOS_ASSERT(!items.empty(), "batched group must be non-empty");
-    for (const BatchRunItem &item : items)
+    for (const BatchRunItem &item : items) {
         NACHOS_ASSERT(sameRegionWork(*items[0].info, *items[0].request,
                                      *item.info, *item.request),
                       "batched group mixes region work");
+        // The coalescing group key includes the machine-config hash,
+        // so a claimed group is machine-homogeneous; mixing machines
+        // here would violate the batch engine's shared-network
+        // invariant (and silently share pooled hierarchies across
+        // differing cache geometries on stale slots).
+        NACHOS_ASSERT(item.request->machine == items[0].request->machine,
+                      "batched group mixes machine configs");
+    }
 
     using clock = std::chrono::steady_clock;
     const clock::time_point start = clock::now();
@@ -50,6 +58,7 @@ runBatchedGroup(const std::vector<BatchRunItem> &items, RegionCache &cache,
         sim.invocations = item.request->invocationsOverride
                               ? item.request->invocationsOverride
                               : item.info->invocations;
+        item.request->machine.applyTo(sim);
         if (item.request->runLsq)
             lanes.push_back({BackendKind::OptLsq, sim});
         if (item.request->runSw)

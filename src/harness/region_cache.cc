@@ -1,6 +1,7 @@
 #include "harness/region_cache.hh"
 
 #include "ir/serialize.hh"
+#include "support/logging.hh"
 
 namespace nachos {
 
@@ -37,6 +38,16 @@ RegionCache::acquire(const BenchmarkInfo &info, const RunRequest &request,
                      bool *hit)
 {
     const Key key = makeKey(info, request);
+    {
+        // Literal runtime proof that the key ignores machine
+        // overrides: stripping them must not change the key. If this
+        // fires, someone leaked a simulation parameter into the
+        // front-end key (see the Key doc in the header).
+        RunRequest stripped = request;
+        stripped.machine = MachineOverrides{};
+        NACHOS_ASSERT(makeKey(info, stripped) == key,
+                      "region cache key must be machine-independent");
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (auto it = lru_.begin(); it != lru_.end(); ++it) {

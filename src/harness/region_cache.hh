@@ -82,6 +82,19 @@ class RegionCache
     build(const BenchmarkInfo &info, const RunRequest &request);
 
   private:
+    /**
+     * The cache key is MACHINE-INDEPENDENT by design: it names what
+     * the front end consumed (workload identity, path, seed, pipeline
+     * stages) and nothing the simulation half reads. Requests that
+     * differ only in RunRequest::machine — a design-space sweep's
+     * whole point — therefore share one entry; each sweep point still
+     * simulates under its own SimConfig and produces divergent
+     * SimResults from the identical cached (region, analysis, mdes).
+     * acquire() asserts this invariant at runtime. Adding a machine
+     * parameter to this key would be a correctness bug disguised as a
+     * cache miss: it would silently re-run a front end whose inputs
+     * did not change.
+     */
     struct Key
     {
         const BenchmarkInfo *info = nullptr;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <initializer_list>
+#include <limits>
 #include <string_view>
+#include <type_traits>
 
 namespace nachos {
 
@@ -129,6 +131,84 @@ summarizeSim(const SimResult &r)
 } // namespace
 
 bool
+decodeMachineOverrides(const JsonValue &v, MachineOverrides &out,
+                       CodecError &err)
+{
+    // Reset first: a reused target (the daemon decodes into one
+    // JobSpec per connection) must never keep overrides from an
+    // earlier request whose members this one omits.
+    out = MachineOverrides{};
+    if (!v.isObject())
+        return failCodec(err, "bad_machine",
+                         "'machine' must be an object");
+    if (!checkMembers(v,
+                      {"lsqBanks", "lsqPortsPerBank", "l1SizeBytes",
+                       "l1Assoc", "l1LineBytes", "l1Ports",
+                       "llcSizeBytes", "dramLatency",
+                       "dramRequestsPerCycle", "netHopsPerCycle",
+                       "nachosComparesPerCycle"},
+                      err))
+        return false;
+    auto field = [&](const char *name, auto &slot) {
+        const JsonValue *f = v.find(name);
+        if (!f)
+            return true; // unset: keep the default (0 sentinel)
+        // An explicit zero is rejected rather than treated as "unset":
+        // silently decoding 0 back to the default would mask typos
+        // and make zero/overflow bugs unobservable on the wire.
+        if (!f->isU64() || f->asU64() == 0)
+            return failCodec(err, "bad_machine",
+                             std::string("'machine.") + name +
+                                 "' must be a positive integer");
+        using Slot = std::remove_reference_t<decltype(slot)>;
+        const uint64_t raw = f->asU64();
+        if (raw > std::numeric_limits<Slot>::max())
+            return failCodec(err, "bad_machine",
+                             std::string("'machine.") + name +
+                                 "' overflows its field");
+        slot = static_cast<Slot>(raw);
+        return true;
+    };
+    if (!field("lsqBanks", out.lsqBanks) ||
+        !field("lsqPortsPerBank", out.lsqPortsPerBank) ||
+        !field("l1SizeBytes", out.l1SizeBytes) ||
+        !field("l1Assoc", out.l1Assoc) ||
+        !field("l1LineBytes", out.l1LineBytes) ||
+        !field("l1Ports", out.l1Ports) ||
+        !field("llcSizeBytes", out.llcSizeBytes) ||
+        !field("dramLatency", out.dramLatency) ||
+        !field("dramRequestsPerCycle", out.dramRequestsPerCycle) ||
+        !field("netHopsPerCycle", out.netHopsPerCycle) ||
+        !field("nachosComparesPerCycle", out.nachosComparesPerCycle))
+        return false;
+    if (const char *bad = validateMachineOverrides(out))
+        return failCodec(err, "bad_machine", bad);
+    return true;
+}
+
+JsonValue
+encodeMachineOverrides(const MachineOverrides &m)
+{
+    JsonValue v = JsonValue::makeObject();
+    auto emit = [&v](const char *name, uint64_t value) {
+        if (value)
+            v.set(name, value);
+    };
+    emit("lsqBanks", m.lsqBanks);
+    emit("lsqPortsPerBank", m.lsqPortsPerBank);
+    emit("l1SizeBytes", m.l1SizeBytes);
+    emit("l1Assoc", m.l1Assoc);
+    emit("l1LineBytes", m.l1LineBytes);
+    emit("l1Ports", m.l1Ports);
+    emit("llcSizeBytes", m.llcSizeBytes);
+    emit("dramLatency", m.dramLatency);
+    emit("dramRequestsPerCycle", m.dramRequestsPerCycle);
+    emit("netHopsPerCycle", m.netHopsPerCycle);
+    emit("nachosComparesPerCycle", m.nachosComparesPerCycle);
+    return v;
+}
+
+bool
 decodeRunRequest(const JsonValue &v, JobSpec &spec, CodecError &err)
 {
     if (!v.isObject())
@@ -136,7 +216,7 @@ decodeRunRequest(const JsonValue &v, JobSpec &spec, CodecError &err)
                          "run request must be an object");
     if (!checkMembers(v,
                       {"workload", "pathIndex", "seed", "backends",
-                       "pipeline", "invocations", "batchSim",
+                       "pipeline", "invocations", "machine", "batchSim",
                        "timeoutMillis", "sleepMillis", "class"},
                       err))
         return false;
@@ -229,6 +309,11 @@ decodeRunRequest(const JsonValue &v, JobSpec &spec, CodecError &err)
                              " cap");
     spec.request.invocationsOverride = invocations;
 
+    if (const JsonValue *m = v.find("machine")) {
+        if (!decodeMachineOverrides(*m, spec.request.machine, err))
+            return false;
+    }
+
     if (const JsonValue *m = v.find("batchSim")) {
         if (!m->isBool())
             return failCodec(err, "bad_request",
@@ -281,6 +366,8 @@ encodeRunRequest(const JobSpec &spec)
     pipeline.set("stage4", spec.request.pipeline.stage4);
     v.set("pipeline", std::move(pipeline));
     v.set("invocations", spec.request.invocationsOverride);
+    if (spec.request.machine.any())
+        v.set("machine", encodeMachineOverrides(spec.request.machine));
     if (spec.request.batchSim)
         v.set("batchSim", true);
     if (spec.timeoutMillis)

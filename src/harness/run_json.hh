@@ -62,6 +62,29 @@ struct JobSpec
 };
 
 /**
+ * Decode a machine-override object (every member optional, positive):
+ *
+ *   {"lsqBanks": 4, "lsqPortsPerBank": 4,
+ *    "l1SizeBytes": 65536, "l1Assoc": 4, "l1LineBytes": 64,
+ *    "l1Ports": 4, "llcSizeBytes": 4194304,
+ *    "dramLatency": 200, "dramRequestsPerCycle": 4,
+ *    "netHopsPerCycle": 4, "nachosComparesPerCycle": 1}
+ *
+ * Strict: unknown members are rejected (`bad_request`); a present
+ * member that is zero, non-integer, overflowing, or violating the
+ * machine model's constraints (validateMachineOverrides — e.g.
+ * `l1Assoc: 0` or a non-power-of-two `l1LineBytes`) fails with the
+ * stable code `bad_machine`. `out` is fully reset first, so reusing a
+ * decode target never leaks stale overrides.
+ */
+bool decodeMachineOverrides(const JsonValue &v, MachineOverrides &out,
+                            CodecError &err);
+
+/** Inverse of decodeMachineOverrides: only set fields are emitted, in
+ *  a fixed member order, so encoding is canonical and round-trips. */
+JsonValue encodeMachineOverrides(const MachineOverrides &m);
+
+/**
  * Decode a run-request object:
  *
  *   {"workload": "164.gzip",        // required; full or short name
@@ -70,6 +93,7 @@ struct JobSpec
  *    "backends": ["lsq","sw","nachos"],  // optional, non-empty
  *    "pipeline": {"stage2":true,"stage3":true,"stage4":true},
  *    "invocations": 0,              // optional override, 0 = keep
+ *    "machine": {...},              // optional machine overrides
  *    "timeoutMillis": 0,            // optional per-job deadline
  *    "sleepMillis": 0}              // optional test delay
  *

@@ -34,6 +34,7 @@ runWorkload(const BenchmarkInfo &info, const RunRequest &request,
     sim.invocations = request.invocationsOverride
                           ? request.invocationsOverride
                           : info.invocations;
+    request.machine.applyTo(sim);
     if (request.batchSim) {
         std::vector<BatchLane> lanes;
         if (request.runLsq)

@@ -12,6 +12,7 @@
 
 #include "analysis/pipeline.hh"
 #include "cgra/simulator.hh"
+#include "harness/machine_config.hh"
 #include "mde/inserter.hh"
 #include "workloads/suite.hh"
 
@@ -28,6 +29,13 @@ struct RunRequest
     uint64_t seed = 1;
     /** Override the descriptor's invocation count (0 = keep). */
     uint64_t invocationsOverride = 0;
+    /**
+     * Machine-parameter overrides applied to the SimConfig of every
+     * requested backend (all-zero = the paper's Figure-3 machine).
+     * Only the simulation half reads these; the front end (synthesis +
+     * analysis + MDEs) is machine-independent by construction.
+     */
+    MachineOverrides machine;
     /** Simulate the requested backends as one batched walk
      *  (cgra/batch_sim) instead of sequential simulate() calls.
      *  Results are byte-identical either way; batching shares the

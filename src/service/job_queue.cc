@@ -78,9 +78,17 @@ JobQueue::claim(std::vector<std::shared_ptr<Job>> &out, uint32_t maxLanes,
                     it = bulk_.erase(it); // corpse
                     continue;
                 }
+                // sameRegionWork is deliberately machine-independent
+                // (front-end results are shared across machine sweeps),
+                // so coalescing must separately require an identical
+                // machine config: the batch engine shares one operand
+                // network across lanes, and a group's pooled hierarchy
+                // slots may only be reused under sameAs geometry.
                 if (!cand.coalescible() ||
                     !sameRegionWork(*lead.spec.info, lead.spec.request,
-                                    *cand.spec.info, cand.spec.request)) {
+                                    *cand.spec.info, cand.spec.request) ||
+                    !(cand.spec.request.machine ==
+                      lead.spec.request.machine)) {
                     ++it; // keeps its place for a later group
                     continue;
                 }

@@ -19,9 +19,12 @@
  * deadline).
  *
  * claim() also performs bulk coalescing: consecutive-enough bulk jobs
- * that agree on their region work (harness sameRegionWork) are claimed
- * as one group, which the shard then executes as a single multi-lane
- * batched simulate.
+ * that agree on their region work (harness sameRegionWork) AND their
+ * machine overrides are claimed as one group, which the shard then
+ * executes as a single multi-lane batched simulate. Region work and
+ * machine config are separate axes on purpose: the region cache spans
+ * machine configs, but one batched simulate cannot (shared network,
+ * pooled hierarchies).
  */
 
 #ifndef NACHOS_SERVICE_JOB_QUEUE_HH
@@ -114,8 +117,9 @@ class JobQueue
      * Interactive jobs have priority and are claimed one at a time.
      * Otherwise the oldest bulk job leads a group: while the group's
      * total backend-lane count stays <= `maxLanes`, younger
-     * coalescible bulk jobs with the same region work join it (jobs
-     * that don't match are skipped in place and keep their turn).
+     * coalescible bulk jobs with the same region work and the same
+     * machine overrides join it (jobs that don't match are skipped in
+     * place and keep their turn).
      *
      * Blocks up to `wait` for work (0 = try only). Returns the number
      * of jobs claimed; 0 on timeout or once the queue is closed and

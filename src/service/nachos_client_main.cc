@@ -6,7 +6,8 @@
  *   nachos_client [--socket PATH | --tcp HOST:PORT] [--raw] COMMAND
  *
  *   run --workload NAME [--path N] [--seed N] [--backend lsq|sw|nachos]...
- *       [--invocations N] [--timeout-ms N] [--sleep-ms N]
+ *       [--invocations N] [--machine KEY=VALUE]...
+ *       [--timeout-ms N] [--sleep-ms N]
  *       [--class interactive|bulk]
  *   suite [--path N] [--seed N] [--backend ...]... [--invocations N]
  *   metrics | ping | shutdown
@@ -57,6 +58,9 @@ struct Options
     uint64_t sleepMillis = 0;
     std::string klass;
     bool direct = false;
+    /** Machine overrides as ordered KEY=VALUE pairs, unvalidated —
+     *  the daemon's codec is the contract being exercised. */
+    std::vector<std::pair<std::string, uint64_t>> machine;
 };
 
 [[noreturn]] void
@@ -67,8 +71,9 @@ usageError(const std::string &message)
                  "HOST:PORT] [--raw] \\\n"
                  "         run --workload NAME [--path N] [--seed N] "
                  "[--backend B]... \\\n"
-                 "             [--invocations N] [--timeout-ms N] "
-                 "[--sleep-ms N] \\\n"
+                 "             [--invocations N] [--machine "
+                 "KEY=VALUE]... \\\n"
+                 "             [--timeout-ms N] [--sleep-ms N] \\\n"
                  "             [--class interactive|bulk] [--direct]\n"
                  "       | suite [--path N] [--seed N] [--backend "
                  "B]... [--invocations N]\n"
@@ -127,6 +132,15 @@ parseArgs(int argc, char *argv[])
             opt.sleepMillis = parseU64(arg, next(arg));
         } else if (arg == "--class") {
             opt.klass = next(arg);
+        } else if (arg == "--machine") {
+            const std::string spec = next(arg);
+            const size_t eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0)
+                usageError("--machine wants KEY=VALUE");
+            opt.machine.emplace_back(
+                spec.substr(0, eq),
+                parseU64("--machine value",
+                         spec.substr(eq + 1).c_str()));
         } else if (arg == "--direct") {
             opt.direct = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -167,6 +181,12 @@ buildRunPayload(const Options &opt, const std::string &workload)
         run.set("sleepMillis", opt.sleepMillis);
     if (!opt.klass.empty())
         run.set("class", opt.klass);
+    if (!opt.machine.empty()) {
+        JsonValue machine = JsonValue::makeObject();
+        for (const auto &field : opt.machine)
+            machine.set(field.first, field.second);
+        run.set("machine", std::move(machine));
+    }
     JsonValue req = requestEnvelope(0, "run");
     req.set("run", std::move(run));
     return req;

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sweep reporting: Pareto frontiers over (cycles, energy, area proxy)
+ * and per-axis sensitivity tables, rendered as deterministic text
+ * from a store's records.
+ *
+ * Determinism contract: the report is a pure function of the records'
+ * result fields — wall-clock `seconds` is deliberately excluded and
+ * records are re-sorted by point id — so a sweep that was killed and
+ * resumed produces a byte-identical report to one that ran straight
+ * through (tools/check_sweep_resume.sh asserts exactly this).
+ */
+
+#ifndef NACHOS_SWEEP_REPORT_HH
+#define NACHOS_SWEEP_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "sweep/store.hh"
+
+namespace nachos {
+
+/**
+ * Coarse silicon-cost proxy of the design a point simulates, computed
+ * from the *effective* machine (overrides merged onto the Figure-3
+ * defaults) with EnergyParams per-access costs as structure weights —
+ * access energy tracks array size and porting (the CACTI-style
+ * argument), so the same fJ numbers that price events also rank
+ * structures by area. In arbitrary units:
+ *
+ *   (l1SizeBytes/lineBytes)  * (l1Read+l1Write)/2 / 1000  (L1 array)
+ * + (llcSizeBytes/lineBytes) * (l1Read+l1Write)/2 / 4000  (LLC, denser)
+ * + [lsq backend]  banks * entriesPerBank
+ *                    * (lsqCamLoad+lsqCamStore)/2 / 1000  (CAM)
+ *                + bloom.counters * lsqBloom / 8000       (filter)
+ * + [nachos backend] nachosComparesPerCycle
+ *                    * (mdeMay+mdeMust+mdeForward) / 1000 (stations)
+ *
+ * The backend-conditional terms are the paper's cost story: an
+ * OPT-LSQ design pays for CAM banks, a NACHOS design pays only for
+ * its comparators, and the software backend adds no disambiguation
+ * hardware at all — so cross-backend Pareto frontiers weigh exactly
+ * the trade the paper argues. Absolute scale is arbitrary; only
+ * ordering matters. Documented in DESIGN.md §14.
+ */
+double areaProxy(const MachineOverrides &machine,
+                 const std::string &backend);
+
+/**
+ * Indices (into `records`) of the Pareto-optimal points under
+ * minimize-(cycles, energyTotal, areaProxy): a record survives iff no
+ * other record is <= on all three and < on at least one. Ties (equal
+ * on all three) all survive. Order follows `records`.
+ */
+std::vector<size_t>
+paretoFrontier(const std::vector<SweepRecord> &records);
+
+/**
+ * Render the full report: per-(workload, path, seed) Pareto
+ * frontiers, then a per-axis sensitivity table (mean cycles/energy of
+ * the records grouped by each swept axis value). Deterministic (see
+ * file header).
+ */
+std::string renderSweepReport(std::vector<SweepRecord> records);
+
+} // namespace nachos
+
+#endif // NACHOS_SWEEP_REPORT_HH

@@ -1,0 +1,533 @@
+#include "sweep/spec.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+namespace {
+
+bool
+failCodec(CodecError &err, const char *code, std::string message)
+{
+    err.code = code;
+    err.message = std::move(message);
+    return false;
+}
+
+/** Strict-object check: every member must be in `allowed`. */
+bool
+checkMembers(const JsonValue &v,
+             std::initializer_list<const char *> allowed,
+             CodecError &err)
+{
+    for (const auto &member : v.members()) {
+        const bool known =
+            std::any_of(allowed.begin(), allowed.end(),
+                        [&](const char *name) {
+                            return member.first == name;
+                        });
+        if (!known)
+            return failCodec(err, "bad_sweep",
+                            "unknown sweep member '" + member.first +
+                                "'");
+    }
+    return true;
+}
+
+const char *kAxisNames[kNumMachineAxes] = {
+    "lsqBanks",       "lsqPortsPerBank",
+    "l1SizeBytes",    "l1Assoc",
+    "l1LineBytes",    "l1Ports",
+    "llcSizeBytes",   "dramLatency",
+    "dramRequestsPerCycle", "netHopsPerCycle",
+    "nachosComparesPerCycle",
+};
+
+int
+axisIndex(const std::string &field)
+{
+    for (size_t i = 0; i < kNumMachineAxes; ++i)
+        if (field == kAxisNames[i])
+            return static_cast<int>(i);
+    return -1;
+}
+
+bool
+compareOp(const std::string &op, uint64_t lhs, uint64_t rhs)
+{
+    if (op == "lt")
+        return lhs < rhs;
+    if (op == "le")
+        return lhs <= rhs;
+    if (op == "eq")
+        return lhs == rhs;
+    if (op == "ne")
+        return lhs != rhs;
+    if (op == "ge")
+        return lhs >= rhs;
+    NACHOS_ASSERT(op == "gt", "constraint op validated at decode");
+    return lhs > rhs;
+}
+
+} // namespace
+
+const char *const *
+machineAxisNames()
+{
+    return kAxisNames;
+}
+
+bool
+setMachineAxis(MachineOverrides &m, const std::string &field,
+               uint64_t value)
+{
+    switch (axisIndex(field)) {
+    case 0: m.lsqBanks = static_cast<uint32_t>(value); return true;
+    case 1: m.lsqPortsPerBank = static_cast<uint32_t>(value); return true;
+    case 2: m.l1SizeBytes = value; return true;
+    case 3: m.l1Assoc = static_cast<uint32_t>(value); return true;
+    case 4: m.l1LineBytes = static_cast<uint32_t>(value); return true;
+    case 5: m.l1Ports = static_cast<uint32_t>(value); return true;
+    case 6: m.llcSizeBytes = value; return true;
+    case 7: m.dramLatency = static_cast<uint32_t>(value); return true;
+    case 8:
+        m.dramRequestsPerCycle = static_cast<uint32_t>(value);
+        return true;
+    case 9: m.netHopsPerCycle = static_cast<uint32_t>(value); return true;
+    case 10:
+        m.nachosComparesPerCycle = static_cast<uint32_t>(value);
+        return true;
+    default: return false;
+    }
+}
+
+bool
+getMachineAxis(const MachineOverrides &m, const std::string &field,
+               uint64_t &value)
+{
+    switch (axisIndex(field)) {
+    case 0: value = m.lsqBanks; return true;
+    case 1: value = m.lsqPortsPerBank; return true;
+    case 2: value = m.l1SizeBytes; return true;
+    case 3: value = m.l1Assoc; return true;
+    case 4: value = m.l1LineBytes; return true;
+    case 5: value = m.l1Ports; return true;
+    case 6: value = m.llcSizeBytes; return true;
+    case 7: value = m.dramLatency; return true;
+    case 8: value = m.dramRequestsPerCycle; return true;
+    case 9: value = m.netHopsPerCycle; return true;
+    case 10: value = m.nachosComparesPerCycle; return true;
+    default: return false;
+    }
+}
+
+uint64_t
+machineAxisDefault(const std::string &field)
+{
+    // Read the defaults off a default-constructed SimConfig so this
+    // can never drift from the Figure-3 machine the code defines.
+    static const SimConfig sim;
+    switch (axisIndex(field)) {
+    case 0: return sim.lsq.banks;
+    case 1: return sim.lsq.portsPerBank;
+    case 2: return sim.mem.l1.sizeBytes;
+    case 3: return sim.mem.l1.assoc;
+    case 4: return sim.mem.l1.lineBytes;
+    case 5: return sim.mem.l1.ports;
+    case 6: return sim.mem.llc.sizeBytes;
+    case 7: return sim.mem.dramLatency;
+    case 8: return sim.mem.dramRequestsPerCycle;
+    case 9: return sim.net.hopsPerCycle;
+    case 10: return sim.nachosComparesPerCycle;
+    default: return 0;
+    }
+}
+
+RunRequest
+SweepPoint::toRequest() const
+{
+    RunRequest r;
+    r.runLsq = backend == "lsq";
+    r.runSw = backend == "sw";
+    r.runNachos = backend == "nachos";
+    r.pathIndex = pathIndex;
+    r.seed = seed;
+    r.invocationsOverride = invocations;
+    r.machine = machine;
+    return r;
+}
+
+bool
+decodeSweepSpec(const JsonValue &v, SweepSpec &spec, CodecError &err)
+{
+    spec = SweepSpec{};
+    if (!v.isObject())
+        return failCodec(err, "bad_sweep", "sweep spec must be an object");
+    if (!checkMembers(v,
+                      {"name", "workloads", "paths", "seeds", "backends",
+                       "invocations", "axes", "constraints"},
+                      err))
+        return false;
+
+    const JsonValue *name = v.find("name");
+    if (!name || !name->isString() || name->str().empty())
+        return failCodec(err, "bad_sweep",
+                        "'name' must be a non-empty string");
+    spec.name = name->str();
+
+    const JsonValue *workloads = v.find("workloads");
+    if (!workloads || !workloads->isArray() || workloads->size() == 0)
+        return failCodec(err, "bad_sweep",
+                        "'workloads' must be a non-empty array");
+    for (size_t i = 0; i < workloads->size(); ++i) {
+        const JsonValue &w = workloads->at(i);
+        if (!w.isString())
+            return failCodec(err, "bad_sweep",
+                            "'workloads' entries must be strings");
+        const BenchmarkInfo *info = findBenchmark(w.str());
+        if (!info)
+            return failCodec(err, "unknown_workload",
+                            "unknown workload '" + w.str() + "'");
+        spec.workloads.push_back(info);
+    }
+
+    auto u64Array = [&](const char *member, std::vector<uint64_t> &out,
+                        uint64_t maxValue) {
+        const JsonValue *a = v.find(member);
+        if (!a)
+            return true; // keep default
+        if (!a->isArray() || a->size() == 0)
+            return failCodec(err, "bad_sweep",
+                            std::string("'") + member +
+                                "' must be a non-empty array");
+        out.clear();
+        for (size_t i = 0; i < a->size(); ++i) {
+            const JsonValue &e = a->at(i);
+            if (!e.isU64() || e.asU64() > maxValue)
+                return failCodec(err, "bad_sweep",
+                                std::string("'") + member +
+                                    "' entries must be integers <= " +
+                                    std::to_string(maxValue));
+            out.push_back(e.asU64());
+        }
+        return true;
+    };
+
+    std::vector<uint64_t> paths;
+    if (!u64Array("paths", paths, kMaxPathIndex))
+        return false;
+    if (!paths.empty()) {
+        spec.paths.clear();
+        for (const uint64_t p : paths)
+            spec.paths.push_back(static_cast<uint32_t>(p));
+    }
+
+    std::vector<uint64_t> seeds;
+    if (!u64Array("seeds", seeds,
+                  std::numeric_limits<uint64_t>::max()))
+        return false;
+    if (!seeds.empty()) {
+        for (const uint64_t s : seeds)
+            if (s == 0)
+                return failCodec(err, "bad_seed",
+                                "'seeds' entries must be positive");
+        spec.seeds = seeds;
+    }
+
+    if (const JsonValue *backends = v.find("backends")) {
+        if (!backends->isArray() || backends->size() == 0)
+            return failCodec(err, "bad_sweep",
+                            "'backends' must be a non-empty array");
+        spec.backends.clear();
+        for (size_t i = 0; i < backends->size(); ++i) {
+            const JsonValue &b = backends->at(i);
+            if (!b.isString() ||
+                (b.str() != "lsq" && b.str() != "sw" &&
+                 b.str() != "nachos"))
+                return failCodec(err, "bad_sweep",
+                                "'backends' entries must be "
+                                "\"lsq\", \"sw\", or \"nachos\"");
+            if (std::find(spec.backends.begin(), spec.backends.end(),
+                          b.str()) != spec.backends.end())
+                return failCodec(err, "bad_sweep",
+                                "duplicate backend '" + b.str() + "'");
+            spec.backends.push_back(b.str());
+        }
+    }
+
+    if (const JsonValue *inv = v.find("invocations")) {
+        if (!inv->isU64() || inv->asU64() > kMaxInvocationsOverride)
+            return failCodec(err, "bad_sweep",
+                            "'invocations' must be an integer <= " +
+                                std::to_string(kMaxInvocationsOverride));
+        spec.invocations = inv->asU64();
+    }
+
+    const JsonValue *axes = v.find("axes");
+    if (axes) {
+        if (!axes->isObject())
+            return failCodec(err, "bad_sweep",
+                            "'axes' must be an object");
+        for (const auto &member : axes->members()) {
+            SweepAxis axis;
+            axis.field = member.first;
+            if (axisIndex(axis.field) < 0)
+                return failCodec(err, "bad_sweep",
+                                "unknown machine axis '" + axis.field +
+                                    "'");
+            for (const SweepAxis &prior : spec.axes)
+                if (prior.field == axis.field)
+                    return failCodec(err, "bad_sweep",
+                                    "duplicate axis '" + axis.field +
+                                        "'");
+            const JsonValue &values = member.second;
+            if (!values.isArray() || values.size() == 0)
+                return failCodec(err, "bad_sweep",
+                                "axis '" + axis.field +
+                                    "' must be a non-empty array");
+            for (size_t i = 0; i < values.size(); ++i) {
+                const JsonValue &e = values.at(i);
+                if (!e.isU64() || e.asU64() == 0)
+                    return failCodec(err, "bad_sweep",
+                                    "axis '" + axis.field +
+                                        "' values must be positive "
+                                        "integers");
+                // Per-value probe: the field alone, merged onto the
+                // default machine, must be valid. (Cross-field
+                // geometry is re-checked per expanded point.)
+                MachineOverrides probe;
+                setMachineAxis(probe, axis.field, e.asU64());
+                if (const char *bad = validateMachineOverrides(probe))
+                    return failCodec(err, "bad_machine",
+                                    "axis '" + axis.field + "' value " +
+                                        std::to_string(e.asU64()) +
+                                        ": " + bad);
+                if (std::find(axis.values.begin(), axis.values.end(),
+                              e.asU64()) != axis.values.end())
+                    return failCodec(err, "bad_sweep",
+                                    "axis '" + axis.field +
+                                        "' has duplicate values");
+                axis.values.push_back(e.asU64());
+            }
+            spec.axes.push_back(std::move(axis));
+        }
+    }
+
+    if (const JsonValue *constraints = v.find("constraints")) {
+        if (!constraints->isArray())
+            return failCodec(err, "bad_sweep",
+                            "'constraints' must be an array");
+        for (size_t i = 0; i < constraints->size(); ++i) {
+            const JsonValue &c = constraints->at(i);
+            if (!c.isObject())
+                return failCodec(err, "bad_sweep",
+                                "constraints must be objects");
+            if (!checkMembers(c, {"lhs", "op", "rhs"}, err))
+                return false;
+            SweepConstraint constraint;
+            const JsonValue *lhs = c.find("lhs");
+            if (!lhs || !lhs->isString() ||
+                axisIndex(lhs->str()) < 0)
+                return failCodec(err, "bad_sweep",
+                                "constraint 'lhs' must name a machine "
+                                "axis");
+            constraint.lhs = lhs->str();
+            const JsonValue *op = c.find("op");
+            const bool knownOp =
+                op && op->isString() &&
+                (op->str() == "lt" || op->str() == "le" ||
+                 op->str() == "eq" || op->str() == "ne" ||
+                 op->str() == "ge" || op->str() == "gt");
+            if (!knownOp)
+                return failCodec(err, "bad_sweep",
+                                "constraint 'op' must be one of "
+                                "lt/le/eq/ne/ge/gt");
+            constraint.op = op->str();
+            const JsonValue *rhs = c.find("rhs");
+            if (rhs && rhs->isString()) {
+                if (axisIndex(rhs->str()) < 0)
+                    return failCodec(err, "bad_sweep",
+                                    "constraint 'rhs' names an unknown "
+                                    "machine axis");
+                constraint.rhsAxis = rhs->str();
+                constraint.rhsIsAxis = true;
+            } else if (rhs && rhs->isU64()) {
+                constraint.rhsValue = rhs->asU64();
+            } else {
+                return failCodec(err, "bad_sweep",
+                                "constraint 'rhs' must be an axis name "
+                                "or a non-negative integer");
+            }
+            spec.constraints.push_back(std::move(constraint));
+        }
+    }
+    return true;
+}
+
+JsonValue
+encodeSweepSpec(const SweepSpec &spec)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("name", spec.name);
+    JsonValue workloads = JsonValue::makeArray();
+    for (const BenchmarkInfo *info : spec.workloads)
+        workloads.push(info->name);
+    v.set("workloads", std::move(workloads));
+    JsonValue paths = JsonValue::makeArray();
+    for (const uint32_t p : spec.paths)
+        paths.push(static_cast<uint64_t>(p));
+    v.set("paths", std::move(paths));
+    JsonValue seeds = JsonValue::makeArray();
+    for (const uint64_t s : spec.seeds)
+        seeds.push(s);
+    v.set("seeds", std::move(seeds));
+    JsonValue backends = JsonValue::makeArray();
+    for (const std::string &b : spec.backends)
+        backends.push(b);
+    v.set("backends", std::move(backends));
+    if (spec.invocations)
+        v.set("invocations", spec.invocations);
+    JsonValue axes = JsonValue::makeObject();
+    for (const SweepAxis &axis : spec.axes) {
+        JsonValue values = JsonValue::makeArray();
+        for (const uint64_t value : axis.values)
+            values.push(value);
+        axes.set(axis.field, std::move(values));
+    }
+    v.set("axes", std::move(axes));
+    if (!spec.constraints.empty()) {
+        JsonValue constraints = JsonValue::makeArray();
+        for (const SweepConstraint &c : spec.constraints) {
+            JsonValue obj = JsonValue::makeObject();
+            obj.set("lhs", c.lhs);
+            obj.set("op", c.op);
+            if (c.rhsIsAxis)
+                obj.set("rhs", c.rhsAxis);
+            else
+                obj.set("rhs", c.rhsValue);
+            constraints.push(std::move(obj));
+        }
+        v.set("constraints", std::move(constraints));
+    }
+    return v;
+}
+
+uint64_t
+fnv1a64(const std::string &text)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+namespace {
+
+/** Effective (override-or-default) value of a field at a point. */
+uint64_t
+effectiveAxisValue(const MachineOverrides &m, const std::string &field)
+{
+    uint64_t value = 0;
+    getMachineAxis(m, field, value);
+    return value ? value : machineAxisDefault(field);
+}
+
+std::string
+pointId(const SweepPoint &p)
+{
+    std::string id = "workload=" + p.info->name;
+    id += " path=" + std::to_string(p.pathIndex);
+    id += " seed=" + std::to_string(p.seed);
+    id += " backend=" + p.backend;
+    id += " inv=" + std::to_string(p.invocations);
+    for (size_t i = 0; i < kNumMachineAxes; ++i) {
+        uint64_t value = 0;
+        getMachineAxis(p.machine, kAxisNames[i], value);
+        if (value) {
+            id += " ";
+            id += kAxisNames[i];
+            id += "=" + std::to_string(value);
+        }
+    }
+    return id;
+}
+
+} // namespace
+
+std::vector<SweepPoint>
+expandSweep(const SweepSpec &spec)
+{
+    // Odometer over the machine axes (last axis fastest); an empty
+    // axes list yields the single all-default machine.
+    std::vector<size_t> odo(spec.axes.size(), 0);
+    std::vector<MachineOverrides> machines;
+    while (true) {
+        MachineOverrides m;
+        for (size_t a = 0; a < spec.axes.size(); ++a)
+            setMachineAxis(m, spec.axes[a].field,
+                           spec.axes[a].values[odo[a]]);
+
+        bool keep = true;
+        for (const SweepConstraint &c : spec.constraints) {
+            const uint64_t lhs = effectiveAxisValue(m, c.lhs);
+            const uint64_t rhs =
+                c.rhsIsAxis ? effectiveAxisValue(m, c.rhsAxis)
+                            : c.rhsValue;
+            if (!compareOp(c.op, lhs, rhs)) {
+                keep = false;
+                break;
+            }
+        }
+        // Combined-geometry filter: a cross product naturally contains
+        // infeasible corners (e.g. a small L1 size crossed with a huge
+        // line size); they are skipped, not errors — each single value
+        // was already validated at decode time.
+        if (keep && validateMachineOverrides(m) != nullptr)
+            keep = false;
+        if (keep)
+            machines.push_back(m);
+
+        size_t a = spec.axes.size();
+        bool rolledOver = true;
+        while (a > 0) {
+            --a;
+            if (++odo[a] < spec.axes[a].values.size()) {
+                rolledOver = false;
+                break;
+            }
+            odo[a] = 0;
+        }
+        if (rolledOver)
+            break;
+    }
+
+    std::vector<SweepPoint> points;
+    points.reserve(spec.workloads.size() * spec.paths.size() *
+                   spec.seeds.size() * spec.backends.size() *
+                   machines.size());
+    for (const BenchmarkInfo *info : spec.workloads)
+        for (const uint32_t path : spec.paths)
+            for (const uint64_t seed : spec.seeds)
+                for (const std::string &backend : spec.backends)
+                    for (const MachineOverrides &m : machines) {
+                        SweepPoint p;
+                        p.info = info;
+                        p.pathIndex = path;
+                        p.seed = seed;
+                        p.backend = backend;
+                        p.invocations = spec.invocations;
+                        p.machine = m;
+                        p.id = pointId(p);
+                        p.hash = fnv1a64(p.id);
+                        points.push_back(std::move(p));
+                    }
+    return points;
+}
+
+} // namespace nachos

@@ -1,0 +1,233 @@
+#include "sweep/store.hh"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace nachos {
+
+namespace {
+
+bool
+failCodec(CodecError &err, const char *code, std::string message)
+{
+    err.code = code;
+    err.message = std::move(message);
+    return false;
+}
+
+bool
+setError(std::string *error, std::string message)
+{
+    if (error)
+        *error = std::move(message);
+    return false;
+}
+
+} // namespace
+
+JsonValue
+encodeSweepRecord(const SweepRecord &r)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("id", r.id);
+    v.set("hash", r.hash);
+    v.set("workload", r.workload);
+    v.set("pathIndex", static_cast<uint64_t>(r.pathIndex));
+    v.set("seed", r.seed);
+    v.set("backend", r.backend);
+    v.set("invocations", r.invocations);
+    v.set("machine", encodeMachineOverrides(r.machine));
+    v.set("cycles", r.cycles);
+    v.set("cyclesPerInvocation", r.cyclesPerInvocation);
+    v.set("maxMlp", r.maxMlp);
+    v.set("avgMlp", r.avgMlp);
+    v.set("loadValueDigest", r.loadValueDigest);
+    v.set("energyTotal", r.energyTotal);
+    v.set("areaProxy", r.areaProxy);
+    v.set("seconds", r.seconds);
+    return v;
+}
+
+bool
+decodeSweepRecord(const JsonValue &v, SweepRecord &r, CodecError &err)
+{
+    r = SweepRecord{};
+    if (!v.isObject())
+        return failCodec(err, "bad_record",
+                        "sweep record must be an object");
+    auto str = [&](const char *name, std::string &out) {
+        const JsonValue *f = v.find(name);
+        if (!f || !f->isString() || f->str().empty())
+            return failCodec(err, "bad_record",
+                            std::string("'") + name +
+                                "' must be a non-empty string");
+        out = f->str();
+        return true;
+    };
+    auto u64 = [&](const char *name, uint64_t &out) {
+        const JsonValue *f = v.find(name);
+        if (!f || !f->isU64())
+            return failCodec(err, "bad_record",
+                            std::string("'") + name +
+                                "' must be an unsigned integer");
+        out = f->asU64();
+        return true;
+    };
+    auto dbl = [&](const char *name, double &out) {
+        const JsonValue *f = v.find(name);
+        if (!f || !f->isNumber())
+            return failCodec(err, "bad_record",
+                            std::string("'") + name +
+                                "' must be a number");
+        out = f->asDouble();
+        return true;
+    };
+    uint64_t pathIndex = 0;
+    if (!str("id", r.id) || !u64("hash", r.hash) ||
+        !str("workload", r.workload) || !u64("pathIndex", pathIndex) ||
+        !u64("seed", r.seed) || !str("backend", r.backend) ||
+        !u64("invocations", r.invocations))
+        return false;
+    r.pathIndex = static_cast<uint32_t>(pathIndex);
+    const JsonValue *machine = v.find("machine");
+    if (!machine ||
+        !decodeMachineOverrides(*machine, r.machine, err))
+        return machine ? false
+                       : failCodec(err, "bad_record",
+                                  "'machine' member is required");
+    if (!u64("cycles", r.cycles) ||
+        !dbl("cyclesPerInvocation", r.cyclesPerInvocation) ||
+        !u64("maxMlp", r.maxMlp) || !dbl("avgMlp", r.avgMlp) ||
+        !u64("loadValueDigest", r.loadValueDigest) ||
+        !dbl("energyTotal", r.energyTotal) ||
+        !dbl("areaProxy", r.areaProxy) || !dbl("seconds", r.seconds))
+        return false;
+    return true;
+}
+
+SweepStore::~SweepStore() { close(); }
+
+bool
+SweepStore::load(SweepLoadResult &out, std::string *error) const
+{
+    out = SweepLoadResult{};
+    std::ifstream in(path_, std::ios::binary);
+    if (!in.is_open())
+        return true; // missing store = empty store
+
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    std::unordered_set<uint64_t> seen;
+    size_t lineStart = 0;
+    while (lineStart < text.size()) {
+        const size_t newline = text.find('\n', lineStart);
+        const bool complete = newline != std::string::npos;
+        const std::string line =
+            text.substr(lineStart,
+                        complete ? newline - lineStart
+                                 : std::string::npos);
+        SweepRecord record;
+        bool ok = false;
+        if (!line.empty()) {
+            JsonParseResult parsed = parseJson(line);
+            CodecError err;
+            ok = parsed.ok &&
+                 decodeSweepRecord(parsed.value, record, err);
+        }
+        if (!ok) {
+            // Only the final line may be torn; anything earlier is
+            // corruption, not an interrupted append.
+            if (complete && newline + 1 < text.size())
+                return setError(error,
+                                path_ + ": malformed record at byte " +
+                                    std::to_string(lineStart));
+            out.tornTail = true;
+            out.validBytes = lineStart;
+            return true;
+        }
+        if (!seen.insert(record.hash).second)
+            return setError(error, path_ + ": duplicate point hash " +
+                                       std::to_string(record.hash) +
+                                       " (id '" + record.id + "')");
+        out.records.push_back(std::move(record));
+        if (!complete) {
+            // Parsed, but the trailing newline never made it out —
+            // treat the line as torn so appends restart it cleanly.
+            out.records.pop_back();
+            seen.erase(record.hash);
+            out.tornTail = true;
+            out.validBytes = lineStart;
+            return true;
+        }
+        lineStart = newline + 1;
+    }
+    out.validBytes = text.size();
+    return true;
+}
+
+bool
+SweepStore::openForAppend(SweepLoadResult &out, std::string *error)
+{
+    close();
+    if (!load(out, error))
+        return false;
+    if (out.tornTail) {
+        // Truncate the torn tail so the next append starts a fresh
+        // line instead of extending a half-written record.
+        std::FILE *f = std::fopen(path_.c_str(), "r+b");
+        if (!f)
+            return setError(error, path_ + ": " + std::strerror(errno));
+        const bool truncated =
+            ftruncate(fileno(f),
+                      static_cast<off_t>(out.validBytes)) == 0;
+        std::fclose(f);
+        if (!truncated)
+            return setError(error,
+                            path_ + ": failed to truncate torn tail");
+    }
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (!file_)
+        return setError(error, path_ + ": " + std::strerror(errno));
+    return true;
+}
+
+bool
+SweepStore::append(const SweepRecord &record, std::string *error)
+{
+    NACHOS_ASSERT(file_ != nullptr, "append before openForAppend");
+    const std::string line = dumpJson(encodeSweepRecord(record)) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
+        return setError(error, path_ + ": short write");
+    if (std::fflush(file_) != 0)
+        return setError(error, path_ + ": flush failed");
+    return true;
+}
+
+void
+SweepStore::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+std::unordered_set<uint64_t>
+completedHashes(const std::vector<SweepRecord> &records)
+{
+    std::unordered_set<uint64_t> hashes;
+    hashes.reserve(records.size());
+    for (const SweepRecord &r : records)
+        hashes.insert(r.hash);
+    return hashes;
+}
+
+} // namespace nachos

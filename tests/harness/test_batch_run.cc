@@ -120,6 +120,36 @@ TEST(BatchRun, CoalescedGroupMatchesDirectRunnerPerRequest)
     }
 }
 
+TEST(BatchRun, MachineHomogeneousGroupMatchesDirectRunner)
+{
+    const BenchmarkInfo &info = *findBenchmark("164.gzip");
+    RegionCache cache(4);
+    BatchSimEngine engine;
+    // Every lane runs on the overridden machine — the coalescer only
+    // ever hands runBatchedGroup machine-homogeneous groups, and the
+    // batched results must still match the direct runner per request.
+    MachineOverrides machine;
+    machine.dramLatency = 600;
+    machine.lsqBanks = 2;
+    std::vector<RunRequest> reqs = {
+        request(1, true, true, true, 2),
+        request(1, false, true, true, 3),
+        request(1, true, false, false, 1),
+    };
+    for (RunRequest &req : reqs)
+        req.machine = machine;
+    std::vector<BatchRunItem> items;
+    for (const RunRequest &req : reqs)
+        items.push_back({&info, &req});
+    const auto results = runBatchedGroup(items, cache, engine);
+    ASSERT_EQ(results.size(), reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(batchedOutcomeJson(info, reqs[i], results[i]),
+                  directOutcomeJson(info, reqs[i]))
+            << "request " << i;
+    }
+}
+
 TEST(BatchRun, CacheHitRunMatchesCacheMissRun)
 {
     const BenchmarkInfo &info = *findBenchmark("179.art");

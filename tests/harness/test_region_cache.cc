@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "cgra/simulator.hh"
 #include "harness/batch_run.hh"
 #include "harness/region_cache.hh"
 #include "harness/runner.hh"
@@ -139,6 +140,44 @@ TEST(RegionCache, SimulationDoesNotMutateCachedEntries)
     auto again = cache.acquire(info, request(3), &hit);
     EXPECT_TRUE(hit);
     EXPECT_EQ(regionToString(again->region), before);
+}
+
+// Satellite 2: the cache key is machine-independent by design — the
+// synthesized front end (region, analysis, MDEs) doesn't depend on
+// cache sizes or LSQ geometry — so two requests that differ only in
+// machine overrides share one entry, and the *timing* divergence
+// happens downstream in simulate().
+TEST(RegionCache, MachineOverridesShareOneEntry)
+{
+    RegionCache cache(4);
+    const BenchmarkInfo &info = *findBenchmark("179.art");
+
+    RunRequest stock = request(3);
+    RunRequest tiny = request(3);
+    tiny.machine.l1SizeBytes = 16 * 1024;
+    tiny.machine.dramLatency = 1000;
+
+    bool hit = true;
+    auto first = cache.acquire(info, stock, &hit);
+    EXPECT_FALSE(hit);
+    auto second = cache.acquire(info, tiny, &hit);
+    EXPECT_TRUE(hit); // machine fields must not reach the key
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.counters().size, 1u);
+
+    // Same entry, different machines: simulation results diverge in
+    // timing but agree functionally.
+    SimConfig stockSim;
+    stockSim.invocations = 3;
+    SimConfig tinySim = stockSim;
+    tiny.machine.applyTo(tinySim);
+    const SimResult a = simulate(first->region, first->mdes,
+                                 BackendKind::Nachos, stockSim);
+    const SimResult b = simulate(second->region, second->mdes,
+                                 BackendKind::Nachos, tinySim);
+    EXPECT_NE(a.cycles, b.cycles);
+    EXPECT_EQ(a.loadValueDigest, b.loadValueDigest);
+    EXPECT_TRUE(RegionCache::entryIntact(*first));
 }
 
 TEST(RegionCache, HitsPlusMissesEqualsLookups)

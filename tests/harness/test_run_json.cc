@@ -246,5 +246,154 @@ TEST(Outcome, WriterEncodingMatchesTreeEncoding)
     EXPECT_EQ(streamed, dumpJson(encodeOutcome(summary)));
 }
 
+TEST(MachineOverrides, DecodeEncodeRoundTrip)
+{
+    MachineOverrides m;
+    CodecError err;
+    ASSERT_TRUE(decodeMachineOverrides(
+        mustParse("{\"lsqBanks\":8,\"lsqPortsPerBank\":2,"
+                  "\"l1SizeBytes\":262144,\"l1Assoc\":8,"
+                  "\"l1LineBytes\":32,\"l1Ports\":2,"
+                  "\"llcSizeBytes\":8388608,\"dramLatency\":300,"
+                  "\"dramRequestsPerCycle\":1,\"netHopsPerCycle\":2,"
+                  "\"nachosComparesPerCycle\":4}"),
+        m, err))
+        << err.code << ": " << err.message;
+    EXPECT_TRUE(m.any());
+    EXPECT_EQ(m.lsqBanks, 8u);
+    EXPECT_EQ(m.l1SizeBytes, 262144u);
+    EXPECT_EQ(m.l1LineBytes, 32u);
+    EXPECT_EQ(m.nachosComparesPerCycle, 4u);
+
+    MachineOverrides roundTripped;
+    ASSERT_TRUE(decodeMachineOverrides(encodeMachineOverrides(m),
+                                       roundTripped, err));
+    EXPECT_TRUE(roundTripped == m);
+    EXPECT_EQ(dumpJson(encodeMachineOverrides(roundTripped)),
+              dumpJson(encodeMachineOverrides(m)));
+}
+
+TEST(MachineOverrides, EncodeEmitsOnlySetFields)
+{
+    MachineOverrides m;
+    m.lsqBanks = 2;
+    const std::string text = dumpJson(encodeMachineOverrides(m));
+    EXPECT_EQ(text, "{\"lsqBanks\":2}");
+    EXPECT_EQ(dumpJson(encodeMachineOverrides(MachineOverrides{})),
+              "{}");
+}
+
+TEST(MachineOverrides, TypedValidationErrors)
+{
+    // Explicit zeros, overflow, cap violations, and geometry violations
+    // all come back as the stable `bad_machine` code; an unknown member
+    // stays the generic strict-decoding `bad_request`.
+    const BadCase cases[] = {
+        {"{\"l1Assoc\":0}", "bad_machine"},
+        {"{\"lsqBanks\":0}", "bad_machine"},
+        {"{\"l1LineBytes\":48}", "bad_machine"},      // not a power of 2
+        {"{\"l1LineBytes\":8192}", "bad_machine"},    // over the cap
+        {"{\"lsqBanks\":1099511627776}", "bad_machine"}, // overflows u32
+        {"{\"lsqBanks\":65}", "bad_machine"},         // over the cap
+        {"{\"l1SizeBytes\":2147483648}", "bad_machine"}, // > 1 GiB
+        {"{\"dramLatency\":1000001}", "bad_machine"},
+        {"{\"l1Assoc\":1.5}", "bad_machine"},
+        // Effective geometry: 1 KiB L1 with default assoc*lineBytes
+        // (4 * 64 = 256) holds sets, but 128 B does not.
+        {"{\"l1SizeBytes\":128}", "bad_machine"},
+        // 64 KiB not divisible by assoc 64 * line 2048... (64*2048 =
+        // 128 KiB > 64 KiB): zero sets again.
+        {"{\"l1Assoc\":64,\"l1LineBytes\":2048}", "bad_machine"},
+        {"{\"lsqBanksTypo\":4}", "bad_request"},
+        {"[]", "bad_machine"},
+    };
+    for (const BadCase &c : cases) {
+        MachineOverrides m;
+        CodecError err;
+        EXPECT_FALSE(decodeMachineOverrides(mustParse(c.json), m, err))
+            << "accepted: " << c.json;
+        EXPECT_EQ(err.code, c.code) << c.json;
+        EXPECT_FALSE(err.message.empty()) << c.json;
+    }
+}
+
+TEST(MachineOverrides, DecodeResetsStaleMembers)
+{
+    // A reused decode target must not leak fields from a previous
+    // decode: the second object sets only l1Assoc, so lsqBanks must
+    // come back 0 even though the first decode set it.
+    MachineOverrides m;
+    CodecError err;
+    ASSERT_TRUE(decodeMachineOverrides(
+        mustParse("{\"lsqBanks\":8,\"l1Assoc\":8}"), m, err));
+    ASSERT_TRUE(decodeMachineOverrides(mustParse("{\"l1Assoc\":2}"), m,
+                                       err));
+    EXPECT_EQ(m.lsqBanks, 0u);
+    EXPECT_EQ(m.l1Assoc, 2u);
+}
+
+TEST(MachineOverrides, RunRequestWiresMachineThrough)
+{
+    // The daemon's steady-state path reuses one parse tree per
+    // connection (parseJsonInPlace); decoding a request WITHOUT a
+    // machine member after one WITH must reset the overrides.
+    JsonValue reuse;
+    ASSERT_TRUE(parseJsonInPlace("{\"workload\":\"art\",\"machine\":"
+                                 "{\"lsqBanks\":2}}",
+                                 reuse)
+                    .ok);
+    JobSpec spec;
+    CodecError err;
+    ASSERT_TRUE(decodeRunRequest(reuse, spec, err))
+        << err.code << ": " << err.message;
+    EXPECT_EQ(spec.request.machine.lsqBanks, 2u);
+
+    ASSERT_TRUE(parseJsonInPlace("{\"workload\":\"art\"}", reuse).ok);
+    ASSERT_TRUE(decodeRunRequest(reuse, spec, err));
+    EXPECT_FALSE(spec.request.machine.any());
+
+    // And a bad machine member fails with the stable code through the
+    // full request decoder too.
+    ASSERT_TRUE(parseJsonInPlace("{\"workload\":\"art\",\"machine\":"
+                                 "{\"l1Assoc\":0}}",
+                                 reuse)
+                    .ok);
+    EXPECT_FALSE(decodeRunRequest(reuse, spec, err));
+    EXPECT_EQ(err.code, "bad_machine");
+}
+
+TEST(MachineOverrides, RequestRoundTripsWithMachine)
+{
+    JobSpec spec;
+    spec.info = findBenchmark("183.equake");
+    ASSERT_NE(spec.info, nullptr);
+    spec.request.machine.lsqBanks = 8;
+    spec.request.machine.dramLatency = 400;
+
+    JobSpec decoded;
+    CodecError err;
+    ASSERT_TRUE(decodeRunRequest(encodeRunRequest(spec), decoded, err))
+        << err.code << ": " << err.message;
+    EXPECT_TRUE(decoded.request.machine == spec.request.machine);
+    EXPECT_EQ(dumpJson(encodeRunRequest(decoded)),
+              dumpJson(encodeRunRequest(spec)));
+}
+
+TEST(MachineOverrides, HashSeparatesConfigs)
+{
+    MachineOverrides a, b;
+    EXPECT_EQ(machineConfigHash(a), machineConfigHash(b));
+    b.lsqBanks = 1;
+    EXPECT_NE(machineConfigHash(a), machineConfigHash(b));
+    a.lsqBanks = 1;
+    EXPECT_EQ(machineConfigHash(a), machineConfigHash(b));
+    // Different fields with equal values must not collide (the hash
+    // mixes position, not just value).
+    MachineOverrides c, d;
+    c.lsqBanks = 4;
+    d.lsqPortsPerBank = 4;
+    EXPECT_NE(machineConfigHash(c), machineConfigHash(d));
+}
+
 } // namespace
 } // namespace nachos

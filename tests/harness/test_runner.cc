@@ -79,6 +79,44 @@ TEST(Runner, BatchedSelectiveBackends)
     EXPECT_TRUE(out.nachos.has_value());
 }
 
+TEST(Runner, MachineOverridesChangeTiming)
+{
+    RunRequest base;
+    base.invocationsOverride = 4;
+    const RunOutcome stock = runWorkload(benchmarkByName("art"), base);
+
+    RunRequest slow = base;
+    slow.machine.dramLatency = 2000; // default is 200
+    const RunOutcome far = runWorkload(benchmarkByName("art"), slow);
+
+    ASSERT_TRUE(stock.nachos && far.nachos);
+    EXPECT_GT(far.nachos->cycles, stock.nachos->cycles);
+    // Timing moved but the program didn't: same values flowed.
+    EXPECT_EQ(far.nachos->loadValueDigest,
+              stock.nachos->loadValueDigest);
+}
+
+TEST(Runner, MachineOverridesAtDefaultsAreInert)
+{
+    RunRequest base;
+    base.invocationsOverride = 3;
+    const RunOutcome stock = runWorkload(benchmarkByName("gzip"), base);
+
+    // Explicitly restating the Figure-3 defaults must be a no-op.
+    RunRequest same = base;
+    same.machine.lsqBanks = 4;
+    same.machine.dramLatency = 200;
+    same.machine.l1SizeBytes = 64 * 1024;
+    const RunOutcome spelled =
+        runWorkload(benchmarkByName("gzip"), same);
+
+    ASSERT_TRUE(stock.lsq && spelled.lsq);
+    EXPECT_EQ(spelled.lsq->cycles, stock.lsq->cycles);
+    EXPECT_EQ(spelled.lsq->loadValueDigest,
+              stock.lsq->loadValueDigest);
+    EXPECT_EQ(spelled.lsq->energy.total(), stock.lsq->energy.total());
+}
+
 TEST(Runner, AnalyzeRegionOnly)
 {
     Region r = synthesizeRegion(benchmarkByName("gcc"));

@@ -133,6 +133,42 @@ TEST(JobQueue, MismatchedBulkJobsKeepTheirTurn)
     EXPECT_EQ(out[0]->requestId, 2u);
 }
 
+TEST(JobQueue, DivergentMachineConfigsDoNotCoalesce)
+{
+    JobQueue q(8, 8);
+    // Jobs 1 and 3 want the same machine; job 2 shares their region
+    // work but overrides the LSQ geometry, so batching it into their
+    // group would simulate it on the wrong hardware.
+    auto small = makeJob(2, AdmitClass::Bulk);
+    small->spec.request.machine.lsqBanks = 1;
+    auto twin = makeJob(3, AdmitClass::Bulk);
+    twin->spec.request.machine = MachineOverrides{};
+    ASSERT_TRUE(q.tryPush(makeJob(1, AdmitClass::Bulk)));
+    ASSERT_TRUE(q.tryPush(small));
+    ASSERT_TRUE(q.tryPush(twin));
+    std::vector<std::shared_ptr<Job>> out;
+    ASSERT_EQ(q.claim(out, 64, 0ms), 2u);
+    EXPECT_EQ(out[0]->requestId, 1u);
+    EXPECT_EQ(out[1]->requestId, 3u);
+    ASSERT_EQ(q.claim(out, 64, 0ms), 1u);
+    EXPECT_EQ(out[0]->requestId, 2u);
+}
+
+TEST(JobQueue, MatchingMachineConfigsStillCoalesce)
+{
+    JobQueue q(8, 8);
+    // Identical non-default machines are homogeneous: one group.
+    for (uint64_t id = 1; id <= 3; ++id) {
+        auto job = makeJob(id, AdmitClass::Bulk);
+        job->spec.request.machine.dramLatency = 400;
+        job->spec.request.machine.lsqBanks = 2;
+        ASSERT_TRUE(q.tryPush(job));
+    }
+    std::vector<std::shared_ptr<Job>> out;
+    ASSERT_EQ(q.claim(out, 64, 0ms), 3u);
+    EXPECT_EQ(q.depth(), 0u);
+}
+
 TEST(JobQueue, LaneBudgetBoundsTheGroup)
 {
     JobQueue q(8, 8);

@@ -1,0 +1,523 @@
+/**
+ * Design-space sweep subsystem: spec decoding and deterministic
+ * expansion (constraint and geometry filtering, coordinate-derived
+ * point ids), the append-only store's resume semantics (torn-tail
+ * truncation, duplicate detection), Pareto/report determinism, and
+ * the in-process orchestrator's skip-completed resume loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sweep/orchestrator.hh"
+#include "sweep/report.hh"
+
+namespace nachos {
+namespace {
+
+JsonValue
+mustParse(const std::string &text)
+{
+    JsonParseResult parsed = parseJson(text);
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    return std::move(parsed.value);
+}
+
+SweepSpec
+mustDecode(const std::string &text)
+{
+    SweepSpec spec;
+    CodecError err;
+    const bool ok = decodeSweepSpec(mustParse(text), spec, err);
+    EXPECT_TRUE(ok) << "[" << err.code << "] " << err.message;
+    return spec;
+}
+
+/** A fresh temp-store path; any previous run's file is removed. */
+std::string
+tempStore(const std::string &name)
+{
+    const std::string path =
+        ::testing::TempDir() + "nachos_test_sweep_" + name + ".jsonl";
+    std::remove(path.c_str());
+    return path;
+}
+
+// ---- spec decode + expansion -------------------------------------
+
+TEST(SweepSpec, ExpansionOrderAndCount)
+{
+    const SweepSpec spec = mustDecode(
+        R"({"name":"t","workloads":["164.gzip"],"seeds":[1,2],
+            "backends":["lsq","nachos"],
+            "axes":{"lsqBanks":[1,2],"dramLatency":[100,400]}})");
+    const std::vector<SweepPoint> points = expandSweep(spec);
+    // 1 workload x 1 path x 2 seeds x 2 backends x 2x2 machines.
+    ASSERT_EQ(points.size(), 16u);
+    // The last axis varies fastest; backends vary slower than axes.
+    EXPECT_EQ(points[0].machine.lsqBanks, 1u);
+    EXPECT_EQ(points[0].machine.dramLatency, 100u);
+    EXPECT_EQ(points[1].machine.dramLatency, 400u);
+    EXPECT_EQ(points[2].machine.lsqBanks, 2u);
+    EXPECT_EQ(points[0].backend, "lsq");
+    EXPECT_EQ(points[4].backend, "nachos");
+    EXPECT_EQ(points[0].seed, 1u);
+    EXPECT_EQ(points[8].seed, 2u);
+    // Ids carry every coordinate; hashes are ids, so all distinct.
+    std::unordered_set<uint64_t> hashes;
+    for (const SweepPoint &p : points) {
+        EXPECT_EQ(p.hash, fnv1a64(p.id));
+        EXPECT_TRUE(hashes.insert(p.hash).second) << p.id;
+        EXPECT_NE(p.id.find("workload=164.gzip"), std::string::npos);
+        EXPECT_NE(p.id.find("lsqBanks="), std::string::npos);
+    }
+    // Expansion is a pure function of the spec.
+    const std::vector<SweepPoint> again = expandSweep(spec);
+    ASSERT_EQ(again.size(), points.size());
+    for (size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(again[i].id, points[i].id);
+}
+
+TEST(SweepSpec, PointIdsSurviveSpecEdits)
+{
+    const SweepSpec small = mustDecode(
+        R"({"name":"t","workloads":["164.gzip"],"backends":["sw"],
+            "axes":{"lsqBanks":[2,4],"dramLatency":[100]}})");
+    // Same sweep with the axes reordered and one extended: ids are
+    // derived from coordinates, not positions, so every original
+    // point keeps its identity (and its store records stay valid).
+    const SweepSpec grown = mustDecode(
+        R"({"name":"t2","workloads":["164.gzip"],"backends":["sw"],
+            "axes":{"dramLatency":[100,400],"lsqBanks":[2,4,8]}})");
+    std::unordered_set<uint64_t> grownHashes;
+    for (const SweepPoint &p : expandSweep(grown))
+        grownHashes.insert(p.hash);
+    for (const SweepPoint &p : expandSweep(small))
+        EXPECT_TRUE(grownHashes.count(p.hash)) << p.id;
+}
+
+TEST(SweepSpec, ConstraintsFilterPoints)
+{
+    // Literal rhs: lsqBanks <= 2 keeps half the axis.
+    const SweepSpec literal = mustDecode(
+        R"({"name":"t","workloads":["164.gzip"],"backends":["sw"],
+            "axes":{"lsqBanks":[1,2,4,8]},
+            "constraints":[{"lhs":"lsqBanks","op":"le","rhs":2}]})");
+    EXPECT_EQ(expandSweep(literal).size(), 2u);
+
+    // Axis rhs, with the rhs axis unswept: it evaluates as the
+    // Figure-3 default (llcSizeBytes = 4 MiB), so only L1 sizes up
+    // to 4 MiB survive -- which is all of these.
+    const SweepSpec axis = mustDecode(
+        R"({"name":"t","workloads":["164.gzip"],"backends":["sw"],
+            "axes":{"l1SizeBytes":[65536,262144]},
+            "constraints":[{"lhs":"l1SizeBytes","op":"le",
+                            "rhs":"llcSizeBytes"}]})");
+    EXPECT_EQ(expandSweep(axis).size(), 2u);
+
+    // And an impossible constraint empties the sweep.
+    const SweepSpec empty = mustDecode(
+        R"({"name":"t","workloads":["164.gzip"],"backends":["sw"],
+            "axes":{"l1SizeBytes":[65536,262144]},
+            "constraints":[{"lhs":"l1SizeBytes","op":"gt",
+                            "rhs":"llcSizeBytes"}]})");
+    EXPECT_EQ(expandSweep(empty).size(), 0u);
+}
+
+TEST(SweepSpec, InfeasibleGeometryCornersAreSkipped)
+{
+    // Each single value passes decode-time validation (probed alone
+    // against the defaults), but 64-way x 128B lines cannot fit a
+    // 4 KiB L1 -- that corner of the cross product must vanish.
+    const SweepSpec spec = mustDecode(
+        R"({"name":"t","workloads":["164.gzip"],"backends":["sw"],
+            "axes":{"l1SizeBytes":[4096,65536],
+                    "l1Assoc":[4,64],
+                    "l1LineBytes":[64,128]}})");
+    const std::vector<SweepPoint> points = expandSweep(spec);
+    for (const SweepPoint &p : points) {
+        SimConfig sim;
+        p.machine.applyTo(sim);
+        EXPECT_GE(sim.mem.l1.sizeBytes,
+                  uint64_t(sim.mem.l1.assoc) * sim.mem.l1.lineBytes)
+            << p.id;
+    }
+    EXPECT_LT(points.size(), 8u); // something was filtered
+    EXPECT_GT(points.size(), 0u); // but not everything
+}
+
+TEST(SweepSpec, DecodeRejectsBadSpecs)
+{
+    struct BadCase
+    {
+        const char *json;
+        const char *code;
+    };
+    const BadCase cases[] = {
+        {R"({"workloads":["164.gzip"]})", "bad_sweep"}, // no name
+        {R"({"name":"t"})", "bad_sweep"},               // no workloads
+        {R"({"name":"t","workloads":["no-such"]})", "unknown_workload"},
+        {R"({"name":"t","workloads":["164.gzip"],"bogus":1})",
+         "bad_sweep"},
+        {R"({"name":"t","workloads":["164.gzip"],"seeds":[0]})",
+         "bad_seed"},
+        {R"({"name":"t","workloads":["164.gzip"],
+             "backends":["vliw"]})",
+         "bad_sweep"},
+        {R"({"name":"t","workloads":["164.gzip"],
+             "axes":{"frobnicate":[1]}})",
+         "bad_sweep"},
+        {R"({"name":"t","workloads":["164.gzip"],
+             "axes":{"lsqBanks":[]}})",
+         "bad_sweep"},
+        {R"({"name":"t","workloads":["164.gzip"],
+             "axes":{"lsqBanks":[2,2]}})",
+         "bad_sweep"},
+        {R"({"name":"t","workloads":["164.gzip"],
+             "axes":{"l1LineBytes":[48]}})",
+         "bad_machine"}, // per-value probe: not a power of two
+        {R"({"name":"t","workloads":["164.gzip"],
+             "constraints":[{"lhs":"lsqBanks","op":"approx",
+                             "rhs":2}]})",
+         "bad_sweep"},
+        {R"({"name":"t","workloads":["164.gzip"],
+             "constraints":[{"lhs":"nope","op":"le","rhs":2}]})",
+         "bad_sweep"},
+    };
+    for (const BadCase &c : cases) {
+        SweepSpec spec;
+        CodecError err;
+        EXPECT_FALSE(decodeSweepSpec(mustParse(c.json), spec, err))
+            << c.json;
+        EXPECT_EQ(err.code, c.code) << c.json;
+    }
+}
+
+TEST(SweepSpec, EncodeRoundTrips)
+{
+    const SweepSpec spec = mustDecode(
+        R"({"name":"rt","workloads":["164.gzip","179.art"],
+            "paths":[0,1],"seeds":[1,7],"backends":["lsq","sw"],
+            "invocations":6,
+            "axes":{"lsqBanks":[2,8],"l1SizeBytes":[16384]},
+            "constraints":[{"lhs":"l1SizeBytes","op":"le",
+                            "rhs":"llcSizeBytes"},
+                           {"lhs":"lsqBanks","op":"ne","rhs":4}]})");
+    SweepSpec back;
+    CodecError err;
+    ASSERT_TRUE(decodeSweepSpec(encodeSweepSpec(spec), back, err))
+        << "[" << err.code << "] " << err.message;
+    EXPECT_EQ(dumpJson(encodeSweepSpec(back)),
+              dumpJson(encodeSweepSpec(spec)));
+    const std::vector<SweepPoint> a = expandSweep(spec);
+    const std::vector<SweepPoint> b = expandSweep(back);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].id, b[i].id);
+}
+
+TEST(SweepSpec, AxisAccessorsCoverEveryField)
+{
+    MachineOverrides m;
+    for (size_t i = 0; i < kNumMachineAxes; ++i) {
+        const std::string field = machineAxisNames()[i];
+        ASSERT_TRUE(setMachineAxis(m, field, i + 1)) << field;
+        uint64_t value = 0;
+        ASSERT_TRUE(getMachineAxis(m, field, value)) << field;
+        EXPECT_EQ(value, i + 1) << field;
+        EXPECT_GT(machineAxisDefault(field), 0u) << field;
+    }
+    EXPECT_FALSE(setMachineAxis(m, "bogus", 1));
+    uint64_t ignored = 0;
+    EXPECT_FALSE(getMachineAxis(m, "bogus", ignored));
+}
+
+// ---- store --------------------------------------------------------
+
+SweepRecord
+record(uint64_t n)
+{
+    SweepRecord r;
+    r.id = "point-" + std::to_string(n);
+    r.hash = fnv1a64(r.id);
+    r.workload = "164.gzip";
+    r.seed = 1;
+    r.backend = "sw";
+    r.invocations = 2;
+    r.machine.lsqBanks = static_cast<uint32_t>(n % 7 + 1);
+    r.cycles = 1000 + n;
+    r.cyclesPerInvocation = (1000.0 + n) / 2.0;
+    r.maxMlp = 4;
+    r.avgMlp = 2.5;
+    r.loadValueDigest = 0x9e3779b97f4a7c15ull ^ n;
+    r.energyTotal = 123.5 + n;
+    r.areaProxy = 40.25;
+    r.seconds = 0.001 * n;
+    return r;
+}
+
+TEST(SweepStore, RecordRoundTripsAndRejectsJunk)
+{
+    const SweepRecord r = record(3);
+    SweepRecord back;
+    CodecError err;
+    ASSERT_TRUE(decodeSweepRecord(encodeSweepRecord(r), back, err))
+        << err.message;
+    EXPECT_EQ(dumpJson(encodeSweepRecord(back)),
+              dumpJson(encodeSweepRecord(r)));
+    EXPECT_EQ(back.hash, r.hash);
+    EXPECT_EQ(back.machine, r.machine);
+    EXPECT_EQ(back.cycles, r.cycles);
+    EXPECT_EQ(back.energyTotal, r.energyTotal);
+
+    JsonValue missing = encodeSweepRecord(r);
+    EXPECT_FALSE(decodeSweepRecord(mustParse("[1]"), back, err));
+    EXPECT_EQ(err.code, "bad_record");
+    EXPECT_FALSE(
+        decodeSweepRecord(mustParse(R"({"id":"x"})"), back, err));
+    EXPECT_EQ(err.code, "bad_record");
+}
+
+TEST(SweepStore, MissingFileIsEmptyAndAppendsAccumulate)
+{
+    const std::string path = tempStore("accumulate");
+    SweepStore store(path);
+    SweepLoadResult loaded;
+    std::string error;
+    ASSERT_TRUE(store.load(loaded, &error)) << error;
+    EXPECT_TRUE(loaded.records.empty());
+    EXPECT_FALSE(loaded.tornTail);
+
+    ASSERT_TRUE(store.openForAppend(loaded, &error)) << error;
+    ASSERT_TRUE(store.append(record(1), &error)) << error;
+    ASSERT_TRUE(store.append(record(2), &error)) << error;
+    store.close();
+
+    // Reopening resumes where the file left off.
+    SweepStore again(path);
+    ASSERT_TRUE(again.openForAppend(loaded, &error)) << error;
+    ASSERT_EQ(loaded.records.size(), 2u);
+    ASSERT_TRUE(again.append(record(3), &error)) << error;
+    again.close();
+    ASSERT_TRUE(again.load(loaded, &error)) << error;
+    ASSERT_EQ(loaded.records.size(), 3u);
+    EXPECT_EQ(loaded.records[2].cycles, 1003u);
+    EXPECT_EQ(completedHashes(loaded.records).size(), 3u);
+}
+
+TEST(SweepStore, TornTailIsDroppedAndTruncated)
+{
+    const std::string path = tempStore("torn");
+    {
+        SweepStore store(path);
+        SweepLoadResult loaded;
+        std::string error;
+        ASSERT_TRUE(store.openForAppend(loaded, &error)) << error;
+        ASSERT_TRUE(store.append(record(1), &error)) << error;
+        ASSERT_TRUE(store.append(record(2), &error)) << error;
+    }
+    // Simulate a kill mid-append: half a record, no newline.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out << R"({"id":"point-3","hash":12)";
+    }
+    SweepStore store(path);
+    SweepLoadResult loaded;
+    std::string error;
+    ASSERT_TRUE(store.load(loaded, &error)) << error;
+    EXPECT_TRUE(loaded.tornTail);
+    ASSERT_EQ(loaded.records.size(), 2u);
+
+    // openForAppend truncates the tail; the next append lands on a
+    // clean line boundary and the store parses whole again.
+    ASSERT_TRUE(store.openForAppend(loaded, &error)) << error;
+    ASSERT_TRUE(store.append(record(3), &error)) << error;
+    store.close();
+    ASSERT_TRUE(store.load(loaded, &error)) << error;
+    EXPECT_FALSE(loaded.tornTail);
+    ASSERT_EQ(loaded.records.size(), 3u);
+    EXPECT_EQ(loaded.records[2].id, "point-3");
+}
+
+TEST(SweepStore, CompleteFinalLineWithoutNewlineIsTorn)
+{
+    // A record whose bytes all arrived but whose newline didn't must
+    // be re-run, not half-trusted: the append that wrote it died.
+    const std::string path = tempStore("nonewline");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << dumpJson(encodeSweepRecord(record(1))) << "\n";
+        out << dumpJson(encodeSweepRecord(record(2))); // no newline
+    }
+    SweepStore store(path);
+    SweepLoadResult loaded;
+    std::string error;
+    ASSERT_TRUE(store.load(loaded, &error)) << error;
+    EXPECT_TRUE(loaded.tornTail);
+    ASSERT_EQ(loaded.records.size(), 1u);
+}
+
+TEST(SweepStore, CorruptionBeforeTheTailFailsLoud)
+{
+    const std::string path = tempStore("corrupt");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << dumpJson(encodeSweepRecord(record(1))) << "\n";
+        out << "garbage\n";
+        out << dumpJson(encodeSweepRecord(record(2))) << "\n";
+    }
+    SweepStore store(path);
+    SweepLoadResult loaded;
+    std::string error;
+    EXPECT_FALSE(store.load(loaded, &error));
+    EXPECT_NE(error.find("malformed"), std::string::npos);
+}
+
+TEST(SweepStore, DuplicateHashFailsLoud)
+{
+    const std::string path = tempStore("dup");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << dumpJson(encodeSweepRecord(record(1))) << "\n";
+        out << dumpJson(encodeSweepRecord(record(1))) << "\n";
+    }
+    SweepStore store(path);
+    SweepLoadResult loaded;
+    std::string error;
+    EXPECT_FALSE(store.load(loaded, &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+// ---- reports ------------------------------------------------------
+
+TEST(SweepReport, AreaProxyTracksStructuresAndBackends)
+{
+    const MachineOverrides stock;
+    // Disambiguation hardware: LSQ pays CAMs, NACHOS pays
+    // comparators, software pays nothing extra.
+    EXPECT_GT(areaProxy(stock, "lsq"), areaProxy(stock, "nachos"));
+    EXPECT_GT(areaProxy(stock, "nachos"), areaProxy(stock, "sw"));
+    // Growing an array grows the proxy.
+    MachineOverrides bigL1;
+    bigL1.l1SizeBytes = 256 * 1024;
+    EXPECT_GT(areaProxy(bigL1, "sw"), areaProxy(stock, "sw"));
+    MachineOverrides moreBanks;
+    moreBanks.lsqBanks = 8;
+    EXPECT_GT(areaProxy(moreBanks, "lsq"), areaProxy(stock, "lsq"));
+    // ...but only on the backend that owns the structure.
+    EXPECT_EQ(areaProxy(moreBanks, "sw"), areaProxy(stock, "sw"));
+}
+
+TEST(SweepReport, ParetoFrontierDropsDominatedKeepsTies)
+{
+    auto point = [](uint64_t cycles, double energy, double area) {
+        SweepRecord r;
+        r.cycles = cycles;
+        r.energyTotal = energy;
+        r.areaProxy = area;
+        return r;
+    };
+    const std::vector<SweepRecord> records = {
+        point(100, 10.0, 5.0), // [0] fast but hot
+        point(200, 5.0, 5.0),  // [1] slow but cool
+        point(200, 10.0, 5.0), // [2] dominated by both
+        point(150, 7.0, 4.0),  // [3] the compromise, smallest area
+        point(100, 10.0, 5.0), // [4] exact tie with [0]: survives
+    };
+    const std::vector<size_t> frontier = paretoFrontier(records);
+    EXPECT_EQ(frontier, (std::vector<size_t>{0, 1, 3, 4}));
+}
+
+TEST(SweepReport, ReportIsIndependentOfStoreOrderAndWallClock)
+{
+    std::vector<SweepRecord> straight;
+    for (uint64_t n = 1; n <= 6; ++n) {
+        SweepRecord r = record(n);
+        r.backend = n % 2 ? "lsq" : "nachos";
+        r.machine.lsqBanks = static_cast<uint32_t>(n);
+        straight.push_back(r);
+    }
+    // A resumed sweep stores the same records in a different order
+    // with different wall-clock timings.
+    std::vector<SweepRecord> resumed = {straight[4], straight[5],
+                                        straight[0], straight[1],
+                                        straight[2], straight[3]};
+    for (SweepRecord &r : resumed)
+        r.seconds *= 100.0;
+    const std::string a = renderSweepReport(straight);
+    EXPECT_EQ(a, renderSweepReport(resumed));
+    EXPECT_NE(a.find("pareto"), std::string::npos);
+    EXPECT_NE(a.find("axis lsqBanks:"), std::string::npos);
+}
+
+// ---- in-process orchestrator -------------------------------------
+
+TEST(SweepRun, InProcessRunSkipResumeMatchesStraightThrough)
+{
+    const SweepSpec spec = mustDecode(
+        R"({"name":"mini","workloads":["164.gzip"],"backends":["sw"],
+            "invocations":2,"axes":{"dramLatency":[100,400]}})");
+    const std::vector<SweepPoint> points = expandSweep(spec);
+    ASSERT_EQ(points.size(), 2u);
+
+    SweepRunOptions options;
+    options.cacheEntries = 2;
+    SweepRunStats stats;
+    std::string error;
+
+    // Straight through.
+    SweepStore straight(tempStore("straight"));
+    ASSERT_TRUE(runSweepInProcess(points, straight, options, stats,
+                                  &error))
+        << error;
+    EXPECT_EQ(stats.expanded, 2u);
+    EXPECT_EQ(stats.ran, 2u);
+    EXPECT_EQ(stats.skipped, 0u);
+    straight.close();
+
+    // Interrupted after one point, then resumed.
+    SweepStore interrupted(tempStore("interrupted"));
+    SweepRunOptions firstHalf = options;
+    firstHalf.limit = 1;
+    ASSERT_TRUE(runSweepInProcess(points, interrupted, firstHalf,
+                                  stats, &error))
+        << error;
+    EXPECT_EQ(stats.ran, 1u);
+    interrupted.close();
+    ASSERT_TRUE(runSweepInProcess(points, interrupted, options, stats,
+                                  &error))
+        << error;
+    EXPECT_EQ(stats.skipped, 1u);
+    EXPECT_EQ(stats.ran, 1u);
+    interrupted.close();
+
+    // Nothing left: a third run is a no-op.
+    ASSERT_TRUE(runSweepInProcess(points, interrupted, options, stats,
+                                  &error))
+        << error;
+    EXPECT_EQ(stats.skipped, 2u);
+    EXPECT_EQ(stats.ran, 0u);
+    interrupted.close();
+
+    // One record per point either way, and byte-identical reports.
+    SweepLoadResult a, b;
+    ASSERT_TRUE(straight.load(a, &error)) << error;
+    ASSERT_TRUE(interrupted.load(b, &error)) << error;
+    ASSERT_EQ(a.records.size(), 2u);
+    ASSERT_EQ(b.records.size(), 2u);
+    EXPECT_EQ(renderSweepReport(a.records),
+              renderSweepReport(b.records));
+    for (const SweepRecord &r : a.records) {
+        EXPECT_EQ(r.backend, "sw");
+        EXPECT_EQ(r.invocations, 2u);
+        EXPECT_GT(r.cycles, 0u);
+        EXPECT_GT(r.energyTotal, 0.0);
+    }
+    // The overridden DRAM latency reached the simulator.
+    EXPECT_NE(a.records[0].cycles, a.records[1].cycles);
+}
+
+} // namespace
+} // namespace nachos

@@ -190,6 +190,31 @@ else
                     "daemon vs direct, coalesced burst $i/4"
             done
         fi
+
+        # Machine overrides must ride the same daemon-vs-direct
+        # identity: an overridden request served by the daemon is
+        # byte-identical to --direct with the same overrides.
+        MACHINE="--machine dramLatency=400 --machine lsqBanks=2"
+        ref="$TMP/direct.machine"
+        if ! "$BIN_DIR/nachos_client" --direct --raw run \
+            --workload 179.art --seed 3 --backend lsq \
+            --invocations 2 $MACHINE --class bulk > "$ref"; then
+            echo "FAIL: nachos_client --direct with --machine" \
+                 "exited non-zero" >&2
+            failures=$((failures + 1))
+        else
+            got="$TMP/daemon.machine"
+            if ! "$BIN_DIR/nachos_client" --socket "$SOCK" --raw run \
+                --workload 179.art --seed 3 --backend lsq \
+                --invocations 2 $MACHINE --class bulk > "$got"; then
+                echo "FAIL: daemon run with --machine exited" \
+                     "non-zero" >&2
+                failures=$((failures + 1))
+            else
+                check "179.art/lsq" "$ref" "$got" \
+                    "daemon vs direct, machine overrides"
+            fi
+        fi
     fi
     stop_daemon
 fi

@@ -19,26 +19,31 @@ STAGES = ("synth", "analysis", "mde", "sim")
 
 
 def load(path):
-    """-> ({workload: {stage: seconds}}, {slo stage: row}, git_sha set).
+    """-> ({workload: {stage: seconds}}, {slo stage: row},
+           {sweep stage: row}, git_sha set).
 
     Service SLO rows (workload == "service", emitted by
-    bench_service_slo and the loadgen) carry req/s-at-p99 fields
-    instead of pipeline-stage seconds, so they get their own table and
-    stay out of the per-workload stage math.
+    bench_service_slo and the loadgen) carry req/s-at-p99 fields, and
+    sweep rows (workload == "sweep", emitted by bench_sweep) carry
+    points/s — neither is pipeline-stage seconds, so each gets its own
+    table and stays out of the per-workload stage math.
     """
     with open(path, "r", encoding="utf-8") as fh:
         rows = json.load(fh)
     table = defaultdict(dict)
     service = {}
+    sweep = {}
     shas = set()
     for row in rows:
         if row["workload"] == "service":
             service[row["stage"]] = row
+        elif row["workload"] == "sweep":
+            sweep[row["stage"]] = row
         else:
             table[row["workload"]][row["stage"]] = row["seconds"]
         if "git_sha" in row:
             shas.add(row["git_sha"])
-    return table, service, shas
+    return table, service, sweep, shas
 
 
 def fmt_ratio(base, cur):
@@ -52,8 +57,8 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
     try:
-        base, base_svc, base_shas = load(argv[1])
-        cur, cur_svc, cur_shas = load(argv[2])
+        base, base_svc, base_sweep, base_shas = load(argv[1])
+        cur, cur_svc, cur_sweep, cur_shas = load(argv[2])
     except (OSError, ValueError, KeyError) as err:
         print(f"perf_report: cannot read inputs: {err}", file=sys.stderr)
         return 2
@@ -85,6 +90,7 @@ def main(argv):
         print(f"{'TOTAL ' + stage:<22} {b_total:>9.4f}s {c_total:>9.4f}s "
               f"{fmt_ratio(b_total, c_total):>8}")
     print_service_slo(base_svc, cur_svc)
+    print_sweep_throughput(base_sweep, cur_sweep)
 
     print()
     print("report-only: timing never fails CI; byte-identical output does.")
@@ -122,6 +128,36 @@ def print_service_slo(base_svc, cur_svc):
     print("-" * 80)
     print("ratio is current/base req/s (higher is better); "
           "p99 from the same run.")
+
+
+def print_sweep_throughput(base_sweep, cur_sweep):
+    """Render sweep points/s rows, if either input carries any."""
+    if not base_sweep and not cur_sweep:
+        return
+    print()
+    print("Sweep throughput (design-space points per second)")
+    print(f"{'mode':<26} {'base pts/s':>11} {'cur pts/s':>11} "
+          f"{'ratio':>7} {'points':>8}")
+    print("-" * 68)
+
+    def rate(row):
+        if row is None or "pointsPerSec" not in row:
+            return "-"
+        return f"{row['pointsPerSec']:.1f}"
+
+    for stage in sorted(set(base_sweep) | set(cur_sweep)):
+        b = base_sweep.get(stage)
+        c = cur_sweep.get(stage)
+        if b and c and b.get("pointsPerSec", 0) > 0 \
+                and "pointsPerSec" in c:
+            ratio = f"{c['pointsPerSec'] / b['pointsPerSec']:5.2f}x"
+        else:
+            ratio = "n/a"
+        points = (c or b or {}).get("points", "-")
+        print(f"{stage:<26} {rate(b):>11} {rate(c):>11} {ratio:>7} "
+              f"{points:>8}")
+    print("-" * 68)
+    print("ratio is current/base points per second (higher is better).")
 
 
 if __name__ == "__main__":

@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j"$(nproc)" --target bench_fig15_nachos_vs_lsq \
-    bench_service_slo
+    bench_service_slo bench_sweep
 
 ./build/bench/bench_fig15_nachos_vs_lsq --threads 1 \
     --json BENCH_suite.json > /dev/null
@@ -24,14 +24,18 @@ cmake --build build -j"$(nproc)" --target bench_fig15_nachos_vs_lsq \
 ./build/bench/bench_service_slo --json build/service_slo.json \
     > /dev/null
 
+./build/bench/bench_sweep --json build/sweep_timing.json > /dev/null
+
 echo "refreshed BENCH_suite.json:"
 python3 - <<'EOF'
 import json
 
-# Merge the SLO rows into the baseline, keeping the one-compact-row-
-# per-line layout both writers emit so diffs stay line-per-row.
+# Merge the SLO and sweep rows into the baseline, keeping the one-
+# compact-row-per-line layout all writers emit so diffs stay
+# line-per-row.
 rows = json.load(open("BENCH_suite.json"))
 rows += json.load(open("build/service_slo.json"))
+rows += json.load(open("build/sweep_timing.json"))
 with open("BENCH_suite.json", "w") as fh:
     fh.write("[\n")
     fh.write(",\n".join(
@@ -40,9 +44,11 @@ with open("BENCH_suite.json", "w") as fh:
 
 sim = sum(r["seconds"] for r in rows if r["stage"] == "sim")
 slo = [r for r in rows if r["workload"] == "service"]
+sweep = [r for r in rows if r["workload"] == "sweep"]
+benches = {r["workload"] for r in rows} - {"service", "sweep"}
 shas = {r.get("git_sha", "?") for r in rows}
 print(f"  git_sha {','.join(sorted(shas))}, "
-      f"{len({r['workload'] for r in rows}) - 1} workloads, "
+      f"{len(benches)} workloads, "
       f"sim total {sim:.3f}s at --threads 1, "
-      f"{len(slo)} service SLO rows")
+      f"{len(slo)} service SLO rows, {len(sweep)} sweep rows")
 EOF
