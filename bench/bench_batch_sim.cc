@@ -112,13 +112,17 @@ main(int argc, char **argv)
         const std::vector<BatchLane> lanes(
             n, BatchLane{BackendKind::Nachos, cfg});
 
+        // Pooled hierarchy on the sequential side too — the batch
+        // engine pools internally, so this compares the engines, not
+        // hierarchy construction.
+        HierarchyPool pool;
         auto t0 = std::chrono::steady_clock::now();
         std::vector<SimResult> seq;
         for (uint64_t r = 0; r < repeats; ++r) {
             seq.clear();
             for (const BatchLane &lane : lanes)
                 seq.push_back(
-                    simulate(region, mdes, lane.kind, lane.cfg));
+                    simulate(region, mdes, lane.kind, lane.cfg, pool));
         }
         const double seqSec = secondsSince(t0);
 

@@ -31,6 +31,7 @@ main(int argc, char **argv)
     req.runNachos = false;
     req.pipeline = PipelineConfig::baselineCompiler();
     req.batchSim = suiteBatch(argc, argv);
+    req.fusion = suiteFusion(argc, argv);
     SuiteRun run =
         runSuite(benchmarkSuite(), req, suiteThreads(argc, argv));
 

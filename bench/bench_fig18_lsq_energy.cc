@@ -30,6 +30,7 @@ main(int argc, char **argv)
     req.runSw = false;
     req.runNachos = false;
     req.batchSim = suiteBatch(argc, argv);
+    req.fusion = suiteFusion(argc, argv);
     SuiteRun run =
         runSuite(benchmarkSuite(), req, suiteThreads(argc, argv));
 

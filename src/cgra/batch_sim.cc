@@ -12,18 +12,21 @@ namespace nachos {
 
 namespace {
 
-/** Typed batch event (24 bytes); cycle lives in the queue bucket. */
+/**
+ * Typed batch event (24 bytes); cycle lives in the queue bucket.
+ * Mirrors SimCore::EvKind — only variable-latency traffic; pure
+ * dataflow runs eagerly off the event engine (see cgra/simulator.hh).
+ */
 enum class EvKind : uint8_t
 {
-    OperandArrival, ///< op=consumer, slot, value
-    CompleteOp,     ///< op finished (FU/scratchpad); value
-    MemDone,        ///< timed memory completion; value
-    MemPerform,     ///< deferred performMemAccess
-    LoadForward,    ///< deferred completeLoadForwarded; value
-    SeedAddrReady,  ///< invocation-start noteAddrReady
-    SeedInputs,     ///< invocation-start opInputsComplete
-    OrderToken,     ///< backend.onOrderToken(op)
-    ForwardValue,   ///< backend.onForwardValue(op, value)
+    CompleteOp,   ///< op finished (memory/scratchpad); value
+    MemDone,      ///< timed memory completion; value
+    MemPerform,   ///< deferred performMemAccess
+    LoadForward,  ///< deferred completeLoadForwarded; value
+    AddrReady,    ///< mem op's address operands all arrived
+    InputsReady,  ///< mem op's operands (incl. data) all arrived
+    OrderToken,   ///< backend.onOrderToken(op)
+    ForwardValue, ///< backend.onForwardValue(op, value)
 };
 
 struct BatchEvent
@@ -32,7 +35,7 @@ struct BatchEvent
     uint64_t lanes = 0; ///< bitmask: which lanes this event fires in
     uint32_t op = 0;
     uint16_t slot = 0;
-    EvKind kind = EvKind::SeedInputs;
+    EvKind kind = EvKind::InputsReady;
 };
 
 class BatchSimCore;
@@ -137,6 +140,8 @@ class BatchSimCore
         uint64_t invocationEnd = 0;
         uint64_t opsRemaining = 0;
         OpId criticalOp = 0;
+        /** False until the invocation's first completion lands. */
+        bool criticalSeen = false;
         bool active = false; ///< participates in the current wave
 
         // MLP accounting (mirrors SimCore).
@@ -148,6 +153,12 @@ class BatchSimCore
 
         uint64_t loadValueDigest = 0;
         std::vector<MemCommit> memCommits;
+
+        // Firing-plan observability (SimResult::plan* fields).
+        uint64_t planEventsDispatched = 0;
+        uint64_t planEventsElided = 0;
+        uint64_t planMacroOps = 0;
+        uint64_t planFusedOps = 0;
     };
 
     const Region &region_;
@@ -162,6 +173,8 @@ class BatchSimCore
     CalendarQueue<BatchEvent> events_;
     uint64_t now_ = 0;
     uint64_t wave_ = 0; ///< current invocation index (all lanes)
+    /** Current dispatch wave (drained, then canonically sorted). */
+    std::vector<BatchEvent> waveBuf_;
 
     // Structure-of-arrays per-(op, lane) state, lane-major: index
     // lane * numOps + op, so a lane's per-wave reset is contiguous.
@@ -210,12 +223,20 @@ class BatchSimCore
     void seedWave();
     void dispatch(const BatchEvent &ev);
     void dispatchLane(uint32_t lane, const BatchEvent &ev);
-    void operandArrived(uint32_t lane, OpId op, uint32_t slot,
-                        uint64_t cycle, int64_t value);
+    bool chainSuffixReady(uint32_t lane, OpId head,
+                          uint64_t fireCycle) const;
+    void fireChain(uint32_t lane, OpId head, uint64_t fireCycle);
+    int64_t evalFireValue(uint32_t lane, OpId op);
+    void fireOp(uint32_t lane, OpId op, uint64_t cycle);
+    void deliverOperand(uint32_t lane, OpId op, uint32_t slot,
+                        uint64_t arrival, int64_t value);
     void opInputsComplete(uint32_t lane, OpId op, uint64_t cycle);
+    void completeAt(uint32_t lane, OpId op, uint64_t cycle,
+                    int64_t value);
     void completeOp(uint32_t lane, OpId op, uint64_t cycle,
                     int64_t value);
-    void deliverToUsers(uint32_t lane, OpId op, uint64_t cycle);
+    void deliverToUsers(uint32_t lane, OpId op, uint64_t cycle,
+                        int64_t value);
     void noteAddrReady(uint32_t lane, OpId op, uint64_t cycle);
     void mlpChange(uint32_t lane, int delta, uint64_t cycle);
     SimResult finalizeLane(uint32_t lane);
@@ -439,33 +460,56 @@ BatchSimCore::opInputsComplete(uint32_t lane, OpId op, uint64_t cycle)
         return;
     }
 
-    countFuExecution(o.kind, *L.intOps, *L.fpOps);
-    const uint64_t done = cycle + fuLatency(o.kind);
+    // Non-memory ops reach here only as invocation seeds (Const,
+    // LiveIn); every other pure op fires from deliverOperand.
+    fireOp(lane, op, cycle);
+}
+
+/** Evaluate a pure op whose operands all sit in the lane's arena. */
+int64_t
+BatchSimCore::evalFireValue(uint32_t lane, OpId op)
+{
+    const Operation &o = region_.op(op);
     const int64_t *in = laneInputs(lane, op);
-    int64_t value = 0;
     switch (o.kind) {
       case OpKind::Const:
-        value = o.imm;
-        break;
+        return o.imm;
       case OpKind::LiveIn:
-        value = waveLiveIn_[op];
-        break;
+        return waveLiveIn_[op];
       case OpKind::LiveOut:
-        value = in[0];
-        break;
+        return in[0];
       case OpKind::Select:
-        value = o.operands.size() == 3 ? (in[0] ? in[1] : in[2])
-                                       : in[0];
-        break;
+        return o.operands.size() == 3 ? (in[0] ? in[1] : in[2])
+                                      : in[0];
       default:
-        value = evalCompute(o.kind, in[0], in[1]);
-        break;
+        return evalCompute(o.kind, in[0], in[1]);
     }
-    scheduleLane(lane, done, EvKind::CompleteOp, op, 0, value);
+}
+
+// Eager pure-op firing and macro chains: lane-local mirrors of
+// SimCore's fireOp/chainSuffixReady/fireChain/completeAt (see the
+// invariants documented there and in DESIGN.md §15). The chain plan
+// itself is lane-independent static data in tables_; only the guard
+// and the arena reads are per-lane.
+void
+BatchSimCore::fireOp(uint32_t lane, OpId op, uint64_t cycle)
+{
+    Lane &L = lanes_[lane];
+    if (L.cfg.fusion && tables_.chainStep[op] &&
+        tables_.nextInChain[op] != SimTables::kChainEnd &&
+        chainSuffixReady(lane, op, cycle)) {
+        fireChain(lane, op, cycle);
+        return;
+    }
+    const Operation &o = region_.op(op);
+    countFuExecution(o.kind, *L.intOps, *L.fpOps);
+    ++L.planEventsElided; // the CompleteOp the event engine never sees
+    completeAt(lane, op, cycle + fuLatency(o.kind),
+               evalFireValue(lane, op));
 }
 
 void
-BatchSimCore::completeOp(uint32_t lane, OpId op, uint64_t cycle,
+BatchSimCore::completeAt(uint32_t lane, OpId op, uint64_t cycle,
                          int64_t value)
 {
     Lane &L = lanes_[lane];
@@ -474,69 +518,127 @@ BatchSimCore::completeOp(uint32_t lane, OpId op, uint64_t cycle,
                   " completed twice");
     flags_[i] |= kCompleted;
     value_[i] = value;
-    if (cycle >= L.invocationEnd)
+    // Order-free critical-op rule: argmax (completion cycle, op id) —
+    // identical to SimCore::completeAt.
+    if (!L.criticalSeen || cycle > L.invocationEnd) {
         L.criticalOp = op;
+        L.criticalSeen = true;
+    } else if (cycle == L.invocationEnd && op > L.criticalOp) {
+        L.criticalOp = op;
+    }
     L.invocationEnd = std::max(L.invocationEnd, cycle);
     NACHOS_ASSERT(L.opsRemaining > 0, "completion underflow");
     --L.opsRemaining;
-
-    deliverToUsers(lane, op, cycle);
-
-    const Operation &o = region_.op(op);
-    if (o.isMem() && o.mem->disambiguated())
-        L.backend->memCompleted(op, cycle);
+    deliverToUsers(lane, op, cycle, value);
 }
 
 void
-BatchSimCore::deliverToUsers(uint32_t lane, OpId op, uint64_t cycle)
+BatchSimCore::completeOp(uint32_t lane, OpId op, uint64_t cycle,
+                         int64_t value)
 {
-    const uint32_t begin = tables_.fanoutOffset[op];
-    const uint32_t end = tables_.fanoutOffset[op + 1];
-    if (begin == end)
-        return;
-    Lane &L = lanes_[lane];
-    const int64_t value = value_[idx(lane, op)];
-    for (uint32_t k = begin; k < end; ++k) {
-        const SimTables::FanoutEdge &e = tables_.fanoutEdges[k];
-        L.netTransfers->inc();
-        L.netHops->inc(e.hops);
-        scheduleLane(lane, cycle + e.latency, EvKind::OperandArrival,
-                     e.user, e.slot, value);
+    completeAt(lane, op, cycle, value);
+    const Operation &o = region_.op(op);
+    if (o.isMem() && o.mem->disambiguated())
+        lanes_[lane].backend->memCompleted(op, cycle);
+}
+
+bool
+BatchSimCore::chainSuffixReady(uint32_t lane, OpId head,
+                               uint64_t fireCycle) const
+{
+    uint64_t t = fireCycle;
+    uint32_t s = head;
+    for (;;) {
+        t += fuLatency(region_.op(s).kind);
+        const uint32_t next = tables_.nextInChain[s];
+        if (next == SimTables::kChainEnd)
+            return true;
+        // A chain link is the producer's single fanout edge.
+        t += tables_.fanoutEdges[tables_.fanoutOffset[s]].latency;
+        const size_t i = idx(lane, next);
+        if (pendingAll_[i] != 1 || readyCycle_[i] > t)
+            return false;
+        s = next;
     }
 }
 
 void
-BatchSimCore::operandArrived(uint32_t lane, OpId op, uint32_t slot,
-                             uint64_t cycle, int64_t value)
+BatchSimCore::fireChain(uint32_t lane, OpId head, uint64_t fireCycle)
+{
+    Lane &L = lanes_[lane];
+    const SimTables::ChainSuffix &c = tables_.chainSuffix[head];
+    int64_t carried = evalFireValue(lane, head);
+    uint32_t s = head;
+    for (uint32_t i = 1; i < c.len; ++i) {
+        const uint32_t slot = tables_.nextChainSlot[s];
+        s = tables_.nextInChain[s];
+        carried = evalChainStep(region_.op(s), laneInputs(lane, s),
+                                slot, carried);
+    }
+    L.intOps->inc(c.intOps);
+    L.fpOps->inc(c.fpOps);
+    L.netTransfers->inc(c.netTransfers);
+    L.netHops->inc(c.netHops);
+    NACHOS_ASSERT(L.opsRemaining >= c.len,
+                  "macro completion underflow");
+    L.opsRemaining -= c.len - 1;
+    ++L.planMacroOps;
+    L.planFusedOps += c.len;
+    L.planEventsElided += 2 * static_cast<uint64_t>(c.len) - 1;
+    completeAt(lane, c.tail, fireCycle + c.latency, carried);
+}
+
+void
+BatchSimCore::deliverToUsers(uint32_t lane, OpId op, uint64_t cycle,
+                             int64_t value)
+{
+    Lane &L = lanes_[lane];
+    const uint32_t begin = tables_.fanoutOffset[op];
+    const uint32_t end = tables_.fanoutOffset[op + 1];
+    for (uint32_t k = begin; k < end; ++k) {
+        const SimTables::FanoutEdge &e = tables_.fanoutEdges[k];
+        L.netTransfers->inc();
+        L.netHops->inc(e.hops);
+        ++L.planEventsElided; // the OperandArrival that never exists
+        deliverOperand(lane, e.user, e.slot, cycle + e.latency, value);
+    }
+}
+
+/** Eager operand delivery (mirrors SimCore::deliverOperand). */
+void
+BatchSimCore::deliverOperand(uint32_t lane, OpId op, uint32_t slot,
+                             uint64_t arrival, int64_t value)
 {
     const Operation &o = region_.op(op);
     const size_t i = idx(lane, op);
     NACHOS_ASSERT(slot < tables_.numInputs(op), "operand slot range");
     laneInputs(lane, op)[slot] = value;
-    readyCycle_[i] = std::max(readyCycle_[i], cycle);
-    NACHOS_ASSERT(pendingAll_[i] > 0, "operand arrival underflow op=",
-                  op, " kind=", opKindName(o.kind), " slot=", slot,
-                  " nops=", o.operands.size());
+    readyCycle_[i] = std::max(readyCycle_[i], arrival);
+    NACHOS_ASSERT(pendingAll_[i] > 0, "operand delivery underflow");
     --pendingAll_[i];
 
     if (o.isMem() && slot >= o.firstAddrOperand()) {
-        NACHOS_ASSERT(pendingAddr_[i] > 0, "addr arrival underflow");
+        NACHOS_ASSERT(pendingAddr_[i] > 0, "addr delivery underflow");
         --pendingAddr_[i];
-        addrReadyCycle_[i] = std::max(addrReadyCycle_[i], cycle);
-        if (pendingAddr_[i] == 0)
-            noteAddrReady(lane, op, addrReadyCycle_[i]);
+        addrReadyCycle_[i] = std::max(addrReadyCycle_[i], arrival);
+        if (pendingAddr_[i] == 0) {
+            scheduleLane(lane, addrReadyCycle_[i], EvKind::AddrReady,
+                         op);
+        }
     }
-    if (pendingAll_[i] == 0)
-        opInputsComplete(lane, op, readyCycle_[i]);
+    if (pendingAll_[i] != 0)
+        return;
+    if (o.isMem())
+        scheduleLane(lane, readyCycle_[i], EvKind::InputsReady, op);
+    else
+        fireOp(lane, op, readyCycle_[i]);
 }
 
 void
 BatchSimCore::dispatchLane(uint32_t lane, const BatchEvent &ev)
 {
+    ++lanes_[lane].planEventsDispatched;
     switch (ev.kind) {
-      case EvKind::OperandArrival:
-        operandArrived(lane, ev.op, ev.slot, now_, ev.value);
-        break;
       case EvKind::CompleteOp:
         completeOp(lane, ev.op, now_, ev.value);
         break;
@@ -550,10 +652,10 @@ BatchSimCore::dispatchLane(uint32_t lane, const BatchEvent &ev)
       case EvKind::LoadForward:
         completeLoadForwarded(lane, ev.op, now_, ev.value);
         break;
-      case EvKind::SeedAddrReady:
+      case EvKind::AddrReady:
         noteAddrReady(lane, ev.op, now_);
         break;
-      case EvKind::SeedInputs:
+      case EvKind::InputsReady:
         opInputsComplete(lane, ev.op, now_);
         break;
       case EvKind::OrderToken:
@@ -606,8 +708,8 @@ BatchSimCore::seedWave()
         for (const SimTables::SeedEvent &s : tables_.seedEvents) {
             events_.schedule(start,
                              BatchEvent{0, mask, s.op, 0,
-                                        s.addrSeed ? EvKind::SeedAddrReady
-                                                   : EvKind::SeedInputs});
+                                        s.addrSeed ? EvKind::AddrReady
+                                                   : EvKind::InputsReady});
         }
     }
 }
@@ -650,14 +752,33 @@ BatchSimCore::runWave()
                     arenaStride_, 0);
         L.opsRemaining = numOps_;
         L.invocationEnd = L.start;
+        L.criticalSeen = false;
     }
 
     seedWave();
 
-    BatchEvent ev;
+    // Wave dispatch, mirroring SimCore::runInvocation: drain the
+    // earliest cycle, sort into the canonical content order — the
+    // lane mask is only a final tiebreak, so each lane's projected
+    // dispatch sequence equals its sequential run's — and dispatch.
     while (!events_.empty()) {
-        now_ = events_.pop(ev);
-        dispatch(ev);
+        waveBuf_.clear();
+        now_ = events_.drainWave(waveBuf_);
+        if (waveBuf_.size() > 1)
+            std::sort(waveBuf_.begin(), waveBuf_.end(),
+                      [](const BatchEvent &a, const BatchEvent &b) {
+                          if (a.kind != b.kind)
+                              return a.kind < b.kind;
+                          if (a.op != b.op)
+                              return a.op < b.op;
+                          if (a.slot != b.slot)
+                              return a.slot < b.slot;
+                          if (a.value != b.value)
+                              return a.value < b.value;
+                          return a.lanes < b.lanes;
+                      });
+        for (const BatchEvent &ev : waveBuf_)
+            dispatch(ev);
     }
 
     for (uint32_t lane = 0; lane < numLanes_; ++lane) {
@@ -696,12 +817,19 @@ BatchSimCore::finalizeLane(uint32_t lane)
                         ? 0
                         : static_cast<double>(L.mlpArea) /
                               static_cast<double>(L.mlpBusyCycles);
-    result.stats = L.stats;
     result.energy = EnergyModel(L.cfg.energy).breakdown(L.stats);
+    // The lane is finished: move its registry instead of copying it
+    // (map nodes migrate, so the pooled hierarchy's cached Counter*
+    // stay valid until the pool's next acquire rebinds them).
+    result.stats = std::move(L.stats);
     result.loadValueDigest = L.loadValueDigest;
     result.criticalOp = L.criticalOp;
     result.memImage = L.hier->data().image();
     result.memCommits = std::move(L.memCommits);
+    result.planEventsDispatched = L.planEventsDispatched;
+    result.planEventsElided = L.planEventsElided;
+    result.planMacroOps = L.planMacroOps;
+    result.planFusedOps = L.planFusedOps;
     return result;
 }
 

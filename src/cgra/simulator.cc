@@ -42,10 +42,29 @@ SimCore::SimCore(const Region &region, const MdeSet &mdes,
                  OrderingBackend &backend, const SimConfig &cfg)
     : region_(region), mdes_(mdes), backend_(backend), cfg_(cfg),
       placement_(region, cfg.grid), network_(placement_, cfg.net, stats_),
-      hierarchy_(cfg.mem, stats_), energyModel_(cfg.energy),
+      ownedHierarchy_(
+          std::make_unique<MemoryHierarchy>(cfg.mem, stats_)),
+      hierarchy_(*ownedHierarchy_), energyModel_(cfg.energy),
       trace_(!cfg.traceFile.empty())
 {
     NACHOS_ASSERT(region_.finalized(), "simulate a finalized region");
+    // Tracing wants one record per op execution; fused interiors never
+    // dispatch, so tracing forces the unfused engine.
+    fusionOn_ = cfg_.fusion && !trace_.enabled();
+    backend_.attach(*this);
+    buildStaticTables();
+}
+
+SimCore::SimCore(const Region &region, const MdeSet &mdes,
+                 OrderingBackend &backend, const SimConfig &cfg,
+                 HierarchyPool &pool)
+    : region_(region), mdes_(mdes), backend_(backend), cfg_(cfg),
+      placement_(region, cfg.grid), network_(placement_, cfg.net, stats_),
+      hierarchy_(pool.acquire(0, cfg.mem, stats_)),
+      energyModel_(cfg.energy), trace_(!cfg.traceFile.empty())
+{
+    NACHOS_ASSERT(region_.finalized(), "simulate a finalized region");
+    fusionOn_ = cfg_.fusion && !trace_.enabled();
     backend_.attach(*this);
     buildStaticTables();
 }
@@ -64,21 +83,6 @@ SimCore::buildStaticTables()
     mdeForwards_ = &stats_.counter(energy_events::kMdeForward);
     intOps_ = &stats_.counter(energy_events::kIntOps);
     fpOps_ = &stats_.counter(energy_events::kFpOps);
-}
-
-void
-SimCore::schedule(uint64_t cycle, std::function<void()> fn)
-{
-    uint32_t idx;
-    if (!freeThunks_.empty()) {
-        idx = freeThunks_.back();
-        freeThunks_.pop_back();
-        thunks_[idx] = std::move(fn);
-    } else {
-        idx = static_cast<uint32_t>(thunks_.size());
-        thunks_.push_back(std::move(fn));
-    }
-    events_.schedule(cycle, SimEvent{0, idx, 0, EvKind::Thunk});
 }
 
 void
@@ -284,97 +288,218 @@ SimCore::opInputsComplete(OpId op, uint64_t cycle)
         return;
     }
 
+    // Non-memory ops reach here only as invocation seeds (Const,
+    // LiveIn); every other pure op fires from deliverOperand.
+    fireOp(op, cycle);
+}
+
+/** Evaluate a pure op whose operands all sit in the arena. */
+int64_t
+SimCore::evalFireValue(OpId op)
+{
+    const Operation &o = region_.op(op);
+    const int64_t *in = inputs(op);
+    switch (o.kind) {
+      case OpKind::Const:
+        return o.imm;
+      case OpKind::LiveIn:
+        return liveInValue(op);
+      case OpKind::LiveOut:
+        return in[0];
+      case OpKind::Select:
+        return o.operands.size() == 3 ? (in[0] ? in[1] : in[2])
+                                      : in[0];
+      default:
+        return evalCompute(o.kind, in[0], in[1]);
+    }
+}
+
+/**
+ * Fire a pure op at `cycle` (the max arrival cycle of its operands):
+ * no event round-trip — the op evaluates now and completes
+ * arithmetically at cycle + FU latency, cascading into its users.
+ * When fusion is on and the op heads a ready chain, the whole chain
+ * fires as one macro-op instead.
+ */
+void
+SimCore::fireOp(OpId op, uint64_t cycle)
+{
+    if (fusionOn_ && tables_.chainStep[op] &&
+        tables_.nextInChain[op] != SimTables::kChainEnd &&
+        chainSuffixReady(op, cycle)) {
+        fireChain(op, cycle);
+        return;
+    }
+    const Operation &o = region_.op(op);
     countFuExecution(o.kind, *intOps_, *fpOps_);
-    const uint64_t done = cycle + fuLatency(o.kind);
     if (trace_.enabled() && fuLatency(o.kind) > 0) {
         trace_.record({std::string(opKindName(o.kind)) + "#" +
                            std::to_string(op),
                        "compute", cycle, fuLatency(o.kind),
                        placement_.coordOf(op).row});
     }
-    const int64_t *in = inputs(op);
-    int64_t value = 0;
-    switch (o.kind) {
-      case OpKind::Const:
-        value = o.imm;
-        break;
-      case OpKind::LiveIn:
-        value = liveInValue(op);
-        break;
-      case OpKind::LiveOut:
-        value = in[0];
-        break;
-      case OpKind::Select:
-        value = o.operands.size() == 3 ? (in[0] ? in[1] : in[2])
-                                       : in[0];
-        break;
-      default:
-        value = evalCompute(o.kind, in[0], in[1]);
-        break;
-    }
-    events_.schedule(done, SimEvent{value, op, 0, EvKind::CompleteOp});
+    ++planEventsElided_; // the CompleteOp the event engine never sees
+    completeAt(op, cycle + fuLatency(o.kind), evalFireValue(op));
 }
 
+/**
+ * Complete `op` at `cycle` (>= now; pure cascades complete in the
+ * future) and deliver its value. Critical-op rule is the argmax of
+ * (completion cycle, op id) — order-free, so it cannot depend on
+ * whether completions were processed in event order (memory ops) or
+ * cascade order (pure ops), nor on the fusion mode: a fused chain's
+ * interior steps always complete strictly before its tail, so
+ * skipping them never skips a candidate.
+ */
 void
-SimCore::completeOp(OpId op, uint64_t cycle, int64_t value)
+SimCore::completeAt(OpId op, uint64_t cycle, int64_t value)
 {
     OpState &st = states_[op];
     NACHOS_ASSERT(!st.completed, "op ", op, " completed twice");
     st.completed = true;
     st.completeCycle = cycle;
     st.value = value;
-    if (cycle >= invocationEnd_)
+    if (!criticalSeen_ || cycle > invocationEnd_) {
         criticalOp_ = op;
+        criticalSeen_ = true;
+    } else if (cycle == invocationEnd_ && op > criticalOp_) {
+        criticalOp_ = op;
+    }
     invocationEnd_ = std::max(invocationEnd_, cycle);
     NACHOS_ASSERT(opsRemaining_ > 0, "completion underflow");
     --opsRemaining_;
+    deliverToUsers(op, cycle, value);
+}
 
-    deliverToUsers(op, cycle);
-
+void
+SimCore::completeOp(OpId op, uint64_t cycle, int64_t value)
+{
+    completeAt(op, cycle, value);
     const Operation &o = region_.op(op);
     if (o.isMem() && o.mem->disambiguated())
         backend_.memCompleted(op, cycle);
 }
 
+/**
+ * A chain headed at `head` (which fires at `fireCycle`) may fire as
+ * one macro-op iff every downstream step is waiting on exactly its
+ * chain-slot operand AND its other operands' arrival cycles are no
+ * later than the chain value's arrival at that step — otherwise the
+ * step's firing cycle would be a max the precomputed suffix latency
+ * cannot express, and the op falls back to the generic cascade
+ * (which computes that max naturally).
+ */
+bool
+SimCore::chainSuffixReady(OpId head, uint64_t fireCycle) const
+{
+    uint64_t t = fireCycle;
+    uint32_t s = head;
+    for (;;) {
+        t += fuLatency(region_.op(s).kind);
+        const uint32_t next = tables_.nextInChain[s];
+        if (next == SimTables::kChainEnd)
+            return true;
+        // A chain link is the producer's single fanout edge.
+        t += tables_.fanoutEdges[tables_.fanoutOffset[s]].latency;
+        const OpState &st = states_[next];
+        if (st.pendingAllInputs != 1 || st.readyCycle > t)
+            return false;
+        s = next;
+    }
+}
+
+/**
+ * Fire the fused chain headed at `head` as one macro-op: evaluate
+ * every step straight off the operand arena (interior steps thread
+ * the carried value), apply the per-op stat/energy increments in
+ * bulk, and complete the tail at the precomputed suffix latency.
+ * Counter sums are order-free (read only at end of run), so bulk
+ * application preserves byte-identity with the unfused cascade, and
+ * chainSuffixReady guarantees the suffix latency equals the cascade's
+ * per-step arrival maxes (DESIGN.md §15).
+ */
 void
-SimCore::deliverToUsers(OpId op, uint64_t cycle)
+SimCore::fireChain(OpId head, uint64_t fireCycle)
+{
+    const SimTables::ChainSuffix &c = tables_.chainSuffix[head];
+    int64_t carried = evalFireValue(head);
+    uint32_t s = head;
+    for (uint32_t i = 1; i < c.len; ++i) {
+        const uint32_t slot = tables_.nextChainSlot[s];
+        s = tables_.nextInChain[s];
+        carried = evalChainStep(region_.op(s), inputs(s), slot, carried);
+    }
+    intOps_->inc(c.intOps);
+    fpOps_->inc(c.fpOps);
+    netTransfers_->inc(c.netTransfers);
+    netHops_->inc(c.netHops);
+    // Interior steps complete implicitly; only the tail's completion
+    // is observable (its cycle dominates every interior step's).
+    NACHOS_ASSERT(opsRemaining_ >= c.len, "macro completion underflow");
+    opsRemaining_ -= c.len - 1;
+    ++planMacroOps_;
+    planFusedOps_ += c.len;
+    planEventsElided_ += 2 * static_cast<uint64_t>(c.len) - 1;
+    completeAt(c.tail, fireCycle + c.latency, carried);
+}
+
+void
+SimCore::deliverToUsers(OpId op, uint64_t cycle, int64_t value)
 {
     const uint32_t begin = tables_.fanoutOffset[op];
     const uint32_t end = tables_.fanoutOffset[op + 1];
-    if (begin == end)
-        return;
-    const int64_t value = states_[op].value;
     for (uint32_t i = begin; i < end; ++i) {
         const SimTables::FanoutEdge &e = tables_.fanoutEdges[i];
         netTransfers_->inc();
         netHops_->inc(e.hops);
-        events_.schedule(
-            cycle + e.latency,
-            SimEvent{value, e.user, e.slot, EvKind::OperandArrival});
+        ++planEventsElided_; // the OperandArrival that never exists
+        deliverOperand(e.user, e.slot, cycle + e.latency, value);
     }
 }
 
+/**
+ * Eager operand delivery: runs when the producer completes, with
+ * `arrival` the cycle the value reaches `op` over the mesh. The value
+ * lands in the arena immediately (each slot is written exactly once
+ * per invocation, so early writes are indistinguishable from on-time
+ * ones) and the arrival cycle folds into the op's ready clocks. Pure
+ * ops fire the moment their last operand is delivered — at the max
+ * arrival cycle, off the event engine entirely. Memory ops instead
+ * get one AddrReady event at the max address-operand arrival and one
+ * InputsReady event at the max overall arrival: backend calls are
+ * side-effecting against shared arbitration state, so they must run
+ * at their true cycle, in canonical wave order.
+ */
 void
-SimCore::operandArrived(OpId op, uint32_t slot, uint64_t cycle,
+SimCore::deliverOperand(OpId op, uint32_t slot, uint64_t arrival,
                         int64_t value)
 {
     const Operation &o = region_.op(op);
     OpState &st = states_[op];
     NACHOS_ASSERT(slot < numInputs(op), "operand slot range");
     inputs(op)[slot] = value;
-    st.readyCycle = std::max(st.readyCycle, cycle);
-    NACHOS_ASSERT(st.pendingAllInputs > 0, "operand arrival underflow op=", op, " kind=", opKindName(o.kind), " slot=", slot, " nops=", o.operands.size());
+    st.readyCycle = std::max(st.readyCycle, arrival);
+    NACHOS_ASSERT(st.pendingAllInputs > 0, "operand delivery underflow");
     --st.pendingAllInputs;
 
     if (o.isMem() && slot >= o.firstAddrOperand()) {
-        NACHOS_ASSERT(st.pendingAddrInputs > 0, "addr arrival underflow");
+        NACHOS_ASSERT(st.pendingAddrInputs > 0,
+                      "addr delivery underflow");
         --st.pendingAddrInputs;
-        st.addrReadyCycle = std::max(st.addrReadyCycle, cycle);
-        if (st.pendingAddrInputs == 0)
-            noteAddrReady(op, st.addrReadyCycle);
+        st.addrReadyCycle = std::max(st.addrReadyCycle, arrival);
+        if (st.pendingAddrInputs == 0) {
+            events_.schedule(st.addrReadyCycle,
+                             SimEvent{0, op, 0, EvKind::AddrReady});
+        }
     }
-    if (st.pendingAllInputs == 0)
-        opInputsComplete(op, st.readyCycle);
+    if (st.pendingAllInputs != 0)
+        return;
+    if (o.isMem()) {
+        events_.schedule(st.readyCycle,
+                         SimEvent{0, op, 0, EvKind::InputsReady});
+    } else {
+        fireOp(op, st.readyCycle);
+    }
 }
 
 void
@@ -393,12 +518,13 @@ SimCore::seedInvocation(uint64_t start_cycle)
     }
     opsRemaining_ = n;
     invocationEnd_ = start_cycle;
+    criticalSeen_ = false;
 
     for (const SimTables::SeedEvent &s : tables_.seedEvents) {
         events_.schedule(start_cycle,
                          SimEvent{0, s.op, 0,
-                                  s.addrSeed ? EvKind::SeedAddrReady
-                                             : EvKind::SeedInputs});
+                                  s.addrSeed ? EvKind::AddrReady
+                                             : EvKind::InputsReady});
     }
 }
 
@@ -406,9 +532,6 @@ void
 SimCore::dispatch(const SimEvent &ev)
 {
     switch (ev.kind) {
-      case EvKind::OperandArrival:
-        operandArrived(ev.op, ev.slot, now_, ev.value);
-        break;
       case EvKind::CompleteOp:
         completeOp(ev.op, now_, ev.value);
         break;
@@ -422,10 +545,10 @@ SimCore::dispatch(const SimEvent &ev)
       case EvKind::LoadForward:
         completeLoadForwarded(ev.op, now_, ev.value);
         break;
-      case EvKind::SeedAddrReady:
+      case EvKind::AddrReady:
         noteAddrReady(ev.op, now_);
         break;
-      case EvKind::SeedInputs:
+      case EvKind::InputsReady:
         opInputsComplete(ev.op, now_);
         break;
       case EvKind::OrderToken:
@@ -434,15 +557,26 @@ SimCore::dispatch(const SimEvent &ev)
       case EvKind::ForwardValue:
         backend_.onForwardValue(ev.op, now_, ev.value);
         break;
-      case EvKind::Thunk: {
-        std::function<void()> fn = std::move(thunks_[ev.op]);
-        thunks_[ev.op] = nullptr;
-        freeThunks_.push_back(ev.op);
-        fn();
-        break;
-      }
     }
 }
+
+namespace {
+
+/** Canonical intra-wave order: a pure function of event contents. */
+template <typename Ev>
+bool
+eventBefore(const Ev &a, const Ev &b)
+{
+    if (a.kind != b.kind)
+        return a.kind < b.kind;
+    if (a.op != b.op)
+        return a.op < b.op;
+    if (a.slot != b.slot)
+        return a.slot < b.slot;
+    return a.value < b.value;
+}
+
+} // namespace
 
 uint64_t
 SimCore::runInvocation(uint64_t inv, uint64_t start_cycle)
@@ -452,10 +586,18 @@ SimCore::runInvocation(uint64_t inv, uint64_t start_cycle)
     backend_.beginInvocation(inv);
     seedInvocation(start_cycle);
 
-    SimEvent ev;
+    // Wave dispatch: drain everything pending for the earliest cycle,
+    // sort it into the canonical content order, dispatch; same-cycle
+    // events scheduled by those handlers form the next wave. Ties are
+    // byte-identical events, so plain sort is deterministic.
     while (!events_.empty()) {
-        now_ = events_.pop(ev);
-        dispatch(ev);
+        waveBuf_.clear();
+        now_ = events_.drainWave(waveBuf_);
+        std::sort(waveBuf_.begin(), waveBuf_.end(),
+                  eventBefore<SimEvent>);
+        planEventsDispatched_ += waveBuf_.size();
+        for (const SimEvent &ev : waveBuf_)
+            dispatch(ev);
     }
     NACHOS_ASSERT(opsRemaining_ == 0,
                   "dataflow deadlock: ", opsRemaining_,
@@ -489,40 +631,70 @@ SimCore::run()
                         ? 0
                         : static_cast<double>(mlpArea_) /
                               static_cast<double>(mlpBusyCycles_);
-    result.stats = stats_;
     result.energy = energyModel_.breakdown(stats_);
+    // The run is over: move the registry instead of copying it (map
+    // nodes migrate, so cached Counter* stay valid for the move).
+    result.stats = std::move(stats_);
     result.loadValueDigest = loadValueDigest_;
     result.criticalOp = criticalOp_;
     result.memImage = hierarchy_.data().image();
     result.memCommits = std::move(memCommits_);
+    result.planEventsDispatched = planEventsDispatched_;
+    result.planEventsElided = planEventsElided_;
+    result.planMacroOps = planMacroOps_;
+    result.planFusedOps = planFusedOps_;
     if (trace_.enabled())
         trace_.writeFile(cfg_.traceFile);
     return result;
 }
 
+namespace {
+
+/** Dispatch on backend kind; `pool` selects the pooled SimCore ctor. */
 SimResult
-simulate(const Region &region, const MdeSet &mdes, BackendKind kind,
-         const SimConfig &cfg)
+simulateImpl(const Region &region, const MdeSet &mdes, BackendKind kind,
+             const SimConfig &cfg, HierarchyPool *pool)
 {
+    const auto run = [&](OrderingBackend &backend) {
+        if (pool != nullptr) {
+            SimCore core(region, mdes, backend, cfg, *pool);
+            return core.run();
+        }
+        SimCore core(region, mdes, backend, cfg);
+        return core.run();
+    };
     switch (kind) {
       case BackendKind::OptLsq: {
         LsqBackend backend(region, cfg.lsq);
-        SimCore core(region, mdes, backend, cfg);
-        return core.run();
+        return run(backend);
       }
       case BackendKind::NachosSw: {
         SwBackend backend(region, mdes);
-        SimCore core(region, mdes, backend, cfg);
-        return core.run();
+        return run(backend);
       }
       case BackendKind::Nachos: {
         NachosBackend backend(region, mdes, cfg.nachosComparesPerCycle,
                               cfg.nachosRuntimeForwarding);
-        SimCore core(region, mdes, backend, cfg);
-        return core.run();
+        return run(backend);
       }
     }
     NACHOS_PANIC("unknown backend kind");
+}
+
+} // namespace
+
+SimResult
+simulate(const Region &region, const MdeSet &mdes, BackendKind kind,
+         const SimConfig &cfg)
+{
+    return simulateImpl(region, mdes, kind, cfg, nullptr);
+}
+
+SimResult
+simulate(const Region &region, const MdeSet &mdes, BackendKind kind,
+         const SimConfig &cfg, HierarchyPool &pool)
+{
+    return simulateImpl(region, mdes, kind, cfg, &pool);
 }
 
 } // namespace nachos

@@ -19,19 +19,33 @@
  * is re-entered like the paper's unrolled hot path; caches stay warm
  * across invocations).
  *
- * Execution engine: events are small typed records (operand arrival,
- * memory perform/complete, load forward, seeds, backend token/value
- * deliveries, plus a generic-thunk fallback) dispatched from a
- * cycle-bucketed CalendarQueue — no per-event allocation on the hot
- * path. Same-cycle events fire in schedule order (FIFO), so results
- * are bit-identical to the original (cycle, seq) priority queue.
+ * Execution engine: the event queue carries only variable-latency
+ * traffic — memory performs/completions, backend tokens and forwarded
+ * values, per-memory-op readiness notifications, invocation seeds.
+ * Pure fixed-latency dataflow never touches it: operand delivery is
+ * eager (the producer's completion writes every consumer's arena slot
+ * and folds the wire arrival cycle into the consumer's ready clock),
+ * and a pure op whose operands are all in fires arithmetically, as a
+ * straight-line cascade at completion cycle = max arrival + FU
+ * latency. Macro-op fusion (SimConfig::fusion) additionally collapses
+ * single-consumer chains of such ops into one precomputed firing
+ * (cgra/sim_tables); fused and unfused runs are byte-identical
+ * because both are exact evaluations of the same arrival arithmetic
+ * (DESIGN.md §15).
+ *
+ * Events are small typed records dispatched from a cycle-bucketed
+ * CalendarQueue with no per-event allocation. Same-cycle events drain
+ * a wave at a time and dispatch in a canonical content order
+ * (kind, op, slot, value) — a pure function of event contents, so the
+ * dispatch schedule cannot depend on the order handlers scheduled
+ * them, which is what keeps the two engines (sequential and batched)
+ * and the two fusion modes on one timeline.
  */
 
 #ifndef NACHOS_CGRA_SIMULATOR_HH
 #define NACHOS_CGRA_SIMULATOR_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -46,6 +60,7 @@
 #include "lsq/opt_lsq.hh"
 #include "mde/mde.hh"
 #include "mem/hierarchy.hh"
+#include "mem/hierarchy_pool.hh"
 #include "support/event_queue.hh"
 #include "support/stats.hh"
 
@@ -71,6 +86,14 @@ struct SimConfig
     bool nachosRuntimeForwarding = true;
     /** Write a Chrome trace-event JSON of op executions here. */
     std::string traceFile;
+    /**
+     * Fuse single-consumer chains of fixed-latency pure ops into
+     * macro-ops executed off the event engine (the region's firing
+     * plan, SimTables). Results are byte-identical either way; off is
+     * the `--no-fusion` escape hatch. Tracing (traceFile) disables
+     * fusion internally so per-op trace records stay complete.
+     */
+    bool fusion = true;
     /**
      * Record every committed memory op into SimResult::memCommits, in
      * functional commit order (the order data motion hit memory). The
@@ -105,12 +128,24 @@ struct SimResult
     EnergyBreakdown energy;
     /** Order-insensitive digest of every load's observed value. */
     uint64_t loadValueDigest = 0;
-    /** Op completing last in the final invocation (diagnostics). */
+    /** Op completing last in the final invocation: the argmax of
+     *  (completion cycle, op id), an order-free rule so every engine
+     *  and fusion mode reports the same op (diagnostics). */
     OpId criticalOp = 0;
     /** Final functional-memory image (sorted bytes). */
     std::vector<std::pair<uint64_t, uint8_t>> memImage;
     /** Commit-ordered memory trace (cfg.recordMemTrace only). */
     std::vector<MemCommit> memCommits;
+
+    // ---- firing-plan observability ------------------------------------
+    // Kept out of `stats` deliberately: the StatSet, digest, image and
+    // commit trace are the byte-compared surfaces of the fusion-on-vs-
+    // off identity contract, while these counters describe the engine's
+    // own work and legitimately differ across modes.
+    uint64_t planEventsDispatched = 0; ///< events the engine dispatched
+    uint64_t planEventsElided = 0;     ///< events fusion avoided
+    uint64_t planMacroOps = 0;         ///< fused-chain firings
+    uint64_t planFusedOps = 0;         ///< op executions inside macros
 };
 
 /**
@@ -210,16 +245,25 @@ class SimCore final : public BackendCore
     SimCore(const Region &region, const MdeSet &mdes,
             OrderingBackend &backend, const SimConfig &cfg);
 
+    /**
+     * Pooled-hierarchy variant: acquire the memory hierarchy from
+     * `pool` (slot 0) instead of constructing one. Hierarchy
+     * construction is dominated by filling the LLC way array (~100 µs,
+     * mem/hierarchy_pool) — more than a small region's entire
+     * simulation — so reset-heavy sequential drivers (the fuzzer, the
+     * suite runner, benches) keep a pool alive across simulate()
+     * calls. A pooled acquire is observably identical to fresh
+     * construction (tested); at most one SimCore may use a pool at a
+     * time, and the pool must outlive the core.
+     */
+    SimCore(const Region &region, const MdeSet &mdes,
+            OrderingBackend &backend, const SimConfig &cfg,
+            HierarchyPool &pool);
+
     /** Run all invocations; returns the aggregated result. */
     SimResult run();
 
     // ---- backend services (BackendCore) ------------------------------
-
-    /**
-     * Schedule a callback at `cycle` (deterministic FIFO per cycle).
-     * Generic fallback: the typed schedulers below are cheaper.
-     */
-    void schedule(uint64_t cycle, std::function<void()> fn);
 
     void scheduleOrderToken(uint64_t cycle, OpId to) override;
     void scheduleForwardValue(uint64_t cycle, OpId to,
@@ -241,19 +285,26 @@ class SimCore final : public BackendCore
     uint64_t invocation() const { return invocation_; }
 
   private:
-    /** Typed event record (16 bytes); cycle lives in the queue bucket. */
+    /**
+     * Typed event record (16 bytes); cycle lives in the queue bucket.
+     * The enum order IS the canonical intra-wave dispatch order: a
+     * wave sorts on (kind, op, slot, value), a pure function of event
+     * contents (nothing provenance- or sequence-derived), so the
+     * dispatch schedule cannot depend on which handler scheduled an
+     * event first. AddrReady sorting before InputsReady is load-
+     * bearing: when both land in one wave the address must resolve
+     * before the op is declared fully ready.
+     */
     enum class EvKind : uint8_t
     {
-        OperandArrival, ///< op=consumer, slot, value
-        CompleteOp,     ///< op finished (FU/scratchpad); value
-        MemDone,        ///< timed memory completion; value
-        MemPerform,     ///< deferred performMemAccess
-        LoadForward,    ///< deferred completeLoadForwarded; value
-        SeedAddrReady,  ///< invocation-start noteAddrReady
-        SeedInputs,     ///< invocation-start opInputsComplete
-        OrderToken,     ///< backend.onOrderToken(op)
-        ForwardValue,   ///< backend.onForwardValue(op, value)
-        Thunk,          ///< op indexes the generic-thunk slab
+        CompleteOp,   ///< op finished (memory/scratchpad); value
+        MemDone,      ///< timed memory completion; value
+        MemPerform,   ///< deferred performMemAccess
+        LoadForward,  ///< deferred completeLoadForwarded; value
+        AddrReady,    ///< mem op's address operands all arrived
+        InputsReady,  ///< mem op's operands (incl. data) all arrived
+        OrderToken,   ///< backend.onOrderToken(op)
+        ForwardValue, ///< backend.onForwardValue(op, value)
     };
 
     struct SimEvent
@@ -261,7 +312,7 @@ class SimCore final : public BackendCore
         int64_t value = 0;
         uint32_t op = 0;
         uint16_t slot = 0;
-        EvKind kind = EvKind::Thunk;
+        EvKind kind = EvKind::InputsReady;
     };
 
     /** Per-invocation dynamic op state (POD; reset by assignment). */
@@ -286,15 +337,18 @@ class SimCore final : public BackendCore
     StatSet stats_;
     Placement placement_;
     OperandNetwork network_;
-    MemoryHierarchy hierarchy_;
+    /** Owned hierarchy (unpooled construction); null when pooled. */
+    std::unique_ptr<MemoryHierarchy> ownedHierarchy_;
+    /** The run's memory hierarchy — owned or a pool slot. */
+    MemoryHierarchy &hierarchy_;
     EnergyModel energyModel_;
 
     CalendarQueue<SimEvent> events_;
     uint64_t now_ = 0;
-
-    /** Generic-thunk slab: slots reused through a free list. */
-    std::vector<std::function<void()>> thunks_;
-    std::vector<uint32_t> freeThunks_;
+    /** Current wave's events (drained, then canonically sorted). */
+    std::vector<SimEvent> waveBuf_;
+    /** cfg_.fusion, with tracing folded in (tracing disables fusion). */
+    bool fusionOn_ = false;
 
     std::vector<OpState> states_;
     /** Operand-value arena: op's slots at tables_.inputOffset[op]. */
@@ -313,6 +367,8 @@ class SimCore final : public BackendCore
     size_t opsRemaining_ = 0;
     uint64_t invocationEnd_ = 0;
     OpId criticalOp_ = 0;
+    /** False until the invocation's first completion lands. */
+    bool criticalSeen_ = false;
 
     // MLP accounting.
     uint64_t outstanding_ = 0;
@@ -324,6 +380,12 @@ class SimCore final : public BackendCore
     uint64_t loadValueDigest_ = 0;
     std::vector<MemCommit> memCommits_;
     TraceCollector trace_;
+
+    // Firing-plan observability (SimResult::plan* fields).
+    uint64_t planEventsDispatched_ = 0;
+    uint64_t planEventsElided_ = 0;
+    uint64_t planMacroOps_ = 0;
+    uint64_t planFusedOps_ = 0;
 
     int64_t *inputs(OpId op)
     {
@@ -339,11 +401,16 @@ class SimCore final : public BackendCore
     void dispatch(const SimEvent &ev);
     uint64_t runInvocation(uint64_t inv, uint64_t start_cycle);
     void seedInvocation(uint64_t start_cycle);
-    void operandArrived(OpId op, uint32_t slot, uint64_t cycle,
+    bool chainSuffixReady(OpId head, uint64_t fireCycle) const;
+    void fireChain(OpId head, uint64_t fireCycle);
+    int64_t evalFireValue(OpId op);
+    void fireOp(OpId op, uint64_t cycle);
+    void deliverOperand(OpId op, uint32_t slot, uint64_t arrival,
                         int64_t value);
     void opInputsComplete(OpId op, uint64_t cycle);
+    void completeAt(OpId op, uint64_t cycle, int64_t value);
     void completeOp(OpId op, uint64_t cycle, int64_t value);
-    void deliverToUsers(OpId op, uint64_t cycle);
+    void deliverToUsers(OpId op, uint64_t cycle, int64_t value);
     void noteAddrReady(OpId op, uint64_t cycle);
     void mlpChange(int delta, uint64_t cycle);
     int64_t liveInValue(OpId op) const;
@@ -352,6 +419,15 @@ class SimCore final : public BackendCore
 /** Build the backend for `kind` and simulate the region under it. */
 SimResult simulate(const Region &region, const MdeSet &mdes,
                    BackendKind kind, const SimConfig &cfg);
+
+/**
+ * Pooled variant: reuse `pool`'s memory hierarchy (see the SimCore
+ * pooled constructor). Results are identical to the unpooled
+ * overload; only the construction cost differs.
+ */
+SimResult simulate(const Region &region, const MdeSet &mdes,
+                   BackendKind kind, const SimConfig &cfg,
+                   HierarchyPool &pool);
 
 } // namespace nachos
 

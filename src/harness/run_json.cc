@@ -217,7 +217,7 @@ decodeRunRequest(const JsonValue &v, JobSpec &spec, CodecError &err)
     if (!checkMembers(v,
                       {"workload", "pathIndex", "seed", "backends",
                        "pipeline", "invocations", "machine", "batchSim",
-                       "timeoutMillis", "sleepMillis", "class"},
+                       "fusion", "timeoutMillis", "sleepMillis", "class"},
                       err))
         return false;
 
@@ -321,6 +321,13 @@ decodeRunRequest(const JsonValue &v, JobSpec &spec, CodecError &err)
         spec.request.batchSim = m->boolean();
     }
 
+    if (const JsonValue *m = v.find("fusion")) {
+        if (!m->isBool())
+            return failCodec(err, "bad_request",
+                             "'fusion' must be a bool");
+        spec.request.fusion = m->boolean();
+    }
+
     if (!getU64Member(v, "timeoutMillis", spec.timeoutMillis, err))
         return false;
     if (!getU64Member(v, "sleepMillis", spec.sleepMillis, err))
@@ -370,6 +377,8 @@ encodeRunRequest(const JobSpec &spec)
         v.set("machine", encodeMachineOverrides(spec.request.machine));
     if (spec.request.batchSim)
         v.set("batchSim", true);
+    if (!spec.request.fusion)
+        v.set("fusion", false);
     if (spec.timeoutMillis)
         v.set("timeoutMillis", spec.timeoutMillis);
     if (spec.sleepMillis)

@@ -35,6 +35,7 @@ runWorkload(const BenchmarkInfo &info, const RunRequest &request,
                           ? request.invocationsOverride
                           : info.invocations;
     request.machine.applyTo(sim);
+    sim.fusion = request.fusion;
     if (request.batchSim) {
         std::vector<BatchLane> lanes;
         if (request.runLsq)
@@ -53,15 +54,18 @@ runWorkload(const BenchmarkInfo &info, const RunRequest &request,
         if (request.runNachos)
             out.nachos = std::move(results[next++]);
     } else {
+        // Worker-thread-local hierarchy pool: sequential-mode suite
+        // runs otherwise pay an LLC-array construction per backend.
+        thread_local HierarchyPool pool;
         if (request.runLsq)
             out.lsq = simulate(out.region, out.mdes,
-                               BackendKind::OptLsq, sim);
+                               BackendKind::OptLsq, sim, pool);
         if (request.runSw)
             out.sw = simulate(out.region, out.mdes,
-                              BackendKind::NachosSw, sim);
+                              BackendKind::NachosSw, sim, pool);
         if (request.runNachos)
             out.nachos = simulate(out.region, out.mdes,
-                                  BackendKind::Nachos, sim);
+                                  BackendKind::Nachos, sim, pool);
     }
     times.simSeconds = lap();
     return out;

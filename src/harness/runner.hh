@@ -41,6 +41,10 @@ struct RunRequest
      *  Results are byte-identical either way; batching shares the
      *  firing tables and one calendar-queue pass across backends. */
     bool batchSim = false;
+    /** Fuse single-consumer fixed-latency chains into macro-ops
+     *  (SimConfig::fusion). Results are byte-identical either way;
+     *  `--no-fusion` is the escape hatch, mirroring `--no-batch`. */
+    bool fusion = true;
 };
 
 /** Everything produced for one workload run. */

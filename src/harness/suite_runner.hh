@@ -74,6 +74,14 @@ unsigned suiteThreads(int argc, char *const argv[]);
 bool suiteBatch(int argc, char *const argv[], bool fallback = false);
 
 /**
+ * `--fusion` / `--no-fusion` from argv if present, else `fallback`
+ * (on by default). Benches feed the result into RunRequest::fusion;
+ * stdout stays byte-identical either way (the firing plan's identity
+ * guarantee), so this only moves the sim-stage timing.
+ */
+bool suiteFusion(int argc, char *const argv[], bool fallback = true);
+
+/**
  * One-line timing summary of a SuiteRun. Benches print this to
  * std::cerr so stdout tables stay byte-identical across thread
  * counts.

@@ -665,6 +665,39 @@ Daemon::executeGroup(Shard &shard,
         const bool bulk = job->spec.klass == AdmitClass::Bulk;
         std::lock_guard<std::mutex> lock(shard.statsMutex);
         shard.stats.counter("jobs.completed").inc();
+        // Firing-plan observability: fold each backend run's plan
+        // counters into the shard stats so metricsSnapshot() exposes
+        // suite-wide fusion coverage (mirrors the suite --json
+        // "fusion" record). Cache-served sims report their cached
+        // counters — per-job visibility, not unique-sim accounting.
+        {
+            const SimResult *sims[3];
+            if (legacy) {
+                sims[0] = legacyOutcome.lsq ? &*legacyOutcome.lsq
+                                            : nullptr;
+                sims[1] = legacyOutcome.sw ? &*legacyOutcome.sw
+                                           : nullptr;
+                sims[2] = legacyOutcome.nachos ? &*legacyOutcome.nachos
+                                               : nullptr;
+            } else {
+                const BatchRunResult &r = results[i];
+                sims[0] = r.lsq ? &*r.lsq : nullptr;
+                sims[1] = r.sw ? &*r.sw : nullptr;
+                sims[2] = r.nachos ? &*r.nachos : nullptr;
+            }
+            for (const SimResult *sim : sims) {
+                if (!sim)
+                    continue;
+                shard.stats.counter("plan.eventsDispatched")
+                    .inc(sim->planEventsDispatched);
+                shard.stats.counter("plan.eventsElided")
+                    .inc(sim->planEventsElided);
+                shard.stats.counter("plan.macroOps")
+                    .inc(sim->planMacroOps);
+                shard.stats.counter("plan.fusedOps")
+                    .inc(sim->planFusedOps);
+            }
+        }
         shard.stats.histogram("latency.synthMicros")
             .sample(secondsToMicros(times.synthSeconds));
         shard.stats.histogram("latency.analysisMicros")

@@ -115,6 +115,36 @@ class CalendarQueue
         }
     }
 
+    /**
+     * Drain every event currently enqueued for the earliest pending
+     * cycle into `out` (which must be empty) in FIFO order, and
+     * advance now() to that cycle. The bucket's storage is swapped
+     * into `out` — no per-event copy — leaving the slot empty, so
+     * events the caller schedules for that same cycle while
+     * processing the wave start a fresh bucket and the next drainWave
+     * at the same now() returns exactly the new batch. The caller's
+     * buffer and the ring slot ping-pong their capacity, so steady
+     * state allocates nothing. Must not be mixed with pop() within
+     * one drain (pop leaves a partially-consumed bucket behind) and
+     * must not be called on an empty queue.
+     */
+    uint64_t
+    drainWave(std::vector<Event> &out)
+    {
+        NACHOS_ASSERT(size_ > 0, "drainWave from empty event queue");
+        NACHOS_ASSERT(cursor_ == 0, "drainWave after partial pop");
+        for (;;) {
+            std::vector<Event> &bucket = ring_[now_ & (BucketCount - 1)];
+            if (!bucket.empty()) {
+                bucket.swap(out);
+                size_ -= out.size();
+                clearOccupied(now_ & (BucketCount - 1));
+                return now_;
+            }
+            advance();
+        }
+    }
+
   private:
     struct OverflowEntry
     {

@@ -87,6 +87,16 @@ struct FuzzOptions
      * across the six lanes, which dominates fuzzer throughput.
      */
     bool batchedSim = true;
+    /** Macro-op fusion (SimConfig::fusion) on the primary runs. */
+    bool fusion = true;
+    /**
+     * Re-run every lane with fusion inverted and require the two
+     * results byte-identical (cycles, stats, energy, digest, memory
+     * image, commit trace, critical op). This is the firing plan's
+     * identity guarantee under adversarial regions; roughly doubles
+     * the cost per seed, so it is off by default.
+     */
+    bool fusionDifferential = false;
 };
 
 /** One failed check. */

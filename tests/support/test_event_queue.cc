@@ -204,6 +204,118 @@ TEST(CalendarQueue, RewindClearsTheFinalRingBucket)
     EXPECT_EQ(out, want);
 }
 
+TEST(CalendarQueue, DrainWaveReturnsOneCycleInFifoOrder)
+{
+    Queue q;
+    q.schedule(9, {0});
+    q.schedule(5, {1});
+    q.schedule(5, {2});
+    q.schedule(500, {3}); // overflow, beyond the 64-cycle ring
+
+    std::vector<Ev> wave;
+    EXPECT_EQ(q.drainWave(wave), 5u);
+    ASSERT_EQ(wave.size(), 2u); // cycle 9 stays queued
+    EXPECT_EQ(wave[0].tag, 1u);
+    EXPECT_EQ(wave[1].tag, 2u);
+    EXPECT_EQ(q.size(), 2u);
+
+    wave.clear();
+    EXPECT_EQ(q.drainWave(wave), 9u);
+    ASSERT_EQ(wave.size(), 1u);
+    EXPECT_EQ(wave[0].tag, 0u);
+
+    // The overflow event migrates into the ring as the clock advances.
+    wave.clear();
+    EXPECT_EQ(q.drainWave(wave), 500u);
+    ASSERT_EQ(wave.size(), 1u);
+    EXPECT_EQ(wave[0].tag, 3u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, DrainWaveSameCycleReschedulesFormTheNextWave)
+{
+    // Handlers processing a wave may schedule follow-ups for the SAME
+    // cycle; the swap leaves the slot empty, so those form a second
+    // wave at the same now() instead of mixing into the first.
+    Queue q;
+    q.schedule(5, {0});
+    std::vector<Ev> wave;
+    EXPECT_EQ(q.drainWave(wave), 5u);
+    ASSERT_EQ(wave.size(), 1u);
+
+    q.schedule(5, {1});
+    q.schedule(5, {2});
+    wave.clear();
+    EXPECT_EQ(q.drainWave(wave), 5u);
+    ASSERT_EQ(wave.size(), 2u);
+    EXPECT_EQ(wave[0].tag, 1u);
+    EXPECT_EQ(wave[1].tag, 2u);
+}
+
+TEST(CalendarQueue, DrainWavePingPongsCapacityWithTheCaller)
+{
+    // Steady state allocates nothing: the bucket's storage is swapped
+    // into the caller's buffer and handed back on the next schedule to
+    // that slot. Observable contract: the drained wave reuses capacity
+    // at least as large as the previous wave when the caller returns
+    // the buffer cleared (not shrunk).
+    Queue q;
+    for (uint32_t i = 0; i < 32; ++i)
+        q.schedule(1, {i});
+    std::vector<Ev> wave;
+    EXPECT_EQ(q.drainWave(wave), 1u);
+    ASSERT_EQ(wave.size(), 32u);
+    const size_t cap = wave.capacity();
+
+    wave.clear();
+    for (uint32_t i = 0; i < 32; ++i)
+        q.schedule(2, {i});
+    EXPECT_EQ(q.drainWave(wave), 2u);
+    ASSERT_EQ(wave.size(), 32u);
+    EXPECT_GE(wave.capacity() + cap, 64u); // one side kept the storage
+}
+
+TEST(CalendarQueue, DrainWaveMatchesPopOnRandomSchedules)
+{
+    // Property: grouping drainWave output by cycle must equal what a
+    // pop() loop yields on an identically-scheduled queue, including
+    // in-wave follow-up schedules for future cycles.
+    Rng rng(999);
+    for (int round = 0; round < 20; ++round) {
+        Queue byPop;
+        Queue byWave;
+        uint32_t tag = 0;
+        for (int i = 0; i < 60; ++i) {
+            const uint64_t cycle = rng.below(200);
+            byPop.schedule(cycle, {tag});
+            byWave.schedule(cycle, {tag});
+            ++tag;
+        }
+        const auto popped = drain(byPop);
+
+        std::vector<std::pair<uint64_t, uint32_t>> waved;
+        std::vector<Ev> wave;
+        while (!byWave.empty()) {
+            wave.clear();
+            const uint64_t cycle = byWave.drainWave(wave);
+            for (const Ev &ev : wave)
+                waved.push_back({cycle, ev.tag});
+        }
+        ASSERT_EQ(waved, popped) << "round " << round;
+    }
+}
+
+TEST(CalendarQueueDeathTest, DrainWaveAfterPartialPopIsFatal)
+{
+    Queue q;
+    q.schedule(3, {0});
+    q.schedule(3, {1});
+    Ev ev;
+    (void)q.pop(ev); // leaves the bucket partially consumed
+    std::vector<Ev> wave;
+    EXPECT_DEATH(q.drainWave(wave), "partial pop");
+}
+
 TEST(CalendarQueueDeathTest, RewindOfNonEmptyQueueIsFatal)
 {
     Queue q;

@@ -3,7 +3,8 @@
 # print byte-identical stdout no matter how many workers carry it, and
 # the batch-capable benches must also print byte-identical stdout when
 # the sim stage runs through the batched engine (--batch) instead of
-# sequential simulate() calls.
+# sequential simulate() calls, and when macro-op fusion is disabled
+# (--no-fusion) instead of the default fused firing plan.
 #
 # usage: check_determinism.sh <bench-dir>
 #
@@ -102,6 +103,21 @@ for bench in $BATCH_BENCHES; do
     }
     check "$bench" "$TMP/$bench.t1" "$TMP/$bench.batch" \
         "sequential vs batched sim"
+done
+
+# Fusion identity: the firing plan's macro-op fusion must not change a
+# single stdout byte — the default fused run must match --no-fusion.
+for bench in $BATCH_BENCHES; do
+    bin="$BENCH_DIR/$bench"
+    [ -x "$bin" ] || continue # missing binary already reported above
+    [ -f "$TMP/$bench.t1" ] || continue
+    "$bin" --threads 2 --no-fusion > "$TMP/$bench.nofuse" 2>/dev/null || {
+        echo "FAIL: $bench --no-fusion exited non-zero" >&2
+        failures=$((failures + 1))
+        continue
+    }
+    check "$bench" "$TMP/$bench.t1" "$TMP/$bench.nofuse" \
+        "fused vs unfused sim"
 done
 
 # Daemon vs direct: every result line a sharded daemon serves must be
@@ -223,5 +239,6 @@ if [ "$failures" -ne 0 ]; then
     echo "$failures determinism failure(s)" >&2
     exit 1
 fi
-echo "all benches deterministic across thread counts and sim engines," \
-     "and the daemon serves byte-identical results to --direct"
+echo "all benches deterministic across thread counts, sim engines and" \
+     "fusion modes, and the daemon serves byte-identical results to" \
+     "--direct"

@@ -54,6 +54,11 @@ usage()
         "  --sequential-sim   one simulate() per backend instead of the\n"
         "                     batched engine (identical verdicts; for\n"
         "                     timing comparisons and engine bring-up)\n"
+        "  --no-fusion        disable macro-op fusion on the primary\n"
+        "                     runs (identical verdicts; escape hatch)\n"
+        "  --fusion-differential\n"
+        "                     run every lane fused AND unfused and\n"
+        "                     require byte-identical results\n"
         "  --corpus-out DIR   write reproducers to DIR/seed-N.region\n"
         "  --dump-regions DIR write EVERY case's region to DIR (corpus\n"
         "                     curation; independent of pass/fail)\n");
@@ -115,6 +120,10 @@ main(int argc, char **argv)
             opts.shrinkFailures = false;
         } else if (arg == "--sequential-sim") {
             opts.batchedSim = false;
+        } else if (arg == "--no-fusion") {
+            opts.fusion = false;
+        } else if (arg == "--fusion-differential") {
+            opts.fusionDifferential = true;
         } else if (arg == "--corpus-out") {
             if (next == nullptr)
                 NACHOS_FATAL("--corpus-out requires a value");

@@ -12,38 +12,91 @@ Usage: perf_report.py BASELINE.json CURRENT.json
 """
 
 import json
+import subprocess
 import sys
 from collections import defaultdict
 
 STAGES = ("synth", "analysis", "mde", "sim")
 
+# Microbench row families: plain seconds rows, but their stages are
+# bench-specific phases rather than pipeline stages, so they get their
+# own table instead of joining the per-workload stage math.
+MICROBENCHES = ("sim_plan", "batch_sim")
+
 
 def load(path):
     """-> ({workload: {stage: seconds}}, {slo stage: row},
-           {sweep stage: row}, git_sha set).
+           {sweep stage: row}, {(bench, stage): seconds},
+           {fusion stage: row}, git_sha set).
 
     Service SLO rows (workload == "service", emitted by
-    bench_service_slo and the loadgen) carry req/s-at-p99 fields, and
+    bench_service_slo and the loadgen) carry req/s-at-p99 fields,
     sweep rows (workload == "sweep", emitted by bench_sweep) carry
-    points/s — neither is pipeline-stage seconds, so each gets its own
-    table and stays out of the per-workload stage math.
+    points/s, and firing-plan rows (workload == "fusion", emitted by
+    the suite benches) carry event counts — none is pipeline-stage
+    seconds, so each gets its own table and stays out of the
+    per-workload stage math. Microbench rows (sim_plan, batch_sim) ARE
+    seconds but use bench-specific stage names, so they too render
+    separately.
     """
     with open(path, "r", encoding="utf-8") as fh:
         rows = json.load(fh)
     table = defaultdict(dict)
     service = {}
     sweep = {}
+    micro = {}
+    fusion = {}
     shas = set()
     for row in rows:
         if row["workload"] == "service":
             service[row["stage"]] = row
         elif row["workload"] == "sweep":
             sweep[row["stage"]] = row
+        elif row["workload"] == "fusion":
+            fusion[row["stage"]] = row
+        elif row["workload"] in MICROBENCHES:
+            micro[(row["workload"], row["stage"])] = row["seconds"]
         else:
             table[row["workload"]][row["stage"]] = row["seconds"]
         if "git_sha" in row:
             shas.add(row["git_sha"])
-    return table, service, sweep, shas
+    return table, service, sweep, micro, fusion, shas
+
+
+def warn_if_stale_baseline(base_shas):
+    """Shout when the baseline predates none of HEAD's history.
+
+    A baseline whose git_sha is not an ancestor of HEAD was recorded on
+    another branch (or never rebased), so its ratios compare against
+    code that is not in this commit's past — the table below would be
+    quietly meaningless. Report-only like everything here: warn loudly,
+    never fail. Unknown/absent SHAs and non-git environments skip the
+    check."""
+    stale = []
+    for sha in sorted(base_shas):
+        if not sha or sha == "unknown":
+            continue
+        try:
+            probe = subprocess.run(
+                ["git", "merge-base", "--is-ancestor", sha, "HEAD"],
+                capture_output=True, text=True)
+        except OSError:
+            return  # no git in PATH: nothing to verify against
+        if probe.returncode == 1:
+            stale.append(sha)
+        # 128 etc.: unknown object (shallow clone) — can't judge, skip.
+    if not stale:
+        return
+    bar = "!" * 72
+    print(bar, file=sys.stderr)
+    print(f"!! STALE BASELINE: git_sha {', '.join(stale)} is not an "
+          "ancestor of HEAD.", file=sys.stderr)
+    print("!! The baseline was recorded on another line of history; "
+          "speedup ratios", file=sys.stderr)
+    print("!! below are not meaningful. Re-run "
+          "tools/refresh_bench_suite.sh and commit", file=sys.stderr)
+    print("!! the refreshed BENCH_suite.json.", file=sys.stderr)
+    print(bar, file=sys.stderr)
 
 
 def fmt_ratio(base, cur):
@@ -57,12 +110,15 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
     try:
-        base, base_svc, base_sweep, base_shas = load(argv[1])
-        cur, cur_svc, cur_sweep, cur_shas = load(argv[2])
+        (base, base_svc, base_sweep, base_micro, base_fusion,
+         base_shas) = load(argv[1])
+        (cur, cur_svc, cur_sweep, cur_micro, cur_fusion,
+         cur_shas) = load(argv[2])
     except (OSError, ValueError, KeyError) as err:
         print(f"perf_report: cannot read inputs: {err}", file=sys.stderr)
         return 2
 
+    warn_if_stale_baseline(base_shas)
     print(f"baseline: {argv[1]} (git {','.join(sorted(base_shas)) or '?'})")
     print(f"current:  {argv[2]} (git {','.join(sorted(cur_shas)) or '?'})")
     print()
@@ -91,6 +147,8 @@ def main(argv):
               f"{fmt_ratio(b_total, c_total):>8}")
     print_service_slo(base_svc, cur_svc)
     print_sweep_throughput(base_sweep, cur_sweep)
+    print_microbenches(base_micro, cur_micro)
+    print_fusion_plan(base_fusion, cur_fusion)
 
     print()
     print("report-only: timing never fails CI; byte-identical output does.")
@@ -158,6 +216,54 @@ def print_sweep_throughput(base_sweep, cur_sweep):
               f"{points:>8}")
     print("-" * 68)
     print("ratio is current/base points per second (higher is better).")
+
+
+def print_microbenches(base_micro, cur_micro):
+    """Render sim_plan / batch_sim phase seconds, if either input has
+    any."""
+    if not base_micro and not cur_micro:
+        return
+    print()
+    print("Microbenches (phase seconds)")
+    print(f"{'bench/stage':<30} {'base':>10} {'cur':>10} {'speedup':>8}")
+    print("-" * 62)
+    for key in sorted(set(base_micro) | set(cur_micro)):
+        label = "/".join(key)
+        b = base_micro.get(key)
+        c = cur_micro.get(key)
+        if b is None or c is None:
+            print(f"{label:<30} {'(only in one input)':>30}")
+            continue
+        print(f"{label:<30} {b:>9.4f}s {c:>9.4f}s "
+              f"{fmt_ratio(b, c):>8}")
+    print("-" * 62)
+
+
+def print_fusion_plan(base_fusion, cur_fusion):
+    """Render firing-plan event counts (workload == "fusion"), if
+    either input carries them. These are exact counts, not timings:
+    fused and unfused runs must dispatch identical event totals, and
+    "elided" counts the per-edge events the static chains never
+    schedule."""
+    if not base_fusion and not cur_fusion:
+        return
+    print()
+    print("Firing plan (suite-aggregate event counts)")
+    fields = ("eventsDispatched", "eventsElided", "macroOps",
+              "fusedOps")
+    print(f"{'counter':<22} {'base':>14} {'cur':>14}")
+    print("-" * 52)
+    for field in fields:
+        def cell(table):
+            row = table.get("plan")
+            if row is None or field not in row:
+                return "-"
+            return f"{int(row[field]):,}"
+        print(f"{field:<22} {cell(base_fusion):>14} "
+              f"{cell(cur_fusion):>14}")
+    print("-" * 52)
+    print("counts are deterministic; a base/cur difference means the "
+          "plan changed.")
 
 
 if __name__ == "__main__":
